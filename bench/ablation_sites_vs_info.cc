@@ -1,0 +1,99 @@
+// Ablation for the paper's Section 4 design observation: "once we have
+// about twice as many sites as dimensions, there is little value in
+// adding more sites; the distance permutation contains little more
+// information."
+//
+// For fixed d, sweeps the number of sites k and reports the distinct
+// permutation count, its theoretical maximum N_{d,2}(k), the Shannon
+// entropy of the permutation distribution (bits of information a stored
+// permutation actually carries), and the storage cost per point.  The
+// entropy curve flattens near k ~ 2d while raw storage lg k! keeps
+// rising — the quantitative form of the paper's advice.
+//
+// Usage: ablation_sites_vs_info [--points=50000] [--max-k=18] [--seed=4]
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/distance_permutation.h"
+#include "core/euclidean_count.h"
+#include "core/perm_counter.h"
+#include "core/perm_table.h"
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+#include "util/bitpack.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+using distperm::core::Permutation;
+using distperm::metric::Vector;
+using distperm::util::Rng;
+using distperm::util::TablePrinter;
+
+int main(int argc, char** argv) {
+  auto flags = distperm::util::Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status() << "\n";
+    return 1;
+  }
+  const size_t points =
+      static_cast<size_t>(flags.value().GetInt("points", 50000));
+  const size_t max_k =
+      static_cast<size_t>(flags.value().GetInt("max-k", 18));
+  const uint64_t seed =
+      static_cast<uint64_t>(flags.value().GetInt("seed", 4));
+
+  distperm::core::EuclideanCounter counter;
+  distperm::metric::Metric<Vector> l2(distperm::metric::LpMetric::L2());
+
+  std::cout << "Ablation: number of sites k vs information carried "
+               "(uniform data, L2)\n";
+  std::cout << "points=" << points << "\n\n";
+
+  for (int d : {2, 4}) {
+    Rng rng(seed + static_cast<uint64_t>(d));
+    auto data =
+        distperm::dataset::UniformCube(points, static_cast<size_t>(d),
+                                       &rng);
+    auto sites = distperm::core::SelectRandomSites(
+        data, max_k, &rng);
+
+    std::cout << "d = " << d << " (2d = " << 2 * d << ")\n";
+    TablePrinter table;
+    table.SetHeader({"k", "distinct perms", "N_{d,2}(k)", "entropy bits",
+                     "lg k! bits", "table bits/pt"});
+    for (size_t k = 2; k <= max_k; k += (k < 8 ? 1 : 2)) {
+      std::vector<Vector> prefix_sites(sites.begin(), sites.begin() + k);
+      std::vector<Permutation> perms;
+      perms.reserve(points);
+      std::vector<double> distances(k);
+      for (const auto& point : data) {
+        for (size_t j = 0; j < k; ++j) {
+          distances[j] = l2(prefix_sites[j], point);
+        }
+        perms.push_back(
+            distperm::core::PermutationFromDistances(distances));
+      }
+      auto table_store = distperm::core::PermutationTable::Build(perms);
+      double entropy = distperm::core::PermutationEntropyBits(perms);
+      char entropy_s[32];
+      std::snprintf(entropy_s, sizeof(entropy_s), "%.2f", entropy);
+      table.AddRow(
+          {std::to_string(k), std::to_string(table_store.distinct()),
+           counter.Count(d, static_cast<int>(k)).ToString(), entropy_s,
+           std::to_string(
+               distperm::util::BitsForFactorial(static_cast<int>(k))),
+           std::to_string(table_store.TotalBits() / points)});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Reading guide: entropy gains per added site shrink "
+               "sharply beyond k ~ 2d, while the raw permutation cost "
+               "lg k! keeps growing — storing more sites buys little "
+               "discrimination, exactly the paper's point about iAESA's "
+               "limits.\n";
+  return 0;
+}

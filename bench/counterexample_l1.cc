@@ -1,0 +1,120 @@
+// Reproduces the Section 5 counterexample: the paper's five explicit
+// sites (equation 12) in 3-dimensional L1 space generate more distance
+// permutations than the Euclidean maximum N_{3,2}(5) = 96 — the paper
+// observed 108 within a database of 10^6 uniform points — refuting the
+// hypothesis that the Euclidean count bounds all Lp spaces.
+//
+// Also repeats the paper's search for counterexamples in the other
+// reported configurations (L1 d=3 k=6, L1 d=4 k=6, Linf d=3 k=5).
+//
+// Usage: counterexample_l1 [--samples=1000000] [--grid=160]
+//                          [--search-trials=40] [--seed=12]
+
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "core/euclidean_count.h"
+#include "geometry/cell_enum.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+using distperm::core::EuclideanCounter;
+using distperm::geometry::CellEnumeration;
+using distperm::geometry::EnumerateCellsByGrid;
+using distperm::geometry::EnumerateCellsBySampling;
+using distperm::metric::Vector;
+using distperm::util::Rng;
+using distperm::util::TablePrinter;
+
+int main(int argc, char** argv) {
+  auto flags = distperm::util::Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status() << "\n";
+    return 1;
+  }
+  const uint64_t samples =
+      static_cast<uint64_t>(flags.value().GetInt("samples", 1000000));
+  const size_t grid =
+      static_cast<size_t>(flags.value().GetInt("grid", 160));
+  const int search_trials =
+      static_cast<int>(flags.value().GetInt("search-trials", 40));
+  const uint64_t seed =
+      static_cast<uint64_t>(flags.value().GetInt("seed", 12));
+
+  EuclideanCounter counter;
+
+  // The paper's exceptional sites, equation (12).
+  std::vector<Vector> paper_sites = {
+      {0.205281, 0.621547, 0.332507},
+      {0.053421, 0.344351, 0.260859},
+      {0.418166, 0.207143, 0.119789},
+      {0.735218, 0.653301, 0.650154},
+      {0.527133, 0.814207, 0.704307},
+  };
+
+  std::cout << "Section 5 counterexample: N_{d,p}(k) can exceed "
+               "N_{d,2}(k)\n\n";
+  std::cout << "Euclidean limit N_{3,2}(5) = " << counter.Count64(3, 5)
+            << "; paper observed 108 with its L1 sites.\n\n";
+
+  Rng rng(seed);
+  CellEnumeration sampled = EnumerateCellsBySampling(
+      paper_sites, 1.0, 0.0, 1.0, samples, &rng);
+  CellEnumeration gridded =
+      EnumerateCellsByGrid(paper_sites, 1.0, 0.0, 1.0, grid);
+
+  TablePrinter table;
+  table.SetHeader({"method", "probes", "distinct perms",
+                   "exceeds 96?"});
+  table.AddRow({"uniform sampling (paper protocol)",
+                std::to_string(sampled.probes),
+                std::to_string(sampled.count()),
+                sampled.count() > 96 ? "YES" : "no"});
+  table.AddRow({"regular grid", std::to_string(gridded.probes),
+                std::to_string(gridded.count()),
+                gridded.count() > 96 ? "YES" : "no"});
+  table.Print(std::cout);
+
+  std::cout << "\nSearch for counterexamples in the paper's other "
+               "configurations (random site draws, counts via sampling):\n\n";
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  struct Config {
+    const char* label;
+    double p;
+    int d;
+    int k;
+  };
+  const Config configs[] = {
+      {"L1   d=3 k=5", 1.0, 3, 5},
+      {"L1   d=3 k=6", 1.0, 3, 6},
+      {"L1   d=4 k=6", 1.0, 4, 6},
+      {"Linf d=3 k=5", kInf, 3, 5},
+  };
+  TablePrinter search;
+  search.SetHeader({"config", "Euclidean limit", "best found",
+                    "exceeded?"});
+  const uint64_t search_samples = std::min<uint64_t>(samples, 200000);
+  for (const auto& config : configs) {
+    uint64_t limit = counter.Count64(config.d, config.k);
+    size_t best = 0;
+    for (int trial = 0; trial < search_trials; ++trial) {
+      std::vector<Vector> sites(config.k, Vector(config.d));
+      for (auto& site : sites) {
+        for (auto& coord : site) coord = rng.NextDouble();
+      }
+      CellEnumeration cells = EnumerateCellsBySampling(
+          sites, config.p, 0.0, 1.0, search_samples, &rng);
+      best = std::max(best, cells.count());
+    }
+    search.AddRow({config.label, std::to_string(limit),
+                   std::to_string(best), best > limit ? "YES" : "no"});
+    std::cerr << "searched " << config.label << "\n";
+  }
+  search.Print(std::cout);
+  std::cout << "\nThe explicit paper sites always exceed the Euclidean "
+               "limit; random draws exceed it only occasionally, matching "
+               "the paper's account of a computer search.\n";
+  return 0;
+}

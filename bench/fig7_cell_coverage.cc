@@ -1,0 +1,80 @@
+// Reproduces the message of paper Figure 7: a database may fail to hit
+// every cell of the generalized Voronoi diagram, in two ways —
+//   (a) sampling: cells empty just because the database is finite; a
+//       larger database eventually hits them;
+//   (b) range limitation: cells lying wholly outside the data's value
+//       range that no amount of data will ever hit.
+//
+// For fixed sites in the plane the harness sweeps the database size and
+// reports cells hit, first for data spanning a window that covers all
+// cells, then for range-limited data — whose curve plateaus strictly
+// below the total, exactly Fig. 7's cross-hatched cells.
+//
+// Usage: fig7_cell_coverage [--sites=6] [--seed=13]
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/euclidean_count.h"
+#include "geometry/cell_enum.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+using distperm::geometry::EnumerateCellsBySampling;
+using distperm::metric::Vector;
+using distperm::util::Rng;
+using distperm::util::TablePrinter;
+
+int main(int argc, char** argv) {
+  auto flags = distperm::util::Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status() << "\n";
+    return 1;
+  }
+  const size_t k = static_cast<size_t>(flags.value().GetInt("sites", 6));
+  const uint64_t seed =
+      static_cast<uint64_t>(flags.value().GetInt("seed", 13));
+
+  Rng rng(seed);
+  std::vector<Vector> sites(k, Vector(2));
+  for (auto& site : sites) {
+    site[0] = rng.NextDouble(0.2, 0.8);
+    site[1] = rng.NextDouble(0.2, 0.8);
+  }
+
+  // Reference: the number of cells reachable from a wide window,
+  // estimated with a heavy probe.
+  auto reference =
+      EnumerateCellsBySampling(sites, 2.0, -4.0, 5.0, 3000000, &rng);
+  distperm::core::EuclideanCounter counter;
+  std::cout << "Fig. 7: database coverage of the permutation cells\n\n";
+  std::cout << "k = " << k << " sites in [0.2, 0.8]^2; Theorem 7 maximum "
+            << counter.Count64(2, static_cast<int>(k))
+            << "; cells reachable in the wide window [-4, 5]^2: "
+            << reference.count() << "\n\n";
+
+  TablePrinter table;
+  table.SetHeader({"database size", "cells hit (wide data)",
+                   "cells hit (range-limited data)"});
+  for (uint64_t n : {100ULL, 1000ULL, 10000ULL, 100000ULL, 1000000ULL}) {
+    Rng wide_rng(seed + 1);
+    auto wide = EnumerateCellsBySampling(sites, 2.0, -4.0, 5.0, n,
+                                         &wide_rng);
+    Rng narrow_rng(seed + 2);
+    // Range-limited data: the grey box of Fig. 7 — values confined to
+    // the sites' own range, so outer cells are unreachable forever.
+    auto narrow = EnumerateCellsBySampling(sites, 2.0, 0.25, 0.75, n,
+                                           &narrow_rng);
+    table.AddRow({std::to_string(n), std::to_string(wide.count()),
+                  std::to_string(narrow.count())});
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading guide: the wide-data curve climbs toward the "
+               "reachable total as the database grows (sampling misses "
+               "vanish); the range-limited curve plateaus strictly below "
+               "it — those are Fig. 7's cross-hatched cells that will "
+               "never appear no matter how large the database grows.\n";
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Micro-benchmarks (google-benchmark) for the primitives every
+// experiment leans on: distance kernels, permutation computation,
+// ranking/unranking, permutation distances, and whole-database counting
+// throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/distance_permutation.h"
+#include "core/euclidean_count.h"
+#include "core/perm_codec.h"
+#include "core/perm_counter.h"
+#include "core/perm_metrics.h"
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+#include "metric/string_metrics.h"
+#include "util/rng.h"
+
+namespace {
+
+using distperm::core::Permutation;
+using distperm::metric::Vector;
+
+void BM_L2Distance(benchmark::State& state) {
+  distperm::util::Rng rng(1);
+  const size_t d = static_cast<size_t>(state.range(0));
+  Vector a(d), b(d);
+  for (size_t i = 0; i < d; ++i) {
+    a[i] = rng.NextDouble();
+    b[i] = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distperm::metric::L2Distance(a, b));
+  }
+}
+BENCHMARK(BM_L2Distance)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_L1Distance(benchmark::State& state) {
+  distperm::util::Rng rng(2);
+  const size_t d = static_cast<size_t>(state.range(0));
+  Vector a(d), b(d);
+  for (size_t i = 0; i < d; ++i) {
+    a[i] = rng.NextDouble();
+    b[i] = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distperm::metric::L1Distance(a, b));
+  }
+}
+BENCHMARK(BM_L1Distance)->Arg(16)->Arg(256);
+
+void BM_Levenshtein(benchmark::State& state) {
+  distperm::util::Rng rng(3);
+  const size_t length = static_cast<size_t>(state.range(0));
+  std::string a, b;
+  for (size_t i = 0; i < length; ++i) {
+    a.push_back(static_cast<char>('a' + rng.NextBounded(26)));
+    b.push_back(static_cast<char>('a' + rng.NextBounded(26)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distperm::metric::LevenshteinDistance(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_PermutationFromDistances(benchmark::State& state) {
+  distperm::util::Rng rng(4);
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<double> distances(k);
+  for (auto& d : distances) d = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        distperm::core::PermutationFromDistances(distances));
+  }
+}
+BENCHMARK(BM_PermutationFromDistances)->Arg(4)->Arg(8)->Arg(12)->Arg(20);
+
+void BM_RankPermutation(benchmark::State& state) {
+  distperm::util::Rng rng(5);
+  const size_t k = static_cast<size_t>(state.range(0));
+  Permutation perm(k);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(&perm);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distperm::core::RankPermutation(perm));
+  }
+}
+BENCHMARK(BM_RankPermutation)->Arg(8)->Arg(12)->Arg(20);
+
+void BM_UnrankPermutation(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  uint64_t rank = 12345 % 40320;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distperm::core::UnrankPermutation(rank, k));
+  }
+}
+BENCHMARK(BM_UnrankPermutation)->Arg(8)->Arg(12);
+
+void BM_SpearmanFootrule(benchmark::State& state) {
+  distperm::util::Rng rng(6);
+  const size_t k = static_cast<size_t>(state.range(0));
+  Permutation a(k), b(k);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  rng.Shuffle(&a);
+  rng.Shuffle(&b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distperm::core::SpearmanFootrule(a, b));
+  }
+}
+BENCHMARK(BM_SpearmanFootrule)->Arg(8)->Arg(16);
+
+void BM_EuclideanCountTable(benchmark::State& state) {
+  for (auto _ : state) {
+    distperm::core::EuclideanCounter counter;
+    benchmark::DoNotOptimize(counter.Count(10, 12));
+  }
+}
+BENCHMARK(BM_EuclideanCountTable);
+
+void BM_CountDistinctPermutations(benchmark::State& state) {
+  distperm::util::Rng rng(7);
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto data = distperm::dataset::UniformCube(n, 4, &rng);
+  distperm::metric::Metric<Vector> l2(distperm::metric::LpMetric::L2());
+  auto sites = distperm::core::SelectRandomSites(data, 8, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        distperm::core::CountDistinctPermutations(data, sites, l2));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CountDistinctPermutations)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

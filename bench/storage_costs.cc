@@ -1,0 +1,84 @@
+// Reproduces the storage claims of Sections 1 and 4: index bits per
+// point for LAESA's distances (O(k lg n)), a raw distance permutation
+// (ceil lg k!), the table-compressed permutation (ceil lg N for the N
+// permutations that actually occur), and the Euclidean-aware bound
+// (ceil lg N_{d,2}(k), i.e. Theta(d lg k)).  Costs are evaluated both
+// from the model and from a real bit-packed permutation index.
+//
+// Usage: storage_costs [--points=50000] [--seed=7]
+
+#include <iostream>
+#include <vector>
+
+#include "core/euclidean_count.h"
+#include "core/storage_model.h"
+#include "dataset/vector_gen.h"
+#include "index/distperm_index.h"
+#include "metric/lp.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+using distperm::core::CompareStorageCosts;
+using distperm::core::StorageScenario;
+using distperm::index::DistPermIndex;
+using distperm::metric::LpMetric;
+using distperm::metric::Metric;
+using distperm::metric::Vector;
+using distperm::util::Rng;
+using distperm::util::TablePrinter;
+
+int main(int argc, char** argv) {
+  auto flags = distperm::util::Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status() << "\n";
+    return 1;
+  }
+  const size_t points =
+      static_cast<size_t>(flags.value().GetInt("points", 50000));
+  const uint64_t seed =
+      static_cast<uint64_t>(flags.value().GetInt("seed", 7));
+
+  std::cout << "Storage comparison (Sections 1 and 4)\n";
+  std::cout << "points=" << points << "\n\n";
+
+  Metric<Vector> l2(LpMetric::L2());
+  TablePrinter table;
+  table.SetHeader({"d", "k", "distinct perms N", "laesa b/pt",
+                   "raw perm b/pt", "table b/pt", "euclid-bound b/pt",
+                   "packed index bits"});
+
+  Rng rng(seed);
+  for (int d : {2, 3, 4}) {
+    for (size_t k : {8u, 12u, 16u}) {
+      auto data =
+          distperm::dataset::UniformCube(points, static_cast<size_t>(d),
+                                         &rng);
+      Rng site_rng = rng.Split();
+      DistPermIndex<Vector> index(data, l2, k, &site_rng);
+      size_t distinct = index.DistinctPermutationCount();
+
+      StorageScenario scenario;
+      scenario.points = points;
+      scenario.sites = static_cast<int>(k);
+      scenario.dimension = d;
+      scenario.occurring_perms = distinct;
+      auto costs = CompareStorageCosts(scenario);
+      table.AddRow({std::to_string(d), std::to_string(k),
+                    std::to_string(distinct),
+                    std::to_string(costs[0].bits_per_point),
+                    std::to_string(costs[1].bits_per_point),
+                    std::to_string(costs[2].bits_per_point),
+                    std::to_string(costs[3].bits_per_point),
+                    std::to_string(index.IndexBits())});
+      std::cerr << "d=" << d << " k=" << k << " done\n";
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading guide: raw permutations already beat LAESA "
+               "(O(k lg k) vs O(k lg n) bits); the table/Euclidean-bound "
+               "columns show the further reduction to O(d lg k) bits this "
+               "paper proves.  'packed index bits' is the real size of the "
+               "bit-packed index (= points * ceil lg k!).\n";
+  return 0;
+}

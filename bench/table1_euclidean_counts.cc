@@ -1,0 +1,81 @@
+// Reproduces paper Table 1: the exact maximum number N_{d,2}(k) of
+// distance permutations of k sites in d-dimensional Euclidean space
+// (Theorem 7), plus the Corollary 8 asymptotic estimate and the implied
+// storage cost in bits.
+//
+// Usage: table1_euclidean_counts [--max-d=10] [--max-k=12]
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/euclidean_count.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+using distperm::core::EuclideanCounter;
+using distperm::util::Flags;
+using distperm::util::TablePrinter;
+
+int main(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status() << "\n";
+    return 1;
+  }
+  const int max_d = static_cast<int>(flags.value().GetInt("max-d", 10));
+  const int max_k = static_cast<int>(flags.value().GetInt("max-k", 12));
+
+  EuclideanCounter counter;
+
+  std::cout << "Table 1: number of distance permutations N_{d,2}(k) in "
+               "Euclidean space\n\n";
+  TablePrinter table;
+  std::vector<std::string> header = {"d \\ k"};
+  for (int k = 2; k <= max_k; ++k) header.push_back(std::to_string(k));
+  table.SetHeader(header);
+  for (int d = 1; d <= max_d; ++d) {
+    std::vector<std::string> row = {std::to_string(d)};
+    for (int k = 2; k <= max_k; ++k) {
+      row.push_back(counter.Count(d, k).ToString());
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nCorollary 8 check: N_{d,2}(k) vs k^{2d}/(2^d d!) at "
+               "k = 200\n\n";
+  TablePrinter asym;
+  asym.SetHeader({"d", "exact N_{d,2}(200)", "asymptotic", "ratio"});
+  for (int d = 1; d <= 6; ++d) {
+    double exact = counter.Count(d, 200).ToDouble();
+    double estimate = EuclideanCounter::AsymptoticEstimate(d, 200);
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.4f", exact / estimate);
+    char exact_s[64], est_s[64];
+    std::snprintf(exact_s, sizeof(exact_s), "%.4e", exact);
+    std::snprintf(est_s, sizeof(est_s), "%.4e", estimate);
+    asym.AddRow({std::to_string(d), exact_s, est_s, ratio});
+  }
+  asym.Print(std::cout);
+
+  std::cout << "\nStorage bits per permutation: ceil(lg N_{d,2}(k)) vs "
+               "ceil(lg k!) (unrestricted)\n\n";
+  TablePrinter bits;
+  std::vector<std::string> bits_header = {"d \\ k"};
+  for (int k = 2; k <= max_k; ++k) bits_header.push_back(std::to_string(k));
+  bits_header.push_back("(k=64)");
+  bits.SetHeader(bits_header);
+  for (int d = 1; d <= max_d; ++d) {
+    std::vector<std::string> row = {std::to_string(d)};
+    for (int k = 2; k <= max_k; ++k) {
+      row.push_back(std::to_string(counter.StorageBits(d, k)));
+    }
+    row.push_back(std::to_string(counter.StorageBits(d, 64)));
+    bits.AddRow(row);
+  }
+  bits.Print(std::cout);
+  std::cout << "\nunrestricted ceil(lg k!): k=12 -> 29 bits, k=64 -> 296 "
+               "bits; the d log k scaling is the paper's storage "
+               "improvement.\n";
+  return 0;
+}

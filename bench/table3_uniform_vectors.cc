@@ -1,0 +1,106 @@
+// Reproduces paper Table 3: mean and maximum number of distinct distance
+// permutations for uniform random vectors in [0,1]^d under the L1, L2 and
+// L-infinity metrics, for d = 1..10 and k = 4, 8, 12 sites, over repeated
+// random site draws.
+//
+// The paper used n = 10^6 points and 100 runs; the defaults here are
+// scaled down for wall-clock (the counts scale smoothly with n, and the
+// mean/max structure is unchanged).  Restore paper scale with
+//   table3_uniform_vectors --points=1000000 --runs=100
+//
+// Usage: table3_uniform_vectors [--points=50000] [--runs=5] [--seed=1]
+//                               [--max-d=10]
+
+#include <cstdio>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "core/perm_counter.h"
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using distperm::core::CountForSitePrefixes;
+using distperm::core::SelectRandomSites;
+using distperm::dataset::UniformCube;
+using distperm::metric::LpMetric;
+using distperm::metric::Metric;
+using distperm::metric::Vector;
+using distperm::util::Rng;
+using distperm::util::TablePrinter;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = distperm::util::Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status() << "\n";
+    return 1;
+  }
+  const size_t points =
+      static_cast<size_t>(flags.value().GetInt("points", 50000));
+  const int runs = static_cast<int>(flags.value().GetInt("runs", 5));
+  const uint64_t seed =
+      static_cast<uint64_t>(flags.value().GetInt("seed", 1));
+  const int max_d = static_cast<int>(flags.value().GetInt("max-d", 10));
+
+  const std::vector<size_t> ks = {4, 8, 12};
+
+  std::cout << "Table 3: distance permutations for uniform random "
+               "vectors\n";
+  std::cout << "points=" << points << " runs=" << runs
+            << " (paper: 10^6 points, 100 runs)\n\n";
+
+  TablePrinter table;
+  table.SetHeader({"metric", "d", "mean k=4", "mean k=8", "mean k=12",
+                   "max k=4", "max k=8", "max k=12"});
+
+  struct MetricSpec {
+    const char* label;
+    double p;
+  };
+  const MetricSpec specs[] = {{"L1", 1.0}, {"L2", 2.0}, {"Linf", kInf}};
+
+  Rng master(seed);
+  for (const auto& spec : specs) {
+    Metric<Vector> metric{LpMetric(spec.p)};
+    for (int d = 1; d <= max_d; ++d) {
+      double mean[3] = {0, 0, 0};
+      size_t maxima[3] = {0, 0, 0};
+      for (int run = 0; run < runs; ++run) {
+        Rng rng = master.Split();
+        auto data = UniformCube(points, static_cast<size_t>(d), &rng);
+        auto sites = SelectRandomSites(data, ks.back(), &rng);
+        auto results = CountForSitePrefixes(data, sites, metric, ks);
+        for (size_t t = 0; t < ks.size(); ++t) {
+          mean[t] += static_cast<double>(results[t].distinct_permutations);
+          maxima[t] =
+              std::max(maxima[t], results[t].distinct_permutations);
+        }
+      }
+      std::vector<std::string> row = {spec.label, std::to_string(d)};
+      for (size_t t = 0; t < 3; ++t) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f", mean[t] / runs);
+        row.push_back(buf);
+      }
+      for (size_t t = 0; t < 3; ++t) {
+        row.push_back(std::to_string(maxima[t]));
+      }
+      table.AddRow(row);
+      std::cerr << spec.label << " d=" << d << " done\n";
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading guide: counts rise with d and saturate at k! "
+               "once d >= k-1 (24 at k=4); L1 >= L2 >= Linf is the "
+               "paper's observed general trend.\n";
+  return 0;
+}

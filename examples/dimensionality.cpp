@@ -1,0 +1,117 @@
+// Dimensionality estimation via permutation counting — the novel
+// application the paper's conclusions propose: compare the number of
+// distance permutations a database exhibits with the Euclidean maxima
+// N_{d,2}(k) to characterise its dimensionality "in a highly general
+// way", independent of the metric and of the data distribution.
+//
+// The example estimates the dimensionality of several synthetic
+// databases whose true structure is known, including non-vector data
+// (strings under edit distance).
+//
+//   ./example_dimensionality [--points=20000] [--sites=9]
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/dimension_estimate.h"
+#include "core/intrinsic_dim.h"
+#include "core/perm_counter.h"
+#include "dataset/string_gen.h"
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+#include "metric/string_metrics.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+using distperm::core::CountDistinctPermutations;
+using distperm::core::EstimateEuclideanDimension;
+using distperm::core::EstimateIntrinsicDimensionality;
+using distperm::core::SelectRandomSites;
+using distperm::metric::Metric;
+using distperm::metric::Vector;
+using distperm::util::Rng;
+using distperm::util::TablePrinter;
+
+namespace {
+
+template <typename P>
+void Report(TablePrinter* table, const std::string& label,
+            const std::vector<P>& data, const Metric<P>& metric,
+            size_t sites_count, Rng* rng) {
+  auto sites = SelectRandomSites(data, sites_count, rng);
+  auto count = CountDistinctPermutations(data, sites, metric);
+  double dim_estimate = EstimateEuclideanDimension(
+      count.distinct_permutations, static_cast<int>(sites_count));
+  double rho =
+      EstimateIntrinsicDimensionality(data, metric, 20000, rng).rho;
+  char dim_s[32], rho_s[32];
+  std::snprintf(dim_s, sizeof(dim_s), "%.2f", dim_estimate);
+  std::snprintf(rho_s, sizeof(rho_s), "%.2f", rho);
+  table->AddRow({label, std::to_string(data.size()),
+                 std::to_string(count.distinct_permutations), dim_s,
+                 rho_s});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = distperm::util::Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status() << "\n";
+    return 1;
+  }
+  const size_t points =
+      static_cast<size_t>(flags.value().GetInt("points", 20000));
+  const size_t sites = static_cast<size_t>(flags.value().GetInt("sites", 9));
+
+  Rng rng(7);
+  Metric<Vector> l2(distperm::metric::LpMetric::L2());
+  Metric<std::string> lev((distperm::metric::LevenshteinMetric()));
+
+  TablePrinter table;
+  table.SetHeader({"database", "n", "perms", "perm-dim estimate", "rho"});
+
+  // Vector databases with known intrinsic dimension.
+  for (size_t d : {1u, 2u, 3u, 5u, 8u}) {
+    auto data = distperm::dataset::UniformCube(points, d, &rng);
+    Report(&table, "uniform d=" + std::to_string(d), data, l2, sites,
+           &rng);
+  }
+  // A 2-dimensional manifold embedded in 10 dimensions: the estimator
+  // should report ~2, not 10.
+  {
+    auto data = distperm::dataset::LowDimEmbedding(points, 10, 2, 0.0,
+                                                   &rng);
+    Report(&table, "2-manifold in R^10", data, l2, sites, &rng);
+  }
+  // Clustered data: lower effective dimensionality than its ambient d.
+  {
+    auto data =
+        distperm::dataset::ClusteredCloud(points, 8, 10, 0.02, &rng);
+    Report(&table, "10 clusters in R^8", data, l2, sites, &rng);
+  }
+  // Non-vector data: strings under edit distance.  The estimator still
+  // applies — this is the "highly general" part.
+  {
+    distperm::dataset::LanguageProfile profile;
+    profile.name = "Estimator";
+    auto words = distperm::dataset::MarkovWordGenerator(profile)
+                     .Dictionary(points / 2, &rng);
+    Report(&table, "dictionary (edit dist)", words, lev, sites, &rng);
+  }
+  {
+    auto dna =
+        distperm::dataset::DnaSequences(points / 2, 8, 12, 40, 0.08, &rng);
+    Report(&table, "DNA families (edit dist)", dna, lev, sites, &rng);
+  }
+
+  std::cout << "Permutation-count dimensionality estimation (paper "
+               "Section 5 / conclusions)\n\n";
+  table.Print(std::cout);
+  std::cout << "\nThe perm-dim column tracks the true intrinsic dimension "
+               "for the vector databases (slightly low, since sampling "
+               "never exhausts every Voronoi cell) and gives a sensible "
+               "Euclidean-equivalent dimension for the string data.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Tree metrics and the prefix distance (paper Section 3, Fig. 5).
+//
+// Shows that a library-call-number-style hierarchy under the prefix
+// metric is a tree metric space; counts its distance permutations; and
+// demonstrates the Corollary 5 extremal path where the C(k,2)+1 bound is
+// met exactly, including the explicit split-edge structure.
+//
+//   ./example_tree_prefix_demo [--sites=6]
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/perm_counter.h"
+#include "core/tree_count.h"
+#include "metric/string_metrics.h"
+#include "metric/tree_metric.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+using distperm::core::Permutation;
+
+int main(int argc, char** argv) {
+  auto flags = distperm::util::Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status() << "\n";
+    return 1;
+  }
+  const size_t k = static_cast<size_t>(flags.value().GetInt("sites", 6));
+
+  // --- Part 1: the prefix metric on a small call-number hierarchy.
+  std::vector<std::string> catalogue = {
+      "qa",      "qa76",    "qa76.9",  "qa76.9d3", "qa76.9d35",
+      "qa76.73", "qa76.73c", "qa9",    "qa9.58",   "qc",
+      "qc174",   "qc174.12", "z",      "z699",     "z699.35",
+  };
+  distperm::metric::Metric<std::string> prefix(
+      (distperm::metric::PrefixMetric()));
+  std::cout << "prefix distances in a call-number hierarchy (Fig. 5 "
+               "style):\n";
+  std::cout << "  d(qa76.9, qa76.73) = " << prefix("qa76.9", "qa76.73")
+            << "  (shared prefix \"qa76.\")\n";
+  std::cout << "  d(qa76.9, z699)    = " << prefix("qa76.9", "z699")
+            << "  (no shared prefix)\n";
+
+  std::vector<std::string> sites(catalogue.begin(), catalogue.begin() + 4);
+  auto count =
+      distperm::core::CountDistinctPermutations(catalogue, sites, prefix);
+  std::cout << "\nwith 4 sites, the catalogue shows "
+            << count.distinct_permutations
+            << " distance permutations; the tree-metric bound C(4,2)+1 = "
+            << distperm::core::TreePermutationBound(4) << "\n";
+
+  // --- Part 2: Corollary 5 — the extremal path.
+  std::cout << "\nCorollary 5 construction for k = " << k
+            << ": path of 2^(k-1) = " << (1u << (k - 1))
+            << " unit edges, sites at labels 0, 2, 4, ..., 2^(k-1)\n";
+  auto pc = distperm::core::Corollary5Construction(k);
+  size_t achieved =
+      distperm::core::CountTreePermutationsBruteForce(pc.tree, pc.sites);
+  std::cout << "permutations achieved: " << achieved << " = bound "
+            << distperm::core::TreePermutationBound(k) << "\n";
+
+  std::cout << "\nthe distinct permutations along the path (site indices, "
+               "closest first):\n";
+  auto perms =
+      distperm::core::EnumerateTreePermutations(pc.tree, pc.sites);
+  for (const Permutation& perm : perms) {
+    std::cout << "  ";
+    for (uint8_t site : perm) {
+      std::cout << static_cast<int>(site) + 1 << " ";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "(" << perms.size()
+            << " permutations; every site pair contributes exactly one "
+               "split edge, Theorem 4)\n";
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "core/all_perms_construction.h"
+
+#include <cmath>
+
+#include "core/perm_codec.h"
+#include "metric/lp.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace core {
+namespace {
+
+using metric::LpDistance;
+using metric::Vector;
+
+// Rank (0-based position) of the last site in the distance permutation of
+// `point` with respect to `sites`.
+size_t RankOfLastSite(const std::vector<Vector>& sites, double p,
+                      const Vector& point) {
+  std::vector<double> distances(sites.size());
+  for (size_t i = 0; i < sites.size(); ++i) {
+    distances[i] = LpDistance(sites[i], point, p);
+  }
+  Permutation perm = PermutationFromDistances(distances);
+  for (size_t r = 0; r < perm.size(); ++r) {
+    if (perm[r] == sites.size() - 1) return r;
+  }
+  DP_CHECK(false);
+  return 0;
+}
+
+Permutation PermOf(const std::vector<Vector>& sites, double p,
+                   const Vector& point) {
+  std::vector<double> distances(sites.size());
+  for (size_t i = 0; i < sites.size(); ++i) {
+    distances[i] = LpDistance(sites[i], point, p);
+  }
+  return PermutationFromDistances(distances);
+}
+
+// Finds z in [z_lo, z_hi] placing the last site at rank `target` in the
+// distance permutation of (prefix..., z).  The rank is a nonincreasing
+// step function of z (the new site's distance decreases strictly while
+// the old order is preserved), so the z values achieving the target rank
+// form an interval.  We locate both edges of that interval by bisection
+// and return its midpoint: a witness sitting in the middle of its cell.
+// (Returning the first z found can land exponentially close to a cell
+// boundary, which collapses distance gaps at the next recursion level.)
+double FindZForRank(const std::vector<Vector>& sites, double p,
+                    const Vector& prefix, size_t target, double z_lo,
+                    double z_hi) {
+  Vector point = prefix;
+  point.push_back(0.0);
+  auto rank_at = [&](double z) {
+    point.back() = z;
+    return RankOfLastSite(sites, p, point);
+  };
+  DP_CHECK_MSG(rank_at(z_lo) == sites.size() - 1,
+               "new site not farthest at z_lo");
+  DP_CHECK_MSG(rank_at(z_hi) == 0, "new site not nearest at z_hi");
+  constexpr int kIterations = 100;
+
+  // Upper edge of {z : rank(z) > target}; equals z_lo when target is the
+  // last rank (the region is empty).
+  double lower_edge = z_lo;
+  if (target < sites.size() - 1) {
+    double lo = z_lo, hi = z_hi;  // rank(lo) > target, rank(hi) <= target
+    for (int iter = 0; iter < kIterations; ++iter) {
+      double mid = 0.5 * (lo + hi);
+      (rank_at(mid) > target ? lo : hi) = mid;
+    }
+    lower_edge = hi;
+  }
+  // Lower edge of {z : rank(z) < target}; equals z_hi when target is 0.
+  double upper_edge = z_hi;
+  if (target > 0) {
+    double lo = z_lo, hi = z_hi;  // rank(lo) >= target, rank(hi) < target
+    for (int iter = 0; iter < kIterations; ++iter) {
+      double mid = 0.5 * (lo + hi);
+      (rank_at(mid) >= target ? lo : hi) = mid;
+    }
+    upper_edge = lo;
+  }
+  double z = 0.5 * (lower_edge + upper_edge);
+  DP_CHECK_MSG(rank_at(z) == target,
+               "bisection failed to hit target rank " << target);
+  return z;
+}
+
+}  // namespace
+
+AllPermsConstruction BuildAllPermsConstruction(size_t k, double p,
+                                               double epsilon) {
+  DP_CHECK_MSG(k >= 2 && k <= 9, "k must be in [2, 9]");
+  DP_CHECK_MSG(p >= 1.0, "p must be >= 1");
+  DP_CHECK_MSG(epsilon > 0.0 && epsilon < 0.5,
+               "epsilon must be in (0, 1/2) per Note 1");
+
+  if (k == 2) {
+    AllPermsConstruction base;
+    base.p = p;
+    base.epsilon = epsilon;
+    base.sites = {{-1.0}, {1.0}};
+    // Lehmer rank 0 is permutation (0,1): site 0 nearer; rank 1 is (1,0).
+    base.witnesses = {{-epsilon / 2.0}, {epsilon / 2.0}};
+    return base;
+  }
+
+  AllPermsConstruction inner =
+      BuildAllPermsConstruction(k - 1, p, epsilon / 4.0);
+
+  AllPermsConstruction out;
+  out.p = p;
+  out.epsilon = epsilon;
+  out.sites.reserve(k);
+  for (const Vector& site : inner.sites) {
+    Vector extended = site;
+    extended.push_back(0.0);
+    out.sites.push_back(std::move(extended));
+  }
+  Vector new_site(k - 1, 0.0);
+  new_site.back() = 1.0 + epsilon / 4.0;
+  out.sites.push_back(std::move(new_site));
+
+  uint64_t total = 1;
+  for (size_t i = 2; i <= k; ++i) total *= i;
+  out.witnesses.resize(total);
+
+  for (uint64_t rank = 0; rank < total; ++rank) {
+    Permutation target = UnrankPermutation(rank, k);
+    // pi' = target with the new site (index k-1) removed; the position it
+    // was removed from is the rank the new site must take.
+    Permutation reduced;
+    size_t new_site_rank = 0;
+    for (size_t r = 0; r < target.size(); ++r) {
+      if (target[r] == k - 1) {
+        new_site_rank = r;
+      } else {
+        reduced.push_back(target[r]);
+      }
+    }
+    const Vector& witness_prefix =
+        inner.witnesses[RankPermutation(reduced)];
+    double z = FindZForRank(out.sites, p, witness_prefix, new_site_rank,
+                            -epsilon / 2.0, 3.0 * epsilon / 4.0);
+    Vector witness = witness_prefix;
+    witness.push_back(z);
+    DP_CHECK_MSG(PermOf(out.sites, p, witness) == target,
+                 "witness does not realise its permutation");
+    out.witnesses[rank] = std::move(witness);
+  }
+  return out;
+}
+
+size_t VerifyAllPermsConstruction(const AllPermsConstruction& c) {
+  size_t wrong = 0;
+  Vector origin(c.sites.empty() ? 0 : c.sites[0].size(), 0.0);
+  for (uint64_t rank = 0; rank < c.witnesses.size(); ++rank) {
+    const Vector& witness = c.witnesses[rank];
+    Permutation expected =
+        UnrankPermutation(rank, c.sites.size());
+    if (PermOf(c.sites, c.p, witness) != expected) {
+      ++wrong;
+      continue;
+    }
+    // Side condition (2): within epsilon of the origin.
+    if (LpDistance(witness, origin, c.p) >= c.epsilon) ++wrong;
+    // Side condition (3): within epsilon of unit distance from each site.
+    for (const Vector& site : c.sites) {
+      if (std::fabs(1.0 - LpDistance(site, witness, c.p)) >= c.epsilon) {
+        ++wrong;
+        break;
+      }
+    }
+  }
+  return wrong;
+}
+
+}  // namespace core
+}  // namespace distperm

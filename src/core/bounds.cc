@@ -1,0 +1,53 @@
+#include "core/bounds.h"
+
+#include <cmath>
+
+#include "core/cake.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace core {
+
+using util::BigUint;
+
+BigUint HyperplanesPerBisector(int dimension, double p) {
+  DP_CHECK(dimension >= 0);
+  if (p == 2.0) return BigUint(1);
+  if (p == 1.0) {
+    // d(x,z) is one of 2^d signed linear forms; likewise d(y,z).
+    return BigUint::Pow(BigUint(2), 2 * static_cast<uint64_t>(dimension));
+  }
+  if (std::isinf(p)) {
+    // d(x,z) is one of 2d signed coordinate forms; likewise d(y,z).
+    uint64_t forms = 2 * static_cast<uint64_t>(dimension);
+    return BigUint(forms) * BigUint(forms);
+  }
+  DP_CHECK_MSG(false, "Theorem 9 covers only p in {1, 2, infinity}");
+  return BigUint(0);
+}
+
+BigUint LpPermutationUpperBound(int dimension, double p, int sites) {
+  DP_CHECK(sites >= 1);
+  uint64_t k = static_cast<uint64_t>(sites);
+  BigUint bisectors(k * (k - 1) / 2);
+  BigUint cuts = bisectors * HyperplanesPerBisector(dimension, p);
+  DP_CHECK_MSG(cuts.FitsUint64(), "cut count too large");
+  return CakeCount(dimension, cuts.ToUint64());
+}
+
+int LpStorageBitBound(int dimension, double p, int sites) {
+  BigUint bound = LpPermutationUpperBound(dimension, p, sites);
+  if (bound <= BigUint(1)) return 0;
+  BigUint minus_one = bound - BigUint(1);
+  return static_cast<int>(minus_one.BitLength());
+}
+
+int UnrestrictedPermutationBits(int sites) {
+  BigUint fact = BigUint::Factorial(static_cast<uint64_t>(sites));
+  if (fact <= BigUint(1)) return 0;
+  BigUint minus_one = fact - BigUint(1);
+  return static_cast<int>(minus_one.BitLength());
+}
+
+}  // namespace core
+}  // namespace distperm

@@ -1,0 +1,42 @@
+// Asymptotic bounds for L1 and L-infinity spaces (paper Theorem 9).
+//
+// For p in {1, 2, infinity} bisectors are piecewise linear: each bisector
+// is a subset of a union of boundedly many hyperplanes (2^(2d) for L1,
+// 4d^2 for L-infinity, 1 for L2).  Cutting d-dimensional space with the
+// C(k,2) bisectors of k sites therefore yields at most
+// S_d(C(k,2) * h(d, p)) pieces, where S_d is Price's cake-cutting count
+// and h is the hyperplanes-per-bisector bound.  All three bounds are
+// O(k^(2d)) for constant d.
+
+#ifndef DISTPERM_CORE_BOUNDS_H_
+#define DISTPERM_CORE_BOUNDS_H_
+
+#include <cstdint>
+
+#include "util/big_uint.h"
+
+namespace distperm {
+namespace core {
+
+/// Upper bound on the number of flat hyperplanes whose union contains a
+/// single bisector in d-dimensional Lp space, per the Theorem 9 proof:
+/// L1 -> 2^(2d); L2 -> 1; Linf -> 4d^2.  `p` must be 1, 2, or infinity.
+util::BigUint HyperplanesPerBisector(int dimension, double p);
+
+/// The Theorem 9 cell-count upper bound for k sites in d-dimensional Lp
+/// space: S_d( C(k,2) * HyperplanesPerBisector(d, p) ).  Exact BigUint.
+util::BigUint LpPermutationUpperBound(int dimension, double p, int sites);
+
+/// Bits sufficient to store one distance permutation under the Theorem 9
+/// bound: ceil(lg LpPermutationUpperBound).  This is Theta(d^2 + d lg k)
+/// for L1 and Theta(d lg d + d lg k) for Linf — still Theta(d lg k) for
+/// constant d, the paper's storage improvement over lg k! = Theta(k lg k).
+int LpStorageBitBound(int dimension, double p, int sites);
+
+/// Bits to store an unrestricted permutation of k sites: ceil(lg k!).
+int UnrestrictedPermutationBits(int sites);
+
+}  // namespace core
+}  // namespace distperm
+
+#endif  // DISTPERM_CORE_BOUNDS_H_

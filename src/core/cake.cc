@@ -1,0 +1,41 @@
+#include "core/cake.h"
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace distperm {
+namespace core {
+
+using util::BigUint;
+
+BigUint CakeCount(int dimension, uint64_t cuts) {
+  DP_CHECK(dimension >= 0);
+  BigUint total(0);
+  for (int i = 0; i <= dimension; ++i) {
+    total += BigUint::Binomial(cuts, static_cast<uint64_t>(i));
+  }
+  return total;
+}
+
+BigUint CakeCountByRecurrence(int dimension, uint64_t cuts) {
+  DP_CHECK(dimension >= 0);
+  // Row for d = 0: S_0(m) = 1 for all m.
+  std::vector<BigUint> row(cuts + 1, BigUint(1));
+  for (int d = 1; d <= dimension; ++d) {
+    std::vector<BigUint> next(cuts + 1);
+    next[0] = BigUint(1);
+    for (uint64_t m = 1; m <= cuts; ++m) {
+      next[m] = next[m - 1] + row[m - 1];
+    }
+    row = std::move(next);
+  }
+  return row[cuts];
+}
+
+uint64_t CakeCount64(int dimension, uint64_t cuts) {
+  return CakeCount(dimension, cuts).ToUint64();
+}
+
+}  // namespace core
+}  // namespace distperm

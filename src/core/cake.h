@@ -1,0 +1,36 @@
+// Price's cake-cutting numbers (paper Section 4).
+//
+// S_d(m) is the maximum number of pieces formed by m hyperplanes of
+// dimension d-1 in general position in d-dimensional Euclidean space:
+//
+//   S_d(0) = S_0(m) = 1
+//   S_d(m) = S_d(m-1) + S_{d-1}(m-1)
+//
+// with the closed form S_d(m) = sum_{i=0}^{d} C(m, i).  These numbers
+// upper-bound bisector-arrangement cell counts (Theorem 9).
+
+#ifndef DISTPERM_CORE_CAKE_H_
+#define DISTPERM_CORE_CAKE_H_
+
+#include <cstdint>
+
+#include "util/big_uint.h"
+
+namespace distperm {
+namespace core {
+
+/// S_d(m) via the closed form sum_{i=0}^{d} C(m, i).  Exact.
+util::BigUint CakeCount(int dimension, uint64_t cuts);
+
+/// S_d(m) via Price's recurrence (memoized per call chain is unnecessary:
+/// evaluated iteratively row by row).  Used to cross-check the closed
+/// form in tests.
+util::BigUint CakeCountByRecurrence(int dimension, uint64_t cuts);
+
+/// S_d(m) as uint64; fatal on overflow.
+uint64_t CakeCount64(int dimension, uint64_t cuts);
+
+}  // namespace core
+}  // namespace distperm
+
+#endif  // DISTPERM_CORE_CAKE_H_

@@ -1,0 +1,50 @@
+#include "core/dimension_estimate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/euclidean_count.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace core {
+
+double EstimateEuclideanDimension(uint64_t observed_permutations, int sites,
+                                  int max_dimension) {
+  DP_CHECK(sites >= 1);
+  DP_CHECK(max_dimension >= 1);
+  if (observed_permutations <= 1) return 0.0;
+  EuclideanCounter counter;
+  double log_observed = std::log(static_cast<double>(observed_permutations));
+  double prev_log = 0.0;  // log N_{0,2}(k) = log 1
+  for (int d = 1; d <= max_dimension; ++d) {
+    double log_count = std::log(counter.Count(d, sites).ToDouble());
+    if (log_observed <= log_count) {
+      // Interpolate between d-1 and d in log space.
+      double span = log_count - prev_log;
+      if (span <= 0.0) return static_cast<double>(d);
+      return (d - 1) + (log_observed - prev_log) / span;
+    }
+    prev_log = log_count;
+  }
+  return static_cast<double>(max_dimension);
+}
+
+double EstimateEuclideanDimensionMulti(
+    const std::vector<std::pair<int, uint64_t>>& sites_and_counts,
+    int max_dimension) {
+  DP_CHECK(!sites_and_counts.empty());
+  std::vector<double> estimates;
+  estimates.reserve(sites_and_counts.size());
+  for (const auto& [sites, count] : sites_and_counts) {
+    estimates.push_back(
+        EstimateEuclideanDimension(count, sites, max_dimension));
+  }
+  std::sort(estimates.begin(), estimates.end());
+  size_t n = estimates.size();
+  if (n % 2 == 1) return estimates[n / 2];
+  return 0.5 * (estimates[n / 2 - 1] + estimates[n / 2]);
+}
+
+}  // namespace core
+}  // namespace distperm

@@ -1,0 +1,37 @@
+// Permutation-count dimensionality estimation (paper Section 5).
+//
+// The paper observes that the number of distinct distance permutations a
+// database exhibits for k sites can be compared with the Euclidean
+// maxima N_{d,2}(k) to characterise the database's dimensionality "in a
+// highly general way" (e.g. the nasa database behaves like a uniform
+// Euclidean distribution of between three and four dimensions).  This
+// module turns that observation into an estimator.
+
+#ifndef DISTPERM_CORE_DIMENSION_ESTIMATE_H_
+#define DISTPERM_CORE_DIMENSION_ESTIMATE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace distperm {
+namespace core {
+
+/// Returns the (fractional) Euclidean dimension d such that N_{d,2}(k)
+/// matches `observed_permutations`, interpolating linearly in
+/// log N between consecutive integer dimensions.  Returns 0 when the
+/// observed count is <= N_{0,2}(k) = 1 and `max_dimension` when the count
+/// exceeds N_{max_dimension,2}(k).
+double EstimateEuclideanDimension(uint64_t observed_permutations, int sites,
+                                  int max_dimension = 32);
+
+/// Combines estimates across several k values (median of per-k
+/// estimates), which damps the saturation effects the paper notes when
+/// k! or the database size caps the count.
+double EstimateEuclideanDimensionMulti(
+    const std::vector<std::pair<int, uint64_t>>& sites_and_counts,
+    int max_dimension = 32);
+
+}  // namespace core
+}  // namespace distperm
+
+#endif  // DISTPERM_CORE_DIMENSION_ESTIMATE_H_

@@ -1,0 +1,54 @@
+#include "core/distance_permutation.h"
+
+#include <algorithm>
+
+namespace distperm {
+namespace core {
+
+bool IsPermutation(const Permutation& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (uint8_t v : perm) {
+    if (v >= perm.size() || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+Permutation PermutationFromDistances(const std::vector<double>& distances) {
+  DP_CHECK(distances.size() <= kMaxSites);
+  Permutation perm(distances.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&](uint8_t a, uint8_t b) {
+    if (distances[a] != distances[b]) return distances[a] < distances[b];
+    return a < b;  // the paper's tie-break: lower index is closer
+  });
+  return perm;
+}
+
+Permutation InvertPermutation(const Permutation& perm) {
+  Permutation inverse(perm.size());
+  for (size_t rank = 0; rank < perm.size(); ++rank) {
+    inverse[perm[rank]] = static_cast<uint8_t>(rank);
+  }
+  return inverse;
+}
+
+Permutation PermutationPrefixFromDistances(
+    const std::vector<double>& distances, size_t prefix_length) {
+  DP_CHECK(distances.size() <= kMaxSites);
+  prefix_length = std::min(prefix_length, distances.size());
+  Permutation order(distances.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + prefix_length,
+                    order.end(), [&](uint8_t a, uint8_t b) {
+                      if (distances[a] != distances[b]) {
+                        return distances[a] < distances[b];
+                      }
+                      return a < b;
+                    });
+  order.resize(prefix_length);
+  return order;
+}
+
+}  // namespace core
+}  // namespace distperm

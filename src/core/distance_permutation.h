@@ -1,0 +1,64 @@
+// Distance permutations (paper Section 1).
+//
+// Given k sites x_1..x_k in a metric space and a point y, the distance
+// permutation Pi_y is the unique permutation of {1..k} sorting the site
+// indices by increasing distance from y, breaking distance ties by
+// increasing site index.  Internally sites are 0-based: perm[r] is the
+// index of the (r+1)-th closest site.
+
+#ifndef DISTPERM_CORE_DISTANCE_PERMUTATION_H_
+#define DISTPERM_CORE_DISTANCE_PERMUTATION_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "metric/metric.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace core {
+
+/// A permutation of {0..k-1}; perm[rank] = site index at that rank.
+/// uint8_t limits k to 256 sites, far beyond any published permutation
+/// index configuration (the paper evaluates k <= 12).
+using Permutation = std::vector<uint8_t>;
+
+/// Maximum supported number of sites.
+inline constexpr size_t kMaxSites = 256;
+
+/// True iff `perm` is a permutation of {0..perm.size()-1}.
+bool IsPermutation(const Permutation& perm);
+
+/// Computes the distance permutation from a vector of site distances
+/// (distances[i] = d(x_i, y)).  Ties break toward the lower site index,
+/// exactly as in the paper's definition.
+Permutation PermutationFromDistances(const std::vector<double>& distances);
+
+/// Inverse of a permutation: result[site] = rank of that site.
+Permutation InvertPermutation(const Permutation& perm);
+
+/// Computes the distance permutation of `point` with respect to `sites`
+/// under `metric`, evaluating the metric k times.
+template <typename P>
+Permutation ComputeDistancePermutation(const std::vector<P>& sites,
+                                       const metric::Metric<P>& metric,
+                                       const P& point) {
+  DP_CHECK(sites.size() <= kMaxSites);
+  std::vector<double> distances(sites.size());
+  for (size_t i = 0; i < sites.size(); ++i) {
+    distances[i] = metric(sites[i], point);
+  }
+  return PermutationFromDistances(distances);
+}
+
+/// Computes only the first `prefix_length` entries of the distance
+/// permutation (the "closest `prefix_length` sites"), as used by
+/// truncated permutation indexes.
+Permutation PermutationPrefixFromDistances(
+    const std::vector<double>& distances, size_t prefix_length);
+
+}  // namespace core
+}  // namespace distperm
+
+#endif  // DISTPERM_CORE_DISTANCE_PERMUTATION_H_

@@ -1,0 +1,65 @@
+#include "core/euclidean_count.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace distperm {
+namespace core {
+
+using util::BigUint;
+
+const BigUint& EuclideanCounter::Count(int dimension, int sites) {
+  DP_CHECK_MSG(dimension >= 0, "dimension must be >= 0");
+  DP_CHECK_MSG(sites >= 1, "site count must be >= 1");
+  size_t d = static_cast<size_t>(dimension);
+  size_t k = static_cast<size_t>(sites);
+  if (memo_.size() <= d) memo_.resize(d + 1);
+  if (memo_[d].size() <= k) memo_[d].resize(k + 1, BigUint(0));
+  BigUint& slot = memo_[d][k];
+  if (!slot.IsZero()) return slot;
+
+  if (dimension == 0 || sites == 1) {
+    slot = BigUint(1);
+    return slot;
+  }
+  // N_{d,2}(k) = N_{d,2}(k-1) + (k-1) * N_{d-1,2}(k-1)
+  BigUint value = Count(dimension, sites - 1);
+  BigUint cross = Count(dimension - 1, sites - 1);
+  cross.MulSmall(static_cast<uint32_t>(sites - 1));
+  value += cross;
+  slot = value;
+  return memo_[d][k];
+}
+
+uint64_t EuclideanCounter::Count64(int dimension, int sites) {
+  const BigUint& value = Count(dimension, sites);
+  return value.ToUint64();
+}
+
+int EuclideanCounter::StorageBits(int dimension, int sites) {
+  const BigUint& value = Count(dimension, sites);
+  if (value <= BigUint(1)) return 0;
+  BigUint minus_one = value - BigUint(1);
+  return static_cast<int>(minus_one.BitLength());
+}
+
+double EuclideanCounter::AsymptoticEstimate(int dimension, int sites) {
+  double log_value = 2.0 * dimension * std::log(static_cast<double>(sites)) -
+                     dimension * std::log(2.0) -
+                     std::lgamma(static_cast<double>(dimension) + 1.0);
+  return std::exp(log_value);
+}
+
+BigUint EuclideanCounter::UpperBound(int dimension, int sites) {
+  return BigUint::Pow(BigUint(static_cast<uint64_t>(sites)),
+                      2 * static_cast<uint64_t>(dimension));
+}
+
+BigUint EuclideanPermutationCount(int dimension, int sites) {
+  EuclideanCounter counter;
+  return counter.Count(dimension, sites);
+}
+
+}  // namespace core
+}  // namespace distperm

@@ -1,0 +1,60 @@
+// Exact Euclidean permutation counts (paper Theorem 7, Corollary 8,
+// Table 1).
+//
+// N_{d,2}(k), the maximum number of distinct distance permutations of k
+// sites in d-dimensional Euclidean space, satisfies
+//
+//   N_{0,2}(k) = N_{d,2}(1) = 1
+//   N_{d,2}(k) = N_{d,2}(k-1) + (k-1) * N_{d-1,2}(k-1)
+//
+// The recurrence extends Price's cake-cutting argument: each of the k-1
+// bisectors between the new site and an old site is itself a
+// (d-1)-dimensional space cut by the old bisector arrangement, and
+// same-group bisector intersections coincide with already-counted ones
+// (a|x  intersect  b|x  =  a|b  intersect  b|x).
+
+#ifndef DISTPERM_CORE_EUCLIDEAN_COUNT_H_
+#define DISTPERM_CORE_EUCLIDEAN_COUNT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/big_uint.h"
+
+namespace distperm {
+namespace core {
+
+/// Memoized evaluator of N_{d,2}(k).  All values are exact (BigUint).
+class EuclideanCounter {
+ public:
+  /// N_{d,2}(k): maximum distinct distance permutations of k sites in
+  /// d-dimensional Euclidean space.  Requires k >= 1, d >= 0.
+  const util::BigUint& Count(int dimension, int sites);
+
+  /// Count() as uint64; fatal on overflow.
+  uint64_t Count64(int dimension, int sites);
+
+  /// Minimum bits to store a distance permutation in d-dimensional
+  /// Euclidean space with k sites: ceil(lg N_{d,2}(k)).
+  int StorageBits(int dimension, int sites);
+
+  /// Leading-term approximation from Corollary 8:
+  /// N_{d,2}(k) ~ k^(2d) / (2^d d!).
+  static double AsymptoticEstimate(int dimension, int sites);
+
+  /// The k^(2d) upper bound from Corollary 8 (exact BigUint).
+  static util::BigUint UpperBound(int dimension, int sites);
+
+ private:
+  // memo_[d][k] caches Count(d, k); empty entries are BigUint(0), which is
+  // never a legal count, so zero doubles as "absent".
+  std::vector<std::vector<util::BigUint>> memo_;
+};
+
+/// Convenience single-shot evaluation of N_{d,2}(k).
+util::BigUint EuclideanPermutationCount(int dimension, int sites);
+
+}  // namespace core
+}  // namespace distperm
+
+#endif  // DISTPERM_CORE_EUCLIDEAN_COUNT_H_

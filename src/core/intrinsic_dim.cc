@@ -1,0 +1,26 @@
+#include "core/intrinsic_dim.h"
+
+namespace distperm {
+namespace core {
+
+DistanceStats ComputeDistanceStats(const std::vector<double>& distances) {
+  DistanceStats stats;
+  stats.samples = distances.size();
+  if (distances.empty()) return stats;
+  double sum = 0.0;
+  for (double d : distances) sum += d;
+  stats.mean = sum / static_cast<double>(distances.size());
+  double ss = 0.0;
+  for (double d : distances) {
+    double diff = d - stats.mean;
+    ss += diff * diff;
+  }
+  stats.variance = ss / static_cast<double>(distances.size());
+  if (stats.variance > 0.0) {
+    stats.rho = stats.mean * stats.mean / (2.0 * stats.variance);
+  }
+  return stats;
+}
+
+}  // namespace core
+}  // namespace distperm

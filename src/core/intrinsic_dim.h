@@ -1,0 +1,53 @@
+// Intrinsic dimensionality statistics (paper Section 5).
+//
+// rho, due to Chavez and Navarro, is mean^2 / (2 * variance) of the
+// distance between two random points of the space.  The paper reports rho
+// for each sample database (Table 2) and cautions that rho depends on the
+// sampling distribution while permutation counts depend only on the
+// support — the two can disagree.
+
+#ifndef DISTPERM_CORE_INTRINSIC_DIM_H_
+#define DISTPERM_CORE_INTRINSIC_DIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "metric/metric.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace core {
+
+/// Summary statistics of a pairwise-distance sample.
+struct DistanceStats {
+  double mean = 0.0;
+  double variance = 0.0;
+  double rho = 0.0;  ///< mean^2 / (2 * variance); 0 if variance is 0
+  size_t samples = 0;
+};
+
+/// Computes mean/variance/rho from a vector of sampled distances.
+DistanceStats ComputeDistanceStats(const std::vector<double>& distances);
+
+/// Estimates rho by sampling `pairs` random point pairs from `data`.
+template <typename P>
+DistanceStats EstimateIntrinsicDimensionality(
+    const std::vector<P>& data, const metric::Metric<P>& metric,
+    size_t pairs, util::Rng* rng) {
+  DP_CHECK(data.size() >= 2);
+  std::vector<double> distances;
+  distances.reserve(pairs);
+  for (size_t s = 0; s < pairs; ++s) {
+    size_t i = static_cast<size_t>(rng->NextBounded(data.size()));
+    size_t j = static_cast<size_t>(rng->NextBounded(data.size() - 1));
+    if (j >= i) ++j;  // distinct uniform pair
+    distances.push_back(metric(data[i], data[j]));
+  }
+  return ComputeDistanceStats(distances);
+}
+
+}  // namespace core
+}  // namespace distperm
+
+#endif  // DISTPERM_CORE_INTRINSIC_DIM_H_

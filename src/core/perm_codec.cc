@@ -1,0 +1,142 @@
+#include "core/perm_codec.h"
+
+#include <vector>
+
+namespace distperm {
+namespace core {
+namespace {
+
+uint64_t Factorial64(size_t n) {
+  uint64_t f = 1;
+  for (size_t i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+// Fenwick tree over {0..k-1} counting unused values, for O(log k)
+// prefix-count and select during (un)ranking.
+class Fenwick {
+ public:
+  explicit Fenwick(size_t n) : tree_(n + 1, 0), n_(n) {
+    for (size_t i = 1; i <= n; ++i) {
+      tree_[i] += 1;
+      size_t j = i + (i & (~i + 1));
+      if (j <= n) tree_[j] += tree_[i];
+    }
+  }
+
+  // Number of unused values < value.
+  int CountBelow(size_t value) const {
+    int sum = 0;
+    for (size_t i = value; i > 0; i -= i & (~i + 1)) sum += tree_[i];
+    return sum;
+  }
+
+  void Remove(size_t value) {
+    for (size_t i = value + 1; i <= n_; i += i & (~i + 1)) tree_[i] -= 1;
+  }
+
+  // Index of the (rank+1)-th unused value (rank 0-based).
+  size_t Select(int rank) const {
+    size_t pos = 0;
+    size_t mask = 1;
+    while ((mask << 1) <= n_) mask <<= 1;
+    int remaining = rank + 1;
+    for (; mask > 0; mask >>= 1) {
+      size_t next = pos + mask;
+      if (next <= n_ && tree_[next] < remaining) {
+        pos = next;
+        remaining -= tree_[next];
+      }
+    }
+    return pos;  // 0-based value
+  }
+
+ private:
+  std::vector<int> tree_;
+  size_t n_;
+};
+
+}  // namespace
+
+uint64_t RankPermutation(const Permutation& perm) {
+  const size_t k = perm.size();
+  DP_CHECK_MSG(k <= kMaxRank64Sites, "RankPermutation requires k <= 20");
+  DP_CHECK(IsPermutation(perm));
+  Fenwick unused(k);
+  uint64_t rank = 0;
+  uint64_t fact = Factorial64(k);
+  for (size_t i = 0; i < k; ++i) {
+    fact /= (k - i);
+    int below = unused.CountBelow(perm[i]);
+    rank += static_cast<uint64_t>(below) * fact;
+    unused.Remove(perm[i]);
+  }
+  return rank;
+}
+
+Permutation UnrankPermutation(uint64_t rank, size_t k) {
+  DP_CHECK_MSG(k <= kMaxRank64Sites, "UnrankPermutation requires k <= 20");
+  DP_CHECK_MSG(k == 0 || rank < Factorial64(k), "rank out of range");
+  Fenwick unused(k);
+  Permutation perm(k);
+  uint64_t fact = Factorial64(k);
+  for (size_t i = 0; i < k; ++i) {
+    fact /= (k - i);
+    int digit = static_cast<int>(rank / fact);
+    rank %= fact;
+    size_t value = unused.Select(digit);
+    perm[i] = static_cast<uint8_t>(value);
+    unused.Remove(value);
+  }
+  return perm;
+}
+
+util::BigUint RankPermutationBig(const Permutation& perm) {
+  const size_t k = perm.size();
+  DP_CHECK(IsPermutation(perm));
+  Fenwick unused(k);
+  util::BigUint rank(0);
+  for (size_t i = 0; i < k; ++i) {
+    int below = unused.CountBelow(perm[i]);
+    rank.MulSmall(static_cast<uint32_t>(k - i));
+    rank.AddSmall(static_cast<uint32_t>(below));
+    unused.Remove(perm[i]);
+  }
+  return rank;
+}
+
+Permutation UnrankPermutationBig(const util::BigUint& rank, size_t k) {
+  // Extract factorial-base digits from least significant upward:
+  // rank = sum_i digits[i] * (k-1-i)!, so successive division by
+  // 2, 3, ..., k yields digits[k-2], digits[k-3], ..., digits[0]
+  // (digits[k-1] always has weight 0! and value 0).
+  util::BigUint scratch = rank;
+  std::vector<uint32_t> digits(k, 0);
+  for (size_t i = 0; i + 1 < k; ++i) {
+    digits[k - 2 - i] = scratch.DivSmall(static_cast<uint32_t>(i + 2));
+  }
+  DP_CHECK_MSG(scratch.IsZero(), "rank out of range");
+  Fenwick unused(k);
+  Permutation perm(k);
+  for (size_t i = 0; i < k; ++i) {
+    size_t value = unused.Select(static_cast<int>(digits[i]));
+    perm[i] = static_cast<uint8_t>(value);
+    unused.Remove(value);
+  }
+  return perm;
+}
+
+uint64_t PermutationKey(const Permutation& perm) {
+  if (perm.size() <= kMaxRank64Sites) return RankPermutation(perm);
+  // FNV-1a over the bytes; collisions are possible in principle but the
+  // counters that rely on exactness use k <= 20.
+  uint64_t hash = 1469598103934665603ULL;
+  for (uint8_t v : perm) {
+    hash ^= v;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace core
+}  // namespace distperm

@@ -1,0 +1,47 @@
+// Permutation ranking and unranking (Lehmer codes / factorial number
+// system).
+//
+// The storage results in the paper hinge on encoding a permutation (or an
+// index into the set of permutations that actually occur) in as few bits
+// as possible.  RankPermutation maps a permutation of {0..k-1} to its
+// lexicographic rank in [0, k!), which is the densest possible fixed-width
+// code; UnrankPermutation inverts it.
+
+#ifndef DISTPERM_CORE_PERM_CODEC_H_
+#define DISTPERM_CORE_PERM_CODEC_H_
+
+#include <cstdint>
+
+#include "core/distance_permutation.h"
+#include "util/big_uint.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace core {
+
+/// Largest k with k! representable in 64 bits (20! < 2^64 < 21!).
+inline constexpr size_t kMaxRank64Sites = 20;
+
+/// Lexicographic rank of `perm` in [0, k!).  Requires k <= 20 and that
+/// `perm` is a valid permutation.  O(k log k) via a Fenwick tree.
+uint64_t RankPermutation(const Permutation& perm);
+
+/// Inverse of RankPermutation: the `rank`-th permutation of {0..k-1} in
+/// lexicographic order.  Requires k <= 20 and rank < k!.
+Permutation UnrankPermutation(uint64_t rank, size_t k);
+
+/// Arbitrary-k rank over BigUint (used when k > 20).
+util::BigUint RankPermutationBig(const Permutation& perm);
+
+/// Arbitrary-k unrank over BigUint.
+Permutation UnrankPermutationBig(const util::BigUint& rank, size_t k);
+
+/// A compact hashable key for a permutation: the 64-bit Lehmer rank when
+/// k <= 20, otherwise a positional byte-string hash key.  Used by the
+/// distinct-permutation counters.
+uint64_t PermutationKey(const Permutation& perm);
+
+}  // namespace core
+}  // namespace distperm
+
+#endif  // DISTPERM_CORE_PERM_CODEC_H_

@@ -1,0 +1,122 @@
+// Counting distinct distance permutations in a database (paper Section 5).
+//
+// This is the measurement the paper's experiments run: pick k sites,
+// compute the distance permutation of every database point, and count how
+// many distinct permutations occur.  The count is what bounds both the
+// index storage cost and the information content of a permutation index.
+
+#ifndef DISTPERM_CORE_PERM_COUNTER_H_
+#define DISTPERM_CORE_PERM_COUNTER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/distance_permutation.h"
+#include "core/perm_codec.h"
+#include "metric/metric.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace core {
+
+/// Result of a distinct-permutation count over a database.
+struct PermCountResult {
+  size_t distinct_permutations = 0;  ///< |{Pi_y : y in database}|
+  size_t points = 0;                 ///< database size scanned
+  uint64_t metric_evaluations = 0;   ///< k * points
+};
+
+/// Counts distinct distance permutations of `data` with respect to
+/// `sites` under `metric`.  Requires sites.size() <= 20 (64-bit Lehmer
+/// keys keep the count exact).
+template <typename P>
+PermCountResult CountDistinctPermutations(
+    const std::vector<P>& data, const std::vector<P>& sites,
+    const metric::Metric<P>& metric) {
+  DP_CHECK(sites.size() <= kMaxRank64Sites);
+  PermCountResult result;
+  std::unordered_set<uint64_t> seen;
+  std::vector<double> distances(sites.size());
+  for (const P& point : data) {
+    for (size_t i = 0; i < sites.size(); ++i) {
+      distances[i] = metric(sites[i], point);
+    }
+    seen.insert(RankPermutation(PermutationFromDistances(distances)));
+    ++result.points;
+    result.metric_evaluations += sites.size();
+  }
+  result.distinct_permutations = seen.size();
+  return result;
+}
+
+/// Histogram variant: how many database points carry each permutation.
+/// Keys are Lehmer ranks (k <= 20).
+template <typename P>
+std::unordered_map<uint64_t, size_t> PermutationHistogram(
+    const std::vector<P>& data, const std::vector<P>& sites,
+    const metric::Metric<P>& metric) {
+  DP_CHECK(sites.size() <= kMaxRank64Sites);
+  std::unordered_map<uint64_t, size_t> histogram;
+  std::vector<double> distances(sites.size());
+  for (const P& point : data) {
+    for (size_t i = 0; i < sites.size(); ++i) {
+      distances[i] = metric(sites[i], point);
+    }
+    ++histogram[RankPermutation(PermutationFromDistances(distances))];
+  }
+  return histogram;
+}
+
+/// Selects `count` sites uniformly at random from `data` (the selection
+/// protocol used by the paper's experiments).
+template <typename P>
+std::vector<P> SelectRandomSites(const std::vector<P>& data, size_t count,
+                                 util::Rng* rng) {
+  DP_CHECK(count <= data.size());
+  std::vector<size_t> picks = rng->SampleDistinct(data.size(), count);
+  std::vector<P> sites;
+  sites.reserve(count);
+  for (size_t index : picks) sites.push_back(data[index]);
+  return sites;
+}
+
+/// Counts distinct permutations for a prefix of the site list, reusing
+/// one distance matrix: returns counts for k = ks[0], ks[1], ... where
+/// each k uses the first k sites.  This matches the paper's protocol of
+/// reporting several k values per database (Table 2 columns).
+template <typename P>
+std::vector<PermCountResult> CountForSitePrefixes(
+    const std::vector<P>& data, const std::vector<P>& sites,
+    const metric::Metric<P>& metric, const std::vector<size_t>& ks) {
+  DP_CHECK(sites.size() <= kMaxRank64Sites);
+  for (size_t k : ks) DP_CHECK(k <= sites.size());
+  std::vector<std::unordered_set<uint64_t>> seen(ks.size());
+  std::vector<double> distances(sites.size());
+  uint64_t evaluations = 0;
+  for (const P& point : data) {
+    for (size_t i = 0; i < sites.size(); ++i) {
+      distances[i] = metric(sites[i], point);
+    }
+    evaluations += sites.size();
+    for (size_t t = 0; t < ks.size(); ++t) {
+      std::vector<double> prefix(distances.begin(),
+                                 distances.begin() + ks[t]);
+      seen[t].insert(RankPermutation(PermutationFromDistances(prefix)));
+    }
+  }
+  std::vector<PermCountResult> results(ks.size());
+  for (size_t t = 0; t < ks.size(); ++t) {
+    results[t].distinct_permutations = seen[t].size();
+    results[t].points = data.size();
+    results[t].metric_evaluations = evaluations;
+  }
+  return results;
+}
+
+}  // namespace core
+}  // namespace distperm
+
+#endif  // DISTPERM_CORE_PERM_COUNTER_H_

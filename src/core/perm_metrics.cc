@@ -1,0 +1,79 @@
+#include "core/perm_metrics.h"
+
+#include <cstdlib>
+
+#include "util/status.h"
+
+namespace distperm {
+namespace core {
+
+int SpearmanFootrule(const Permutation& a, const Permutation& b) {
+  DP_CHECK(a.size() == b.size());
+  Permutation rank_a = InvertPermutation(a);
+  Permutation rank_b = InvertPermutation(b);
+  int sum = 0;
+  for (size_t site = 0; site < a.size(); ++site) {
+    sum += std::abs(static_cast<int>(rank_a[site]) -
+                    static_cast<int>(rank_b[site]));
+  }
+  return sum;
+}
+
+int64_t SpearmanRhoSquared(const Permutation& a, const Permutation& b) {
+  DP_CHECK(a.size() == b.size());
+  Permutation rank_a = InvertPermutation(a);
+  Permutation rank_b = InvertPermutation(b);
+  int64_t sum = 0;
+  for (size_t site = 0; site < a.size(); ++site) {
+    int64_t diff = static_cast<int>(rank_a[site]) -
+                   static_cast<int>(rank_b[site]);
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+int KendallTau(const Permutation& a, const Permutation& b) {
+  DP_CHECK(a.size() == b.size());
+  Permutation rank_a = InvertPermutation(a);
+  Permutation rank_b = InvertPermutation(b);
+  const size_t k = a.size();
+  int discordant = 0;
+  for (size_t s = 0; s < k; ++s) {
+    for (size_t t = s + 1; t < k; ++t) {
+      bool order_a = rank_a[s] < rank_a[t];
+      bool order_b = rank_b[s] < rank_b[t];
+      discordant += order_a != order_b;
+    }
+  }
+  return discordant;
+}
+
+int PrefixFootrule(const Permutation& a, const Permutation& b,
+                   size_t total_sites) {
+  DP_CHECK(a.size() == b.size());
+  const int missing_rank = static_cast<int>(a.size());
+  // rank_of[site] = position in the prefix, or missing_rank.
+  std::vector<int> rank_a(total_sites, missing_rank);
+  std::vector<int> rank_b(total_sites, missing_rank);
+  for (size_t r = 0; r < a.size(); ++r) {
+    DP_CHECK(a[r] < total_sites && b[r] < total_sites);
+    rank_a[a[r]] = static_cast<int>(r);
+    rank_b[b[r]] = static_cast<int>(r);
+  }
+  int sum = 0;
+  for (size_t site = 0; site < total_sites; ++site) {
+    sum += std::abs(rank_a[site] - rank_b[site]);
+  }
+  return sum;
+}
+
+int MaxFootrule(size_t k) {
+  return static_cast<int>((k * k) / 2);
+}
+
+int MaxKendallTau(size_t k) {
+  return static_cast<int>(k * (k - 1) / 2);
+}
+
+}  // namespace core
+}  // namespace distperm

@@ -1,0 +1,49 @@
+// Distances between permutations.
+//
+// Permutation-based indexes (Chavez-Figueroa-Navarro; iAESA) order
+// candidate points by how similar their stored distance permutation is to
+// the query's.  The standard similarity measures are Spearman footrule,
+// Spearman rho, and Kendall tau; all three treat a permutation as the
+// sequence of site ranks.
+
+#ifndef DISTPERM_CORE_PERM_METRICS_H_
+#define DISTPERM_CORE_PERM_METRICS_H_
+
+#include <cstdint>
+
+#include "core/distance_permutation.h"
+
+namespace distperm {
+namespace core {
+
+/// Spearman footrule: sum over sites of |rank_a(site) - rank_b(site)|.
+/// Zero iff equal; maximum floor(k^2 / 2).
+int SpearmanFootrule(const Permutation& a, const Permutation& b);
+
+/// Spearman rho (squared version, no normalization): sum over sites of
+/// (rank_a(site) - rank_b(site))^2.
+int64_t SpearmanRhoSquared(const Permutation& a, const Permutation& b);
+
+/// Kendall tau: number of site pairs ordered differently by a and b.
+/// Zero iff equal; maximum C(k,2).  O(k^2) direct count.
+int KendallTau(const Permutation& a, const Permutation& b);
+
+/// Footrule distance between two permutation *prefixes* of the same
+/// underlying site set: sites absent from a prefix are treated as
+/// sitting at rank `prefix_length` (just past the end).  This is the
+/// standard similarity used by truncated permutation indexes, which
+/// store only each point's closest `prefix_length` sites.  Both inputs
+/// must have equal length and contain distinct site ids.
+int PrefixFootrule(const Permutation& a, const Permutation& b,
+                   size_t total_sites);
+
+/// Maximum possible footrule value for k sites: floor(k^2 / 2).
+int MaxFootrule(size_t k);
+
+/// Maximum possible Kendall tau for k sites: C(k,2).
+int MaxKendallTau(size_t k);
+
+}  // namespace core
+}  // namespace distperm
+
+#endif  // DISTPERM_CORE_PERM_METRICS_H_

@@ -1,0 +1,53 @@
+#include "core/storage_model.h"
+
+#include "core/bounds.h"
+#include "core/euclidean_count.h"
+#include "util/bitpack.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace core {
+
+StorageCost LaesaCost(const StorageScenario& s) {
+  DP_CHECK(s.points >= 1 && s.sites >= 1);
+  uint64_t bits_per_distance =
+      static_cast<uint64_t>(util::BitsFor(s.points));
+  uint64_t per_point = bits_per_distance * static_cast<uint64_t>(s.sites);
+  return {"laesa-distances", per_point, per_point * s.points};
+}
+
+StorageCost RawPermutationCost(const StorageScenario& s) {
+  DP_CHECK(s.sites >= 1);
+  uint64_t per_point =
+      static_cast<uint64_t>(UnrestrictedPermutationBits(s.sites));
+  return {"raw-permutation", per_point, per_point * s.points};
+}
+
+StorageCost TablePermutationCost(const StorageScenario& s) {
+  DP_CHECK(s.occurring_perms >= 1);
+  uint64_t index_bits = static_cast<uint64_t>(util::BitsFor(s.occurring_perms));
+  uint64_t table_bits =
+      s.occurring_perms *
+      static_cast<uint64_t>(UnrestrictedPermutationBits(s.sites));
+  return {"perm-table", index_bits, index_bits * s.points + table_bits};
+}
+
+StorageCost EuclideanBoundCost(const StorageScenario& s) {
+  DP_CHECK(s.dimension >= 1);
+  EuclideanCounter counter;
+  uint64_t per_point =
+      static_cast<uint64_t>(counter.StorageBits(s.dimension, s.sites));
+  return {"euclidean-bound", per_point, per_point * s.points};
+}
+
+std::vector<StorageCost> CompareStorageCosts(const StorageScenario& s) {
+  std::vector<StorageCost> costs;
+  costs.push_back(LaesaCost(s));
+  costs.push_back(RawPermutationCost(s));
+  if (s.occurring_perms >= 1) costs.push_back(TablePermutationCost(s));
+  if (s.dimension >= 1) costs.push_back(EuclideanBoundCost(s));
+  return costs;
+}
+
+}  // namespace core
+}  // namespace distperm

@@ -1,0 +1,57 @@
+// Storage-cost model for proximity indexes (paper Sections 1 and 4).
+//
+// The storage claims the paper compares:
+//   * LAESA keeps k distances per point            -> O(n k log n) bits
+//     (a distance is stored to enough precision to distinguish n points);
+//   * raw distance permutations                    -> O(n k log k) bits;
+//   * Euclidean-aware permutation codes            -> O(n d log k) bits
+//     (only N_{d,2}(k) = O(k^{2d}) permutations can occur, so an index
+//     into the table of occurring permutations suffices).
+
+#ifndef DISTPERM_CORE_STORAGE_MODEL_H_
+#define DISTPERM_CORE_STORAGE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace distperm {
+namespace core {
+
+/// Bit cost of one index layout over n points.
+struct StorageCost {
+  std::string scheme;        ///< human-readable scheme name
+  uint64_t bits_per_point;   ///< amortised index bits per database point
+  uint64_t total_bits;       ///< bits for the whole database (incl. tables)
+};
+
+/// Parameters of the storage comparison.
+struct StorageScenario {
+  uint64_t points = 0;            ///< database size n
+  int sites = 0;                  ///< number of sites / pivots k
+  int dimension = 0;              ///< vector dimension d (0 = non-vector)
+  uint64_t occurring_perms = 0;   ///< measured distinct permutations N
+};
+
+/// Cost of LAESA: k distances per point, each lg n bits.
+StorageCost LaesaCost(const StorageScenario& scenario);
+
+/// Cost of storing a raw permutation per point: ceil(lg k!) bits.
+StorageCost RawPermutationCost(const StorageScenario& scenario);
+
+/// Cost of the table-compressed representation: each point stores
+/// ceil(lg N) bits indexing a side table of the N occurring permutations
+/// (table itself costs N * ceil(lg k!) bits, amortised into total_bits).
+StorageCost TablePermutationCost(const StorageScenario& scenario);
+
+/// The theoretical Euclidean bound: ceil(lg N_{d,2}(k)) bits per point,
+/// i.e. Theta(d log k).  Requires dimension >= 1.
+StorageCost EuclideanBoundCost(const StorageScenario& scenario);
+
+/// All applicable costs for a scenario, in the order above.
+std::vector<StorageCost> CompareStorageCosts(const StorageScenario& s);
+
+}  // namespace core
+}  // namespace distperm
+
+#endif  // DISTPERM_CORE_STORAGE_MODEL_H_

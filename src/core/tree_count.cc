@@ -1,0 +1,121 @@
+#include "core/tree_count.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "core/perm_codec.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace core {
+namespace {
+
+// Vertices along the path from u to v inclusive, in order.
+std::vector<size_t> PathVertices(const metric::WeightedTree& tree, size_t u,
+                                 size_t v) {
+  size_t meet = tree.Lca(u, v);
+  std::vector<size_t> head;
+  for (size_t x = u; x != meet; x = tree.Parent(x)) head.push_back(x);
+  head.push_back(meet);
+  std::vector<size_t> tail;
+  for (size_t x = v; x != meet; x = tree.Parent(x)) tail.push_back(x);
+  head.insert(head.end(), tail.rbegin(), tail.rend());
+  return head;
+}
+
+std::vector<std::vector<double>> SiteDistances(
+    const metric::WeightedTree& tree, const std::vector<size_t>& sites) {
+  std::vector<std::vector<double>> dist;
+  dist.reserve(sites.size());
+  for (size_t s : sites) dist.push_back(tree.DistancesFrom(s));
+  return dist;
+}
+
+}  // namespace
+
+uint64_t TreePermutationBound(size_t sites) {
+  return sites * (sites - 1) / 2 + 1;
+}
+
+size_t CountTreePermutationsBruteForce(const metric::WeightedTree& tree,
+                                       const std::vector<size_t>& sites) {
+  const auto dist = SiteDistances(tree, sites);
+  std::unordered_set<uint64_t> seen;
+  std::vector<double> point_distances(sites.size());
+  for (size_t v = 0; v < tree.size(); ++v) {
+    for (size_t i = 0; i < sites.size(); ++i) {
+      point_distances[i] = dist[i][v];
+    }
+    seen.insert(PermutationKey(PermutationFromDistances(point_distances)));
+  }
+  return seen.size();
+}
+
+size_t CountTreePermutationsBySplitEdges(const metric::WeightedTree& tree,
+                                         const std::vector<size_t>& sites) {
+  const auto dist = SiteDistances(tree, sites);
+  // "Site i is closer than site j" at vertex z, with the paper's
+  // tie-break: ties go to the lower site index (callers pass i < j).
+  auto closer = [&](size_t i, size_t j, size_t z) {
+    if (dist[i][z] != dist[j][z]) return dist[i][z] < dist[j][z];
+    return i < j;
+  };
+  std::unordered_set<uint64_t> split_edges;
+  for (size_t i = 0; i < sites.size(); ++i) {
+    for (size_t j = i + 1; j < sites.size(); ++j) {
+      if (sites[i] == sites[j]) continue;  // identical sites never split
+      std::vector<size_t> path = PathVertices(tree, sites[i], sites[j]);
+      size_t flips = 0;
+      for (size_t t = 0; t + 1 < path.size(); ++t) {
+        bool before = closer(i, j, path[t]);
+        bool after = closer(i, j, path[t + 1]);
+        if (before != after) {
+          ++flips;
+          size_t a = std::min(path[t], path[t + 1]);
+          size_t b = std::max(path[t], path[t + 1]);
+          split_edges.insert((static_cast<uint64_t>(a) << 32) | b);
+        }
+      }
+      DP_CHECK_MSG(flips == 1,
+                   "Theorem 4 violated: comparison flipped " << flips
+                       << " times along a site-site path");
+    }
+  }
+  return split_edges.size() + 1;
+}
+
+std::vector<Permutation> EnumerateTreePermutations(
+    const metric::WeightedTree& tree, const std::vector<size_t>& sites) {
+  DP_CHECK(sites.size() <= kMaxRank64Sites);
+  const auto dist = SiteDistances(tree, sites);
+  std::unordered_set<uint64_t> seen;
+  std::vector<double> point_distances(sites.size());
+  for (size_t v = 0; v < tree.size(); ++v) {
+    for (size_t i = 0; i < sites.size(); ++i) {
+      point_distances[i] = dist[i][v];
+    }
+    seen.insert(RankPermutation(PermutationFromDistances(point_distances)));
+  }
+  std::vector<uint64_t> ranks(seen.begin(), seen.end());
+  std::sort(ranks.begin(), ranks.end());
+  std::vector<Permutation> perms;
+  perms.reserve(ranks.size());
+  for (uint64_t r : ranks) perms.push_back(UnrankPermutation(r, sites.size()));
+  return perms;
+}
+
+PathConstruction Corollary5Construction(size_t sites) {
+  DP_CHECK_MSG(sites >= 1 && sites <= 24,
+               "Corollary 5 path has 2^(k-1) edges; k limited to 24");
+  size_t length = size_t{1} << (sites - 1);  // edges on the path
+  PathConstruction out{metric::WeightedTree::MakePath(length + 1), {}};
+  out.sites.push_back(0);
+  for (size_t i = 1; i < sites; ++i) {
+    out.sites.push_back(size_t{1} << i);
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace distperm

@@ -1,0 +1,62 @@
+// Distance permutations in tree metric spaces (paper Section 3).
+//
+// Theorem 4: k sites in a (possibly weighted) tree metric generate at
+// most C(k,2) + 1 distinct distance permutations, because each site pair
+// (i, j) has exactly one "split edge" on the i-j path across which the
+// comparison d(x_i, z) <= d(x_j, z) flips, and removing all split edges
+// leaves at most C(k,2) + 1 components, each with a constant permutation.
+//
+// Corollary 5: the bound is achieved on a path of 2^(k-1) unit edges with
+// sites at vertices 0, 2, 4, 8, ..., 2^(k-1).
+//
+// This module computes the exact count two independent ways (brute-force
+// per-vertex permutations, and split-edge components) so each validates
+// the other.
+
+#ifndef DISTPERM_CORE_TREE_COUNT_H_
+#define DISTPERM_CORE_TREE_COUNT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/distance_permutation.h"
+#include "metric/tree_metric.h"
+#include "util/big_uint.h"
+
+namespace distperm {
+namespace core {
+
+/// The Theorem 4 bound: C(k,2) + 1.
+uint64_t TreePermutationBound(size_t sites);
+
+/// Exact count of distinct distance permutations over all vertices of
+/// `tree`, brute force: k single-source sweeps then one permutation per
+/// vertex.  O(k n + n k log k) time.
+size_t CountTreePermutationsBruteForce(const metric::WeightedTree& tree,
+                                       const std::vector<size_t>& sites);
+
+/// Exact count via the Theorem 4 argument: number of distinct split
+/// edges + 1, where the split edge of a site pair (i, j) is the unique
+/// edge on the i-j path whose endpoints disagree on the tie-broken
+/// comparison "site i is closer than site j".
+size_t CountTreePermutationsBySplitEdges(const metric::WeightedTree& tree,
+                                         const std::vector<size_t>& sites);
+
+/// All distinct permutations occurring in the tree, sorted by Lehmer
+/// rank.  Requires k <= 20.
+std::vector<Permutation> EnumerateTreePermutations(
+    const metric::WeightedTree& tree, const std::vector<size_t>& sites);
+
+/// The Corollary 5 extremal configuration: a path of 2^(k-1) unit edges
+/// with sites at vertices 0, 2, 4, 8, ..., 2^(k-1).  Requires 1 <= k and
+/// k small enough that the path fits in memory (k <= 24 or so).
+struct PathConstruction {
+  metric::WeightedTree tree;
+  std::vector<size_t> sites;
+};
+PathConstruction Corollary5Construction(size_t sites);
+
+}  // namespace core
+}  // namespace distperm
+
+#endif  // DISTPERM_CORE_TREE_COUNT_H_

@@ -1,0 +1,92 @@
+#include "dataset/doc_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/status.h"
+
+namespace distperm {
+namespace dataset {
+
+std::vector<metric::SparseVector> DocumentVectors(
+    size_t n, const DocCorpusProfile& profile, util::Rng* rng) {
+  DP_CHECK(profile.vocabulary >= profile.topics);
+  DP_CHECK(profile.topics >= 1);
+  DP_CHECK(profile.terms_per_doc >= 1);
+  DP_CHECK(profile.stopword_fraction >= 0.0 &&
+           profile.stopword_fraction < 1.0);
+
+  const size_t terms_per_topic = profile.vocabulary / profile.topics;
+  // Precompute the Zipf cumulative distribution over a topic's terms.
+  std::vector<double> zipf_cdf(terms_per_topic);
+  double total = 0.0;
+  for (size_t r = 0; r < terms_per_topic; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), profile.zipf_s);
+    zipf_cdf[r] = total;
+  }
+  for (auto& v : zipf_cdf) v /= total;
+  auto zipf_rank = [&](double u) {
+    size_t rank = static_cast<size_t>(
+        std::lower_bound(zipf_cdf.begin(), zipf_cdf.end(), u) -
+        zipf_cdf.begin());
+    return rank >= terms_per_topic ? terms_per_topic - 1 : rank;
+  };
+  // Stopword ids live above the topical vocabulary.
+  const uint32_t stopword_base = static_cast<uint32_t>(profile.vocabulary);
+
+  std::vector<metric::SparseVector> docs;
+  docs.reserve(n);
+  while (docs.size() < n) {
+    // 1-3 topics per document, primary topic dominant.
+    size_t topic_count = 1 + static_cast<size_t>(rng->NextBounded(3));
+    std::vector<size_t> topics(topic_count);
+    for (auto& t : topics) {
+      t = static_cast<size_t>(rng->NextBounded(profile.topics));
+    }
+    double spread = 1.0 + profile.length_spread *
+                              (2.0 * rng->NextDouble() - 1.0);
+    double stop_fraction = std::clamp(
+        profile.stopword_fraction +
+            profile.stopword_fraction_spread *
+                (2.0 * rng->NextDouble() - 1.0),
+        0.0, 0.95);
+    size_t term_count = std::max<size_t>(
+        4, static_cast<size_t>(
+               std::lround(profile.terms_per_doc * spread)));
+    std::map<uint32_t, double> terms;
+    for (size_t t = 0; t < term_count; ++t) {
+      if (profile.stopwords > 0 && rng->NextDouble() < stop_fraction) {
+        // Zipf-weighted draw from the shared stopword pool.
+        size_t rank = std::min<size_t>(
+            profile.stopwords - 1,
+            static_cast<size_t>(std::floor(
+                std::pow(rng->NextDouble(),
+                         2.0) * static_cast<double>(profile.stopwords))));
+        terms[stopword_base + static_cast<uint32_t>(rank)] += 1.0;
+        continue;
+      }
+      // Primary topic with probability ~0.7, otherwise a secondary one.
+      size_t topic = topics[rng->NextDouble() < 0.7
+                                ? 0
+                                : rng->NextBounded(topic_count)];
+      uint32_t term =
+          static_cast<uint32_t>(topic * terms_per_topic +
+                                zipf_rank(rng->NextDouble()));
+      terms[term] += 1.0;
+    }
+    metric::SparseVector doc;
+    doc.reserve(terms.size());
+    for (const auto& [term, tf] : terms) {
+      // Sub-linear tf weighting with per-document jitter.
+      double jitter =
+          1.0 + profile.weight_jitter * (2.0 * rng->NextDouble() - 1.0);
+      doc.emplace_back(term, (1.0 + std::log(tf)) * jitter);
+    }
+    if (!doc.empty()) docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+}  // namespace dataset
+}  // namespace distperm

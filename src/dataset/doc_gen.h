@@ -1,0 +1,52 @@
+// Synthetic document-vector generator.
+//
+// Stand-in for the SISAP `long` and `short` databases (feature vectors
+// extracted from news articles, compared by vector angle).  Documents are
+// sparse mixtures of a few topics; each topic is a Zipf-weighted
+// distribution over a slice of the vocabulary.  The topical structure
+// gives the low effective dimensionality that real document collections
+// show.
+
+#ifndef DISTPERM_DATASET_DOC_GEN_H_
+#define DISTPERM_DATASET_DOC_GEN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "metric/metric.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace dataset {
+
+/// Parameters for the document generator.
+struct DocCorpusProfile {
+  size_t vocabulary = 5000;   ///< total distinct topical term ids
+  size_t topics = 20;         ///< number of latent topics
+  size_t terms_per_doc = 40;  ///< mean distinct terms per document
+  double zipf_s = 1.1;        ///< Zipf exponent within a topic
+  /// Shared "stopword" pool: every document draws a few terms from a
+  /// common high-frequency vocabulary.  Real corpora always have this;
+  /// without it short documents are exactly orthogonal, distances tie at
+  /// pi/2, and permutation counts collapse.
+  size_t stopwords = 50;
+  double stopword_fraction = 0.2;  ///< mean fraction of terms from pool
+  /// Per-document +- spread of the stopword fraction.  Varying it widens
+  /// the pairwise-distance distribution (low rho); keeping it tight
+  /// concentrates distances (high rho).
+  double stopword_fraction_spread = 0.0;
+  double length_spread = 0.5;      ///< +-relative variation in doc length
+  /// Multiplicative jitter applied to every term weight, so no two
+  /// documents have exactly identical profiles (prevents distance ties).
+  double weight_jitter = 0.2;
+};
+
+/// Generates `n` sparse, non-zero document vectors (term id, tf weight),
+/// each sorted by term id.
+std::vector<metric::SparseVector> DocumentVectors(
+    size_t n, const DocCorpusProfile& profile, util::Rng* rng);
+
+}  // namespace dataset
+}  // namespace distperm
+
+#endif  // DISTPERM_DATASET_DOC_GEN_H_

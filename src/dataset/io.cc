@@ -1,0 +1,75 @@
+#include "dataset/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace distperm {
+namespace dataset {
+
+using util::Result;
+using util::Status;
+
+Status WriteVectors(const std::string& path,
+                    const std::vector<metric::Vector>& points) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  size_t d = points.empty() ? 0 : points[0].size();
+  out << points.size() << " " << d << "\n";
+  out.precision(17);
+  for (const auto& point : points) {
+    if (point.size() != d) {
+      return Status::InvalidArgument("inconsistent dimensions");
+    }
+    for (size_t i = 0; i < point.size(); ++i) {
+      if (i > 0) out << " ";
+      out << point[i];
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::vector<metric::Vector>> ReadVectors(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  size_t n = 0, d = 0;
+  if (!(in >> n >> d)) return Status::IoError("bad header in " + path);
+  std::vector<metric::Vector> points(n, metric::Vector(d));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      if (!(in >> points[i][j])) {
+        std::ostringstream msg;
+        msg << "truncated data at point " << i << " in " << path;
+        return Status::IoError(msg.str());
+      }
+    }
+  }
+  return points;
+}
+
+Status WriteStrings(const std::string& path,
+                    const std::vector<std::string>& lines) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (const auto& line : lines) {
+    if (line.find('\n') != std::string::npos) {
+      return Status::InvalidArgument("string contains a newline");
+    }
+    out << line << "\n";
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ReadStrings(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace dataset
+}  // namespace distperm

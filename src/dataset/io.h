@@ -1,0 +1,38 @@
+// ASCII dataset I/O.
+//
+// Simple line-oriented formats so the example binaries can exchange
+// datasets with external tools:
+//   vectors:  first line "n d", then one point per line, d numbers;
+//   strings:  one string per line.
+
+#ifndef DISTPERM_DATASET_IO_H_
+#define DISTPERM_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "metric/metric.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace dataset {
+
+/// Writes vectors to `path`.  All points must share one dimension.
+util::Status WriteVectors(const std::string& path,
+                          const std::vector<metric::Vector>& points);
+
+/// Reads vectors from `path`.
+util::Result<std::vector<metric::Vector>> ReadVectors(
+    const std::string& path);
+
+/// Writes strings, one per line.  Strings must not contain newlines.
+util::Status WriteStrings(const std::string& path,
+                          const std::vector<std::string>& lines);
+
+/// Reads strings, one per line (trailing newline optional).
+util::Result<std::vector<std::string>> ReadStrings(const std::string& path);
+
+}  // namespace dataset
+}  // namespace distperm
+
+#endif  // DISTPERM_DATASET_IO_H_

@@ -1,0 +1,151 @@
+#include "dataset/sisap_synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dataset/doc_gen.h"
+#include "dataset/string_gen.h"
+#include "dataset/vector_gen.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace dataset {
+namespace {
+
+uint64_t MixSeed(uint64_t seed, const std::string& name) {
+  util::SplitMix64 sm(seed);
+  uint64_t h = sm.Next();
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const std::vector<SisapDatabaseInfo>& SisapCatalogue() {
+  static const std::vector<SisapDatabaseInfo> kCatalogue = {
+      {"Dutch", 229328, 7.159, SisapKind::kDictionary, "levenshtein"},
+      {"English", 69069, 8.492, SisapKind::kDictionary, "levenshtein"},
+      {"French", 138257, 10.510, SisapKind::kDictionary, "levenshtein"},
+      {"German", 75086, 7.383, SisapKind::kDictionary, "levenshtein"},
+      {"Italian", 116879, 10.436, SisapKind::kDictionary, "levenshtein"},
+      {"Norwegian", 85637, 5.503, SisapKind::kDictionary, "levenshtein"},
+      {"Spanish", 86061, 8.722, SisapKind::kDictionary, "levenshtein"},
+      {"listeria", 20660, 0.894, SisapKind::kDna, "levenshtein"},
+      {"long", 1265, 2.603, SisapKind::kDocuments, "angle"},
+      {"short", 25276, 808.739, SisapKind::kDocuments, "angle"},
+      {"colors", 112544, 2.745, SisapKind::kVectors, "L2"},
+      {"nasa", 40150, 5.186, SisapKind::kVectors, "L2"},
+  };
+  return kCatalogue;
+}
+
+util::Result<SisapDatabaseInfo> FindSisapDatabase(const std::string& name) {
+  for (const auto& info : SisapCatalogue()) {
+    if (info.name == name) return info;
+  }
+  return util::Status::NotFound("no SISAP stand-in named " + name);
+}
+
+size_t ScaledCardinality(const SisapDatabaseInfo& info, double scale) {
+  DP_CHECK(scale > 0.0);
+  double n = std::round(static_cast<double>(info.paper_n) * scale);
+  return static_cast<size_t>(std::max(64.0, n));
+}
+
+std::vector<std::string> MakeStringDatabase(const std::string& name,
+                                            double scale, uint64_t seed) {
+  auto lookup = FindSisapDatabase(name);
+  DP_CHECK_MSG(lookup.ok(), lookup.status().ToString());
+  const SisapDatabaseInfo& info = lookup.value();
+  util::Rng rng(MixSeed(seed, name));
+  size_t n = ScaledCardinality(info, scale);
+  if (info.kind == SisapKind::kDictionary) {
+    // Word-length profiles loosely matched to the language: rho in the
+    // paper tracks how "spread out" the dictionary is; longer words with
+    // a larger alphabet raise it.
+    LanguageProfile profile;
+    profile.name = name;
+    profile.alphabet = 26;
+    if (name == "French" || name == "Italian") {
+      profile.mean_length = 10.5;
+      profile.sd_length = 3.0;
+    } else if (name == "Norwegian") {
+      profile.mean_length = 8.0;
+      profile.sd_length = 2.5;
+    } else {
+      profile.mean_length = 9.5;
+      profile.sd_length = 3.0;
+    }
+    MarkovWordGenerator generator(profile);
+    return generator.Dictionary(n, &rng);
+  }
+  DP_CHECK_MSG(info.kind == SisapKind::kDna,
+               name + " is not a string database");
+  // listeria: gene fragments; few ancestral families, heavy mutation
+  // clustering gives the paper's strikingly low rho (~0.9).
+  return DnaSequences(n, /*families=*/8, /*min_length=*/12,
+                      /*max_length=*/40, /*mutation_rate=*/0.08, &rng);
+}
+
+std::vector<metric::SparseVector> MakeDocDatabase(const std::string& name,
+                                                  double scale,
+                                                  uint64_t seed) {
+  auto lookup = FindSisapDatabase(name);
+  DP_CHECK_MSG(lookup.ok(), lookup.status().ToString());
+  const SisapDatabaseInfo& info = lookup.value();
+  DP_CHECK_MSG(info.kind == SisapKind::kDocuments,
+               name + " is not a document database");
+  util::Rng rng(MixSeed(seed, name));
+  size_t n = ScaledCardinality(info, scale);
+  DocCorpusProfile profile;
+  if (name == "long") {
+    // Long news articles: many terms per document, heavy shared
+    // vocabulary and wide length variation, giving the broad distance
+    // distribution behind the paper's low rho (~2.6).
+    profile.vocabulary = 8000;
+    profile.topics = 12;
+    profile.terms_per_doc = 150;
+    profile.stopwords = 40;
+    profile.stopword_fraction = 0.55;
+    profile.stopword_fraction_spread = 0.42;
+    profile.length_spread = 0.9;
+  } else {
+    // Short snippets: few terms each, nearly orthogonal topical
+    // supports plus a thin shared stopword layer.  Distances concentrate
+    // just below pi/2 — tiny variance, hence the paper's enormous rho
+    // (~809) — while remaining distinct enough that nearly every point
+    // carries its own permutation.
+    profile.vocabulary = 20000;
+    profile.topics = 200;
+    profile.terms_per_doc = 10;
+    profile.stopwords = 25;
+    profile.stopword_fraction = 0.28;
+    profile.stopword_fraction_spread = 0.04;
+    profile.length_spread = 0.3;
+  }
+  return DocumentVectors(n, profile, &rng);
+}
+
+std::vector<metric::Vector> MakeVectorDatabase(const std::string& name,
+                                               double scale, uint64_t seed) {
+  auto lookup = FindSisapDatabase(name);
+  DP_CHECK_MSG(lookup.ok(), lookup.status().ToString());
+  const SisapDatabaseInfo& info = lookup.value();
+  DP_CHECK_MSG(info.kind == SisapKind::kVectors,
+               name + " is not a vector database");
+  util::Rng rng(MixSeed(seed, name));
+  size_t n = ScaledCardinality(info, scale);
+  if (name == "colors") {
+    // 112-dimensional colour histograms, intrinsic dimension ~2.7.
+    return HistogramCloud(n, 112, /*bumps=*/3, &rng);
+  }
+  // nasa: 20-dimensional feature vectors, intrinsic dimension ~5.
+  return LowDimEmbedding(n, /*ambient_d=*/20, /*intrinsic_d=*/5,
+                         /*noise=*/0.01, &rng);
+}
+
+}  // namespace dataset
+}  // namespace distperm

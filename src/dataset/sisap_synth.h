@@ -1,0 +1,68 @@
+// Synthetic stand-ins for the SISAP sample databases (paper Table 2).
+//
+// The SISAP metric-space library's sample data (dictionaries in seven
+// languages, listeria gene sequences, document vectors, colour
+// histograms, NASA feature vectors) is not available offline, so each
+// database is replaced by a generator matched in cardinality, point type,
+// metric, and — as far as the permutation-counting behaviour is concerned
+// — in structure (clustered, low intrinsic dimension).  DESIGN.md §4
+// records the substitution rationale.
+
+#ifndef DISTPERM_DATASET_SISAP_SYNTH_H_
+#define DISTPERM_DATASET_SISAP_SYNTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metric/metric.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace dataset {
+
+/// Point representation of a stand-in database.
+enum class SisapKind {
+  kDictionary,  ///< strings under Levenshtein distance
+  kDna,         ///< strings under Levenshtein distance
+  kDocuments,   ///< sparse vectors under angle distance
+  kVectors,     ///< dense vectors under L2
+};
+
+/// Catalogue entry for one stand-in database.
+struct SisapDatabaseInfo {
+  std::string name;      ///< paper's database name ("Dutch", "nasa", ...)
+  size_t paper_n;        ///< cardinality reported in the paper's Table 2
+  double paper_rho;      ///< intrinsic dimensionality reported in Table 2
+  SisapKind kind;
+  std::string metric_name;
+};
+
+/// The twelve databases of the paper's Table 2, in the paper's order.
+const std::vector<SisapDatabaseInfo>& SisapCatalogue();
+
+/// Looks up a catalogue entry by name.
+util::Result<SisapDatabaseInfo> FindSisapDatabase(const std::string& name);
+
+/// Builds a string database ("Dutch".."Spanish" dictionaries, or
+/// "listeria").  `scale` multiplies the paper's cardinality (use < 1 for
+/// quick runs).  Fatal if `name` is not a string database.
+std::vector<std::string> MakeStringDatabase(const std::string& name,
+                                            double scale, uint64_t seed);
+
+/// Builds a document database ("long" or "short").
+std::vector<metric::SparseVector> MakeDocDatabase(const std::string& name,
+                                                  double scale,
+                                                  uint64_t seed);
+
+/// Builds a dense-vector database ("colors" or "nasa").
+std::vector<metric::Vector> MakeVectorDatabase(const std::string& name,
+                                               double scale, uint64_t seed);
+
+/// Scaled cardinality: max(64, round(paper_n * scale)).
+size_t ScaledCardinality(const SisapDatabaseInfo& info, double scale);
+
+}  // namespace dataset
+}  // namespace distperm
+
+#endif  // DISTPERM_DATASET_SISAP_SYNTH_H_

@@ -1,0 +1,142 @@
+#include "dataset/string_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/status.h"
+
+namespace distperm {
+namespace dataset {
+namespace {
+
+// Deterministic 64-bit hash of a string (FNV-1a), used to seed language
+// structure from the profile name.
+uint64_t HashName(const std::string& name) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+MarkovWordGenerator::MarkovWordGenerator(const LanguageProfile& profile)
+    : profile_(profile) {
+  DP_CHECK(profile.alphabet >= 2 && profile.alphabet <= 26);
+  const size_t a = profile.alphabet;
+  util::Rng structure_rng(HashName(profile.name));
+  // Zipf-skewed target letter frequencies, shuffled per language so that
+  // different languages favour different letters.
+  std::vector<double> frequency(a);
+  for (size_t i = 0; i < a; ++i) frequency[i] = 1.0 / static_cast<double>(i + 1);
+  structure_rng.Shuffle(&frequency);
+
+  cumulative_.assign((a + 1) * a, 0.0);
+  for (size_t row = 0; row <= a; ++row) {
+    std::vector<double> weights(a);
+    double total = 0.0;
+    for (size_t col = 0; col < a; ++col) {
+      // Base letter frequency modulated by a random per-bigram affinity;
+      // squaring the uniform sharpens the structure (more forbidden-ish
+      // bigrams, like real orthography).
+      double affinity = structure_rng.NextDouble();
+      weights[col] = frequency[col] * affinity * affinity + 1e-4;
+      total += weights[col];
+    }
+    double acc = 0.0;
+    for (size_t col = 0; col < a; ++col) {
+      acc += weights[col] / total;
+      cumulative_[row * a + col] = acc;
+    }
+    cumulative_[row * a + (a - 1)] = 1.0;  // guard against rounding
+  }
+}
+
+std::string MarkovWordGenerator::NextWord(util::Rng* rng) const {
+  const size_t a = profile_.alphabet;
+  double raw_length =
+      profile_.mean_length + profile_.sd_length * rng->NextGaussian();
+  size_t length = static_cast<size_t>(
+      std::clamp(std::lround(raw_length), 1L, 32L));
+  std::string word;
+  word.reserve(length);
+  size_t state = a;  // start state
+  for (size_t i = 0; i < length; ++i) {
+    double u = rng->NextDouble();
+    const double* row = &cumulative_[state * a];
+    size_t letter =
+        static_cast<size_t>(std::lower_bound(row, row + a, u) - row);
+    if (letter >= a) letter = a - 1;
+    word.push_back(static_cast<char>('a' + letter));
+    state = letter;
+  }
+  return word;
+}
+
+std::vector<std::string> MarkovWordGenerator::Dictionary(
+    size_t n, util::Rng* rng) const {
+  std::unordered_set<std::string> seen;
+  seen.reserve(n * 2);
+  size_t attempts = 0;
+  const size_t max_attempts = n * 200 + 10000;
+  while (seen.size() < n) {
+    seen.insert(NextWord(rng));
+    DP_CHECK_MSG(++attempts < max_attempts,
+                 "language too small to yield " << n << " distinct words");
+  }
+  std::vector<std::string> words(seen.begin(), seen.end());
+  std::sort(words.begin(), words.end());
+  return words;
+}
+
+std::vector<std::string> DnaSequences(size_t n, size_t families,
+                                      size_t min_length, size_t max_length,
+                                      double mutation_rate, util::Rng* rng) {
+  DP_CHECK(families >= 1);
+  DP_CHECK(min_length >= 1 && min_length <= max_length);
+  static constexpr char kBases[] = {'a', 'c', 'g', 't'};
+  auto random_base = [&]() { return kBases[rng->NextBounded(4)]; };
+
+  std::vector<std::string> ancestors(families);
+  for (auto& ancestor : ancestors) {
+    size_t length = min_length + static_cast<size_t>(rng->NextBounded(
+                                     max_length - min_length + 1));
+    ancestor.resize(length);
+    for (auto& base : ancestor) base = random_base();
+  }
+
+  std::unordered_set<std::string> seen;
+  seen.reserve(n * 2);
+  size_t attempts = 0;
+  const size_t max_attempts = n * 200 + 10000;
+  while (seen.size() < n) {
+    DP_CHECK_MSG(++attempts < max_attempts, "DNA generator stalled");
+    std::string sequence =
+        ancestors[static_cast<size_t>(rng->NextBounded(families))];
+    // Point mutations.
+    for (auto& base : sequence) {
+      if (rng->NextDouble() < mutation_rate) base = random_base();
+    }
+    // Occasional single-base indel.
+    if (rng->NextDouble() < 0.3 && sequence.size() > min_length) {
+      sequence.erase(sequence.begin() +
+                     static_cast<long>(rng->NextBounded(sequence.size())));
+    }
+    if (rng->NextDouble() < 0.3 && sequence.size() < max_length) {
+      sequence.insert(sequence.begin() +
+                          static_cast<long>(rng->NextBounded(
+                              sequence.size() + 1)),
+                      random_base());
+    }
+    seen.insert(std::move(sequence));
+  }
+  std::vector<std::string> sequences(seen.begin(), seen.end());
+  std::sort(sequences.begin(), sequences.end());
+  return sequences;
+}
+
+}  // namespace dataset
+}  // namespace distperm

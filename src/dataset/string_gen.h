@@ -1,0 +1,61 @@
+// Synthetic string dataset generators.
+//
+// MarkovWordGenerator produces dictionary-like word lists: an order-1
+// letter Markov chain with Zipf-skewed stationary frequencies, seeded per
+// "language", gives words that cluster the way natural-language
+// dictionaries do under edit distance.  DnaSequences produces gene-like
+// data: a handful of ancestral sequences plus point-mutated descendants,
+// which reproduces the very low intrinsic dimensionality the paper
+// reports for the listeria database.
+
+#ifndef DISTPERM_DATASET_STRING_GEN_H_
+#define DISTPERM_DATASET_STRING_GEN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace distperm {
+namespace dataset {
+
+/// Parameters of a synthetic "language".
+struct LanguageProfile {
+  std::string name;         ///< used to seed the transition structure
+  size_t alphabet = 26;     ///< letters 'a'.. ('a' + alphabet - 1)
+  double mean_length = 9.0; ///< mean word length
+  double sd_length = 3.0;   ///< word length standard deviation
+};
+
+/// Order-1 Markov chain over a lowercase alphabet.
+class MarkovWordGenerator {
+ public:
+  /// Builds the transition matrix deterministically from the profile.
+  explicit MarkovWordGenerator(const LanguageProfile& profile);
+
+  /// Generates one word using `rng`.
+  std::string NextWord(util::Rng* rng) const;
+
+  /// Generates `n` distinct words (a dictionary), sorted.
+  std::vector<std::string> Dictionary(size_t n, util::Rng* rng) const;
+
+ private:
+  LanguageProfile profile_;
+  // row-major [alphabet+1][alphabet]: row `alphabet` is the start state;
+  // entries are cumulative probabilities for O(log a) sampling.
+  std::vector<double> cumulative_;
+};
+
+/// `n` distinct DNA-like sequences over {a,c,g,t}: `families` ancestral
+/// sequences of length in [min_length, max_length], descendants derived
+/// by point mutations at rate `mutation_rate` plus occasional
+/// insertions/deletions.
+std::vector<std::string> DnaSequences(size_t n, size_t families,
+                                      size_t min_length, size_t max_length,
+                                      double mutation_rate, util::Rng* rng);
+
+}  // namespace dataset
+}  // namespace distperm
+
+#endif  // DISTPERM_DATASET_STRING_GEN_H_

@@ -1,0 +1,95 @@
+#include "dataset/vector_gen.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace distperm {
+namespace dataset {
+
+using metric::Vector;
+
+std::vector<Vector> UniformCube(size_t n, size_t d, util::Rng* rng) {
+  std::vector<Vector> points(n, Vector(d));
+  for (auto& point : points) {
+    for (auto& coord : point) coord = rng->NextDouble();
+  }
+  return points;
+}
+
+std::vector<Vector> GaussianCloud(size_t n, size_t d, double sigma,
+                                  util::Rng* rng) {
+  std::vector<Vector> points(n, Vector(d));
+  for (auto& point : points) {
+    for (auto& coord : point) coord = 0.5 + sigma * rng->NextGaussian();
+  }
+  return points;
+}
+
+std::vector<Vector> ClusteredCloud(size_t n, size_t d, size_t clusters,
+                                   double sigma, util::Rng* rng) {
+  DP_CHECK(clusters >= 1);
+  std::vector<Vector> centres = UniformCube(clusters, d, rng);
+  std::vector<Vector> points(n, Vector(d));
+  for (auto& point : points) {
+    const Vector& centre =
+        centres[static_cast<size_t>(rng->NextBounded(clusters))];
+    for (size_t i = 0; i < d; ++i) {
+      point[i] = centre[i] + sigma * rng->NextGaussian();
+    }
+  }
+  return points;
+}
+
+std::vector<Vector> LowDimEmbedding(size_t n, size_t ambient_d,
+                                    size_t intrinsic_d, double noise,
+                                    util::Rng* rng) {
+  DP_CHECK(intrinsic_d >= 1 && intrinsic_d <= ambient_d);
+  // Random (not orthonormalized) basis of the subspace; Gaussian entries
+  // make the directions generic, which is all the experiments need.
+  std::vector<Vector> basis(intrinsic_d, Vector(ambient_d));
+  for (auto& direction : basis) {
+    for (auto& coord : direction) {
+      coord = rng->NextGaussian() / std::sqrt(static_cast<double>(ambient_d));
+    }
+  }
+  std::vector<Vector> points(n, Vector(ambient_d, 0.0));
+  for (auto& point : points) {
+    for (size_t b = 0; b < intrinsic_d; ++b) {
+      double coefficient = rng->NextDouble();  // uniform in the subspace
+      for (size_t i = 0; i < ambient_d; ++i) {
+        point[i] += coefficient * basis[b][i];
+      }
+    }
+    if (noise > 0.0) {
+      for (auto& coord : point) coord += noise * rng->NextGaussian();
+    }
+  }
+  return points;
+}
+
+std::vector<Vector> HistogramCloud(size_t n, size_t d, size_t bumps,
+                                   util::Rng* rng) {
+  DP_CHECK(bumps >= 1);
+  std::vector<Vector> points(n, Vector(d, 0.0));
+  for (auto& point : points) {
+    for (size_t b = 0; b < bumps; ++b) {
+      double centre = rng->NextDouble() * static_cast<double>(d);
+      double width = 1.0 + rng->NextDouble() * static_cast<double>(d) / 8.0;
+      double mass = rng->NextDouble();
+      for (size_t i = 0; i < d; ++i) {
+        double offset = (static_cast<double>(i) - centre) / width;
+        point[i] += mass * std::exp(-0.5 * offset * offset);
+      }
+    }
+    double total = 0.0;
+    for (double v : point) total += v;
+    if (total > 0.0) {
+      for (auto& v : point) v /= total;
+    }
+  }
+  return points;
+}
+
+}  // namespace dataset
+}  // namespace distperm

@@ -1,0 +1,53 @@
+// Synthetic vector dataset generators.
+//
+// UniformCube reproduces the paper's random-vector workload (Table 3:
+// uniform on the unit cube).  The structured generators (Gaussian,
+// clustered, low-dimensional embeddings, histogram-like) stand in for the
+// SISAP sample databases whose defining property, for permutation
+// counting, is low intrinsic dimensionality inside a higher-dimensional
+// representation.
+
+#ifndef DISTPERM_DATASET_VECTOR_GEN_H_
+#define DISTPERM_DATASET_VECTOR_GEN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "metric/metric.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace dataset {
+
+/// n points uniform on [0, 1]^d.
+std::vector<metric::Vector> UniformCube(size_t n, size_t d, util::Rng* rng);
+
+/// n points from an isotropic Gaussian centred at 1/2 with the given
+/// standard deviation per coordinate.
+std::vector<metric::Vector> GaussianCloud(size_t n, size_t d, double sigma,
+                                          util::Rng* rng);
+
+/// n points in `clusters` Gaussian clusters with centres uniform on the
+/// cube and per-cluster spread `sigma`.
+std::vector<metric::Vector> ClusteredCloud(size_t n, size_t d,
+                                           size_t clusters, double sigma,
+                                           util::Rng* rng);
+
+/// n points lying near a random `intrinsic_d`-dimensional affine subspace
+/// of R^ambient_d, plus isotropic noise of size `noise`.  This is the
+/// canonical "high representation dimension, low intrinsic dimension"
+/// shape of real feature databases (nasa, colors).
+std::vector<metric::Vector> LowDimEmbedding(size_t n, size_t ambient_d,
+                                            size_t intrinsic_d, double noise,
+                                            util::Rng* rng);
+
+/// n normalized histograms over d bins, each a mixture of a few smooth
+/// bumps — the shape of colour histograms: nonnegative entries summing
+/// to 1, strong inter-bin correlation, low intrinsic dimension.
+std::vector<metric::Vector> HistogramCloud(size_t n, size_t d, size_t bumps,
+                                           util::Rng* rng);
+
+}  // namespace dataset
+}  // namespace distperm
+
+#endif  // DISTPERM_DATASET_VECTOR_GEN_H_

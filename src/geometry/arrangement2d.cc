@@ -1,0 +1,158 @@
+#include "geometry/arrangement2d.h"
+
+#include <algorithm>
+#include <map>
+
+namespace distperm {
+namespace geometry {
+namespace {
+
+using Int128 = __int128;
+
+Int128 Gcd128(Int128 a, Int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    Int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+// An exact rational point (x, y) = (nx/d, ny/d) in canonical form:
+// d > 0 and gcd(nx, ny, d) = 1.
+struct RationalPoint {
+  Int128 nx = 0;
+  Int128 ny = 0;
+  Int128 d = 1;
+
+  void Canonicalize() {
+    if (d < 0) {
+      nx = -nx;
+      ny = -ny;
+      d = -d;
+    }
+    Int128 g = Gcd128(Gcd128(nx, ny), d);
+    if (g > 1) {
+      nx /= g;
+      ny /= g;
+      d /= g;
+    }
+  }
+
+  friend bool operator<(const RationalPoint& p, const RationalPoint& q) {
+    if (p.nx != q.nx) return p.nx < q.nx;
+    if (p.ny != q.ny) return p.ny < q.ny;
+    return p.d < q.d;
+  }
+};
+
+}  // namespace
+
+void Line::Canonicalize() {
+  DP_CHECK_MSG(a != 0 || b != 0, "degenerate line 0x + 0y = c");
+  int64_t g = static_cast<int64_t>(
+      Gcd128(Gcd128(static_cast<Int128>(a), static_cast<Int128>(b)),
+             static_cast<Int128>(c)));
+  if (g > 1) {
+    a /= g;
+    b /= g;
+    c /= g;
+  }
+  if (a < 0 || (a == 0 && b < 0)) {
+    a = -a;
+    b = -b;
+    c = -c;
+  }
+}
+
+void LineArrangement::AddLine(int64_t a, int64_t b, int64_t c) {
+  Line line{a, b, c};
+  line.Canonicalize();
+  if (std::find(lines_.begin(), lines_.end(), line) == lines_.end()) {
+    lines_.push_back(line);
+  }
+}
+
+size_t LineArrangement::CountVertices() const {
+  std::map<RationalPoint, int> multiplicity;
+  for (size_t i = 0; i < lines_.size(); ++i) {
+    for (size_t j = i + 1; j < lines_.size(); ++j) {
+      const Line& p = lines_[i];
+      const Line& q = lines_[j];
+      Int128 det = static_cast<Int128>(p.a) * q.b -
+                   static_cast<Int128>(p.b) * q.a;
+      if (det == 0) continue;  // parallel, no vertex
+      RationalPoint point;
+      point.nx = static_cast<Int128>(p.c) * q.b -
+                 static_cast<Int128>(p.b) * q.c;
+      point.ny = static_cast<Int128>(p.a) * q.c -
+                 static_cast<Int128>(p.c) * q.a;
+      point.d = det;
+      point.Canonicalize();
+      ++multiplicity[point];
+    }
+  }
+  return multiplicity.size();
+}
+
+size_t LineArrangement::CountRegions() const {
+  // Group intersecting line pairs by intersection point; a point hit by
+  // t pairs has lambda = (1 + sqrt(1 + 8t)) / 2 concurrent lines, but it
+  // is simpler to record the set size directly: we count, per point, the
+  // number of distinct lines through it.
+  std::map<RationalPoint, std::vector<size_t>> lines_through;
+  for (size_t i = 0; i < lines_.size(); ++i) {
+    for (size_t j = i + 1; j < lines_.size(); ++j) {
+      const Line& p = lines_[i];
+      const Line& q = lines_[j];
+      Int128 det = static_cast<Int128>(p.a) * q.b -
+                   static_cast<Int128>(p.b) * q.a;
+      if (det == 0) continue;
+      RationalPoint point;
+      point.nx = static_cast<Int128>(p.c) * q.b -
+                 static_cast<Int128>(p.b) * q.c;
+      point.ny = static_cast<Int128>(p.a) * q.c -
+                 static_cast<Int128>(p.c) * q.a;
+      point.d = det;
+      point.Canonicalize();
+      auto& through = lines_through[point];
+      for (size_t id : {i, j}) {
+        if (std::find(through.begin(), through.end(), id) == through.end()) {
+          through.push_back(id);
+        }
+      }
+    }
+  }
+  size_t regions = 1 + lines_.size();
+  for (const auto& [point, through] : lines_through) {
+    regions += through.size() - 1;
+  }
+  return regions;
+}
+
+LineArrangement EuclideanBisectorArrangement(
+    const std::vector<IntPoint2>& sites) {
+  constexpr int64_t kMaxCoord = int64_t{1} << 20;
+  LineArrangement arrangement;
+  for (size_t i = 0; i < sites.size(); ++i) {
+    DP_CHECK_MSG(std::llabs(sites[i][0]) < kMaxCoord &&
+                     std::llabs(sites[i][1]) < kMaxCoord,
+                 "site coordinates too large for exact arithmetic");
+    for (size_t j = i + 1; j < sites.size(); ++j) {
+      const auto& s = sites[i];
+      const auto& t = sites[j];
+      DP_CHECK_MSG(s != t, "duplicate sites have no bisector");
+      // |z - s|^2 = |z - t|^2  <=>  2(t - s) . z = |t|^2 - |s|^2.
+      int64_t a = 2 * (t[0] - s[0]);
+      int64_t b = 2 * (t[1] - s[1]);
+      int64_t c = t[0] * t[0] + t[1] * t[1] - s[0] * s[0] - s[1] * s[1];
+      arrangement.AddLine(a, b, c);
+    }
+  }
+  return arrangement;
+}
+
+}  // namespace geometry
+}  // namespace distperm

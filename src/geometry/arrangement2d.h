@@ -1,0 +1,76 @@
+// Exact cell counting for arrangements of lines in the plane.
+//
+// For any arrangement of m distinct lines the number of regions is
+//
+//   R = 1 + m + sum over intersection points p of (lambda(p) - 1)
+//
+// where lambda(p) is the number of lines through p (parallel lines simply
+// contribute no vertices).  With all computations over exact rationals
+// this lets us verify the d = 2 row of the paper's Table 1 from real
+// Euclidean bisectors: the bisectors of k integer-coordinate sites in
+// general position must produce exactly N_{2,2}(k) cells, concurrent
+// triples (a|b, b|c, a|c at the circumcentre) included.
+
+#ifndef DISTPERM_GEOMETRY_ARRANGEMENT2D_H_
+#define DISTPERM_GEOMETRY_ARRANGEMENT2D_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace distperm {
+namespace geometry {
+
+/// A line a*x + b*y = c with integer coefficients, stored in canonical
+/// form (gcd 1, lexicographically positive leading coefficient) so that
+/// equal lines compare equal.
+struct Line {
+  int64_t a = 0;
+  int64_t b = 0;
+  int64_t c = 0;
+
+  /// Canonicalizes in place.  Fatal if a = b = 0.
+  void Canonicalize();
+
+  friend bool operator==(const Line& x, const Line& y) {
+    return x.a == y.a && x.b == y.b && x.c == y.c;
+  }
+  friend auto operator<=>(const Line& x, const Line& y) = default;
+};
+
+/// An exact arrangement of lines in the plane.
+class LineArrangement {
+ public:
+  /// Adds the line a*x + b*y = c.  Duplicate lines (after
+  /// canonicalization) are ignored.  Fatal if a = b = 0.
+  void AddLine(int64_t a, int64_t b, int64_t c);
+
+  /// Number of distinct lines.
+  size_t line_count() const { return lines_.size(); }
+
+  /// Number of distinct intersection points.
+  size_t CountVertices() const;
+
+  /// Number of regions (bounded + unbounded) of the arrangement.
+  size_t CountRegions() const;
+
+ private:
+  std::vector<Line> lines_;
+};
+
+/// Integer-coordinate site in the plane.
+using IntPoint2 = std::array<int64_t, 2>;
+
+/// The perpendicular-bisector arrangement of the given sites under the
+/// Euclidean metric: for each site pair the line 2(b-a).x = |b|^2 - |a|^2.
+/// Site coordinates must stay below 2^20 in magnitude so all intermediate
+/// products fit exactly.
+LineArrangement EuclideanBisectorArrangement(
+    const std::vector<IntPoint2>& sites);
+
+}  // namespace geometry
+}  // namespace distperm
+
+#endif  // DISTPERM_GEOMETRY_ARRANGEMENT2D_H_

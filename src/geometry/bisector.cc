@@ -1,0 +1,47 @@
+#include "geometry/bisector.h"
+
+#include "metric/lp.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace geometry {
+
+int BisectorSide(const metric::Vector& x, const metric::Vector& y,
+                 const metric::Vector& z, double p) {
+  double dx = metric::LpDistance(x, z, p);
+  double dy = metric::LpDistance(y, z, p);
+  if (dx < dy) return -1;
+  if (dx > dy) return 1;
+  return 0;
+}
+
+std::vector<int> SignVector(const std::vector<metric::Vector>& sites,
+                            const metric::Vector& z, double p) {
+  std::vector<int> signs;
+  signs.reserve(sites.size() * (sites.size() - 1) / 2);
+  for (size_t i = 0; i < sites.size(); ++i) {
+    for (size_t j = i + 1; j < sites.size(); ++j) {
+      int side = BisectorSide(sites[i], sites[j], z, p);
+      // Tie-break: equality counts as nearer the lower-indexed site.
+      signs.push_back(side == 0 ? -1 : side);
+    }
+  }
+  return signs;
+}
+
+std::vector<int> SignVectorFromPermutation(const core::Permutation& perm) {
+  DP_CHECK(core::IsPermutation(perm));
+  core::Permutation rank = core::InvertPermutation(perm);
+  const size_t k = perm.size();
+  std::vector<int> signs;
+  signs.reserve(k * (k - 1) / 2);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      signs.push_back(rank[i] < rank[j] ? -1 : 1);
+    }
+  }
+  return signs;
+}
+
+}  // namespace geometry
+}  // namespace distperm

@@ -1,0 +1,39 @@
+// Bisector predicates (paper Definition 1 and Section 2).
+//
+// The bisector x|y of two points is the locus where d(x,z) = d(y,z).  A
+// point's position relative to all C(k,2) bisectors — its sign vector —
+// determines its distance permutation, and distinct sign vectors map to
+// distinct permutations.  These predicates drive the cell-enumeration
+// experiments and the sign-vector consistency tests.
+
+#ifndef DISTPERM_GEOMETRY_BISECTOR_H_
+#define DISTPERM_GEOMETRY_BISECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distance_permutation.h"
+#include "metric/metric.h"
+
+namespace distperm {
+namespace geometry {
+
+/// Which side of the bisector x|y the probe z lies on: -1 if z is
+/// strictly nearer x, +1 if strictly nearer y, 0 if on the bisector.
+int BisectorSide(const metric::Vector& x, const metric::Vector& y,
+                 const metric::Vector& z, double p);
+
+/// The sign vector of `z` with respect to all site pairs (i, j), i < j,
+/// in lexicographic pair order, applying the paper's tie-break (a tie
+/// counts as "nearer the lower-indexed site", i.e. -1).
+std::vector<int> SignVector(const std::vector<metric::Vector>& sites,
+                            const metric::Vector& z, double p);
+
+/// The sign vector implied by a distance permutation: entry for pair
+/// (i, j) is -1 iff site i precedes site j in the permutation.
+std::vector<int> SignVectorFromPermutation(const core::Permutation& perm);
+
+}  // namespace geometry
+}  // namespace distperm
+
+#endif  // DISTPERM_GEOMETRY_BISECTOR_H_

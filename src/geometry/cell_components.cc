@@ -1,0 +1,88 @@
+#include "geometry/cell_components.h"
+
+#include <unordered_set>
+
+#include "core/distance_permutation.h"
+#include "core/perm_codec.h"
+#include "metric/lp.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace geometry {
+namespace {
+
+// Union-find over grid point ids.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[a] = b;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+ComponentAnalysis AnalyzeCellComponents2D(
+    const std::vector<metric::Vector>& sites, double p, double lo,
+    double hi, size_t resolution) {
+  DP_CHECK(!sites.empty());
+  DP_CHECK(sites[0].size() == 2);
+  DP_CHECK(resolution >= 2 && hi > lo);
+
+  const size_t n = resolution * resolution;
+  std::vector<uint64_t> label(n);
+  std::vector<double> distances(sites.size());
+  const double step = (hi - lo) / static_cast<double>(resolution - 1);
+  for (size_t row = 0; row < resolution; ++row) {
+    for (size_t col = 0; col < resolution; ++col) {
+      metric::Vector point = {lo + step * static_cast<double>(col),
+                              lo + step * static_cast<double>(row)};
+      for (size_t s = 0; s < sites.size(); ++s) {
+        distances[s] = metric::LpDistance(sites[s], point, p);
+      }
+      label[row * resolution + col] = core::RankPermutation(
+          core::PermutationFromDistances(distances));
+    }
+  }
+
+  DisjointSets components(n);
+  for (size_t row = 0; row < resolution; ++row) {
+    for (size_t col = 0; col < resolution; ++col) {
+      size_t id = row * resolution + col;
+      if (col + 1 < resolution && label[id] == label[id + 1]) {
+        components.Union(id, id + 1);
+      }
+      if (row + 1 < resolution && label[id] == label[id + resolution]) {
+        components.Union(id, id + resolution);
+      }
+    }
+  }
+
+  ComponentAnalysis analysis;
+  analysis.probes = n;
+  std::unordered_set<uint64_t> perms(label.begin(), label.end());
+  analysis.distinct_permutations = perms.size();
+  std::unordered_set<size_t> roots;
+  for (size_t i = 0; i < n; ++i) roots.insert(components.Find(i));
+  analysis.connected_components = roots.size();
+  return analysis;
+}
+
+}  // namespace geometry
+}  // namespace distperm

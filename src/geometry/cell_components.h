@@ -1,0 +1,48 @@
+// Connected-component analysis of distance-permutation regions.
+//
+// In Euclidean space every distance permutation's region is an
+// intersection of half-planes, hence convex and connected.  With the L1
+// or L-infinity metrics, bisectors can contain 2-dimensional pieces and
+// behave "really abnormally" (Section 2 quoting Icking et al.), and a
+// single permutation's region can be disconnected.  This module counts,
+// on a probing grid, both the number of distinct permutations and the
+// number of connected components those permutation regions form
+// (4-neighbour connectivity), making the disconnection measurable.
+
+#ifndef DISTPERM_GEOMETRY_CELL_COMPONENTS_H_
+#define DISTPERM_GEOMETRY_CELL_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "metric/metric.h"
+
+namespace distperm {
+namespace geometry {
+
+/// Result of a grid component analysis.
+struct ComponentAnalysis {
+  size_t distinct_permutations = 0;
+  size_t connected_components = 0;
+  uint64_t probes = 0;
+
+  /// True iff some permutation's region is split into several grid
+  /// components.  (Grid artifacts can also split thin regions, so treat
+  /// a small excess as noise; a large excess is structural.)
+  bool HasDisconnectedRegions() const {
+    return connected_components > distinct_permutations;
+  }
+};
+
+/// Probes a `resolution` x `resolution` grid over [lo, hi]^2 (2-D only),
+/// labels each grid point with its distance permutation under the Lp
+/// metric, and counts permutations and 4-connected components via
+/// union-find.
+ComponentAnalysis AnalyzeCellComponents2D(
+    const std::vector<metric::Vector>& sites, double p, double lo,
+    double hi, size_t resolution);
+
+}  // namespace geometry
+}  // namespace distperm
+
+#endif  // DISTPERM_GEOMETRY_CELL_COMPONENTS_H_

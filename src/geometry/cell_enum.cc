@@ -1,0 +1,88 @@
+#include "geometry/cell_enum.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/perm_codec.h"
+#include "metric/lp.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace geometry {
+namespace {
+
+uint64_t ProbePermutationRank(const std::vector<metric::Vector>& sites,
+                              double p, const metric::Vector& point) {
+  std::vector<double> distances(sites.size());
+  for (size_t i = 0; i < sites.size(); ++i) {
+    distances[i] = metric::LpDistance(sites[i], point, p);
+  }
+  return core::RankPermutation(core::PermutationFromDistances(distances));
+}
+
+CellEnumeration FinishEnumeration(std::unordered_set<uint64_t> seen,
+                                  uint64_t probes) {
+  CellEnumeration out;
+  out.permutation_ranks.assign(seen.begin(), seen.end());
+  std::sort(out.permutation_ranks.begin(), out.permutation_ranks.end());
+  out.probes = probes;
+  return out;
+}
+
+}  // namespace
+
+CellEnumeration EnumerateCellsByGrid(const std::vector<metric::Vector>& sites,
+                                     double p, double lo, double hi,
+                                     size_t resolution) {
+  DP_CHECK(!sites.empty());
+  DP_CHECK(resolution >= 2);
+  DP_CHECK(hi > lo);
+  const size_t d = sites[0].size();
+  DP_CHECK_MSG(d >= 1 && d <= 6, "grid enumeration limited to d <= 6");
+
+  uint64_t total = 1;
+  for (size_t i = 0; i < d; ++i) total *= resolution;
+
+  std::unordered_set<uint64_t> seen;
+  metric::Vector point(d);
+  std::vector<size_t> idx(d, 0);
+  const double step = (hi - lo) / static_cast<double>(resolution - 1);
+  for (uint64_t probe = 0; probe < total; ++probe) {
+    for (size_t i = 0; i < d; ++i) {
+      point[i] = lo + step * static_cast<double>(idx[i]);
+    }
+    seen.insert(ProbePermutationRank(sites, p, point));
+    // Odometer increment.
+    for (size_t i = 0; i < d; ++i) {
+      if (++idx[i] < resolution) break;
+      idx[i] = 0;
+    }
+  }
+  return FinishEnumeration(std::move(seen), total);
+}
+
+CellEnumeration EnumerateCellsBySampling(
+    const std::vector<metric::Vector>& sites, double p, double lo, double hi,
+    uint64_t samples, util::Rng* rng) {
+  DP_CHECK(!sites.empty());
+  DP_CHECK(hi > lo);
+  const size_t d = sites[0].size();
+  std::unordered_set<uint64_t> seen;
+  metric::Vector point(d);
+  for (uint64_t s = 0; s < samples; ++s) {
+    for (size_t i = 0; i < d; ++i) point[i] = rng->NextDouble(lo, hi);
+    seen.insert(ProbePermutationRank(sites, p, point));
+  }
+  return FinishEnumeration(std::move(seen), samples);
+}
+
+std::vector<uint64_t> PermutationSetDifference(
+    const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  std::vector<uint64_t> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace geometry
+}  // namespace distperm

@@ -1,0 +1,55 @@
+// Enumeration of distance-permutation cells by dense evaluation.
+//
+// In non-Euclidean Lp spaces the bisector arrangements are not
+// well-behaved (Section 4: bisectors may fail to intersect, intersect
+// twice, or share rays), so exact cell counting is replaced by dense
+// evaluation: sweep a grid (or random sample) across a box, compute the
+// distance permutation at every probe, and collect the distinct
+// permutations.  Counts obtained this way are lower bounds on the true
+// cell count that converge as the resolution grows; the paper's own
+// Section 5 experiments (Table 3 and the 108-permutation counterexample)
+// are of exactly this kind.
+
+#ifndef DISTPERM_GEOMETRY_CELL_ENUM_H_
+#define DISTPERM_GEOMETRY_CELL_ENUM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distance_permutation.h"
+#include "metric/metric.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace geometry {
+
+/// Result of a cell enumeration: the distinct permutations seen (as
+/// Lehmer ranks, sorted) plus the probe count.
+struct CellEnumeration {
+  std::vector<uint64_t> permutation_ranks;
+  uint64_t probes = 0;
+
+  size_t count() const { return permutation_ranks.size(); }
+};
+
+/// Evaluates the distance permutation at every vertex of a regular grid
+/// with `resolution` points per axis spanning [lo, hi]^d, under the Lp
+/// metric.  d = sites[0].size() must be small (probes = resolution^d).
+CellEnumeration EnumerateCellsByGrid(const std::vector<metric::Vector>& sites,
+                                     double p, double lo, double hi,
+                                     size_t resolution);
+
+/// Evaluates the distance permutation at `samples` uniform random points
+/// of [lo, hi]^d — the same experiment as the paper's random-vector runs.
+CellEnumeration EnumerateCellsBySampling(
+    const std::vector<metric::Vector>& sites, double p, double lo, double hi,
+    uint64_t samples, util::Rng* rng);
+
+/// Permutations present in `a` but not in `b` (both sorted rank lists).
+std::vector<uint64_t> PermutationSetDifference(
+    const std::vector<uint64_t>& a, const std::vector<uint64_t>& b);
+
+}  // namespace geometry
+}  // namespace distperm
+
+#endif  // DISTPERM_GEOMETRY_CELL_ENUM_H_

@@ -1,0 +1,125 @@
+// AESA (Vidal 1986): the classic distance-matrix elimination search.
+//
+// Stores the full O(n^2) matrix of pairwise distances.  At query time it
+// repeatedly picks a live candidate, measures its true distance, and uses
+// the stored row to tighten every other candidate's triangle-inequality
+// lower bound, discarding candidates whose bound exceeds the query
+// radius.  Query cost in metric evaluations is famously near-constant;
+// the price is the quadratic storage the paper's introduction criticises.
+
+#ifndef DISTPERM_INDEX_AESA_H_
+#define DISTPERM_INDEX_AESA_H_
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+
+namespace distperm {
+namespace index {
+
+/// Full-matrix AESA.  Build cost n(n-1)/2 metric evaluations; memory
+/// O(n^2) doubles — use only for small databases.
+template <typename P>
+class AesaIndex : public SearchIndex<P> {
+ public:
+  using SearchIndex<P>::data_;
+
+  AesaIndex(std::vector<P> data, metric::Metric<P> metric)
+      : SearchIndex<P>(std::move(data), std::move(metric)),
+        matrix_(data_.size() * data_.size(), 0.0) {
+    const size_t n = data_.size();
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double d = this->BuildDist(data_[i], data_[j]);
+        matrix_[i * n + j] = d;
+        matrix_[j * n + i] = d;
+      }
+    }
+  }
+
+  std::string name() const override { return "aesa"; }
+
+  std::vector<SearchResult> RangeQuery(const P& query,
+                                       double radius) override {
+    std::vector<SearchResult> results;
+    Search(query,
+           [&]() { return radius; },
+           [&](size_t id, double d) {
+             if (d <= radius) results.push_back({id, d});
+           });
+    SortResults(&results);
+    return results;
+  }
+
+  std::vector<SearchResult> KnnQuery(const P& query, size_t k) override {
+    KnnCollector collector(k);
+    Search(query,
+           [&]() { return collector.Radius(); },
+           [&](size_t id, double d) { collector.Offer(id, d); });
+    return collector.Take();
+  }
+
+  uint64_t IndexBits() const override {
+    return static_cast<uint64_t>(matrix_.size()) * sizeof(double) * 8;
+  }
+
+  /// The stored distance between database points i and j.
+  double StoredDistance(size_t i, size_t j) const {
+    return matrix_[i * data_.size() + j];
+  }
+
+ protected:
+  /// Core elimination loop, shared by range and kNN queries.  `radius_fn`
+  /// returns the current pruning radius (it shrinks during kNN); `emit`
+  /// receives every point whose true distance is computed.
+  template <typename RadiusFn, typename Emit>
+  void Search(const P& query, RadiusFn radius_fn, Emit emit) {
+    const size_t n = data_.size();
+    std::vector<double> lower(n, 0.0);
+    std::vector<bool> dead(n, false);
+    while (true) {
+      size_t next = PickNextCandidate(lower, dead, query);
+      if (next == n) break;
+      dead[next] = true;
+      if (lower[next] > radius_fn()) continue;  // can no longer qualify
+      double d = this->QueryDist(data_[next], query);
+      emit(next, d);
+      double radius = radius_fn();
+      const double* row = &matrix_[next * n];
+      for (size_t i = 0; i < n; ++i) {
+        if (dead[i]) continue;
+        double bound = std::fabs(d - row[i]);
+        if (bound > lower[i]) lower[i] = bound;
+        if (lower[i] > radius) dead[i] = true;
+      }
+    }
+  }
+
+  /// Next live candidate index, or n when none remain.  AESA picks the
+  /// smallest lower bound; subclasses (iAESA) override the ordering.
+  virtual size_t PickNextCandidate(const std::vector<double>& lower,
+                                   const std::vector<bool>& dead,
+                                   const P& query) {
+    (void)query;
+    const size_t n = data_.size();
+    size_t best = n;
+    double best_bound = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      if (!dead[i] && lower[i] < best_bound) {
+        best_bound = lower[i];
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  std::vector<double> matrix_;
+};
+
+}  // namespace index
+}  // namespace distperm
+
+#endif  // DISTPERM_INDEX_AESA_H_

@@ -1,0 +1,235 @@
+// The permutation index of Chavez, Figueroa & Navarro (2005) — the
+// "distperm" index the paper instruments for its Section 5 experiments.
+//
+// Per database point the index stores only the point's distance
+// permutation with respect to k sites (bit-packed: ceil(lg k!) bits), or
+// optionally just the prefix naming its `prefix_length` closest sites —
+// the truncated variant used in practice when k is large.  At query time
+// the query's own permutation is computed (k metric evaluations) and
+// candidates are verified in increasing Spearman-footrule order;
+// reviewing only a fraction f of the database gives the probabilistic
+// search of the original paper.  The index also reports the number of
+// distinct permutations it stores — the quantity this paper counts — and
+// its exact packed storage size.
+
+#ifndef DISTPERM_INDEX_DISTPERM_INDEX_H_
+#define DISTPERM_INDEX_DISTPERM_INDEX_H_
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/distance_permutation.h"
+#include "core/perm_codec.h"
+#include "core/perm_metrics.h"
+#include "index/index.h"
+#include "index/pivot_select.h"
+#include "util/bitpack.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace index {
+
+/// Permutation (distperm) index.  Range and kNN queries are approximate:
+/// they verify the `fraction` of the database whose stored permutations
+/// are footrule-closest to the query's permutation.  fraction = 1.0
+/// degenerates to an ordered linear scan (exact).
+template <typename P>
+class DistPermIndex : public SearchIndex<P> {
+ public:
+  using SearchIndex<P>::data_;
+
+  /// Builds with `site_count` random sites (the paper's protocol) and
+  /// the given default verification fraction.  `prefix_length` = 0 (the
+  /// default) stores full permutations; a value m in [1, site_count)
+  /// stores only each point's m closest sites.
+  DistPermIndex(std::vector<P> data, metric::Metric<P> metric,
+                size_t site_count, util::Rng* rng, double fraction = 0.1,
+                size_t prefix_length = 0)
+      : SearchIndex<P>(std::move(data), std::move(metric)),
+        fraction_(fraction) {
+    DP_CHECK(site_count >= 1 && site_count <= core::kMaxRank64Sites);
+    DP_CHECK(fraction > 0.0 && fraction <= 1.0);
+    prefix_ = prefix_length == 0 ? site_count
+                                 : std::min(prefix_length, site_count);
+    std::vector<size_t> site_ids = RandomPivots(data_, site_count, rng);
+    sites_.reserve(site_count);
+    for (size_t id : site_ids) sites_.push_back(data_[id]);
+
+    permutations_.reserve(data_.size());
+    std::vector<double> distances(site_count);
+    util::BitWriter writer;
+    for (const P& point : data_) {
+      for (size_t j = 0; j < site_count; ++j) {
+        distances[j] = this->BuildDist(sites_[j], point);
+      }
+      core::Permutation perm =
+          prefix_ == site_count
+              ? core::PermutationFromDistances(distances)
+              : core::PermutationPrefixFromDistances(distances, prefix_);
+      PackPermutation(perm, &writer);
+      permutations_.push_back(std::move(perm));
+    }
+    packed_bits_ = writer.bit_count();
+    packed_ = writer.Finish();
+  }
+
+  std::string name() const override {
+    return prefix_ == sites_.size() ? "distperm" : "distperm-prefix";
+  }
+
+  std::vector<SearchResult> RangeQuery(const P& query,
+                                       double radius) override {
+    std::vector<SearchResult> results;
+    ScanByFootrule(query, VerifyBudget(), [&](size_t id, double d) {
+      if (d <= radius) results.push_back({id, d});
+      return true;
+    });
+    SortResults(&results);
+    return results;
+  }
+
+  std::vector<SearchResult> KnnQuery(const P& query, size_t k) override {
+    KnnCollector collector(k);
+    ScanByFootrule(query, VerifyBudget(), [&](size_t id, double d) {
+      collector.Offer(id, d);
+      return true;
+    });
+    return collector.Take();
+  }
+
+  /// Exact packed size of the stored permutations in bits.
+  uint64_t IndexBits() const override { return packed_bits_; }
+
+  /// Number of distinct (possibly truncated) permutations stored — the
+  /// paper's counted quantity.
+  size_t DistinctPermutationCount() const {
+    std::unordered_set<uint64_t> seen;
+    for (const auto& perm : permutations_) {
+      seen.insert(PrefixKey(perm));
+    }
+    return seen.size();
+  }
+
+  /// The stored permutation (or prefix) of database point i.
+  core::Permutation StoredPermutation(size_t i) const {
+    return permutations_[i];
+  }
+
+  /// Decodes point i's permutation from the bit-packed buffer.
+  core::Permutation DecodePackedPermutation(size_t i) const {
+    util::BitReader reader(packed_);
+    if (prefix_ == sites_.size()) {
+      const int width =
+          util::BitsForFactorial(static_cast<int>(sites_.size()));
+      for (size_t skip = 0; skip < i; ++skip) reader.Read(width);
+      return core::UnrankPermutation(reader.Read(width), sites_.size());
+    }
+    const int width = util::BitsFor(sites_.size());
+    const size_t record = prefix_ * static_cast<size_t>(width);
+    for (size_t skip = 0; skip < i * prefix_; ++skip) reader.Read(width);
+    (void)record;
+    core::Permutation perm(prefix_);
+    for (size_t r = 0; r < prefix_; ++r) {
+      perm[r] = static_cast<uint8_t>(reader.Read(width));
+    }
+    return perm;
+  }
+
+  /// The sites used by the index.
+  const std::vector<P>& sites() const { return sites_; }
+
+  /// Stored prefix length (equals sites().size() for full permutations).
+  size_t prefix_length() const { return prefix_; }
+
+  /// Default fraction of the database verified per query.
+  double fraction() const { return fraction_; }
+  void set_fraction(double fraction) {
+    DP_CHECK(fraction > 0.0 && fraction <= 1.0);
+    fraction_ = fraction;
+  }
+
+ private:
+  void PackPermutation(const core::Permutation& perm,
+                       util::BitWriter* writer) const {
+    if (prefix_ == sites_.size()) {
+      // Full permutation: densest fixed-width code, ceil(lg k!) bits.
+      writer->Write(core::RankPermutation(perm),
+                    util::BitsForFactorial(static_cast<int>(perm.size())));
+      return;
+    }
+    // Prefix: one ceil(lg k)-bit field per entry.
+    const int width = util::BitsFor(sites_.size());
+    for (uint8_t site : perm) writer->Write(site, width);
+  }
+
+  uint64_t PrefixKey(const core::Permutation& perm) const {
+    if (prefix_ == sites_.size()) return core::RankPermutation(perm);
+    uint64_t key = 0;
+    for (uint8_t site : perm) key = key * sites_.size() + site;
+    return key;
+  }
+
+  size_t VerifyBudget() const {
+    size_t budget = static_cast<size_t>(fraction_ *
+                                        static_cast<double>(data_.size()));
+    return std::max<size_t>(1, std::min(budget, data_.size()));
+  }
+
+  int Footrule(const core::Permutation& query_perm,
+               const core::Permutation& stored) const {
+    if (prefix_ == sites_.size()) {
+      return core::SpearmanFootrule(query_perm, stored);
+    }
+    return core::PrefixFootrule(query_perm, stored, sites_.size());
+  }
+
+  /// Computes the query permutation, orders the database by footrule
+  /// distance to it (counting sort over the bounded footrule range), and
+  /// verifies the first `budget` candidates.
+  template <typename Visit>
+  void ScanByFootrule(const P& query, size_t budget, Visit visit) {
+    const size_t k = sites_.size();
+    std::vector<double> distances(k);
+    for (size_t j = 0; j < k; ++j) {
+      distances[j] = this->QueryDist(sites_[j], query);
+    }
+    core::Permutation query_perm =
+        prefix_ == k ? core::PermutationFromDistances(distances)
+                     : core::PermutationPrefixFromDistances(distances,
+                                                            prefix_);
+    // Prefix footrule is bounded by k * prefix (each of the k sites
+    // moves by at most prefix ranks); the full footrule by k^2/2.
+    const size_t max_footrule =
+        prefix_ == k ? static_cast<size_t>(core::MaxFootrule(k))
+                     : k * prefix_;
+    std::vector<std::vector<uint32_t>> buckets(max_footrule + 1);
+    for (size_t i = 0; i < data_.size(); ++i) {
+      int f = Footrule(query_perm, permutations_[i]);
+      DP_CHECK(f >= 0 && static_cast<size_t>(f) <= max_footrule);
+      buckets[static_cast<size_t>(f)].push_back(
+          static_cast<uint32_t>(i));
+    }
+    size_t verified = 0;
+    for (const auto& bucket : buckets) {
+      for (uint32_t id : bucket) {
+        if (verified >= budget) return;
+        ++verified;
+        if (!visit(id, this->QueryDist(data_[id], query))) return;
+      }
+    }
+  }
+
+  std::vector<P> sites_;
+  size_t prefix_ = 0;
+  std::vector<core::Permutation> permutations_;
+  std::vector<uint8_t> packed_;
+  size_t packed_bits_ = 0;
+  double fraction_;
+};
+
+}  // namespace index
+}  // namespace distperm
+
+#endif  // DISTPERM_INDEX_DISTPERM_INDEX_H_

@@ -1,0 +1,128 @@
+// Generalized-hyperplane tree (Uhlmann 1991).
+//
+// The other tree baseline from the paper's introduction: each node holds
+// two centres; points go to the closer centre's subtree, and a subtree is
+// pruned when the query ball cannot cross the generalized hyperplane
+// (bisector!) between the two centres — the same objects whose cell
+// counts this library studies.
+
+#ifndef DISTPERM_INDEX_GH_TREE_H_
+#define DISTPERM_INDEX_GH_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace index {
+
+/// Classic GH-tree with exact range and kNN queries.
+template <typename P>
+class GhTreeIndex : public SearchIndex<P> {
+ public:
+  using SearchIndex<P>::data_;
+
+  GhTreeIndex(std::vector<P> data, metric::Metric<P> metric,
+              util::Rng* rng)
+      : SearchIndex<P>(std::move(data), std::move(metric)) {
+    std::vector<size_t> ids(data_.size());
+    for (size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+    root_ = Build(ids, rng);
+  }
+
+  std::string name() const override { return "gh-tree"; }
+
+  std::vector<SearchResult> RangeQuery(const P& query,
+                                       double radius) override {
+    std::vector<SearchResult> results;
+    SearchNode(root_.get(), query, [&]() { return radius; },
+               [&](size_t id, double d) {
+                 if (d <= radius) results.push_back({id, d});
+               });
+    SortResults(&results);
+    return results;
+  }
+
+  std::vector<SearchResult> KnnQuery(const P& query, size_t k) override {
+    KnnCollector collector(k);
+    SearchNode(root_.get(), query, [&]() { return collector.Radius(); },
+               [&](size_t id, double d) { collector.Offer(id, d); });
+    return collector.Take();
+  }
+
+  uint64_t IndexBits() const override {
+    return node_count_ * (2 * sizeof(size_t) + 2 * sizeof(void*)) * 8;
+  }
+
+ private:
+  struct Node {
+    size_t first;        // centre of the `near_first` subtree
+    size_t second;       // centre of the other subtree (== first if leaf)
+    bool has_second = false;
+    std::unique_ptr<Node> near_first;
+    std::unique_ptr<Node> near_second;
+  };
+
+  std::unique_ptr<Node> Build(std::vector<size_t>& ids, util::Rng* rng) {
+    if (ids.empty()) return nullptr;
+    ++node_count_;
+    auto node = std::make_unique<Node>();
+    size_t pick = static_cast<size_t>(rng->NextBounded(ids.size()));
+    std::swap(ids[pick], ids.back());
+    node->first = ids.back();
+    ids.pop_back();
+    if (ids.empty()) {
+      node->second = node->first;
+      return node;
+    }
+    pick = static_cast<size_t>(rng->NextBounded(ids.size()));
+    std::swap(ids[pick], ids.back());
+    node->second = ids.back();
+    node->has_second = true;
+    ids.pop_back();
+
+    std::vector<size_t> near_first_ids, near_second_ids;
+    for (size_t id : ids) {
+      double d1 = this->BuildDist(data_[node->first], data_[id]);
+      double d2 = this->BuildDist(data_[node->second], data_[id]);
+      // Tie toward the first centre, mirroring the paper's tie-break.
+      (d1 <= d2 ? near_first_ids : near_second_ids).push_back(id);
+    }
+    node->near_first = Build(near_first_ids, rng);
+    node->near_second = Build(near_second_ids, rng);
+    return node;
+  }
+
+  template <typename RadiusFn, typename Emit>
+  void SearchNode(const Node* node, const P& query, RadiusFn radius_fn,
+                  Emit emit) {
+    if (node == nullptr) return;
+    double d1 = this->QueryDist(data_[node->first], query);
+    emit(node->first, d1);
+    if (!node->has_second) return;
+    double d2 = this->QueryDist(data_[node->second], query);
+    emit(node->second, d2);
+    // A subtree can be skipped when the query ball lies strictly on the
+    // other side of the generalized hyperplane: (d1 - d2)/2 > r means no
+    // point closer to `first` can be within r.
+    double radius = radius_fn();
+    if ((d1 - d2) / 2.0 <= radius) {
+      SearchNode(node->near_first.get(), query, radius_fn, emit);
+    }
+    radius = radius_fn();
+    if ((d2 - d1) / 2.0 <= radius) {
+      SearchNode(node->near_second.get(), query, radius_fn, emit);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  uint64_t node_count_ = 0;
+};
+
+}  // namespace index
+}  // namespace distperm
+
+#endif  // DISTPERM_INDEX_GH_TREE_H_

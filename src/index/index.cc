@@ -1,0 +1,48 @@
+#include "index/index.h"
+
+#include <limits>
+
+namespace distperm {
+namespace index {
+
+void SortResults(std::vector<SearchResult>* results) {
+  std::sort(results->begin(), results->end(),
+            [](const SearchResult& a, const SearchResult& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+}
+
+void KnnCollector::Offer(size_t id, double distance) {
+  if (heap_.size() < k_) {
+    heap_.push_back({distance, id});
+    std::push_heap(heap_.begin(), heap_.end());
+    return;
+  }
+  if (k_ == 0) return;
+  Entry candidate{distance, id};
+  if (candidate < heap_.front()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.back() = candidate;
+    std::push_heap(heap_.begin(), heap_.end());
+  }
+}
+
+double KnnCollector::Radius() const {
+  if (heap_.size() < k_) return std::numeric_limits<double>::infinity();
+  return heap_.front().distance;
+}
+
+std::vector<SearchResult> KnnCollector::Take() {
+  std::vector<SearchResult> results;
+  results.reserve(heap_.size());
+  for (const Entry& entry : heap_) {
+    results.push_back({entry.id, entry.distance});
+  }
+  heap_.clear();
+  SortResults(&results);
+  return results;
+}
+
+}  // namespace index
+}  // namespace distperm

@@ -1,0 +1,134 @@
+// Proximity-search index interface.
+//
+// The cost model follows the similarity-search literature (and the
+// paper): metric evaluations are the expensive operation, so every index
+// counts the distance computations it performs, separately for build and
+// query phases.  Indexes own a copy of the database; results identify
+// points by their position in that database.
+
+#ifndef DISTPERM_INDEX_INDEX_H_
+#define DISTPERM_INDEX_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metric/metric.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace index {
+
+/// One match: database position plus its distance to the query.
+struct SearchResult {
+  size_t id = 0;
+  double distance = 0.0;
+
+  friend bool operator==(const SearchResult& a, const SearchResult& b) {
+    return a.id == b.id && a.distance == b.distance;
+  }
+};
+
+/// Sorts results by (distance, id) — the canonical result order.
+void SortResults(std::vector<SearchResult>* results);
+
+/// Abstract proximity index over points of type P.
+template <typename P>
+class SearchIndex {
+ public:
+  /// Takes ownership of a copy of the database.
+  SearchIndex(std::vector<P> data, metric::Metric<P> metric)
+      : data_(std::move(data)), metric_(std::move(metric)) {}
+  virtual ~SearchIndex() = default;
+
+  SearchIndex(const SearchIndex&) = delete;
+  SearchIndex& operator=(const SearchIndex&) = delete;
+
+  /// Short name for reports ("linear-scan", "laesa", ...).
+  virtual std::string name() const = 0;
+
+  /// All points within `radius` of `query` (inclusive), sorted by
+  /// (distance, id).
+  virtual std::vector<SearchResult> RangeQuery(const P& query,
+                                               double radius) = 0;
+
+  /// The `k` nearest points (fewer if the database is smaller), sorted by
+  /// (distance, id); distance ties are broken toward lower ids.
+  virtual std::vector<SearchResult> KnnQuery(const P& query, size_t k) = 0;
+
+  /// Bits of auxiliary storage the index keeps beyond the raw data.
+  virtual uint64_t IndexBits() const = 0;
+
+  /// Database size.
+  size_t size() const { return data_.size(); }
+  /// The stored database.
+  const std::vector<P>& data() const { return data_; }
+  /// The metric.
+  const metric::Metric<P>& metric() const { return metric_; }
+
+  /// Metric evaluations spent answering queries since ResetQueryCount().
+  uint64_t query_distance_computations() const { return query_count_; }
+  /// Metric evaluations spent building the index.
+  uint64_t build_distance_computations() const { return build_count_; }
+  /// Zeroes the query counter (build count is immutable after
+  /// construction).
+  void ResetQueryCount() { query_count_ = 0; }
+
+ protected:
+  /// Metric evaluation charged to the query phase.
+  double QueryDist(const P& a, const P& b) {
+    ++query_count_;
+    return metric_(a, b);
+  }
+  /// Metric evaluation charged to the build phase.
+  double BuildDist(const P& a, const P& b) {
+    ++build_count_;
+    return metric_(a, b);
+  }
+
+  std::vector<P> data_;
+  metric::Metric<P> metric_;
+  uint64_t query_count_ = 0;
+  uint64_t build_count_ = 0;
+};
+
+/// Keeps the k best (smallest-distance) results seen so far; ties broken
+/// toward lower ids.  Used by the kNN search loops.
+class KnnCollector {
+ public:
+  explicit KnnCollector(size_t k) : k_(k) {}
+
+  /// Offers a candidate.
+  void Offer(size_t id, double distance);
+
+  /// Current pruning radius: distance of the worst kept result, or
+  /// +infinity while fewer than k results are kept.
+  double Radius() const;
+
+  /// True iff a candidate at `distance` could still enter the result.
+  bool Admits(double distance) const { return distance <= Radius(); }
+
+  /// Extracts the results, sorted by (distance, id).
+  std::vector<SearchResult> Take();
+
+  size_t size() const { return heap_.size(); }
+
+ private:
+  // Max-heap by (distance, id) so the worst kept result is on top.
+  struct Entry {
+    double distance;
+    size_t id;
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.distance != b.distance) return a.distance < b.distance;
+      return a.id < b.id;
+    }
+  };
+  size_t k_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace index
+}  // namespace distperm
+
+#endif  // DISTPERM_INDEX_INDEX_H_

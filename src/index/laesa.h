@@ -1,0 +1,135 @@
+// LAESA (Mico, Oncina & Vidal 1994): linear-storage AESA.
+//
+// Instead of the full distance matrix, LAESA stores the distances from
+// every database point to k chosen pivots — Theta(n k) numbers.  A query
+// measures its distance to each pivot, lower-bounds every candidate by
+// max_j |d(q, p_j) - d(x, p_j)|, and verifies survivors in increasing
+// bound order.  This is the storage baseline the permutation index
+// improves on: k distances of lg n bits each versus one permutation of
+// lg k! bits.
+
+#ifndef DISTPERM_INDEX_LAESA_H_
+#define DISTPERM_INDEX_LAESA_H_
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+#include "index/pivot_select.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace index {
+
+/// Pivot-table index with exact range and kNN search.
+template <typename P>
+class LaesaIndex : public SearchIndex<P> {
+ public:
+  using SearchIndex<P>::data_;
+
+  /// Builds with `pivot_count` max-min pivots chosen using `rng`.
+  LaesaIndex(std::vector<P> data, metric::Metric<P> metric,
+             size_t pivot_count, util::Rng* rng)
+      : SearchIndex<P>(std::move(data), std::move(metric)) {
+    pivot_ids_ = MaxMinPivots(data_, this->metric_, pivot_count, rng,
+                              &this->build_count_);
+    table_.resize(data_.size() * pivot_ids_.size());
+    for (size_t i = 0; i < data_.size(); ++i) {
+      for (size_t j = 0; j < pivot_ids_.size(); ++j) {
+        table_[i * pivot_ids_.size() + j] =
+            this->BuildDist(data_[i], data_[pivot_ids_[j]]);
+      }
+    }
+  }
+
+  std::string name() const override { return "laesa"; }
+
+  std::vector<SearchResult> RangeQuery(const P& query,
+                                       double radius) override {
+    std::vector<double> query_to_pivot = MeasurePivots(query);
+    std::vector<SearchResult> results;
+    for (size_t j = 0; j < pivot_ids_.size(); ++j) {
+      if (query_to_pivot[j] <= radius) {
+        results.push_back({pivot_ids_[j], query_to_pivot[j]});
+      }
+    }
+    for (size_t i = 0; i < data_.size(); ++i) {
+      if (IsPivot(i)) continue;
+      if (LowerBound(i, query_to_pivot) > radius) continue;
+      double d = this->QueryDist(data_[i], query);
+      if (d <= radius) results.push_back({i, d});
+    }
+    SortResults(&results);
+    return results;
+  }
+
+  std::vector<SearchResult> KnnQuery(const P& query, size_t k) override {
+    std::vector<double> query_to_pivot = MeasurePivots(query);
+    KnnCollector collector(k);
+    for (size_t j = 0; j < pivot_ids_.size(); ++j) {
+      collector.Offer(pivot_ids_[j], query_to_pivot[j]);
+    }
+    // Verify non-pivot candidates in increasing lower-bound order; stop
+    // once the bound exceeds the shrinking radius.
+    std::vector<std::pair<double, size_t>> order;
+    order.reserve(data_.size());
+    for (size_t i = 0; i < data_.size(); ++i) {
+      if (IsPivot(i)) continue;
+      order.emplace_back(LowerBound(i, query_to_pivot), i);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [bound, i] : order) {
+      if (bound > collector.Radius()) break;
+      collector.Offer(i, this->QueryDist(data_[i], query));
+    }
+    return collector.Take();
+  }
+
+  uint64_t IndexBits() const override {
+    return static_cast<uint64_t>(table_.size()) * sizeof(double) * 8;
+  }
+
+  /// The pivot ids, in selection order.
+  const std::vector<size_t>& pivot_ids() const { return pivot_ids_; }
+
+  /// Stored distance from point i to pivot j.
+  double StoredDistance(size_t i, size_t j) const {
+    return table_[i * pivot_ids_.size() + j];
+  }
+
+ private:
+  std::vector<double> MeasurePivots(const P& query) {
+    std::vector<double> distances(pivot_ids_.size());
+    for (size_t j = 0; j < pivot_ids_.size(); ++j) {
+      distances[j] = this->QueryDist(data_[pivot_ids_[j]], query);
+    }
+    return distances;
+  }
+
+  double LowerBound(size_t i, const std::vector<double>& query_to_pivot)
+      const {
+    double bound = 0.0;
+    const double* row = &table_[i * pivot_ids_.size()];
+    for (size_t j = 0; j < pivot_ids_.size(); ++j) {
+      double b = std::fabs(query_to_pivot[j] - row[j]);
+      if (b > bound) bound = b;
+    }
+    return bound;
+  }
+
+  bool IsPivot(size_t i) const {
+    return std::find(pivot_ids_.begin(), pivot_ids_.end(), i) !=
+           pivot_ids_.end();
+  }
+
+  std::vector<size_t> pivot_ids_;
+  std::vector<double> table_;  // row-major n x k
+};
+
+}  // namespace index
+}  // namespace distperm
+
+#endif  // DISTPERM_INDEX_LAESA_H_

@@ -1,0 +1,52 @@
+// Linear scan baseline: the naive algorithm the paper's introduction
+// describes — one distance computation per database point per query.
+
+#ifndef DISTPERM_INDEX_LINEAR_SCAN_H_
+#define DISTPERM_INDEX_LINEAR_SCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+
+namespace distperm {
+namespace index {
+
+/// Exhaustive scan.  No build cost, no auxiliary storage, n distance
+/// computations per query.
+template <typename P>
+class LinearScanIndex : public SearchIndex<P> {
+ public:
+  using SearchIndex<P>::data_;
+
+  LinearScanIndex(std::vector<P> data, metric::Metric<P> metric)
+      : SearchIndex<P>(std::move(data), std::move(metric)) {}
+
+  std::string name() const override { return "linear-scan"; }
+
+  std::vector<SearchResult> RangeQuery(const P& query,
+                                       double radius) override {
+    std::vector<SearchResult> results;
+    for (size_t i = 0; i < data_.size(); ++i) {
+      double d = this->QueryDist(data_[i], query);
+      if (d <= radius) results.push_back({i, d});
+    }
+    SortResults(&results);
+    return results;
+  }
+
+  std::vector<SearchResult> KnnQuery(const P& query, size_t k) override {
+    KnnCollector collector(k);
+    for (size_t i = 0; i < data_.size(); ++i) {
+      collector.Offer(i, this->QueryDist(data_[i], query));
+    }
+    return collector.Take();
+  }
+
+  uint64_t IndexBits() const override { return 0; }
+};
+
+}  // namespace index
+}  // namespace distperm
+
+#endif  // DISTPERM_INDEX_LINEAR_SCAN_H_

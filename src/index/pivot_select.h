@@ -1,0 +1,77 @@
+// Pivot (site) selection strategies.
+//
+// Random selection is the paper's protocol for its counting experiments;
+// max-min (farthest-first) selection is the standard heuristic for
+// LAESA-style pivot tables.
+
+#ifndef DISTPERM_INDEX_PIVOT_SELECT_H_
+#define DISTPERM_INDEX_PIVOT_SELECT_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "metric/metric.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace index {
+
+/// `count` distinct random indices into `data`.
+template <typename P>
+std::vector<size_t> RandomPivots(const std::vector<P>& data, size_t count,
+                                 util::Rng* rng) {
+  DP_CHECK(count <= data.size());
+  return rng->SampleDistinct(data.size(), count);
+}
+
+/// Farthest-first (max-min) pivots: the first pivot is random; each
+/// subsequent pivot maximises its minimum distance to the pivots chosen
+/// so far.  `distance_budget`, when non-null, is incremented by the
+/// number of metric evaluations used (n per added pivot).
+template <typename P>
+std::vector<size_t> MaxMinPivots(const std::vector<P>& data,
+                                 const metric::Metric<P>& metric,
+                                 size_t count, util::Rng* rng,
+                                 uint64_t* distance_budget = nullptr) {
+  DP_CHECK(count <= data.size());
+  std::vector<size_t> pivots;
+  if (count == 0) return pivots;
+  pivots.reserve(count);
+  pivots.push_back(static_cast<size_t>(rng->NextBounded(data.size())));
+  std::vector<double> nearest(data.size(),
+                              std::numeric_limits<double>::infinity());
+  while (pivots.size() < count) {
+    size_t latest = pivots.back();
+    size_t best = 0;
+    double best_distance = -1.0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      double d = metric(data[latest], data[i]);
+      if (distance_budget != nullptr) ++*distance_budget;
+      if (d < nearest[i]) nearest[i] = d;
+      if (nearest[i] > best_distance) {
+        best_distance = nearest[i];
+        best = i;
+      }
+    }
+    if (best_distance <= 0.0) {
+      // Degenerate database (all remaining points coincide with pivots);
+      // fall back to an arbitrary unused index.
+      for (size_t i = 0; i < data.size(); ++i) {
+        if (nearest[i] > 0.0 ||
+            std::find(pivots.begin(), pivots.end(), i) == pivots.end()) {
+          best = i;
+          break;
+        }
+      }
+    }
+    pivots.push_back(best);
+  }
+  return pivots;
+}
+
+}  // namespace index
+}  // namespace distperm
+
+#endif  // DISTPERM_INDEX_PIVOT_SELECT_H_

@@ -1,0 +1,57 @@
+#include "metric/cosine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace distperm {
+namespace metric {
+
+double SparseDot(const SparseVector& a, const SparseVector& b) {
+  double sum = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first == b[j].first) {
+      sum += a[i].second * b[j].second;
+      ++i;
+      ++j;
+    } else if (a[i].first < b[j].first) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return sum;
+}
+
+double SparseNorm(const SparseVector& a) {
+  double sum = 0.0;
+  for (const auto& [_, v] : a) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double AngleDistance(const SparseVector& a, const SparseVector& b) {
+  double na = SparseNorm(a);
+  double nb = SparseNorm(b);
+  DP_CHECK_MSG(na > 0 && nb > 0, "angle distance of zero vector");
+  double cosine = SparseDot(a, b) / (na * nb);
+  cosine = std::clamp(cosine, -1.0, 1.0);
+  return std::acos(cosine);
+}
+
+double AngleDistanceDense(const Vector& a, const Vector& b) {
+  DP_CHECK_MSG(a.size() == b.size(), "dimension mismatch");
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  DP_CHECK_MSG(na > 0 && nb > 0, "angle distance of zero vector");
+  double cosine = std::clamp(dot / std::sqrt(na * nb), -1.0, 1.0);
+  return std::acos(cosine);
+}
+
+}  // namespace metric
+}  // namespace distperm

@@ -1,0 +1,43 @@
+// Angle ("cosine") distance on sparse document vectors.
+//
+// The SISAP sample databases `long` and `short` are feature vectors
+// extracted from news articles, compared with the angle between vectors
+// (arccos of the cosine similarity), which is a true metric on the unit
+// sphere.  We reproduce that space for the synthetic document databases.
+
+#ifndef DISTPERM_METRIC_COSINE_H_
+#define DISTPERM_METRIC_COSINE_H_
+
+#include <string>
+
+#include "metric/metric.h"
+
+namespace distperm {
+namespace metric {
+
+/// Dot product of two sparse vectors (both sorted by dimension id).
+double SparseDot(const SparseVector& a, const SparseVector& b);
+
+/// Euclidean norm of a sparse vector.
+double SparseNorm(const SparseVector& a);
+
+/// Angle distance in radians: arccos(cos-similarity), clamped to [0, pi].
+/// Fatal if either vector has zero norm.
+double AngleDistance(const SparseVector& a, const SparseVector& b);
+
+/// Angle distance on dense vectors.
+double AngleDistanceDense(const Vector& a, const Vector& b);
+
+/// Metric wrapper for sparse angle distance.
+class AngleMetric {
+ public:
+  double operator()(const SparseVector& a, const SparseVector& b) const {
+    return AngleDistance(a, b);
+  }
+  std::string name() const { return "angle"; }
+};
+
+}  // namespace metric
+}  // namespace distperm
+
+#endif  // DISTPERM_METRIC_COSINE_H_

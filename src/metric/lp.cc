@@ -1,0 +1,77 @@
+#include "metric/lp.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/status.h"
+
+namespace distperm {
+namespace metric {
+
+using util::Status;
+
+double L1Distance(const Vector& a, const Vector& b) {
+  DP_CHECK_MSG(a.size() == b.size(), "dimension mismatch");
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+double L2DistanceSquared(const Vector& a, const Vector& b) {
+  DP_CHECK_MSG(a.size() == b.size(), "dimension mismatch");
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+double L2Distance(const Vector& a, const Vector& b) {
+  return std::sqrt(L2DistanceSquared(a, b));
+}
+
+double LInfDistance(const Vector& a, const Vector& b) {
+  DP_CHECK_MSG(a.size() == b.size(), "dimension mismatch");
+  double best = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = std::fabs(a[i] - b[i]);
+    if (diff > best) best = diff;
+  }
+  return best;
+}
+
+double LpDistance(const Vector& a, const Vector& b, double p) {
+  DP_CHECK_MSG(p >= 1.0, "Lp requires p >= 1");
+  if (p == 1.0) return L1Distance(a, b);
+  if (p == 2.0) return L2Distance(a, b);
+  if (std::isinf(p)) return LInfDistance(a, b);
+  DP_CHECK_MSG(a.size() == b.size(), "dimension mismatch");
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += std::pow(std::fabs(a[i] - b[i]), p);
+  }
+  return std::pow(sum, 1.0 / p);
+}
+
+LpMetric::LpMetric(double p) : p_(p) {
+  DP_CHECK_MSG(p >= 1.0, "Lp requires p >= 1");
+  if (p == 1.0) {
+    name_ = "L1";
+  } else if (p == 2.0) {
+    name_ = "L2";
+  } else if (std::isinf(p)) {
+    name_ = "Linf";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "L%g", p);
+    name_ = buf;
+  }
+}
+
+double LpMetric::operator()(const Vector& a, const Vector& b) const {
+  return LpDistance(a, b, p_);
+}
+
+}  // namespace metric
+}  // namespace distperm

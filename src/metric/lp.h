@@ -1,0 +1,62 @@
+// Minkowski Lp metrics on real vectors (Section 4 of the paper).
+//
+// d(x, y) = (sum_i |x_i - y_i|^p)^(1/p) for real p >= 1, and
+// d(x, y) = max_i |x_i - y_i| for p = infinity.
+
+#ifndef DISTPERM_METRIC_LP_H_
+#define DISTPERM_METRIC_LP_H_
+
+#include <limits>
+#include <string>
+
+#include "metric/metric.h"
+
+namespace distperm {
+namespace metric {
+
+/// L1 (Manhattan) distance.  Requires equal dimensions.
+double L1Distance(const Vector& a, const Vector& b);
+
+/// L2 (Euclidean) distance.  Requires equal dimensions.
+double L2Distance(const Vector& a, const Vector& b);
+
+/// Squared L2 distance (monotone in L2; cheaper for comparisons).
+double L2DistanceSquared(const Vector& a, const Vector& b);
+
+/// L-infinity (Chebyshev) distance.  Requires equal dimensions.
+double LInfDistance(const Vector& a, const Vector& b);
+
+/// General Lp distance for p >= 1; p may be infinity.
+double LpDistance(const Vector& a, const Vector& b, double p);
+
+/// Metric object for any p in [1, infinity].  The common cases p = 1, 2,
+/// infinity dispatch to the specialized kernels.
+class LpMetric {
+ public:
+  /// Constructs the Lp metric; `p` must be >= 1 (may be infinity).
+  explicit LpMetric(double p);
+
+  /// Convenience factories for the three metrics the paper evaluates.
+  static LpMetric L1() { return LpMetric(1.0); }
+  static LpMetric L2() { return LpMetric(2.0); }
+  static LpMetric LInf() {
+    return LpMetric(std::numeric_limits<double>::infinity());
+  }
+
+  double operator()(const Vector& a, const Vector& b) const;
+
+  /// "L1", "L2", "Linf", or "L<p>".
+  std::string name() const { return name_; }
+
+  /// The order p of the metric.
+  double p() const { return p_; }
+
+ private:
+  double p_;
+  std::string name_;
+};
+
+}  // namespace metric
+}  // namespace distperm
+
+#endif  // DISTPERM_METRIC_LP_H_

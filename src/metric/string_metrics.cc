@@ -1,0 +1,87 @@
+#include "metric/string_metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace distperm {
+namespace metric {
+
+int LevenshteinDistance(const std::string& a, const std::string& b) {
+  const std::string& s = a.size() <= b.size() ? a : b;
+  const std::string& t = a.size() <= b.size() ? b : a;
+  const size_t m = s.size();
+  const size_t n = t.size();
+  if (m == 0) return static_cast<int>(n);
+
+  // Two-row DP over the shorter string.
+  std::vector<int> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    const char ti = t[i - 1];
+    for (size_t j = 1; j <= m; ++j) {
+      int subst = prev[j - 1] + (s[j - 1] == ti ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+int LevenshteinDistanceBounded(const std::string& a, const std::string& b,
+                               int cutoff) {
+  const std::string& s = a.size() <= b.size() ? a : b;
+  const std::string& t = a.size() <= b.size() ? b : a;
+  const int m = static_cast<int>(s.size());
+  const int n = static_cast<int>(t.size());
+  if (n - m > cutoff) return cutoff + 1;
+  if (m == 0) return n;
+
+  const int kBig = std::numeric_limits<int>::max() / 2;
+  std::vector<int> prev(m + 1, kBig), cur(m + 1, kBig);
+  for (int j = 0; j <= std::min(m, cutoff); ++j) prev[j] = j;
+  for (int i = 1; i <= n; ++i) {
+    // Only cells with |i - j| <= cutoff can hold values <= cutoff.
+    int lo = std::max(1, i - cutoff);
+    int hi = std::min(m, i + cutoff);
+    std::fill(cur.begin(), cur.end(), kBig);
+    if (lo == 1) cur[0] = i <= cutoff ? i : kBig;
+    int row_best = cur[0] == kBig ? kBig : cur[0];
+    const char ti = t[i - 1];
+    for (int j = lo; j <= hi; ++j) {
+      int subst = prev[j - 1] + (s[j - 1] == ti ? 0 : 1);
+      int best = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+      cur[j] = best;
+      row_best = std::min(row_best, best);
+    }
+    if (row_best > cutoff) return cutoff + 1;
+    std::swap(prev, cur);
+  }
+  return std::min(prev[m], cutoff + 1);
+}
+
+int HammingDistance(const std::string& a, const std::string& b) {
+  DP_CHECK_MSG(a.size() == b.size(),
+               "Hamming distance requires equal lengths");
+  int count = 0;
+  for (size_t i = 0; i < a.size(); ++i) count += a[i] != b[i];
+  return count;
+}
+
+size_t LongestCommonPrefix(const std::string& a, const std::string& b) {
+  size_t limit = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < limit && a[i] == b[i]) ++i;
+  return i;
+}
+
+int PrefixDistance(const std::string& a, const std::string& b) {
+  size_t lcp = LongestCommonPrefix(a, b);
+  return static_cast<int>(a.size() + b.size() - 2 * lcp);
+}
+
+}  // namespace metric
+}  // namespace distperm

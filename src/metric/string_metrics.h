@@ -1,0 +1,64 @@
+// String metrics: Levenshtein edit distance, Hamming distance, and the
+// paper's prefix distance (Definition 3, a tree metric on strings).
+
+#ifndef DISTPERM_METRIC_STRING_METRICS_H_
+#define DISTPERM_METRIC_STRING_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace distperm {
+namespace metric {
+
+/// Levenshtein (unit-cost insert/delete/substitute) edit distance.
+int LevenshteinDistance(const std::string& a, const std::string& b);
+
+/// Levenshtein distance with early exit: returns any value > `cutoff`
+/// as soon as the true distance is known to exceed `cutoff` (banded DP,
+/// O(cutoff * min(|a|, |b|)) time).  Exact when the result is <= cutoff.
+int LevenshteinDistanceBounded(const std::string& a, const std::string& b,
+                               int cutoff);
+
+/// Hamming distance between equal-length strings (fatal on length
+/// mismatch).
+int HammingDistance(const std::string& a, const std::string& b);
+
+/// Prefix distance (paper Definition 3): |a| + |b| - 2 * LCP(a, b), where
+/// edits add/remove one letter at the right end.  This is the path metric
+/// of the trie containing the strings, hence a tree metric.
+int PrefixDistance(const std::string& a, const std::string& b);
+
+/// Length of the longest common prefix of two strings.
+size_t LongestCommonPrefix(const std::string& a, const std::string& b);
+
+/// Metric wrapper for Levenshtein distance.
+class LevenshteinMetric {
+ public:
+  double operator()(const std::string& a, const std::string& b) const {
+    return static_cast<double>(LevenshteinDistance(a, b));
+  }
+  std::string name() const { return "levenshtein"; }
+};
+
+/// Metric wrapper for Hamming distance.
+class HammingMetric {
+ public:
+  double operator()(const std::string& a, const std::string& b) const {
+    return static_cast<double>(HammingDistance(a, b));
+  }
+  std::string name() const { return "hamming"; }
+};
+
+/// Metric wrapper for the prefix (tree) distance.
+class PrefixMetric {
+ public:
+  double operator()(const std::string& a, const std::string& b) const {
+    return static_cast<double>(PrefixDistance(a, b));
+  }
+  std::string name() const { return "prefix"; }
+};
+
+}  // namespace metric
+}  // namespace distperm
+
+#endif  // DISTPERM_METRIC_STRING_METRICS_H_

@@ -1,0 +1,203 @@
+#include "metric/tree_metric.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace distperm {
+namespace metric {
+
+using util::Status;
+
+WeightedTree::WeightedTree(size_t vertex_count)
+    : adjacency_(vertex_count) {}
+
+Status WeightedTree::AddEdge(size_t u, size_t v, double weight) {
+  if (finalized_) return Status::Internal("AddEdge after Finalize");
+  if (u >= size() || v >= size()) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  if (u == v) return Status::InvalidArgument("self-loop edge");
+  if (weight <= 0) return Status::InvalidArgument("non-positive weight");
+  edges_.push_back({u, v, weight});
+  adjacency_[u].emplace_back(v, weight);
+  adjacency_[v].emplace_back(u, weight);
+  return Status::OK();
+}
+
+Status WeightedTree::Finalize() {
+  if (size() == 0) return Status::InvalidArgument("empty tree");
+  if (edges_.size() != size() - 1) {
+    return Status::InvalidArgument("a tree on n vertices needs n-1 edges");
+  }
+  Dfs();
+  for (uint32_t d : depth_) {
+    if (d == UINT32_MAX) {
+      return Status::InvalidArgument("edges do not connect the tree");
+    }
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+void WeightedTree::Dfs() {
+  const size_t n = size();
+  log_levels_ = 1;
+  while ((size_t{1} << log_levels_) < n) ++log_levels_;
+  up_.assign(log_levels_, std::vector<uint32_t>(n, 0));
+  depth_.assign(n, UINT32_MAX);
+  weighted_depth_.assign(n, 0.0);
+
+  // Iterative DFS from root 0.
+  std::vector<size_t> stack = {0};
+  depth_[0] = 0;
+  up_[0][0] = 0;
+  while (!stack.empty()) {
+    size_t v = stack.back();
+    stack.pop_back();
+    for (const auto& [w, weight] : adjacency_[v]) {
+      if (depth_[w] != UINT32_MAX) continue;
+      depth_[w] = depth_[v] + 1;
+      weighted_depth_[w] = weighted_depth_[v] + weight;
+      up_[0][w] = static_cast<uint32_t>(v);
+      stack.push_back(w);
+    }
+  }
+  for (int j = 1; j < log_levels_; ++j) {
+    for (size_t v = 0; v < n; ++v) {
+      up_[j][v] = up_[j - 1][up_[j - 1][v]];
+    }
+  }
+}
+
+size_t WeightedTree::Lca(size_t u, size_t v) const {
+  DP_CHECK(finalized_);
+  if (depth_[u] < depth_[v]) std::swap(u, v);
+  uint32_t diff = depth_[u] - depth_[v];
+  for (int j = 0; j < log_levels_; ++j) {
+    if (diff & (1u << j)) u = up_[j][u];
+  }
+  if (u == v) return u;
+  for (int j = log_levels_ - 1; j >= 0; --j) {
+    if (up_[j][u] != up_[j][v]) {
+      u = up_[j][u];
+      v = up_[j][v];
+    }
+  }
+  return up_[0][u];
+}
+
+size_t WeightedTree::Parent(size_t v) const {
+  DP_CHECK(finalized_);
+  return up_[0][v];
+}
+
+size_t WeightedTree::Depth(size_t v) const {
+  DP_CHECK(finalized_);
+  return depth_[v];
+}
+
+double WeightedTree::Distance(size_t u, size_t v) const {
+  size_t a = Lca(u, v);
+  return weighted_depth_[u] + weighted_depth_[v] - 2.0 * weighted_depth_[a];
+}
+
+size_t WeightedTree::HopCount(size_t u, size_t v) const {
+  size_t a = Lca(u, v);
+  return depth_[u] + depth_[v] - 2 * depth_[a];
+}
+
+std::vector<double> WeightedTree::DistancesFrom(size_t source) const {
+  DP_CHECK(finalized_);
+  const size_t n = size();
+  std::vector<double> dist(n, -1.0);
+  std::vector<size_t> stack = {source};
+  dist[source] = 0.0;
+  while (!stack.empty()) {
+    size_t v = stack.back();
+    stack.pop_back();
+    for (const auto& [w, weight] : adjacency_[v]) {
+      if (dist[w] >= 0.0) continue;
+      dist[w] = dist[v] + weight;
+      stack.push_back(w);
+    }
+  }
+  return dist;
+}
+
+WeightedTree WeightedTree::MakePath(size_t n) {
+  WeightedTree tree(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    DP_CHECK(tree.AddEdge(i, i + 1, 1.0).ok());
+  }
+  DP_CHECK(tree.Finalize().ok());
+  return tree;
+}
+
+WeightedTree WeightedTree::MakeStar(size_t n) {
+  WeightedTree tree(n);
+  for (size_t i = 1; i < n; ++i) {
+    DP_CHECK(tree.AddEdge(0, i, 1.0).ok());
+  }
+  DP_CHECK(tree.Finalize().ok());
+  return tree;
+}
+
+WeightedTree WeightedTree::MakeCompleteBinary(size_t n) {
+  WeightedTree tree(n);
+  for (size_t i = 1; i < n; ++i) {
+    DP_CHECK(tree.AddEdge((i - 1) / 2, i, 1.0).ok());
+  }
+  DP_CHECK(tree.Finalize().ok());
+  return tree;
+}
+
+WeightedTree WeightedTree::MakeRandom(size_t n, util::Rng* rng,
+                                      double min_weight, double max_weight) {
+  DP_CHECK(n >= 1);
+  WeightedTree tree(n);
+  if (n == 1) {
+    DP_CHECK(tree.Finalize().ok());
+    return tree;
+  }
+  auto weight = [&]() {
+    return min_weight == max_weight
+               ? min_weight
+               : rng->NextDouble(min_weight, max_weight);
+  };
+  if (n == 2) {
+    DP_CHECK(tree.AddEdge(0, 1, weight()).ok());
+    DP_CHECK(tree.Finalize().ok());
+    return tree;
+  }
+  // Decode a uniformly random Prüfer sequence.
+  std::vector<size_t> prufer(n - 2);
+  for (auto& p : prufer) p = static_cast<size_t>(rng->NextBounded(n));
+  std::vector<int> degree(n, 1);
+  for (size_t p : prufer) ++degree[p];
+  // Min-heap free of dependencies: simple scan via sorted set emulation.
+  std::vector<size_t> leaves;
+  for (size_t v = 0; v < n; ++v) {
+    if (degree[v] == 1) leaves.push_back(v);
+  }
+  std::make_heap(leaves.begin(), leaves.end(), std::greater<>());
+  for (size_t p : prufer) {
+    std::pop_heap(leaves.begin(), leaves.end(), std::greater<>());
+    size_t leaf = leaves.back();
+    leaves.pop_back();
+    DP_CHECK(tree.AddEdge(leaf, p, weight()).ok());
+    if (--degree[p] == 1) {
+      leaves.push_back(p);
+      std::push_heap(leaves.begin(), leaves.end(), std::greater<>());
+    }
+  }
+  std::pop_heap(leaves.begin(), leaves.end(), std::greater<>());
+  size_t a = leaves.back();
+  leaves.pop_back();
+  size_t b = leaves.front();
+  DP_CHECK(tree.AddEdge(a, b, weight()).ok());
+  DP_CHECK(tree.Finalize().ok());
+  return tree;
+}
+
+}  // namespace metric
+}  // namespace distperm

@@ -1,0 +1,122 @@
+// Weighted tree metric spaces (Section 3 of the paper, Definition 2).
+//
+// A tree metric space is the vertex set of a tree with path-length
+// distances; a weighted tree metric sums positive edge weights along the
+// unique path.  WeightedTree supports O(log n) distance queries via
+// binary-lifting LCA, plus whole-tree single-source distance sweeps used
+// by the exact permutation counters.
+
+#ifndef DISTPERM_METRIC_TREE_METRIC_H_
+#define DISTPERM_METRIC_TREE_METRIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace metric {
+
+/// A tree on vertices 0..n-1 with positive edge weights, frozen into a
+/// metric space by Finalize().
+class WeightedTree {
+ public:
+  /// Creates a tree with `vertex_count` isolated vertices.
+  explicit WeightedTree(size_t vertex_count);
+
+  /// Adds an undirected edge of weight `weight` (> 0).  Must be called
+  /// before Finalize().
+  util::Status AddEdge(size_t u, size_t v, double weight);
+
+  /// Validates that the edges form a spanning tree and builds the LCA
+  /// structures.  Distance queries are fatal before this succeeds.
+  util::Status Finalize();
+
+  /// True once Finalize() has succeeded.
+  bool finalized() const { return finalized_; }
+
+  /// Number of vertices.
+  size_t size() const { return adjacency_.size(); }
+
+  /// Path distance between two vertices.  Requires finalized().
+  double Distance(size_t u, size_t v) const;
+
+  /// Number of edges on the path between two vertices (unweighted hop
+  /// count).  Requires finalized().
+  size_t HopCount(size_t u, size_t v) const;
+
+  /// Lowest common ancestor of u and v with respect to root 0.
+  size_t Lca(size_t u, size_t v) const;
+
+  /// Parent of v with respect to root 0 (the root is its own parent).
+  size_t Parent(size_t v) const;
+
+  /// Depth of v in edges below root 0.
+  size_t Depth(size_t v) const;
+
+  /// Distances from `source` to every vertex (single DFS, O(n)).
+  std::vector<double> DistancesFrom(size_t source) const;
+
+  /// The edges as (u, v, weight) triples, in insertion order.
+  struct Edge {
+    size_t u;
+    size_t v;
+    double weight;
+  };
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Neighbours of a vertex as (vertex, weight) pairs.
+  const std::vector<std::pair<size_t, double>>& Neighbours(size_t v) const {
+    return adjacency_[v];
+  }
+
+  /// Builds a path 0-1-2-...-(n-1) with unit weights.
+  static WeightedTree MakePath(size_t n);
+
+  /// Builds a star with center 0 and unit weights.
+  static WeightedTree MakeStar(size_t n);
+
+  /// Builds a complete binary tree with unit weights.
+  static WeightedTree MakeCompleteBinary(size_t n);
+
+  /// Builds a uniformly random labelled tree (random Prüfer sequence)
+  /// with weights drawn uniformly from [min_weight, max_weight].
+  static WeightedTree MakeRandom(size_t n, util::Rng* rng,
+                                 double min_weight = 1.0,
+                                 double max_weight = 1.0);
+
+ private:
+  void Dfs();
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::pair<size_t, double>>> adjacency_;
+  bool finalized_ = false;
+
+  // LCA structures, valid after Finalize(): parent table up_[j][v] is the
+  // 2^j-th ancestor of v; depth in edges and weighted depth from root 0.
+  std::vector<std::vector<uint32_t>> up_;
+  std::vector<uint32_t> depth_;
+  std::vector<double> weighted_depth_;
+  int log_levels_ = 0;
+};
+
+/// Metric wrapper over vertex ids of a finalized WeightedTree.  Holds a
+/// pointer; the tree must outlive the metric.
+class TreeMetric {
+ public:
+  explicit TreeMetric(const WeightedTree* tree) : tree_(tree) {}
+  double operator()(const size_t& u, const size_t& v) const {
+    return tree_->Distance(u, v);
+  }
+  std::string name() const { return "tree"; }
+
+ private:
+  const WeightedTree* tree_;
+};
+
+}  // namespace metric
+}  // namespace distperm
+
+#endif  // DISTPERM_METRIC_TREE_METRIC_H_

@@ -1,0 +1,231 @@
+#include "util/big_uint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace distperm {
+namespace util {
+
+BigUint::BigUint(uint64_t value) {
+  while (value != 0) {
+    limbs_.push_back(static_cast<uint32_t>(value & 0xffffffffULL));
+    value >>= 32;
+  }
+}
+
+Result<BigUint> BigUint::FromDecimalString(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty decimal string");
+  }
+  BigUint out;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(std::string("non-digit character '") +
+                                     c + "' in decimal string");
+    }
+    out.MulSmall(10);
+    out.AddSmall(static_cast<uint32_t>(c - '0'));
+  }
+  return out;
+}
+
+uint64_t BigUint::ToUint64() const {
+  DP_CHECK_MSG(FitsUint64(), "BigUint does not fit in 64 bits: " << *this);
+  uint64_t value = 0;
+  for (size_t i = limbs_.size(); i > 0; --i) {
+    value = (value << 32) | limbs_[i - 1];
+  }
+  return value;
+}
+
+double BigUint::ToDouble() const {
+  double value = 0.0;
+  for (size_t i = limbs_.size(); i > 0; --i) {
+    value = value * 4294967296.0 + static_cast<double>(limbs_[i - 1]);
+  }
+  return value;
+}
+
+size_t BigUint::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+std::string BigUint::ToString() const {
+  if (IsZero()) return "0";
+  BigUint scratch = *this;
+  std::string digits;
+  while (!scratch.IsZero()) {
+    uint32_t rem = scratch.DivSmall(1000000000u);
+    // All blocks except the most significant are zero-padded to 9 digits.
+    for (int i = 0; i < 9; ++i) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+BigUint& BigUint::operator+=(const BigUint& other) {
+  const size_t n = std::max(limbs_.size(), other.limbs_.size());
+  limbs_.resize(n, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry + limbs_[i] +
+                   (i < other.limbs_.size() ? other.limbs_[i] : 0);
+    limbs_[i] = static_cast<uint32_t>(sum & 0xffffffffULL);
+    carry = sum >> 32;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<uint32_t>(carry));
+  return *this;
+}
+
+BigUint& BigUint::operator-=(const BigUint& other) {
+  DP_CHECK_MSG(*this >= other, "BigUint subtraction underflow");
+  int64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(limbs_[i]) - borrow -
+                   (i < other.limbs_.size()
+                        ? static_cast<int64_t>(other.limbs_[i])
+                        : 0);
+    if (diff < 0) {
+      diff += 1LL << 32;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    limbs_[i] = static_cast<uint32_t>(diff);
+  }
+  Trim();
+  return *this;
+}
+
+BigUint& BigUint::operator*=(const BigUint& other) {
+  if (IsZero() || other.IsZero()) {
+    limbs_.clear();
+    return *this;
+  }
+  std::vector<uint32_t> product(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    const uint64_t a = limbs_[i];
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      uint64_t cur = product[i + j] + a * other.limbs_[j] + carry;
+      product[i + j] = static_cast<uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+    }
+    size_t pos = i + other.limbs_.size();
+    while (carry != 0) {
+      uint64_t cur = product[pos] + carry;
+      product[pos] = static_cast<uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+      ++pos;
+    }
+  }
+  limbs_ = std::move(product);
+  Trim();
+  return *this;
+}
+
+BigUint& BigUint::MulSmall(uint32_t factor) {
+  if (factor == 0) {
+    limbs_.clear();
+    return *this;
+  }
+  uint64_t carry = 0;
+  for (auto& limb : limbs_) {
+    uint64_t cur = static_cast<uint64_t>(limb) * factor + carry;
+    limb = static_cast<uint32_t>(cur & 0xffffffffULL);
+    carry = cur >> 32;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<uint32_t>(carry));
+  return *this;
+}
+
+BigUint& BigUint::AddSmall(uint32_t value) {
+  uint64_t carry = value;
+  for (auto& limb : limbs_) {
+    if (carry == 0) break;
+    uint64_t cur = limb + carry;
+    limb = static_cast<uint32_t>(cur & 0xffffffffULL);
+    carry = cur >> 32;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<uint32_t>(carry));
+  return *this;
+}
+
+uint32_t BigUint::DivSmall(uint32_t divisor) {
+  DP_CHECK(divisor != 0);
+  uint64_t rem = 0;
+  for (size_t i = limbs_.size(); i > 0; --i) {
+    uint64_t cur = (rem << 32) | limbs_[i - 1];
+    limbs_[i - 1] = static_cast<uint32_t>(cur / divisor);
+    rem = cur % divisor;
+  }
+  Trim();
+  return static_cast<uint32_t>(rem);
+}
+
+int BigUint::Compare(const BigUint& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i > 0; --i) {
+    if (limbs_[i - 1] != other.limbs_[i - 1]) {
+      return limbs_[i - 1] < other.limbs_[i - 1] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigUint BigUint::Pow(const BigUint& base, uint64_t exponent) {
+  BigUint result(1);
+  BigUint acc = base;
+  while (exponent != 0) {
+    if (exponent & 1) result *= acc;
+    exponent >>= 1;
+    if (exponent != 0) acc *= acc;
+  }
+  return result;
+}
+
+BigUint BigUint::Factorial(uint64_t n) {
+  BigUint result(1);
+  for (uint64_t i = 2; i <= n; ++i) {
+    DP_CHECK_MSG(i <= 0xffffffffULL, "factorial argument too large");
+    result.MulSmall(static_cast<uint32_t>(i));
+  }
+  return result;
+}
+
+BigUint BigUint::Binomial(uint64_t n, uint64_t k) {
+  if (k > n) return BigUint(0);
+  if (k > n - k) k = n - k;
+  BigUint result(1);
+  for (uint64_t i = 1; i <= k; ++i) {
+    result.MulSmall(static_cast<uint32_t>(n - k + i));
+    uint32_t rem = result.DivSmall(static_cast<uint32_t>(i));
+    DP_CHECK(rem == 0);  // binomial products are always divisible stepwise
+  }
+  return result;
+}
+
+void BigUint::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+std::ostream& operator<<(std::ostream& os, const BigUint& value) {
+  return os << value.ToString();
+}
+
+}  // namespace util
+}  // namespace distperm

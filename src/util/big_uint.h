@@ -1,0 +1,108 @@
+// Arbitrary-precision unsigned integers.
+//
+// The exact permutation counts in the paper grow like k^(2d): already at
+// d = 10, k = 30 the Euclidean count N_{d,2}(k) overflows 64 bits, and the
+// Theorem 9 bounds contain factors like 2^(2d^2).  BigUint keeps every
+// count exact.  The representation is a little-endian vector of 32-bit
+// limbs with no leading zero limb (zero is an empty vector).  Only the
+// operations the library needs are provided; this is not a general bignum
+// package.
+
+#ifndef DISTPERM_UTIL_BIG_UINT_H_
+#define DISTPERM_UTIL_BIG_UINT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace distperm {
+namespace util {
+
+/// Arbitrary-precision unsigned integer.
+class BigUint {
+ public:
+  /// Constructs zero.
+  BigUint() = default;
+  /// Constructs from a 64-bit value.
+  BigUint(uint64_t value);  // NOLINT: implicit by design
+
+  /// Parses a decimal string.  Fails on empty input or non-digit chars.
+  static Result<BigUint> FromDecimalString(const std::string& text);
+
+  /// True iff the value is zero.
+  bool IsZero() const { return limbs_.empty(); }
+
+  /// True iff the value fits in 64 bits.
+  bool FitsUint64() const { return limbs_.size() <= 2; }
+
+  /// The low 64 bits of the value.  Fatal if !FitsUint64().
+  uint64_t ToUint64() const;
+
+  /// Approximate conversion to double (may overflow to +inf).
+  double ToDouble() const;
+
+  /// Number of bits in the binary representation (0 for zero).
+  size_t BitLength() const;
+
+  /// Decimal rendering.
+  std::string ToString() const;
+
+  BigUint& operator+=(const BigUint& other);
+  BigUint& operator-=(const BigUint& other);  ///< Fatal on underflow.
+  BigUint& operator*=(const BigUint& other);
+
+  friend BigUint operator+(BigUint a, const BigUint& b) { return a += b; }
+  friend BigUint operator-(BigUint a, const BigUint& b) { return a -= b; }
+  friend BigUint operator*(BigUint a, const BigUint& b) { return a *= b; }
+
+  /// Multiplies by a small value in place.
+  BigUint& MulSmall(uint32_t factor);
+  /// Adds a small value in place.
+  BigUint& AddSmall(uint32_t value);
+  /// Divides by a small nonzero value in place; returns the remainder.
+  uint32_t DivSmall(uint32_t divisor);
+
+  /// Three-way comparison: -1, 0, or +1.
+  int Compare(const BigUint& other) const;
+
+  friend bool operator==(const BigUint& a, const BigUint& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator!=(const BigUint& a, const BigUint& b) {
+    return a.Compare(b) != 0;
+  }
+  friend bool operator<(const BigUint& a, const BigUint& b) {
+    return a.Compare(b) < 0;
+  }
+  friend bool operator<=(const BigUint& a, const BigUint& b) {
+    return a.Compare(b) <= 0;
+  }
+  friend bool operator>(const BigUint& a, const BigUint& b) {
+    return a.Compare(b) > 0;
+  }
+  friend bool operator>=(const BigUint& a, const BigUint& b) {
+    return a.Compare(b) >= 0;
+  }
+
+  /// Returns base**exponent.
+  static BigUint Pow(const BigUint& base, uint64_t exponent);
+  /// Returns n! (0! = 1).
+  static BigUint Factorial(uint64_t n);
+  /// Returns the binomial coefficient C(n, k) (0 when k > n).
+  static BigUint Binomial(uint64_t n, uint64_t k);
+
+ private:
+  void Trim();
+
+  std::vector<uint32_t> limbs_;  // little-endian, no leading zero limb
+};
+
+std::ostream& operator<<(std::ostream& os, const BigUint& value);
+
+}  // namespace util
+}  // namespace distperm
+
+#endif  // DISTPERM_UTIL_BIG_UINT_H_

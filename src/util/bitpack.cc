@@ -1,0 +1,81 @@
+#include "util/bitpack.h"
+
+#include "util/big_uint.h"
+
+namespace distperm {
+namespace util {
+
+void BitWriter::Write(uint64_t value, int width) {
+  DP_CHECK(width >= 0 && width <= 64);
+  if (width < 64) {
+    DP_CHECK_MSG(value < (uint64_t{1} << width),
+                 "value " << value << " does not fit in " << width
+                          << " bits");
+  }
+  bit_count_ += static_cast<size_t>(width);
+  while (width > 0) {
+    int take = std::min(width, 8 - pending_bits_);
+    pending_ |= (value & ((uint64_t{1} << take) - 1)) << pending_bits_;
+    pending_bits_ += take;
+    value >>= take;
+    width -= take;
+    if (pending_bits_ == 8) {
+      bytes_.push_back(static_cast<uint8_t>(pending_));
+      pending_ = 0;
+      pending_bits_ = 0;
+    }
+  }
+}
+
+std::vector<uint8_t> BitWriter::Finish() {
+  if (pending_bits_ > 0) {
+    bytes_.push_back(static_cast<uint8_t>(pending_));
+    pending_ = 0;
+    pending_bits_ = 0;
+  }
+  std::vector<uint8_t> out = std::move(bytes_);
+  bytes_.clear();
+  bit_count_ = 0;
+  return out;
+}
+
+uint64_t BitReader::Read(int width) {
+  DP_CHECK(width >= 0 && width <= 64);
+  uint64_t value = 0;
+  int got = 0;
+  while (got < width) {
+    size_t byte_index = position_ >> 3;
+    int bit_offset = static_cast<int>(position_ & 7);
+    DP_CHECK_MSG(byte_index < bytes_->size(), "BitReader out of data");
+    int take = std::min(width - got, 8 - bit_offset);
+    uint64_t bits = ((*bytes_)[byte_index] >> bit_offset) &
+                    ((uint64_t{1} << take) - 1);
+    value |= bits << got;
+    got += take;
+    position_ += static_cast<size_t>(take);
+  }
+  return value;
+}
+
+int BitsFor(uint64_t count) {
+  if (count <= 1) return 0;
+  int bits = 0;
+  uint64_t capacity = 1;
+  while (capacity < count) {
+    capacity <<= 1;
+    ++bits;
+    if (bits == 64) break;
+  }
+  return bits;
+}
+
+int BitsForFactorial(int n) {
+  BigUint fact = BigUint::Factorial(static_cast<uint64_t>(n < 0 ? 0 : n));
+  if (fact <= BigUint(1)) return 0;
+  // ceil(lg fact): bit length of (fact - 1).
+  BigUint minus_one = fact - BigUint(1);
+  return static_cast<int>(minus_one.BitLength());
+}
+
+}  // namespace util
+}  // namespace distperm

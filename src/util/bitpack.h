@@ -1,0 +1,68 @@
+// Bit-level packing for compact index storage.
+//
+// The storage results in the paper are phrased in bits per point:
+// ceil(lg k!) bits for a raw permutation, ceil(lg N) bits for an index into
+// a table of the N permutations that actually occur.  BitWriter/BitReader
+// realize those layouts so that the storage benchmarks measure real bytes
+// rather than formulas.
+
+#ifndef DISTPERM_UTIL_BITPACK_H_
+#define DISTPERM_UTIL_BITPACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace distperm {
+namespace util {
+
+/// Appends variable-width little-endian bit fields to a byte buffer.
+class BitWriter {
+ public:
+  /// Appends the low `width` bits of `value`.  Requires 0 <= width <= 64
+  /// and that `value` fits in `width` bits.
+  void Write(uint64_t value, int width);
+
+  /// Flushes any partial byte and returns the buffer.  The writer may be
+  /// reused afterwards (it restarts empty).
+  std::vector<uint8_t> Finish();
+
+  /// Bits written since construction or the last Finish().
+  size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint64_t pending_ = 0;  // bits not yet flushed, LSB-first
+  int pending_bits_ = 0;
+  size_t bit_count_ = 0;
+};
+
+/// Reads back bit fields written by BitWriter.
+class BitReader {
+ public:
+  /// Wraps `bytes`; the buffer must outlive the reader.
+  explicit BitReader(const std::vector<uint8_t>& bytes) : bytes_(&bytes) {}
+
+  /// Reads the next `width` bits.  Fatal if the buffer is exhausted.
+  uint64_t Read(int width);
+
+  /// Bits consumed so far.
+  size_t position() const { return position_; }
+
+ private:
+  const std::vector<uint8_t>* bytes_;
+  size_t position_ = 0;
+};
+
+/// Number of bits needed to distinguish `count` values (0 for count <= 1).
+int BitsFor(uint64_t count);
+
+/// Returns the minimum number of bits to store one of n! permutations,
+/// i.e. ceil(lg n!), computed exactly.
+int BitsForFactorial(int n);
+
+}  // namespace util
+}  // namespace distperm
+
+#endif  // DISTPERM_UTIL_BITPACK_H_

@@ -1,0 +1,88 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace distperm {
+namespace util {
+
+Result<Flags> Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      // Bare "--": everything after is positional.
+      for (int j = i + 1; j < argc; ++j) flags.positional_.push_back(argv[j]);
+      break;
+    }
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      std::string name = body.substr(0, eq);
+      if (name.empty()) {
+        return Status::InvalidArgument("malformed flag: " + arg);
+      }
+      flags.values_[name] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag; otherwise a
+    // boolean `--name`.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags.values_[body] = "";
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  long long value = std::strtoll(it->second.c_str(), &end, 10);
+  DP_CHECK_MSG(end != nullptr && *end == '\0' && !it->second.empty(),
+               "flag --" << name << " is not an integer: " << it->second);
+  return static_cast<int64_t>(value);
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  DP_CHECK_MSG(end != nullptr && *end == '\0' && !it->second.empty(),
+               "flag --" << name << " is not a number: " << it->second);
+  return value;
+}
+
+bool Flags::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  return v.empty() || v == "1" || v == "true" || v == "yes";
+}
+
+std::vector<std::string> Flags::Names() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, _] : values_) names.push_back(name);
+  return names;
+}
+
+}  // namespace util
+}  // namespace distperm

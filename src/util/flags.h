@@ -1,0 +1,59 @@
+// Minimal command-line flag parsing for the experiment binaries.
+//
+// Every reproduction harness takes flags like --points, --runs, --seed so
+// the paper-scale experiments can be rerun without recompiling.  Syntax:
+// `--name=value` or `--name value`; bare `--name` sets a boolean flag.
+
+#ifndef DISTPERM_UTIL_FLAGS_H_
+#define DISTPERM_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace distperm {
+namespace util {
+
+/// Parsed command-line flags plus positional arguments.
+class Flags {
+ public:
+  /// Parses argv.  Unknown flags are retained (callers validate with
+  /// Has/Get); a malformed argument (e.g. `--=x`) yields an error status.
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  /// True iff the flag was supplied.
+  bool Has(const std::string& name) const;
+
+  /// String value of the flag, or `fallback` if absent.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+
+  /// Integer value of the flag, or `fallback` if absent.  Fatal if the
+  /// supplied value does not parse as an integer.
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+
+  /// Double value of the flag, or `fallback` if absent.  Fatal if the
+  /// supplied value does not parse.
+  double GetDouble(const std::string& name, double fallback) const;
+
+  /// Boolean value: present without value or with "true"/"1" is true.
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// All flag names seen, for usage diagnostics.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace util
+}  // namespace distperm
+
+#endif  // DISTPERM_UTIL_FLAGS_H_

@@ -1,0 +1,107 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace distperm {
+namespace util {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : state_) s = sm.Next();
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  DP_CHECK(bound > 0);
+  // Lemire's method: multiply into a 128-bit product and reject the small
+  // biased region at the bottom of each residue class.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_gaussian_) {
+    has_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  has_gaussian_ = true;
+  return u * factor;
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  DP_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+std::vector<size_t> Rng::SampleDistinct(size_t n, size_t count) {
+  DP_CHECK(count <= n);
+  // Floyd's algorithm: O(count) expected time and memory.
+  std::vector<size_t> out;
+  out.reserve(count);
+  for (size_t j = n - count; j < n; ++j) {
+    size_t t = static_cast<size_t>(NextBounded(j + 1));
+    bool seen = false;
+    for (size_t v : out) {
+      if (v == t) {
+        seen = true;
+        break;
+      }
+    }
+    out.push_back(seen ? j : t);
+  }
+  Shuffle(&out);
+  return out;
+}
+
+Rng Rng::Split() {
+  return Rng(NextU64());
+}
+
+}  // namespace util
+}  // namespace distperm

@@ -1,0 +1,100 @@
+// Deterministic pseudo-random number generation.
+//
+// Every experiment in the repository is seeded, so that tables can be
+// regenerated bit-for-bit.  We use xoshiro256** (Blackman & Vigna) seeded
+// through SplitMix64, which is the recommended seeding procedure: it
+// guarantees a well-mixed nonzero state from any 64-bit seed.
+
+#ifndef DISTPERM_UTIL_RNG_H_
+#define DISTPERM_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace distperm {
+namespace util {
+
+/// SplitMix64: a tiny, statistically strong 64-bit generator, used here
+/// to seed xoshiro and for cheap one-off hashing of seeds.
+class SplitMix64 {
+ public:
+  /// Constructs a generator with the given state/seed.
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit output.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: fast all-purpose 64-bit generator with 256-bit state.
+///
+/// Satisfies the requirements of a C++ UniformRandomBitGenerator, so it can
+/// also be plugged into <random> distributions if desired.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Constructs a generator from a 64-bit seed (expanded via SplitMix64).
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+  /// UniformRandomBitGenerator interface: same as NextU64().
+  result_type operator()() { return NextU64(); }
+
+  /// Returns the next raw 64-bit output.
+  uint64_t NextU64();
+
+  /// Returns a uniform integer in [0, bound).  Uses Lemire's unbiased
+  /// multiply-shift rejection method.  `bound` must be positive.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Returns a uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Returns a uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Returns a standard normal deviate (Marsaglia polar method).
+  double NextGaussian();
+
+  /// Returns a uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Returns `count` distinct indices sampled uniformly from [0, n).
+  /// Requires count <= n.  Order of the returned indices is random.
+  std::vector<size_t> SampleDistinct(size_t n, size_t count);
+
+  /// Spawns an independent generator; deterministic given this generator's
+  /// state.  Used to give each parallel experiment its own stream.
+  Rng Split();
+
+ private:
+  uint64_t state_[4];
+  // Cached second output of the polar method.
+  bool has_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace util
+}  // namespace distperm
+
+#endif  // DISTPERM_UTIL_RNG_H_

@@ -1,0 +1,196 @@
+// Status / Result error-handling primitives.
+//
+// Following the idiom used by Arrow and RocksDB, the library does not throw
+// exceptions across public API boundaries.  Fallible operations return a
+// Status (or a Result<T> carrying a value on success), and callers decide
+// how to react.  Internal invariant violations use DP_CHECK, which aborts
+// with a diagnostic: an invariant failure is a bug, not an error condition.
+
+#ifndef DISTPERM_UTIL_STATUS_H_
+#define DISTPERM_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace distperm {
+namespace util {
+
+/// Machine-readable category for a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kIoError = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+};
+
+/// Human-readable name of a status code ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an explanatory message.
+///
+/// A default-constructed Status is OK.  Statuses are cheap to copy (the
+/// message is only populated on failure paths).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns the OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument status with the given message.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Returns an OutOfRange status with the given message.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// Returns a NotFound status with the given message.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// Returns an IoError status with the given message.
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  /// Returns an Unimplemented status with the given message.
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  /// Returns an Internal status with the given message.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The failure message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// Renders as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or a failure Status.
+///
+/// Accessing the value of a failed Result is a fatal error; check ok()
+/// first (or use ValueOr for a fallback).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT: implicit by design
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      std::cerr << "Result constructed from OK status without a value\n";
+      std::abort();
+    }
+  }
+
+  /// True iff the result carries a value.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The failure status, or OK if the result carries a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The carried value.  Fatal if !ok().
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  /// The carried value (mutable).  Fatal if !ok().
+  T& value() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  /// Moves the carried value out.  Fatal if !ok().
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Returns the carried value, or `fallback` if the result failed.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result::value() on failed result: "
+                << std::get<Status>(repr_).ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+}  // namespace internal
+
+/// Aborts with a diagnostic if `cond` is false.  For invariants, not for
+/// recoverable errors.
+#define DP_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::distperm::util::internal::CheckFailed(__FILE__, __LINE__,     \
+                                              #cond, "");             \
+    }                                                                 \
+  } while (0)
+
+/// DP_CHECK with an additional streamed message.
+#define DP_CHECK_MSG(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream dp_check_oss_;                               \
+      dp_check_oss_ << msg;                                           \
+      ::distperm::util::internal::CheckFailed(__FILE__, __LINE__,     \
+                                              #cond,                  \
+                                              dp_check_oss_.str());   \
+    }                                                                 \
+  } while (0)
+
+/// Propagates a non-OK Status from the current function.
+#define DP_RETURN_IF_ERROR(expr)                       \
+  do {                                                 \
+    ::distperm::util::Status dp_status_ = (expr);      \
+    if (!dp_status_.ok()) return dp_status_;           \
+  } while (0)
+
+}  // namespace util
+}  // namespace distperm
+
+#endif  // DISTPERM_UTIL_STATUS_H_

@@ -1,0 +1,84 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace distperm {
+namespace util {
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  size_t start = (cell[0] == '-' || cell[0] == '+') ? 1 : 0;
+  if (start == cell.size()) return false;
+  for (size_t i = start; i < cell.size(); ++i) {
+    char c = cell[i];
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != 'e' && c != 'E' && c != '-' && c != '+') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Format(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::vector<size_t> widths(columns, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < columns; ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      if (i > 0) os << "  ";
+      if (LooksNumeric(cell)) {
+        os << std::string(widths[i] - cell.size(), ' ') << cell;
+      } else {
+        os << cell << std::string(widths[i] - cell.size(), ' ');
+      }
+    }
+    os << "\n";
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    size_t total = 0;
+    for (size_t i = 0; i < columns; ++i) total += widths[i] + (i > 0 ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace util
+}  // namespace distperm

@@ -1,0 +1,60 @@
+// Aligned plain-text table rendering for the benchmark harnesses.
+//
+// Every reproduction binary prints tables in the same layout as the paper
+// (Table 1, Table 2, Table 3) so that side-by-side comparison is easy.
+
+#ifndef DISTPERM_UTIL_TABLE_PRINTER_H_
+#define DISTPERM_UTIL_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace distperm {
+namespace util {
+
+/// Accumulates rows of string cells and renders them with columns padded
+/// to the widest cell.  Numeric-looking cells are right-aligned, others
+/// left-aligned.
+class TablePrinter {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row.  Rows may have differing lengths; short rows are
+  /// padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: appends a row built from streamable values.
+  template <typename... Args>
+  void AddRowValues(const Args&... args) {
+    AddRow({Format(args)...});
+  }
+
+  /// Renders the table to `os` with a rule under the header.
+  void Print(std::ostream& os) const;
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+  /// Number of data rows added.
+  size_t row_count() const { return rows_.size(); }
+
+  /// Formats a value for a cell (doubles with trailing-zero trimming).
+  static std::string Format(const std::string& v) { return v; }
+  static std::string Format(const char* v) { return v; }
+  static std::string Format(double v);
+  template <typename T>
+  static std::string Format(const T& v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace util
+}  // namespace distperm
+
+#endif  // DISTPERM_UTIL_TABLE_PRINTER_H_

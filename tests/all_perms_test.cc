@@ -1,0 +1,91 @@
+#include "core/all_perms_construction.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+#include <tuple>
+
+#include "core/perm_codec.h"
+#include "metric/lp.h"
+
+namespace distperm {
+namespace core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+uint64_t Factorial(size_t n) {
+  uint64_t f = 1;
+  for (size_t i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+TEST(AllPerms, BaseCaseTwoSites) {
+  auto construction = BuildAllPermsConstruction(2, 2.0);
+  ASSERT_EQ(construction.sites.size(), 2u);
+  ASSERT_EQ(construction.witnesses.size(), 2u);
+  EXPECT_EQ(construction.sites[0], (metric::Vector{-1.0}));
+  EXPECT_EQ(construction.sites[1], (metric::Vector{1.0}));
+  EXPECT_EQ(VerifyAllPermsConstruction(construction), 0u);
+}
+
+class AllPermsSweepTest
+    : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(AllPermsSweepTest, EveryPermutationRealised) {
+  auto [k, p] = GetParam();
+  auto construction = BuildAllPermsConstruction(k, p);
+  ASSERT_EQ(construction.sites.size(), k);
+  ASSERT_EQ(construction.witnesses.size(), Factorial(k));
+  // Dimensions: k sites live in k-1 dimensions (Theorem 6).
+  for (const auto& site : construction.sites) {
+    EXPECT_EQ(site.size(), k - 1);
+  }
+  EXPECT_EQ(VerifyAllPermsConstruction(construction), 0u)
+      << "k=" << k << " p=" << p;
+}
+
+TEST_P(AllPermsSweepTest, WitnessPermutationsAreAllDistinct) {
+  auto [k, p] = GetParam();
+  auto construction = BuildAllPermsConstruction(k, p);
+  std::set<uint64_t> ranks;
+  for (uint64_t rank = 0; rank < construction.witnesses.size(); ++rank) {
+    std::vector<double> distances(k);
+    for (size_t i = 0; i < k; ++i) {
+      distances[i] = metric::LpDistance(construction.sites[i],
+                                        construction.witnesses[rank], p);
+    }
+    ranks.insert(RankPermutation(PermutationFromDistances(distances)));
+  }
+  EXPECT_EQ(ranks.size(), Factorial(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KAndMetric, AllPermsSweepTest,
+    ::testing::Combine(::testing::Values<size_t>(2, 3, 4, 5),
+                       ::testing::Values(1.0, 2.0, 3.0, kInf)));
+
+TEST(AllPerms, SixSitesEuclidean) {
+  auto construction = BuildAllPermsConstruction(6, 2.0);
+  EXPECT_EQ(construction.witnesses.size(), 720u);
+  EXPECT_EQ(VerifyAllPermsConstruction(construction), 0u);
+}
+
+TEST(AllPerms, NewSiteSitsOnNewAxis) {
+  auto construction = BuildAllPermsConstruction(4, 2.0, 0.4);
+  const metric::Vector& last_site = construction.sites.back();
+  for (size_t i = 0; i + 1 < last_site.size(); ++i) {
+    EXPECT_DOUBLE_EQ(last_site[i], 0.0);
+  }
+  EXPECT_DOUBLE_EQ(last_site.back(), 1.0 + 0.4 / 4.0);
+}
+
+TEST(AllPerms, SmallerEpsilonAlsoWorks) {
+  auto construction = BuildAllPermsConstruction(4, 1.0, 0.1);
+  EXPECT_EQ(VerifyAllPermsConstruction(construction), 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace distperm

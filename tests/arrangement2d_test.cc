@@ -1,0 +1,158 @@
+#include "geometry/arrangement2d.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/euclidean_count.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace geometry {
+namespace {
+
+TEST(Line, CanonicalizationDeduplicates) {
+  Line a{2, 4, 6};
+  Line b{1, 2, 3};
+  Line c{-1, -2, -3};
+  a.Canonicalize();
+  b.Canonicalize();
+  c.Canonicalize();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+}
+
+TEST(Line, VerticalLineSignFix) {
+  Line a{0, -3, 6};
+  a.Canonicalize();
+  EXPECT_EQ(a, (Line{0, 1, -2}));
+}
+
+TEST(Arrangement, EmptyHasOneRegion) {
+  LineArrangement arrangement;
+  EXPECT_EQ(arrangement.CountRegions(), 1u);
+  EXPECT_EQ(arrangement.CountVertices(), 0u);
+}
+
+TEST(Arrangement, SingleLineTwoRegions) {
+  LineArrangement arrangement;
+  arrangement.AddLine(1, 0, 0);
+  EXPECT_EQ(arrangement.CountRegions(), 2u);
+}
+
+TEST(Arrangement, ParallelLinesStack) {
+  LineArrangement arrangement;
+  for (int c = 0; c < 5; ++c) arrangement.AddLine(1, 0, c);
+  EXPECT_EQ(arrangement.line_count(), 5u);
+  EXPECT_EQ(arrangement.CountVertices(), 0u);
+  EXPECT_EQ(arrangement.CountRegions(), 6u);
+}
+
+TEST(Arrangement, DuplicateLinesIgnored) {
+  LineArrangement arrangement;
+  arrangement.AddLine(1, 0, 0);
+  arrangement.AddLine(2, 0, 0);
+  arrangement.AddLine(-3, 0, 0);
+  EXPECT_EQ(arrangement.line_count(), 1u);
+  EXPECT_EQ(arrangement.CountRegions(), 2u);
+}
+
+TEST(Arrangement, GeneralPositionMatchesLazyCaterer) {
+  // m lines in general position: 1 + m + C(m,2) regions.
+  LineArrangement arrangement;
+  // Slopes 1..5 with scattered intercepts: no two parallel, no three
+  // concurrent.
+  arrangement.AddLine(1, -1, 0);    // y = x
+  arrangement.AddLine(2, -1, 1);    // y = 2x - 1
+  arrangement.AddLine(3, -1, 5);    // y = 3x - 5
+  arrangement.AddLine(4, -1, 17);   // y = 4x - 17
+  arrangement.AddLine(5, -1, 40);   // y = 5x - 40
+  EXPECT_EQ(arrangement.CountVertices(), 10u);
+  EXPECT_EQ(arrangement.CountRegions(), 1u + 5u + 10u);
+}
+
+TEST(Arrangement, ThreeConcurrentLines) {
+  LineArrangement arrangement;
+  arrangement.AddLine(1, 0, 0);   // x = 0
+  arrangement.AddLine(0, 1, 0);   // y = 0
+  arrangement.AddLine(1, -1, 0);  // y = x
+  EXPECT_EQ(arrangement.CountVertices(), 1u);
+  EXPECT_EQ(arrangement.CountRegions(), 6u);
+}
+
+TEST(Arrangement, PencilOfLines) {
+  // m concurrent lines: 2m regions.
+  LineArrangement arrangement;
+  arrangement.AddLine(1, 0, 0);
+  arrangement.AddLine(0, 1, 0);
+  arrangement.AddLine(1, 1, 0);
+  arrangement.AddLine(1, -1, 0);
+  arrangement.AddLine(2, 1, 0);
+  EXPECT_EQ(arrangement.CountRegions(), 10u);
+}
+
+TEST(EuclideanBisectors, TriangleGivesSixCells) {
+  // Any non-degenerate triangle: three bisectors concurrent at the
+  // circumcentre, 6 cells = N_{2,2}(3) = 3!.
+  LineArrangement arrangement =
+      EuclideanBisectorArrangement({{0, 0}, {4, 0}, {1, 3}});
+  EXPECT_EQ(arrangement.CountRegions(), 6u);
+}
+
+TEST(EuclideanBisectors, CollinearSitesDegenerate) {
+  // Collinear sites: parallel bisectors, only C(k,2)+1 cells.
+  LineArrangement arrangement =
+      EuclideanBisectorArrangement({{0, 0}, {2, 0}, {5, 0}});
+  EXPECT_EQ(arrangement.CountRegions(), 4u);
+}
+
+TEST(EuclideanBisectors, SquareIsDegenerate) {
+  // The unit square: bisector pairs coincide and all pass through the
+  // centre; 4 distinct lines, one 4-fold point, 8 cells — well below the
+  // generic 18.  Exercises duplicate-line removal and multiplicities.
+  LineArrangement arrangement =
+      EuclideanBisectorArrangement({{0, 0}, {2, 0}, {0, 2}, {2, 2}});
+  EXPECT_EQ(arrangement.line_count(), 4u);
+  EXPECT_EQ(arrangement.CountVertices(), 1u);
+  EXPECT_EQ(arrangement.CountRegions(), 8u);
+}
+
+TEST(EuclideanBisectors, GenericFourSitesGiveEighteenCells) {
+  // The paper's Fig. 3: four generic sites produce exactly 18 cells.
+  LineArrangement arrangement =
+      EuclideanBisectorArrangement({{0, 0}, {7, 1}, {3, 6}, {9, 8}});
+  EXPECT_EQ(arrangement.CountRegions(), 18u);
+}
+
+// The headline geometric validation: for random integer sites in general
+// position, the exact bisector arrangement realises exactly N_{2,2}(k)
+// cells — Theorem 7 checked against real geometry.
+class BisectorCellCountTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BisectorCellCountTest, MatchesTheorem7) {
+  auto [k, seed] = GetParam();
+  util::Rng rng(7000 + static_cast<uint64_t>(seed) * 131 + k);
+  std::vector<IntPoint2> sites;
+  while (sites.size() < static_cast<size_t>(k)) {
+    IntPoint2 site = {rng.NextInt(-100000, 100000),
+                      rng.NextInt(-100000, 100000)};
+    if (std::find(sites.begin(), sites.end(), site) == sites.end()) {
+      sites.push_back(site);
+    }
+  }
+  LineArrangement arrangement = EuclideanBisectorArrangement(sites);
+  core::EuclideanCounter counter;
+  EXPECT_EQ(arrangement.CountRegions(), counter.Count64(2, k))
+      << "k=" << k << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BisectorCellCountTest,
+                         ::testing::Combine(::testing::Values(2, 3, 4, 5, 6,
+                                                              7),
+                                            ::testing::Range(0, 5)));
+
+}  // namespace
+}  // namespace geometry
+}  // namespace distperm

@@ -1,0 +1,200 @@
+#include "util/big_uint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace distperm {
+namespace util {
+namespace {
+
+TEST(BigUint, DefaultIsZero) {
+  BigUint zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.ToString(), "0");
+  EXPECT_EQ(zero.ToUint64(), 0u);
+  EXPECT_EQ(zero.BitLength(), 0u);
+}
+
+TEST(BigUint, FromUint64RoundTrips) {
+  for (uint64_t v : {0ULL, 1ULL, 2ULL, 255ULL, 256ULL, 65535ULL, 65536ULL,
+                     4294967295ULL, 4294967296ULL, 18446744073709551615ULL}) {
+    BigUint big(v);
+    EXPECT_TRUE(big.FitsUint64());
+    EXPECT_EQ(big.ToUint64(), v) << v;
+  }
+}
+
+TEST(BigUint, ToStringMatchesDecimal) {
+  EXPECT_EQ(BigUint(0).ToString(), "0");
+  EXPECT_EQ(BigUint(7).ToString(), "7");
+  EXPECT_EQ(BigUint(1000000000).ToString(), "1000000000");
+  EXPECT_EQ(BigUint(18446744073709551615ULL).ToString(),
+            "18446744073709551615");
+}
+
+TEST(BigUint, FromDecimalStringRoundTrips) {
+  for (const char* text :
+       {"0", "1", "42", "4294967296", "18446744073709551616",
+        "123456789012345678901234567890"}) {
+    auto parsed = BigUint::FromDecimalString(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.value().ToString(), text);
+  }
+}
+
+TEST(BigUint, FromDecimalStringRejectsJunk) {
+  EXPECT_FALSE(BigUint::FromDecimalString("").ok());
+  EXPECT_FALSE(BigUint::FromDecimalString("12a").ok());
+  EXPECT_FALSE(BigUint::FromDecimalString("-3").ok());
+  EXPECT_FALSE(BigUint::FromDecimalString(" 3").ok());
+}
+
+TEST(BigUint, AdditionCarries) {
+  BigUint a(0xffffffffULL);
+  a += BigUint(1);
+  EXPECT_EQ(a.ToUint64(), 0x100000000ULL);
+  BigUint b(18446744073709551615ULL);
+  b += BigUint(1);
+  EXPECT_EQ(b.ToString(), "18446744073709551616");
+}
+
+TEST(BigUint, SubtractionBorrows) {
+  BigUint a(0x100000000ULL);
+  a -= BigUint(1);
+  EXPECT_EQ(a.ToUint64(), 0xffffffffULL);
+  BigUint b = BigUint::Pow(BigUint(10), 30);
+  BigUint c = b - BigUint(1);
+  EXPECT_EQ(c.ToString(), std::string(30, '9'));
+}
+
+TEST(BigUint, SubtractionToZero) {
+  BigUint a(12345);
+  a -= BigUint(12345);
+  EXPECT_TRUE(a.IsZero());
+}
+
+TEST(BigUint, MultiplicationSmallAndLarge) {
+  EXPECT_EQ((BigUint(12345) * BigUint(67890)).ToUint64(), 838102050ULL);
+  BigUint big = BigUint::Pow(BigUint(2), 100);
+  EXPECT_EQ(big.ToString(), "1267650600228229401496703205376");
+  EXPECT_EQ((big * BigUint(0)).ToString(), "0");
+  EXPECT_EQ((BigUint(0) * big).ToString(), "0");
+}
+
+TEST(BigUint, MulSmallAddSmallDivSmall) {
+  BigUint v(1);
+  for (int i = 0; i < 40; ++i) v.MulSmall(10);
+  v.AddSmall(7);
+  EXPECT_EQ(v.ToString(), "1" + std::string(39, '0') + "7");
+  uint32_t rem = v.DivSmall(10);
+  EXPECT_EQ(rem, 7u);
+  EXPECT_EQ(v.ToString(), "1" + std::string(39, '0'));
+}
+
+TEST(BigUint, CompareOrdersValues) {
+  BigUint small(41);
+  BigUint large = BigUint::Pow(BigUint(2), 70);
+  EXPECT_LT(small, large);
+  EXPECT_GT(large, small);
+  EXPECT_EQ(small.Compare(BigUint(41)), 0);
+  EXPECT_TRUE(BigUint(41) == small);
+  EXPECT_TRUE(BigUint(42) != small);
+  EXPECT_TRUE(small <= BigUint(41));
+  EXPECT_TRUE(small >= BigUint(41));
+}
+
+TEST(BigUint, PowEdgeCases) {
+  EXPECT_EQ(BigUint::Pow(BigUint(5), 0).ToUint64(), 1u);
+  EXPECT_EQ(BigUint::Pow(BigUint(0), 0).ToUint64(), 1u);
+  EXPECT_EQ(BigUint::Pow(BigUint(0), 5).ToUint64(), 0u);
+  EXPECT_EQ(BigUint::Pow(BigUint(3), 4).ToUint64(), 81u);
+}
+
+TEST(BigUint, FactorialValues) {
+  EXPECT_EQ(BigUint::Factorial(0).ToUint64(), 1u);
+  EXPECT_EQ(BigUint::Factorial(1).ToUint64(), 1u);
+  EXPECT_EQ(BigUint::Factorial(12).ToUint64(), 479001600u);
+  EXPECT_EQ(BigUint::Factorial(20).ToUint64(), 2432902008176640000ULL);
+  EXPECT_EQ(BigUint::Factorial(25).ToString(),
+            "15511210043330985984000000");
+}
+
+TEST(BigUint, BinomialValues) {
+  EXPECT_EQ(BigUint::Binomial(0, 0).ToUint64(), 1u);
+  EXPECT_EQ(BigUint::Binomial(5, 2).ToUint64(), 10u);
+  EXPECT_EQ(BigUint::Binomial(12, 7).ToUint64(), 792u);
+  EXPECT_EQ(BigUint::Binomial(5, 6).ToUint64(), 0u);
+  EXPECT_EQ(BigUint::Binomial(100, 50).ToString(),
+            "100891344545564193334812497256");
+}
+
+TEST(BigUint, BinomialSymmetry) {
+  for (uint64_t n = 0; n <= 30; ++n) {
+    for (uint64_t k = 0; k <= n; ++k) {
+      EXPECT_EQ(BigUint::Binomial(n, k), BigUint::Binomial(n, n - k))
+          << n << " choose " << k;
+    }
+  }
+}
+
+TEST(BigUint, PascalIdentity) {
+  for (uint64_t n = 1; n <= 25; ++n) {
+    for (uint64_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(BigUint::Binomial(n, k),
+                BigUint::Binomial(n - 1, k) + BigUint::Binomial(n - 1, k - 1));
+    }
+  }
+}
+
+TEST(BigUint, BitLength) {
+  EXPECT_EQ(BigUint(1).BitLength(), 1u);
+  EXPECT_EQ(BigUint(2).BitLength(), 2u);
+  EXPECT_EQ(BigUint(255).BitLength(), 8u);
+  EXPECT_EQ(BigUint(256).BitLength(), 9u);
+  EXPECT_EQ(BigUint::Pow(BigUint(2), 100).BitLength(), 101u);
+}
+
+TEST(BigUint, ToDoubleApproximates) {
+  EXPECT_DOUBLE_EQ(BigUint(1000).ToDouble(), 1000.0);
+  double big = BigUint::Pow(BigUint(10), 30).ToDouble();
+  EXPECT_NEAR(big, 1e30, 1e16);
+}
+
+// Property sweep: (a + b) - b == a and a * b / b == a for assorted values.
+class BigUintPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BigUintPropertyTest, AddSubInverse) {
+  uint64_t seed = GetParam();
+  BigUint a = BigUint::Pow(BigUint(seed % 97 + 2), seed % 13 + 1);
+  BigUint b = BigUint::Pow(BigUint(seed % 89 + 2), seed % 11 + 1);
+  BigUint sum = a + b;
+  EXPECT_EQ(sum - b, a);
+  EXPECT_EQ(sum - a, b);
+}
+
+TEST_P(BigUintPropertyTest, MulDivSmallInverse) {
+  uint64_t seed = GetParam();
+  BigUint a = BigUint::Pow(BigUint(seed % 97 + 2), seed % 17 + 1);
+  uint32_t factor = static_cast<uint32_t>(seed % 1000 + 1);
+  BigUint product = a;
+  product.MulSmall(factor);
+  EXPECT_EQ(product.DivSmall(factor), 0u);
+  EXPECT_EQ(product, a);
+}
+
+TEST_P(BigUintPropertyTest, StringRoundTrip) {
+  uint64_t seed = GetParam();
+  BigUint a = BigUint::Pow(BigUint(seed + 2), 7);
+  auto parsed = BigUint::FromDecimalString(a.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BigUintPropertyTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace util
+}  // namespace distperm

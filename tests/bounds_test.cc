@@ -1,0 +1,132 @@
+#include "core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/cake.h"
+#include "core/euclidean_count.h"
+#include "util/big_uint.h"
+
+namespace distperm {
+namespace core {
+namespace {
+
+using util::BigUint;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Bounds, HyperplanesPerBisectorValues) {
+  // L2: always exactly one hyperplane.
+  for (int d = 0; d <= 10; ++d) {
+    EXPECT_EQ(HyperplanesPerBisector(d, 2.0), BigUint(1));
+  }
+  // L1: 2^{2d}.
+  EXPECT_EQ(HyperplanesPerBisector(1, 1.0), BigUint(4));
+  EXPECT_EQ(HyperplanesPerBisector(2, 1.0), BigUint(16));
+  EXPECT_EQ(HyperplanesPerBisector(3, 1.0), BigUint(64));
+  // Linf: 4d^2.
+  EXPECT_EQ(HyperplanesPerBisector(1, kInf), BigUint(4));
+  EXPECT_EQ(HyperplanesPerBisector(2, kInf), BigUint(16));
+  EXPECT_EQ(HyperplanesPerBisector(3, kInf), BigUint(36));
+  EXPECT_EQ(HyperplanesPerBisector(10, kInf), BigUint(400));
+}
+
+TEST(Bounds, L2BoundDominatesExactCount) {
+  EuclideanCounter counter;
+  for (int d = 1; d <= 6; ++d) {
+    for (int k = 2; k <= 12; ++k) {
+      EXPECT_LE(counter.Count(d, k), LpPermutationUpperBound(d, 2.0, k))
+          << "d=" << d << " k=" << k;
+    }
+  }
+}
+
+TEST(Bounds, L1BoundCoversTheCounterexample) {
+  // The paper's experiment found 108 > N_{3,2}(5) = 96 permutations in
+  // 3-dimensional L1 space; Theorem 9's L1 bound must cover it.
+  BigUint bound = LpPermutationUpperBound(3, 1.0, 5);
+  EXPECT_GE(bound, BigUint(108));
+  // And the bound is far looser than the Euclidean count, as §4 warns.
+  EXPECT_GT(bound, EuclideanPermutationCount(3, 5));
+}
+
+TEST(Bounds, BoundsExceedEuclideanBound) {
+  // For the same d and k the L1/Linf bounds use more hyperplanes, so
+  // they always dominate the L2 bound.
+  for (int d = 1; d <= 5; ++d) {
+    for (int k = 2; k <= 10; ++k) {
+      BigUint l2 = LpPermutationUpperBound(d, 2.0, k);
+      EXPECT_GE(LpPermutationUpperBound(d, 1.0, k), l2);
+      EXPECT_GE(LpPermutationUpperBound(d, kInf, k), l2);
+    }
+  }
+}
+
+TEST(Bounds, PolynomialInKForFixedD) {
+  // Theorem 9: all bounds are O(k^{2d}) for constant d.  Check the ratio
+  // bound(2k)/bound(k) approaches 2^{2d} for large k.
+  for (double p : {1.0, 2.0, kInf}) {
+    for (int d = 1; d <= 3; ++d) {
+      double small = LpPermutationUpperBound(d, p, 200).ToDouble();
+      double large = LpPermutationUpperBound(d, p, 400).ToDouble();
+      double expected = std::pow(2.0, 2.0 * d);
+      EXPECT_NEAR(large / small / expected, 1.0, 0.10)
+          << "p=" << p << " d=" << d;
+    }
+  }
+}
+
+TEST(Bounds, StorageBitBoundMatchesBitLength) {
+  for (double p : {1.0, 2.0, kInf}) {
+    for (int d = 1; d <= 4; ++d) {
+      for (int k = 2; k <= 8; ++k) {
+        BigUint bound = LpPermutationUpperBound(d, p, k);
+        int bits = LpStorageBitBound(d, p, k);
+        // 2^bits >= bound and 2^(bits-1) < bound.
+        EXPECT_GE(BigUint::Pow(BigUint(2), static_cast<uint64_t>(bits)),
+                  bound);
+        if (bits > 0) {
+          EXPECT_LT(
+              BigUint::Pow(BigUint(2), static_cast<uint64_t>(bits - 1)),
+              bound);
+        }
+      }
+    }
+  }
+}
+
+TEST(Bounds, UnrestrictedPermutationBits) {
+  EXPECT_EQ(UnrestrictedPermutationBits(1), 0);
+  EXPECT_EQ(UnrestrictedPermutationBits(2), 1);
+  EXPECT_EQ(UnrestrictedPermutationBits(3), 3);
+  EXPECT_EQ(UnrestrictedPermutationBits(12), 29);
+  // Stirling: lg(20!) ~ 61.1 bits.
+  EXPECT_EQ(UnrestrictedPermutationBits(20), 62);
+}
+
+TEST(Bounds, StorageImprovementKicksIn) {
+  // The paper's storage claim: for fixed small d, the Lp bound's bits
+  // grow like d lg k, far below lg k! = Theta(k lg k).  At d = 3, k = 64
+  // the permutation-set bound must already beat the raw permutation.
+  EXPECT_LT(LpStorageBitBound(3, 2.0, 64), UnrestrictedPermutationBits(64));
+  EXPECT_LT(LpStorageBitBound(3, 1.0, 256),
+            UnrestrictedPermutationBits(256));
+  EXPECT_LT(LpStorageBitBound(3, kInf, 256),
+            UnrestrictedPermutationBits(256));
+}
+
+TEST(Bounds, TrivialCases) {
+  for (double p : {1.0, 2.0, kInf}) {
+    // One site: one (empty) permutation, zero bits.
+    EXPECT_EQ(LpPermutationUpperBound(2, p, 1), BigUint(1));
+    EXPECT_EQ(LpStorageBitBound(2, p, 1), 0);
+    // Zero dimensions: a single point, one cell.
+    EXPECT_EQ(LpPermutationUpperBound(0, p, 5), BigUint(1));
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace distperm

@@ -1,0 +1,102 @@
+#include "core/cake.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/big_uint.h"
+
+namespace distperm {
+namespace core {
+namespace {
+
+using util::BigUint;
+
+TEST(Cake, BaseCases) {
+  for (uint64_t m = 0; m <= 20; ++m) {
+    EXPECT_EQ(CakeCount64(0, m), 1u);  // S_0(m) = 1
+  }
+  for (int d = 0; d <= 10; ++d) {
+    EXPECT_EQ(CakeCount64(d, 0), 1u);  // S_d(0) = 1
+  }
+}
+
+TEST(Cake, OneDimensionIsCutsPlusOne) {
+  for (uint64_t m = 0; m <= 50; ++m) {
+    EXPECT_EQ(CakeCount64(1, m), m + 1);
+  }
+}
+
+TEST(Cake, TwoDimensionsLazyCaterer) {
+  // S_2(m) = 1 + m + C(m,2): the lazy caterer's sequence.
+  EXPECT_EQ(CakeCount64(2, 1), 2u);
+  EXPECT_EQ(CakeCount64(2, 2), 4u);
+  EXPECT_EQ(CakeCount64(2, 3), 7u);
+  EXPECT_EQ(CakeCount64(2, 4), 11u);
+  EXPECT_EQ(CakeCount64(2, 5), 16u);
+  EXPECT_EQ(CakeCount64(2, 6), 22u);
+}
+
+TEST(Cake, ThreeDimensionsCakeNumbers) {
+  // S_3(m): 1, 2, 4, 8, 15, 26, 42, ...
+  EXPECT_EQ(CakeCount64(3, 1), 2u);
+  EXPECT_EQ(CakeCount64(3, 2), 4u);
+  EXPECT_EQ(CakeCount64(3, 3), 8u);
+  EXPECT_EQ(CakeCount64(3, 4), 15u);
+  EXPECT_EQ(CakeCount64(3, 5), 26u);
+  EXPECT_EQ(CakeCount64(3, 6), 42u);
+}
+
+TEST(Cake, SaturatesAtPowersOfTwo) {
+  // With d >= m, every subset of cuts is realisable: S_d(m) = 2^m.
+  for (int m = 0; m <= 16; ++m) {
+    for (int d = m; d <= m + 3; ++d) {
+      EXPECT_EQ(CakeCount64(d, static_cast<uint64_t>(m)),
+                uint64_t{1} << m)
+          << "d=" << d << " m=" << m;
+    }
+  }
+}
+
+class CakeConsistencyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CakeConsistencyTest, ClosedFormMatchesRecurrence) {
+  auto [d, m] = GetParam();
+  EXPECT_EQ(CakeCount(d, static_cast<uint64_t>(m)),
+            CakeCountByRecurrence(d, static_cast<uint64_t>(m)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CakeConsistencyTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3, 5,
+                                                              8),
+                                            ::testing::Values(0, 1, 2, 7, 20,
+                                                              40)));
+
+TEST(Cake, PriceRecurrenceHoldsPointwise) {
+  for (int d = 1; d <= 6; ++d) {
+    for (uint64_t m = 1; m <= 30; ++m) {
+      EXPECT_EQ(CakeCount(d, m), CakeCount(d, m - 1) + CakeCount(d - 1, m - 1))
+          << "d=" << d << " m=" << m;
+    }
+  }
+}
+
+TEST(Cake, PolynomialGrowthOrder) {
+  // S_d(m) = Theta(m^d): ratio to m^d approaches 1/d!.
+  double ratio3 = CakeCount(3, 3000).ToDouble() / (3000.0 * 3000.0 * 3000.0);
+  EXPECT_NEAR(ratio3, 1.0 / 6.0, 0.01);
+}
+
+TEST(Cake, LargeValuesExact) {
+  // S_10(100) = sum_{i<=10} C(100,i); spot-check against bignum binomials.
+  BigUint expected(0);
+  for (int i = 0; i <= 10; ++i) {
+    expected += BigUint::Binomial(100, static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(CakeCount(10, 100), expected);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace distperm

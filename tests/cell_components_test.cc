@@ -1,0 +1,93 @@
+#include "geometry/cell_components.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/rng.h"
+
+namespace distperm {
+namespace geometry {
+namespace {
+
+using metric::Vector;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(CellComponents, TwoSitesTwoConvexCells) {
+  std::vector<Vector> sites = {{0.3, 0.5}, {0.7, 0.5}};
+  auto analysis = AnalyzeCellComponents2D(sites, 2.0, 0.0, 1.0, 100);
+  EXPECT_EQ(analysis.distinct_permutations, 2u);
+  EXPECT_EQ(analysis.connected_components, 2u);
+  EXPECT_FALSE(analysis.HasDisconnectedRegions());
+  EXPECT_EQ(analysis.probes, 10000u);
+}
+
+TEST(CellComponents, EuclideanWedgesAreConnected) {
+  // Three generic sites: six fat 60-degree-ish wedges around the
+  // circumcentre.  In L2 every permutation region is convex; for fat
+  // regions at adequate resolution components == permutations.  (Thin
+  // slivers in larger configurations can be split by the grid itself,
+  // so the exact-equality check uses a fat configuration.)
+  std::vector<Vector> sites = {{0.35, 0.3}, {0.65, 0.3}, {0.5, 0.62}};
+  auto analysis = AnalyzeCellComponents2D(sites, 2.0, -1.0, 2.0, 500);
+  EXPECT_EQ(analysis.distinct_permutations, 6u);
+  EXPECT_EQ(analysis.connected_components, 6u);
+}
+
+TEST(CellComponents, GridSplitShrinksWithResolution) {
+  // Convex L2 regions: any component excess is a grid artifact, so it
+  // must not grow as the resolution increases.
+  util::Rng rng(21);
+  std::vector<Vector> sites(4, Vector(2));
+  for (auto& site : sites) {
+    site[0] = rng.NextDouble(0.15, 0.85);
+    site[1] = rng.NextDouble(0.15, 0.85);
+  }
+  auto coarse = AnalyzeCellComponents2D(sites, 2.0, -1.0, 2.0, 150);
+  auto fine = AnalyzeCellComponents2D(sites, 2.0, -1.0, 2.0, 600);
+  size_t coarse_excess =
+      coarse.connected_components - coarse.distinct_permutations;
+  size_t fine_excess =
+      fine.connected_components - fine.distinct_permutations;
+  EXPECT_LE(fine_excess, coarse_excess + 2);
+  EXPECT_GE(fine.distinct_permutations, coarse.distinct_permutations);
+}
+
+TEST(CellComponents, ComponentsNeverFewerThanPermutations) {
+  util::Rng rng(22);
+  for (double p : {1.0, 2.0, kInf}) {
+    std::vector<Vector> sites(5, Vector(2));
+    for (auto& site : sites) {
+      site[0] = rng.NextDouble();
+      site[1] = rng.NextDouble();
+    }
+    auto analysis = AnalyzeCellComponents2D(sites, p, -0.5, 1.5, 250);
+    EXPECT_GE(analysis.connected_components,
+              analysis.distinct_permutations);
+  }
+}
+
+TEST(CellComponents, L1TieRegionsCanDisconnect) {
+  // A configuration with axis-aligned sites under L1: the bisector of
+  // two sites at equal coordinate offsets contains 2-D pieces, and the
+  // tie-broken regions flanking them are prone to disconnection.  We
+  // assert only the structural possibility that L1 produces at least as
+  // many components as L2 does for the same sites.
+  std::vector<Vector> sites = {
+      {0.25, 0.25}, {0.75, 0.75}, {0.25, 0.75}, {0.75, 0.25}};
+  auto l2 = AnalyzeCellComponents2D(sites, 2.0, -0.5, 1.5, 400);
+  auto l1 = AnalyzeCellComponents2D(sites, 1.0, -0.5, 1.5, 400);
+  EXPECT_GE(l1.connected_components, l2.connected_components);
+}
+
+TEST(CellComponents, SingleSiteSingleComponent) {
+  std::vector<Vector> sites = {{0.5, 0.5}};
+  auto analysis = AnalyzeCellComponents2D(sites, 1.0, 0.0, 1.0, 50);
+  EXPECT_EQ(analysis.distinct_permutations, 1u);
+  EXPECT_EQ(analysis.connected_components, 1u);
+}
+
+}  // namespace
+}  // namespace geometry
+}  // namespace distperm

@@ -1,0 +1,169 @@
+// Tests for sampling/grid cell enumeration and bisector sign vectors.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "core/euclidean_count.h"
+#include "core/perm_codec.h"
+#include "geometry/bisector.h"
+#include "metric/lp.h"
+#include "geometry/cell_enum.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace geometry {
+namespace {
+
+using metric::Vector;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(CellEnum, TwoSitesTwoCells) {
+  std::vector<Vector> sites = {{0.25, 0.5}, {0.75, 0.5}};
+  auto grid = EnumerateCellsByGrid(sites, 2.0, 0.0, 1.0, 33);
+  EXPECT_EQ(grid.count(), 2u);
+  util::Rng rng(1);
+  auto sampled = EnumerateCellsBySampling(sites, 2.0, 0.0, 1.0, 2000, &rng);
+  EXPECT_EQ(sampled.count(), 2u);
+}
+
+TEST(CellEnum, OneSiteOneCell) {
+  std::vector<Vector> sites = {{0.5, 0.5}};
+  auto grid = EnumerateCellsByGrid(sites, 1.0, 0.0, 1.0, 9);
+  EXPECT_EQ(grid.count(), 1u);
+  EXPECT_EQ(grid.probes, 81u);
+}
+
+TEST(CellEnum, PaperFig3EuclideanEighteenCells) {
+  // Four generic planar sites under L2 give exactly 18 permutations.
+  // The window must be wide enough to reach the outermost unbounded
+  // cells but fine enough to resolve the slivers near the sites.
+  std::vector<Vector> sites = {
+      {0.1, 0.15}, {0.75, 0.3}, {0.35, 0.8}, {0.9, 0.85}};
+  auto cells = EnumerateCellsByGrid(sites, 2.0, -2.5, 3.5, 500);
+  EXPECT_EQ(cells.count(), 18u);
+}
+
+TEST(CellEnum, PaperFig4L1DiffersFromL2) {
+  // The same sites under L1 give a comparable count, but not the same
+  // set of permutations — the paper's Fig. 3 vs Fig. 4 observation.
+  std::vector<Vector> sites = {
+      {0.1, 0.15}, {0.75, 0.3}, {0.35, 0.8}, {0.9, 0.85}};
+  auto l2 = EnumerateCellsByGrid(sites, 2.0, -2.5, 3.5, 500);
+  auto l1 = EnumerateCellsByGrid(sites, 1.0, -2.5, 3.5, 500);
+  EXPECT_EQ(l2.count(), 18u);
+  EXPECT_GE(l1.count(), 14u);
+  EXPECT_LE(l1.count(), 24u);  // k! = 24 hard cap
+  auto only_l2 = PermutationSetDifference(l2.permutation_ranks,
+                                          l1.permutation_ranks);
+  EXPECT_FALSE(only_l2.empty());
+}
+
+TEST(CellEnum, GridAndSamplingAgreeOnSimpleConfig) {
+  std::vector<Vector> sites = {{0.2, 0.2}, {0.8, 0.2}, {0.5, 0.9}};
+  auto grid = EnumerateCellsByGrid(sites, 2.0, -1.0, 2.0, 300);
+  util::Rng rng(7);
+  auto sampled =
+      EnumerateCellsBySampling(sites, 2.0, -1.0, 2.0, 200000, &rng);
+  EXPECT_EQ(grid.permutation_ranks, sampled.permutation_ranks);
+  EXPECT_EQ(grid.count(), 6u);  // N_{2,2}(3) = 6
+}
+
+TEST(CellEnum, CountsNeverExceedFactorial) {
+  util::Rng rng(8);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Vector> sites(4, Vector(2));
+    for (auto& site : sites) {
+      for (auto& coord : site) coord = rng.NextDouble();
+    }
+    for (double p : {1.0, 2.0, kInf}) {
+      auto cells = EnumerateCellsByGrid(sites, p, 0.0, 1.0, 64);
+      EXPECT_LE(cells.count(), 24u);
+    }
+  }
+}
+
+TEST(CellEnum, PaperCounterexampleExceedsEuclideanLimit) {
+  // Paper equation (12): five sites in 3-dimensional L1 space realising
+  // 108 > N_{3,2}(5) = 96 distance permutations inside the unit cube.
+  std::vector<Vector> sites = {
+      {0.205281, 0.621547, 0.332507},
+      {0.053421, 0.344351, 0.260859},
+      {0.418166, 0.207143, 0.119789},
+      {0.735218, 0.653301, 0.650154},
+      {0.527133, 0.814207, 0.704307},
+  };
+  core::EuclideanCounter counter;
+  ASSERT_EQ(counter.Count64(3, 5), 96u);
+  auto cells = EnumerateCellsByGrid(sites, 1.0, 0.0, 1.0, 120);
+  EXPECT_GT(cells.count(), 96u);
+  EXPECT_LE(cells.count(), 120u);  // 5! = 120 hard cap
+}
+
+TEST(SetDifference, Works) {
+  std::vector<uint64_t> a = {1, 3, 5, 7};
+  std::vector<uint64_t> b = {3, 4, 7};
+  EXPECT_EQ(PermutationSetDifference(a, b), (std::vector<uint64_t>{1, 5}));
+  EXPECT_EQ(PermutationSetDifference(b, a), (std::vector<uint64_t>{4}));
+}
+
+// --------------------------------------------------------- sign vectors
+
+TEST(Bisector, SideMatchesDistances) {
+  Vector x = {0.0, 0.0};
+  Vector y = {2.0, 0.0};
+  EXPECT_EQ(BisectorSide(x, y, {0.5, 0.3}, 2.0), -1);
+  EXPECT_EQ(BisectorSide(x, y, {1.5, -0.2}, 2.0), 1);
+  EXPECT_EQ(BisectorSide(x, y, {1.0, 5.0}, 2.0), 0);
+}
+
+TEST(Bisector, SignVectorConsistentWithPermutation) {
+  // The sign vector derived from geometry must equal the sign vector
+  // implied by the distance permutation — the Section 2 correspondence.
+  util::Rng rng(9);
+  for (double p : {1.0, 2.0, kInf}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      size_t k = 3 + rng.NextBounded(4);
+      std::vector<Vector> sites(k, Vector(3));
+      for (auto& site : sites) {
+        for (auto& coord : site) coord = rng.NextDouble();
+      }
+      Vector probe(3);
+      for (auto& coord : probe) coord = rng.NextDouble();
+      std::vector<double> distances(k);
+      for (size_t i = 0; i < k; ++i) {
+        distances[i] = metric::LpDistance(sites[i], probe, p);
+      }
+      auto perm = core::PermutationFromDistances(distances);
+      EXPECT_EQ(SignVector(sites, probe, p),
+                SignVectorFromPermutation(perm));
+    }
+  }
+}
+
+TEST(Bisector, SignVectorFromPermutationKnown) {
+  // perm (1,0,2): site 1 closest.  Pairs (0,1),(0,2),(1,2):
+  // 0 after 1 -> +1; 0 before 2 -> -1; 1 before 2 -> -1.
+  EXPECT_EQ(SignVectorFromPermutation({1, 0, 2}),
+            (std::vector<int>{1, -1, -1}));
+  EXPECT_EQ(SignVectorFromPermutation({0, 1, 2}),
+            (std::vector<int>{-1, -1, -1}));
+}
+
+TEST(Bisector, DistinctPermutationsGiveDistinctSignVectors) {
+  // Injectivity claim used by Theorem 4's proof.
+  core::Permutation perm = {0, 1, 2, 3};
+  std::vector<std::vector<int>> seen;
+  do {
+    auto sv = SignVectorFromPermutation(perm);
+    EXPECT_EQ(std::find(seen.begin(), seen.end(), sv), seen.end());
+    seen.push_back(sv);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(seen.size(), 24u);
+}
+
+}  // namespace
+}  // namespace geometry
+}  // namespace distperm

@@ -1,0 +1,95 @@
+#include "metric/cosine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace distperm {
+namespace metric {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+SparseVector Sparse(std::initializer_list<std::pair<uint32_t, double>> init) {
+  return SparseVector(init.begin(), init.end());
+}
+
+TEST(SparseDot, DisjointSupportsGiveZero) {
+  EXPECT_DOUBLE_EQ(SparseDot(Sparse({{0, 1.0}}), Sparse({{1, 1.0}})), 0.0);
+}
+
+TEST(SparseDot, OverlappingSupports) {
+  auto a = Sparse({{0, 2.0}, {3, 1.0}, {7, 4.0}});
+  auto b = Sparse({{3, 5.0}, {7, 0.5}, {9, 100.0}});
+  EXPECT_DOUBLE_EQ(SparseDot(a, b), 5.0 + 2.0);
+}
+
+TEST(SparseNorm, KnownValue) {
+  EXPECT_DOUBLE_EQ(SparseNorm(Sparse({{0, 3.0}, {5, 4.0}})), 5.0);
+  EXPECT_DOUBLE_EQ(SparseNorm({}), 0.0);
+}
+
+TEST(AngleDistance, IdenticalDirectionIsZero) {
+  auto a = Sparse({{1, 2.0}, {4, 1.0}});
+  auto b = Sparse({{1, 4.0}, {4, 2.0}});  // same direction, scaled
+  // acos near 1 amplifies rounding: acos(1 - 1e-16) ~ 1.5e-8.
+  EXPECT_NEAR(AngleDistance(a, a), 0.0, 1e-6);
+  EXPECT_NEAR(AngleDistance(a, b), 0.0, 1e-6);
+}
+
+TEST(AngleDistance, OrthogonalIsHalfPi) {
+  auto a = Sparse({{0, 1.0}});
+  auto b = Sparse({{1, 1.0}});
+  EXPECT_NEAR(AngleDistance(a, b), kPi / 2.0, 1e-12);
+}
+
+TEST(AngleDistance, OppositeIsPi) {
+  auto a = Sparse({{0, 1.0}});
+  auto b = Sparse({{0, -1.0}});
+  EXPECT_NEAR(AngleDistance(a, b), kPi, 1e-12);
+}
+
+TEST(AngleDistance, SymmetricAndTriangle) {
+  util::Rng rng(5);
+  std::vector<SparseVector> vectors;
+  for (int i = 0; i < 10; ++i) {
+    SparseVector v;
+    for (uint32_t term = 0; term < 8; ++term) {
+      if (rng.NextDouble() < 0.6) {
+        v.emplace_back(term, rng.NextDouble() + 0.1);
+      }
+    }
+    if (v.empty()) v.emplace_back(0, 1.0);
+    vectors.push_back(v);
+  }
+  for (const auto& x : vectors) {
+    for (const auto& y : vectors) {
+      EXPECT_NEAR(AngleDistance(x, y), AngleDistance(y, x), 1e-12);
+      for (const auto& z : vectors) {
+        EXPECT_LE(AngleDistance(x, z),
+                  AngleDistance(x, y) + AngleDistance(y, z) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(AngleDistanceDense, MatchesSparse) {
+  Vector a = {1.0, 0.0, 2.0};
+  Vector b = {0.0, 3.0, 1.0};
+  auto sa = Sparse({{0, 1.0}, {2, 2.0}});
+  auto sb = Sparse({{1, 3.0}, {2, 1.0}});
+  EXPECT_NEAR(AngleDistanceDense(a, b), AngleDistance(sa, sb), 1e-12);
+}
+
+TEST(AngleMetric, WrapperWorks) {
+  AngleMetric metric;
+  EXPECT_EQ(metric.name(), "angle");
+  EXPECT_NEAR(metric(Sparse({{0, 1.0}}), Sparse({{1, 1.0}})), kPi / 2.0,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace metric
+}  // namespace distperm

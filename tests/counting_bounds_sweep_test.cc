@@ -1,0 +1,106 @@
+// Property sweep: for random databases across dimensions, metrics, and
+// site counts, every observed distinct-permutation count must satisfy
+// every applicable bound from the paper simultaneously:
+//
+//   count <= n                          (trivially)
+//   count <= k!                         (it's a set of permutations)
+//   count <= N_{d,2}(k)     for L2      (Theorem 7)
+//   count <= S_d(C(k,2) h)  for L1/Linf (Theorem 9)
+//   count <= C(k,2)+1       for d = 1, any p (all Lp agree on a line)
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include "core/bounds.h"
+#include "core/euclidean_count.h"
+#include "core/perm_counter.h"
+#include "core/tree_count.h"
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+#include "util/big_uint.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace core {
+namespace {
+
+using metric::Vector;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class CountingBoundsSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(CountingBoundsSweep, AllApplicableBoundsHold) {
+  auto [d, p, k] = GetParam();
+  util::Rng rng(90000 + d * 131 + k * 7 +
+                static_cast<uint64_t>(p * 1000));
+  const size_t n = 4000;
+  auto data = dataset::UniformCube(n, static_cast<size_t>(d), &rng);
+  metric::Metric<Vector> metric{metric::LpMetric(p)};
+  auto sites = SelectRandomSites(data, static_cast<size_t>(k), &rng);
+  auto result = CountDistinctPermutations(data, sites, metric);
+  const util::BigUint count(result.distinct_permutations);
+
+  EXPECT_LE(result.distinct_permutations, n);
+  EXPECT_LE(count,
+            util::BigUint::Factorial(static_cast<uint64_t>(k)));
+  if (p == 2.0) {
+    EXPECT_LE(count, EuclideanPermutationCount(d, k))
+        << "d=" << d << " k=" << k;
+  }
+  if (p == 1.0 || p == 2.0 || std::isinf(p)) {
+    EXPECT_LE(count, LpPermutationUpperBound(d, p, k))
+        << "d=" << d << " p=" << p << " k=" << k;
+  }
+  if (d == 1) {
+    // On the line all Lp metrics coincide; the tree bound applies.
+    EXPECT_LE(result.distinct_permutations,
+              TreePermutationBound(static_cast<size_t>(k)));
+  }
+  EXPECT_GE(result.distinct_permutations, 2u);  // k >= 2, generic data
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CountingBoundsSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5),
+                       ::testing::Values(1.0, 1.5, 2.0, kInf),
+                       ::testing::Values(2, 4, 7, 10)));
+
+// Subset monotonicity: adding a site never decreases the count (the new
+// permutations refine the old ones).
+TEST(CountingMonotonicity, AddingSitesNeverDecreasesCount) {
+  util::Rng rng(91000);
+  auto data = dataset::UniformCube(5000, 3, &rng);
+  metric::Metric<Vector> l2(metric::LpMetric::L2());
+  auto sites = SelectRandomSites(data, 12, &rng);
+  std::vector<size_t> ks = {2, 3, 4, 6, 8, 10, 12};
+  auto results = CountForSitePrefixes(data, sites, l2, ks);
+  for (size_t t = 1; t < results.size(); ++t) {
+    EXPECT_GE(results[t].distinct_permutations,
+              results[t - 1].distinct_permutations)
+        << "k=" << ks[t];
+  }
+}
+
+// Data-subset monotonicity: a superset of the database sees a superset
+// of permutations.
+TEST(CountingMonotonicity, SupersetSeesSupersetOfPermutations) {
+  util::Rng rng(92000);
+  auto data = dataset::UniformCube(3000, 2, &rng);
+  metric::Metric<Vector> l1(metric::LpMetric::L1());
+  auto sites = SelectRandomSites(data, 6, &rng);
+  for (size_t half : {500u, 1500u, 2500u}) {
+    std::vector<Vector> subset(data.begin(), data.begin() + half);
+    auto small = CountDistinctPermutations(subset, sites, l1);
+    auto large = CountDistinctPermutations(data, sites, l1);
+    EXPECT_LE(small.distinct_permutations, large.distinct_permutations);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace distperm

@@ -1,0 +1,240 @@
+// Tests for the synthetic dataset generators and I/O.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "dataset/doc_gen.h"
+#include "dataset/io.h"
+#include "dataset/sisap_synth.h"
+#include "dataset/string_gen.h"
+#include "dataset/vector_gen.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace dataset {
+namespace {
+
+TEST(VectorGen, UniformCubeShapeAndRange) {
+  util::Rng rng(1);
+  auto points = UniformCube(200, 5, &rng);
+  ASSERT_EQ(points.size(), 200u);
+  for (const auto& point : points) {
+    ASSERT_EQ(point.size(), 5u);
+    for (double coord : point) {
+      EXPECT_GE(coord, 0.0);
+      EXPECT_LT(coord, 1.0);
+    }
+  }
+}
+
+TEST(VectorGen, DeterministicBySeed) {
+  util::Rng a(9), b(9), c(10);
+  EXPECT_EQ(UniformCube(50, 3, &a), UniformCube(50, 3, &b));
+  EXPECT_NE(UniformCube(50, 3, &a), UniformCube(50, 3, &c));
+}
+
+TEST(VectorGen, GaussianCentredAtHalf) {
+  util::Rng rng(2);
+  auto points = GaussianCloud(5000, 2, 0.1, &rng);
+  double sum = 0.0;
+  for (const auto& point : points) sum += point[0];
+  EXPECT_NEAR(sum / 5000.0, 0.5, 0.01);
+}
+
+TEST(VectorGen, ClusteredHasLowSpreadWithinClusters) {
+  util::Rng rng(3);
+  auto tight = ClusteredCloud(500, 4, 3, 0.01, &rng);
+  ASSERT_EQ(tight.size(), 500u);
+  // With sigma 0.01 and 3 clusters, the set of rounded-to-0.1 points
+  // should be tiny compared to n.
+  std::set<std::string> coarse;
+  for (const auto& point : tight) {
+    std::string key;
+    for (double coord : point) {
+      key += std::to_string(static_cast<int>(coord * 10.0)) + ",";
+    }
+    coarse.insert(key);
+  }
+  EXPECT_LT(coarse.size(), 50u);
+}
+
+TEST(VectorGen, LowDimEmbeddingHasAmbientDimension) {
+  util::Rng rng(4);
+  auto points = LowDimEmbedding(100, 20, 3, 0.0, &rng);
+  ASSERT_EQ(points.size(), 100u);
+  EXPECT_EQ(points[0].size(), 20u);
+}
+
+TEST(VectorGen, HistogramsAreNormalized) {
+  util::Rng rng(5);
+  auto histograms = HistogramCloud(50, 112, 3, &rng);
+  for (const auto& histogram : histograms) {
+    ASSERT_EQ(histogram.size(), 112u);
+    double total = 0.0;
+    for (double v : histogram) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(StringGen, DictionaryDistinctSortedLowercase) {
+  LanguageProfile profile;
+  profile.name = "TestLang";
+  util::Rng rng(6);
+  MarkovWordGenerator generator(profile);
+  auto words = generator.Dictionary(500, &rng);
+  ASSERT_EQ(words.size(), 500u);
+  EXPECT_TRUE(std::is_sorted(words.begin(), words.end()));
+  std::set<std::string> unique(words.begin(), words.end());
+  EXPECT_EQ(unique.size(), 500u);
+  for (const auto& word : words) {
+    EXPECT_FALSE(word.empty());
+    for (char c : word) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+TEST(StringGen, DifferentLanguagesDiffer) {
+  LanguageProfile a, b;
+  a.name = "LangA";
+  b.name = "LangB";
+  util::Rng rng_a(7), rng_b(7);
+  auto words_a = MarkovWordGenerator(a).Dictionary(100, &rng_a);
+  auto words_b = MarkovWordGenerator(b).Dictionary(100, &rng_b);
+  EXPECT_NE(words_a, words_b);
+}
+
+TEST(StringGen, DnaAlphabetAndLengths) {
+  util::Rng rng(8);
+  auto sequences = DnaSequences(300, 5, 10, 30, 0.05, &rng);
+  ASSERT_EQ(sequences.size(), 300u);
+  std::set<std::string> unique(sequences.begin(), sequences.end());
+  EXPECT_EQ(unique.size(), 300u);
+  for (const auto& sequence : sequences) {
+    EXPECT_GE(sequence.size(), 9u);   // one deletion below min possible
+    EXPECT_LE(sequence.size(), 31u);  // one insertion above max possible
+    for (char c : sequence) {
+      EXPECT_TRUE(c == 'a' || c == 'c' || c == 'g' || c == 't') << c;
+    }
+  }
+}
+
+TEST(DocGen, SparseSortedNonEmpty) {
+  util::Rng rng(9);
+  DocCorpusProfile profile;
+  auto docs = DocumentVectors(100, profile, &rng);
+  ASSERT_EQ(docs.size(), 100u);
+  for (const auto& doc : docs) {
+    EXPECT_FALSE(doc.empty());
+    for (size_t i = 1; i < doc.size(); ++i) {
+      EXPECT_LT(doc[i - 1].first, doc[i].first);
+    }
+    for (const auto& [term, weight] : doc) {
+      // Stopword ids live in [vocabulary, vocabulary + stopwords).
+      EXPECT_LT(term, profile.vocabulary + profile.stopwords);
+      EXPECT_GT(weight, 0.0);
+    }
+  }
+}
+
+TEST(SisapSynth, CatalogueHasTwelveEntries) {
+  const auto& catalogue = SisapCatalogue();
+  ASSERT_EQ(catalogue.size(), 12u);
+  EXPECT_EQ(catalogue[0].name, "Dutch");
+  EXPECT_EQ(catalogue[0].paper_n, 229328u);
+  EXPECT_EQ(catalogue.back().name, "nasa");
+}
+
+TEST(SisapSynth, FindByName) {
+  auto found = FindSisapDatabase("listeria");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value().paper_n, 20660u);
+  EXPECT_FALSE(FindSisapDatabase("nonexistent").ok());
+}
+
+TEST(SisapSynth, ScaledCardinality) {
+  auto info = FindSisapDatabase("English").value();
+  EXPECT_EQ(ScaledCardinality(info, 1.0), 69069u);
+  EXPECT_EQ(ScaledCardinality(info, 0.01), 691u);
+  EXPECT_EQ(ScaledCardinality(info, 1e-9), 64u);  // floor of 64
+}
+
+TEST(SisapSynth, StringDatabasesGenerate) {
+  auto english = MakeStringDatabase("English", 0.002, 42);
+  EXPECT_EQ(english.size(), 138u);
+  auto listeria = MakeStringDatabase("listeria", 0.005, 42);
+  EXPECT_EQ(listeria.size(), 103u);
+  for (const auto& sequence : listeria) {
+    for (char c : sequence) {
+      EXPECT_TRUE(c == 'a' || c == 'c' || c == 'g' || c == 't');
+    }
+  }
+}
+
+TEST(SisapSynth, DocDatabasesGenerate) {
+  auto docs = MakeDocDatabase("long", 0.1, 42);
+  EXPECT_EQ(docs.size(), 127u);  // round(1265 * 0.1) = 127 (banker-free)
+}
+
+TEST(SisapSynth, VectorDatabasesGenerate) {
+  auto colors = MakeVectorDatabase("colors", 0.001, 42);
+  EXPECT_EQ(colors.size(), 113u);
+  EXPECT_EQ(colors[0].size(), 112u);
+  auto nasa = MakeVectorDatabase("nasa", 0.002, 42);
+  EXPECT_EQ(nasa[0].size(), 20u);
+}
+
+TEST(SisapSynth, DeterministicBySeed) {
+  EXPECT_EQ(MakeStringDatabase("German", 0.001, 1),
+            MakeStringDatabase("German", 0.001, 1));
+  EXPECT_NE(MakeStringDatabase("German", 0.001, 1),
+            MakeStringDatabase("German", 0.001, 2));
+}
+
+TEST(Io, VectorsRoundTrip) {
+  util::Rng rng(10);
+  auto points = UniformCube(25, 4, &rng);
+  std::string path = ::testing::TempDir() + "/vectors_roundtrip.txt";
+  ASSERT_TRUE(WriteVectors(path, points).ok());
+  auto loaded = ReadVectors(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = 0; j < points[i].size(); ++j) {
+      EXPECT_DOUBLE_EQ(loaded.value()[i][j], points[i][j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Io, StringsRoundTrip) {
+  std::vector<std::string> lines = {"alpha", "beta", "", "gamma delta"};
+  std::string path = ::testing::TempDir() + "/strings_roundtrip.txt";
+  ASSERT_TRUE(WriteStrings(path, lines).ok());
+  auto loaded = ReadStrings(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), lines);
+  std::remove(path.c_str());
+}
+
+TEST(Io, MissingFileFails) {
+  EXPECT_FALSE(ReadVectors("/nonexistent/path/file.txt").ok());
+  EXPECT_FALSE(ReadStrings("/nonexistent/path/file.txt").ok());
+}
+
+TEST(Io, RejectsNewlinesInStrings) {
+  std::string path = ::testing::TempDir() + "/bad_strings.txt";
+  EXPECT_FALSE(WriteStrings(path, {"a\nb"}).ok());
+}
+
+}  // namespace
+}  // namespace dataset
+}  // namespace distperm

@@ -1,0 +1,112 @@
+// Counting behaviour in degenerate and discrete spaces: the discrete
+// metric (every pair equidistant) and the Hamming cube (which is L1 on
+// {0,1}^d, so Theorem 9's L1 bound applies to it).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/euclidean_count.h"
+#include "core/perm_counter.h"
+#include "metric/metric.h"
+#include "metric/string_metrics.h"
+#include "util/big_uint.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace core {
+namespace {
+
+TEST(DiscreteMetric, SatisfiesAxioms) {
+  metric::DiscreteMetric<int> d;
+  EXPECT_DOUBLE_EQ(d(3, 3), 0.0);
+  EXPECT_DOUBLE_EQ(d(3, 4), 1.0);
+  EXPECT_DOUBLE_EQ(d(4, 3), 1.0);
+  // Triangle: 1 <= 1 + 1 always; 0-cases trivial.
+  EXPECT_LE(d(1, 3), d(1, 2) + d(2, 3));
+}
+
+TEST(DiscreteMetric, PermutationCountIsSitesPlusOne) {
+  // In the discrete metric every non-site point is equidistant (1) from
+  // all sites, so it gets the identity permutation by tie-break.  Site
+  // x_i is at distance 0 from itself, giving the permutation that moves
+  // i to the front.  Total: k + 1 distinct permutations (identity plus
+  // one per site except site 0, whose permutation IS the identity) = k.
+  std::vector<int> data;
+  for (int i = 0; i < 50; ++i) data.push_back(i);
+  metric::Metric<int> d{metric::DiscreteMetric<int>()};
+  std::vector<int> sites = {5, 12, 30, 41};
+  auto result = CountDistinctPermutations(data, sites, d);
+  // Permutations: identity (all non-sites AND site 5, since moving site
+  // index 0 to the front is the identity), plus one per other site.
+  EXPECT_EQ(result.distinct_permutations, sites.size());
+}
+
+std::vector<std::string> BinaryCube(size_t d) {
+  std::vector<std::string> points;
+  for (size_t mask = 0; mask < (size_t{1} << d); ++mask) {
+    std::string s(d, '0');
+    for (size_t b = 0; b < d; ++b) {
+      if (mask & (size_t{1} << b)) s[b] = '1';
+    }
+    points.push_back(s);
+  }
+  return points;
+}
+
+class HammingCubeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HammingCubeTest, CountsRespectL1Bound) {
+  // The Hamming cube {0,1}^d embeds isometrically in L1, so Theorem 9's
+  // L1 cell bound applies to any site set.
+  const int d = GetParam();
+  auto cube = BinaryCube(static_cast<size_t>(d));
+  metric::Metric<std::string> hamming((metric::HammingMetric()));
+  util::Rng rng(70 + d);
+  for (size_t k : {2u, 3u, 5u}) {
+    if (cube.size() < k) continue;
+    auto sites = SelectRandomSites(cube, k, &rng);
+    auto result = CountDistinctPermutations(cube, sites, hamming);
+    EXPECT_LE(util::BigUint(result.distinct_permutations),
+              LpPermutationUpperBound(d, 1.0, static_cast<int>(k)))
+        << "d=" << d << " k=" << k;
+    EXPECT_LE(result.distinct_permutations, cube.size());
+    EXPECT_GE(result.distinct_permutations, 2u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HammingCubeTest,
+                         ::testing::Values(2, 3, 4, 6, 8, 10));
+
+TEST(HammingCube, TwoAntipodalSitesSplitTheCubeEvenly) {
+  // Sites 000..0 and 111..1: a point is nearer the site matching the
+  // majority of its bits; ties (equal weight) go to site 0.
+  auto cube = BinaryCube(5);
+  metric::Metric<std::string> hamming((metric::HammingMetric()));
+  std::vector<std::string> sites = {std::string(5, '0'),
+                                    std::string(5, '1')};
+  auto histogram = PermutationHistogram(cube, sites, hamming);
+  ASSERT_EQ(histogram.size(), 2u);
+  // Weight <= 2 (10+5+1 = 16 strings) get perm (0,1); weight >= 3 get
+  // (1,0).  d = 5 is odd so there are no exact ties.
+  EXPECT_EQ(histogram[0], 16u);  // identity rank 0
+  EXPECT_EQ(histogram[1], 16u);  // swapped rank 1
+}
+
+TEST(HammingCube, TieBreakMatchesPaperRule) {
+  // d = 4 (even): weight-2 strings are equidistant from 0000 and 1111;
+  // the paper's rule says the lower-indexed site wins.
+  auto cube = BinaryCube(4);
+  metric::Metric<std::string> hamming((metric::HammingMetric()));
+  std::vector<std::string> sites = {"0000", "1111"};
+  auto histogram = PermutationHistogram(cube, sites, hamming);
+  // identity: weight 0,1,2 -> 1 + 4 + 6 = 11; swapped: weight 3,4 -> 5.
+  EXPECT_EQ(histogram[0], 11u);
+  EXPECT_EQ(histogram[1], 5u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace distperm

@@ -1,0 +1,111 @@
+#include "core/distance_permutation.h"
+
+#include <gtest/gtest.h>
+
+#include "metric/lp.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace core {
+namespace {
+
+TEST(Permutation, IsPermutationValidates) {
+  EXPECT_TRUE(IsPermutation({}));
+  EXPECT_TRUE(IsPermutation({0}));
+  EXPECT_TRUE(IsPermutation({1, 0, 2}));
+  EXPECT_FALSE(IsPermutation({1, 1, 2}));   // duplicate
+  EXPECT_FALSE(IsPermutation({0, 3}));      // out of range
+}
+
+TEST(PermutationFromDistances, SortsByDistance) {
+  EXPECT_EQ(PermutationFromDistances({3.0, 1.0, 2.0}),
+            (Permutation{1, 2, 0}));
+  EXPECT_EQ(PermutationFromDistances({0.5}), (Permutation{0}));
+  EXPECT_EQ(PermutationFromDistances({}), (Permutation{}));
+}
+
+TEST(PermutationFromDistances, TieBreaksTowardLowerIndex) {
+  // The paper's rule: equal distances order by increasing site index.
+  EXPECT_EQ(PermutationFromDistances({2.0, 2.0, 1.0}),
+            (Permutation{2, 0, 1}));
+  EXPECT_EQ(PermutationFromDistances({1.0, 1.0, 1.0, 1.0}),
+            (Permutation{0, 1, 2, 3}));
+  EXPECT_EQ(PermutationFromDistances({5.0, 1.0, 5.0, 1.0}),
+            (Permutation{1, 3, 0, 2}));
+}
+
+TEST(InvertPermutation, RoundTrips) {
+  Permutation perm = {2, 0, 3, 1};
+  Permutation inverse = InvertPermutation(perm);
+  EXPECT_EQ(inverse, (Permutation{1, 3, 0, 2}));
+  EXPECT_EQ(InvertPermutation(inverse), perm);
+}
+
+TEST(InvertPermutation, IdentityIsSelfInverse) {
+  Permutation identity = {0, 1, 2, 3, 4};
+  EXPECT_EQ(InvertPermutation(identity), identity);
+}
+
+TEST(ComputeDistancePermutation, EuclideanPlaneExample) {
+  metric::Metric<metric::Vector> l2(metric::LpMetric::L2());
+  std::vector<metric::Vector> sites = {{0.0, 0.0}, {10.0, 0.0}, {5.0, 5.0}};
+  metric::Vector near_first = {1.0, 0.0};
+  EXPECT_EQ(ComputeDistancePermutation(sites, l2, near_first),
+            (Permutation{0, 2, 1}));
+  metric::Vector near_second = {9.0, 1.0};
+  EXPECT_EQ(ComputeDistancePermutation(sites, l2, near_second),
+            (Permutation{1, 2, 0}));
+}
+
+TEST(ComputeDistancePermutation, EquidistantUsesIndexOrder) {
+  metric::Metric<metric::Vector> l2(metric::LpMetric::L2());
+  std::vector<metric::Vector> sites = {{-1.0, 0.0}, {1.0, 0.0}};
+  metric::Vector on_bisector = {0.0, 3.0};
+  EXPECT_EQ(ComputeDistancePermutation(sites, l2, on_bisector),
+            (Permutation{0, 1}));
+}
+
+TEST(PermutationPrefix, MatchesFullPermutationPrefix) {
+  util::Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t k = 2 + rng.NextBounded(10);
+    std::vector<double> distances(k);
+    for (auto& d : distances) d = rng.NextDouble();
+    Permutation full = PermutationFromDistances(distances);
+    for (size_t prefix = 0; prefix <= k; ++prefix) {
+      Permutation partial =
+          PermutationPrefixFromDistances(distances, prefix);
+      ASSERT_EQ(partial.size(), prefix);
+      for (size_t i = 0; i < prefix; ++i) {
+        EXPECT_EQ(partial[i], full[i]);
+      }
+    }
+  }
+}
+
+TEST(PermutationPrefix, PrefixLongerThanSitesClamps) {
+  Permutation partial = PermutationPrefixFromDistances({1.0, 2.0}, 10);
+  EXPECT_EQ(partial.size(), 2u);
+}
+
+TEST(ComputeDistancePermutation, AlwaysValidOnRandomInputs) {
+  util::Rng rng(7);
+  metric::Metric<metric::Vector> l1(metric::LpMetric::L1());
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t k = 1 + rng.NextBounded(12);
+    size_t d = 1 + rng.NextBounded(5);
+    std::vector<metric::Vector> sites(k, metric::Vector(d));
+    for (auto& site : sites) {
+      for (auto& coord : site) coord = rng.NextDouble();
+    }
+    metric::Vector query(d);
+    for (auto& coord : query) coord = rng.NextDouble();
+    Permutation perm = ComputeDistancePermutation(sites, l1, query);
+    EXPECT_TRUE(IsPermutation(perm));
+    EXPECT_EQ(perm.size(), k);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace distperm

@@ -1,0 +1,161 @@
+#include "core/euclidean_count.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cake.h"
+#include "util/big_uint.h"
+
+namespace distperm {
+namespace core {
+namespace {
+
+using util::BigUint;
+
+// The paper's Table 1, verbatim: N_{d,2}(k) for d = 1..10, k = 2..12.
+constexpr uint64_t kTable1[10][11] = {
+    {2, 4, 7, 11, 16, 22, 29, 37, 46, 56, 67},
+    {2, 6, 18, 46, 101, 197, 351, 583, 916, 1376, 1992},
+    {2, 6, 24, 96, 326, 932, 2311, 5119, 10366, 19526, 34662},
+    {2, 6, 24, 120, 600, 2556, 9080, 27568, 73639, 177299, 392085},
+    {2, 6, 24, 120, 720, 4320, 22212, 94852, 342964, 1079354, 3029643},
+    {2, 6, 24, 120, 720, 5040, 35280, 212976, 1066644, 4496284, 16369178},
+    {2, 6, 24, 120, 720, 5040, 40320, 322560, 2239344, 12905784, 62364908},
+    {2, 6, 24, 120, 720, 5040, 40320, 362880, 3265920, 25659360, 167622984},
+    {2, 6, 24, 120, 720, 5040, 40320, 362880, 3628800, 36288000, 318540960},
+    {2, 6, 24, 120, 720, 5040, 40320, 362880, 3628800, 39916800, 439084800},
+};
+
+TEST(EuclideanCount, ReproducesTable1Exactly) {
+  EuclideanCounter counter;
+  for (int d = 1; d <= 10; ++d) {
+    for (int k = 2; k <= 12; ++k) {
+      EXPECT_EQ(counter.Count64(d, k), kTable1[d - 1][k - 2])
+          << "d=" << d << " k=" << k;
+    }
+  }
+}
+
+TEST(EuclideanCount, BaseCases) {
+  EuclideanCounter counter;
+  for (int d = 0; d <= 6; ++d) EXPECT_EQ(counter.Count64(d, 1), 1u);
+  for (int k = 1; k <= 8; ++k) EXPECT_EQ(counter.Count64(0, k), 1u);
+}
+
+TEST(EuclideanCount, OneDimensionIsBisectorCountPlusOne) {
+  // N_{1,2}(k) = C(k,2) + 1: k-1 sites on a line give C(k,2) bisector
+  // points splitting the line.
+  EuclideanCounter counter;
+  for (int k = 1; k <= 30; ++k) {
+    EXPECT_EQ(counter.Count64(1, k),
+              static_cast<uint64_t>(k) * (k - 1) / 2 + 1);
+  }
+}
+
+TEST(EuclideanCount, FactorialLowerTriangle) {
+  // Theorem 6: N_{d,2}(k) = k! whenever d >= k - 1.
+  EuclideanCounter counter;
+  for (int k = 1; k <= 10; ++k) {
+    for (int d = k - 1; d <= 12; ++d) {
+      EXPECT_EQ(BigUint(counter.Count64(d, k)),
+                BigUint::Factorial(static_cast<uint64_t>(k)))
+          << "d=" << d << " k=" << k;
+    }
+  }
+}
+
+TEST(EuclideanCount, NeverExceedsFactorial) {
+  EuclideanCounter counter;
+  for (int d = 0; d <= 8; ++d) {
+    for (int k = 1; k <= 12; ++k) {
+      EXPECT_LE(counter.Count(d, k),
+                BigUint::Factorial(static_cast<uint64_t>(k)));
+    }
+  }
+}
+
+TEST(EuclideanCount, MonotoneInBothArguments) {
+  EuclideanCounter counter;
+  for (int d = 1; d <= 8; ++d) {
+    for (int k = 2; k <= 12; ++k) {
+      EXPECT_GE(counter.Count(d, k), counter.Count(d - 1, k));
+      EXPECT_GT(counter.Count(d, k), counter.Count(d, k - 1));
+    }
+  }
+}
+
+TEST(EuclideanCount, Corollary8UpperBound) {
+  // N_{d,2}(k) <= k^{2d}.
+  EuclideanCounter counter;
+  for (int d = 0; d <= 8; ++d) {
+    for (int k = 1; k <= 16; ++k) {
+      EXPECT_LE(counter.Count(d, k), EuclideanCounter::UpperBound(d, k))
+          << "d=" << d << " k=" << k;
+    }
+  }
+}
+
+TEST(EuclideanCount, BoundedByCakeCuttingOfBisectors) {
+  // N_{d,2}(k) <= S_d(C(k,2)): the bisectors, even in special position,
+  // cannot produce more cells than general-position hyperplanes.
+  EuclideanCounter counter;
+  for (int d = 1; d <= 6; ++d) {
+    for (int k = 2; k <= 12; ++k) {
+      uint64_t bisectors = static_cast<uint64_t>(k) * (k - 1) / 2;
+      EXPECT_LE(counter.Count(d, k), CakeCount(d, bisectors))
+          << "d=" << d << " k=" << k;
+    }
+  }
+}
+
+TEST(EuclideanCount, AsymptoticLeadingTermConverges) {
+  // Corollary 8: N_{d,2}(k) ~ k^{2d} / (2^d d!).  At k = 400 the ratio
+  // should be within a few percent for small d.
+  EuclideanCounter counter;
+  for (int d = 1; d <= 3; ++d) {
+    double exact = counter.Count(d, 400).ToDouble();
+    double estimate = EuclideanCounter::AsymptoticEstimate(d, 400);
+    EXPECT_NEAR(exact / estimate, 1.0, 0.05) << "d=" << d;
+  }
+}
+
+TEST(EuclideanCount, StorageBitsMatchCeilLog) {
+  EuclideanCounter counter;
+  EXPECT_EQ(counter.StorageBits(0, 5), 0);   // 1 permutation
+  EXPECT_EQ(counter.StorageBits(1, 2), 1);   // 2 permutations
+  EXPECT_EQ(counter.StorageBits(2, 4), 5);   // 18 -> 5 bits
+  EXPECT_EQ(counter.StorageBits(2, 12), 11); // 1992 -> 11 bits
+  EXPECT_EQ(counter.StorageBits(10, 12), 29); // 439084800 -> 29 bits
+}
+
+TEST(EuclideanCount, StorageBitsGrowLikeDLogK) {
+  // Corollary 8: Theta(d log k) bits; check the ratio is stable in d.
+  EuclideanCounter counter;
+  int bits_d2 = counter.StorageBits(2, 64);
+  int bits_d4 = counter.StorageBits(4, 64);
+  int bits_d8 = counter.StorageBits(8, 64);
+  EXPECT_NEAR(static_cast<double>(bits_d4) / bits_d2, 2.0, 0.35);
+  EXPECT_NEAR(static_cast<double>(bits_d8) / bits_d4, 2.0, 0.35);
+}
+
+TEST(EuclideanCount, LargeArgumentsStayExact) {
+  // d = 12, k = 40 overflows 64 bits; the BigUint path must agree with
+  // the recurrence applied to BigUints directly.
+  EuclideanCounter counter;
+  const BigUint& value = counter.Count(12, 40);
+  BigUint expected = counter.Count(12, 39) +
+                     counter.Count(11, 39) * BigUint(39);
+  EXPECT_EQ(value, expected);
+  EXPECT_GT(value, BigUint(~uint64_t{0}));  // really needs bignum
+}
+
+TEST(EuclideanCount, ConvenienceFunctionMatchesCounter) {
+  EuclideanCounter counter;
+  EXPECT_EQ(EuclideanPermutationCount(3, 7), counter.Count(3, 7));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace distperm

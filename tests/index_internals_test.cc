@@ -1,0 +1,193 @@
+// Deeper index tests: stored-structure invariants, cross-index
+// agreement on non-vector metrics, and counter bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dataset/doc_gen.h"
+#include "dataset/vector_gen.h"
+#include "index/aesa.h"
+#include "index/distperm_index.h"
+#include "index/gh_tree.h"
+#include "index/iaesa.h"
+#include "index/laesa.h"
+#include "index/linear_scan.h"
+#include "index/vp_tree.h"
+#include "metric/cosine.h"
+#include "metric/lp.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace index {
+namespace {
+
+using metric::SparseVector;
+using metric::Vector;
+
+metric::Metric<Vector> L2() { return metric::LpMetric::L2(); }
+metric::Metric<Vector> L1() { return metric::LpMetric::L1(); }
+
+TEST(AesaInternals, MatrixIsSymmetricWithZeroDiagonal) {
+  util::Rng rng(51);
+  auto data = dataset::UniformCube(40, 3, &rng);
+  AesaIndex<Vector> aesa(data, L2());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(aesa.StoredDistance(i, i), 0.0);
+    for (size_t j = 0; j < data.size(); ++j) {
+      EXPECT_DOUBLE_EQ(aesa.StoredDistance(i, j),
+                       aesa.StoredDistance(j, i));
+    }
+  }
+}
+
+TEST(AesaInternals, MatrixSatisfiesTriangleInequality) {
+  util::Rng rng(52);
+  auto data = dataset::UniformCube(25, 4, &rng);
+  AesaIndex<Vector> aesa(data, L2());
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (size_t j = 0; j < data.size(); ++j) {
+      for (size_t k = 0; k < data.size(); ++k) {
+        EXPECT_LE(aesa.StoredDistance(i, k),
+                  aesa.StoredDistance(i, j) + aesa.StoredDistance(j, k) +
+                      1e-9);
+      }
+    }
+  }
+}
+
+TEST(LaesaInternals, TableMatchesMetric) {
+  util::Rng rng(53), pivot_rng(54);
+  auto data = dataset::UniformCube(60, 2, &rng);
+  LaesaIndex<Vector> laesa(data, L2(), 5, &pivot_rng);
+  ASSERT_EQ(laesa.pivot_ids().size(), 5u);
+  metric::LpMetric l2 = metric::LpMetric::L2();
+  for (size_t i = 0; i < data.size(); i += 7) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(laesa.StoredDistance(i, j),
+                       l2(data[i], data[laesa.pivot_ids()[j]]));
+    }
+  }
+}
+
+TEST(Iaesa, AgreesWithAesaUnderL1) {
+  util::Rng rng(55), site_rng(56);
+  auto data = dataset::UniformCube(150, 4, &rng);
+  AesaIndex<Vector> aesa(data, L1());
+  IaesaIndex<Vector> iaesa(data, L1(), 8, &site_rng);
+  for (int q = 0; q < 10; ++q) {
+    Vector query(4);
+    for (auto& coord : query) coord = rng.NextDouble();
+    EXPECT_EQ(iaesa.KnnQuery(query, 7), aesa.KnnQuery(query, 7));
+    EXPECT_EQ(iaesa.RangeQuery(query, 0.4), aesa.RangeQuery(query, 0.4));
+  }
+}
+
+TEST(Indexes, AgreeOnSparseDocumentSpace) {
+  util::Rng rng(57);
+  dataset::DocCorpusProfile profile;
+  profile.vocabulary = 500;
+  profile.topics = 5;
+  profile.terms_per_doc = 15;
+  auto docs = dataset::DocumentVectors(120, profile, &rng);
+  metric::Metric<SparseVector> angle((metric::AngleMetric()));
+  LinearScanIndex<SparseVector> reference(docs, angle);
+  util::Rng r1(58), r2(59);
+  VpTreeIndex<SparseVector> vp(docs, angle, &r1);
+  GhTreeIndex<SparseVector> gh(docs, angle, &r2);
+  AesaIndex<SparseVector> aesa(docs, angle);
+  for (int q = 0; q < 6; ++q) {
+    const SparseVector& query = docs[rng.NextBounded(docs.size())];
+    auto expected = reference.KnnQuery(query, 4);
+    EXPECT_EQ(vp.KnnQuery(query, 4), expected);
+    EXPECT_EQ(gh.KnnQuery(query, 4), expected);
+    EXPECT_EQ(aesa.KnnQuery(query, 4), expected);
+    auto expected_range = reference.RangeQuery(query, 0.8);
+    EXPECT_EQ(vp.RangeQuery(query, 0.8), expected_range);
+    EXPECT_EQ(gh.RangeQuery(query, 0.8), expected_range);
+  }
+}
+
+TEST(Indexes, QueryOutsideDataRangeStillCorrect) {
+  util::Rng rng(60);
+  auto data = dataset::UniformCube(200, 2, &rng);
+  LinearScanIndex<Vector> reference(data, L2());
+  util::Rng r1(61), r2(62), r3(62);
+  VpTreeIndex<Vector> vp(data, L2(), &r1);
+  GhTreeIndex<Vector> gh(data, L2(), &r2);
+  LaesaIndex<Vector> laesa(data, L2(), 6, &r3);
+  Vector far_query = {25.0, -13.0};
+  auto expected = reference.KnnQuery(far_query, 3);
+  EXPECT_EQ(vp.KnnQuery(far_query, 3), expected);
+  EXPECT_EQ(gh.KnnQuery(far_query, 3), expected);
+  EXPECT_EQ(laesa.KnnQuery(far_query, 3), expected);
+  // A huge radius returns everything, sorted.
+  auto all = reference.RangeQuery(far_query, 100.0);
+  EXPECT_EQ(all.size(), data.size());
+  EXPECT_EQ(vp.RangeQuery(far_query, 100.0), all);
+}
+
+TEST(Indexes, RadiusBoundaryIsInclusive) {
+  std::vector<Vector> data = {{0.0, 0.0}, {3.0, 4.0}, {6.0, 8.0}};
+  LinearScanIndex<Vector> scan(data, L2());
+  auto hits = scan.RangeQuery({0.0, 0.0}, 5.0);  // d to point 1 is 5.0
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[1].id, 1u);
+  EXPECT_DOUBLE_EQ(hits[1].distance, 5.0);
+}
+
+TEST(DistPerm, WorksOnSparseDocuments) {
+  util::Rng rng(63), site_rng(64);
+  dataset::DocCorpusProfile profile;
+  profile.vocabulary = 400;
+  profile.topics = 4;
+  auto docs = dataset::DocumentVectors(200, profile, &rng);
+  metric::Metric<SparseVector> angle((metric::AngleMetric()));
+  DistPermIndex<SparseVector> index(docs, angle, 6, &site_rng, 1.0);
+  LinearScanIndex<SparseVector> reference(docs, angle);
+  const SparseVector& query = docs[17];
+  EXPECT_EQ(index.KnnQuery(query, 5), reference.KnnQuery(query, 5));
+  EXPECT_GE(index.DistinctPermutationCount(), 1u);
+  EXPECT_LE(index.DistinctPermutationCount(), docs.size());
+}
+
+TEST(Counters, ResetQueryCountOnlyClearsQueries) {
+  util::Rng rng(65), site_rng(66);
+  auto data = dataset::UniformCube(100, 2, &rng);
+  DistPermIndex<Vector> index(data, L2(), 5, &site_rng);
+  uint64_t build = index.build_distance_computations();
+  EXPECT_EQ(build, 100u * 5u);
+  index.KnnQuery(data[0], 3);
+  EXPECT_GT(index.query_distance_computations(), 0u);
+  index.ResetQueryCount();
+  EXPECT_EQ(index.query_distance_computations(), 0u);
+  EXPECT_EQ(index.build_distance_computations(), build);
+}
+
+TEST(VpTree, HandlesCollinearData) {
+  // Degenerate geometry: all points on a line; median splits still work.
+  std::vector<Vector> data;
+  for (int i = 0; i < 64; ++i) data.push_back({static_cast<double>(i)});
+  util::Rng rng(67);
+  VpTreeIndex<Vector> vp(data, L2(), &rng);
+  LinearScanIndex<Vector> reference(data, L2());
+  for (double q : {-5.0, 0.0, 31.5, 63.0, 99.0}) {
+    Vector query = {q};
+    EXPECT_EQ(vp.KnnQuery(query, 5), reference.KnnQuery(query, 5)) << q;
+  }
+}
+
+TEST(GhTree, HandlesTwoPointDatabase) {
+  std::vector<Vector> data = {{0.0}, {1.0}};
+  util::Rng rng(68);
+  GhTreeIndex<Vector> gh(data, L2(), &rng);
+  auto hits = gh.KnnQuery({0.2}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 0u);
+  EXPECT_EQ(hits[1].id, 1u);
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace distperm

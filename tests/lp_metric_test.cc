@@ -1,0 +1,99 @@
+#include "metric/lp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace distperm {
+namespace metric {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Lp, KnownDistances2D) {
+  Vector a = {0.0, 0.0};
+  Vector b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(L1Distance(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(L2Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(L2DistanceSquared(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(LInfDistance(a, b), 4.0);
+}
+
+TEST(Lp, ZeroDistanceToSelf) {
+  Vector a = {1.5, -2.5, 3.0};
+  EXPECT_DOUBLE_EQ(L1Distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(L2Distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(LInfDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(LpDistance(a, a, 3.0), 0.0);
+}
+
+TEST(Lp, GeneralPMatchesSpecializations) {
+  Vector a = {1.0, 2.0, -1.0};
+  Vector b = {-2.0, 0.5, 4.0};
+  EXPECT_DOUBLE_EQ(LpDistance(a, b, 1.0), L1Distance(a, b));
+  EXPECT_DOUBLE_EQ(LpDistance(a, b, 2.0), L2Distance(a, b));
+  EXPECT_DOUBLE_EQ(LpDistance(a, b, kInf), LInfDistance(a, b));
+}
+
+TEST(Lp, GeneralPKnownValue) {
+  Vector a = {0.0};
+  Vector b = {2.0};
+  // One dimension: all Lp metrics coincide with |x - y|.
+  for (double p : {1.0, 1.5, 2.0, 3.0, 7.0}) {
+    EXPECT_DOUBLE_EQ(LpDistance(a, b, p), 2.0) << p;
+  }
+  Vector c = {1.0, 1.0};
+  Vector origin = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(LpDistance(origin, c, 3.0), std::pow(2.0, 1.0 / 3.0));
+}
+
+TEST(Lp, MonotoneNonIncreasingInP) {
+  // For fixed vectors, ||v||_p is non-increasing in p.
+  Vector a = {0.3, -0.8, 0.5, 0.1};
+  Vector b = {-0.2, 0.4, 0.9, -0.7};
+  double previous = LpDistance(a, b, 1.0);
+  for (double p : {1.5, 2.0, 3.0, 5.0, 10.0, kInf}) {
+    double current = LpDistance(a, b, p);
+    EXPECT_LE(current, previous + 1e-12) << p;
+    previous = current;
+  }
+}
+
+TEST(Lp, SymmetricInArguments) {
+  Vector a = {0.1, 0.9, -0.4};
+  Vector b = {0.7, -0.3, 0.2};
+  for (double p : {1.0, 2.0, 3.5, kInf}) {
+    EXPECT_DOUBLE_EQ(LpDistance(a, b, p), LpDistance(b, a, p)) << p;
+  }
+}
+
+TEST(Lp, EmptyVectorsHaveZeroDistance) {
+  Vector a, b;
+  EXPECT_DOUBLE_EQ(L1Distance(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(L2Distance(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(LInfDistance(a, b), 0.0);
+}
+
+TEST(LpMetric, NamesAndFactories) {
+  EXPECT_EQ(LpMetric::L1().name(), "L1");
+  EXPECT_EQ(LpMetric::L2().name(), "L2");
+  EXPECT_EQ(LpMetric::LInf().name(), "Linf");
+  EXPECT_EQ(LpMetric(3.0).name(), "L3");
+  EXPECT_DOUBLE_EQ(LpMetric::L1().p(), 1.0);
+  EXPECT_TRUE(std::isinf(LpMetric::LInf().p()));
+}
+
+TEST(LpMetric, CallableAndWrappable) {
+  Vector a = {0.0, 0.0};
+  Vector b = {3.0, 4.0};
+  LpMetric l2 = LpMetric::L2();
+  EXPECT_DOUBLE_EQ(l2(a, b), 5.0);
+  Metric<Vector> wrapped(l2);
+  EXPECT_DOUBLE_EQ(wrapped(a, b), 5.0);
+  EXPECT_EQ(wrapped.name(), "L2");
+}
+
+}  // namespace
+}  // namespace metric
+}  // namespace distperm

@@ -1,0 +1,144 @@
+// Parameterized metric-axiom property sweeps for the vector metrics:
+// non-negativity, identity of indiscernibles, symmetry, and the triangle
+// inequality, each over random point populations.  The axioms are what
+// every theorem in the paper silently relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "core/distance_permutation.h"
+#include "metric/cosine.h"
+#include "metric/lp.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace metric {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class LpAxiomTest
+    : public ::testing::TestWithParam<std::tuple<double, int, int>> {
+ protected:
+  std::vector<Vector> MakePoints(size_t count, size_t dim,
+                                 util::Rng* rng) {
+    std::vector<Vector> points(count, Vector(dim));
+    for (auto& point : points) {
+      for (auto& coord : point) coord = rng->NextDouble(-2.0, 2.0);
+    }
+    return points;
+  }
+};
+
+TEST_P(LpAxiomTest, NonNegativityAndIdentity) {
+  auto [p, dim, seed] = GetParam();
+  util::Rng rng(31000 + seed * 17 + dim);
+  auto points = MakePoints(12, static_cast<size_t>(dim), &rng);
+  for (const auto& x : points) {
+    EXPECT_DOUBLE_EQ(LpDistance(x, x, p), 0.0);
+    for (const auto& y : points) {
+      double d = LpDistance(x, y, p);
+      EXPECT_GE(d, 0.0);
+      if (x != y) {
+        EXPECT_GT(d, 0.0);
+      }
+    }
+  }
+}
+
+TEST_P(LpAxiomTest, Symmetry) {
+  auto [p, dim, seed] = GetParam();
+  util::Rng rng(32000 + seed * 17 + dim);
+  auto points = MakePoints(12, static_cast<size_t>(dim), &rng);
+  for (const auto& x : points) {
+    for (const auto& y : points) {
+      EXPECT_DOUBLE_EQ(LpDistance(x, y, p), LpDistance(y, x, p));
+    }
+  }
+}
+
+TEST_P(LpAxiomTest, TriangleInequality) {
+  auto [p, dim, seed] = GetParam();
+  util::Rng rng(33000 + seed * 17 + dim);
+  auto points = MakePoints(10, static_cast<size_t>(dim), &rng);
+  for (const auto& x : points) {
+    for (const auto& y : points) {
+      for (const auto& z : points) {
+        EXPECT_LE(LpDistance(x, z, p),
+                  LpDistance(x, y, p) + LpDistance(y, z, p) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(LpAxiomTest, TranslationInvariance) {
+  auto [p, dim, seed] = GetParam();
+  util::Rng rng(34000 + seed * 17 + dim);
+  auto points = MakePoints(8, static_cast<size_t>(dim), &rng);
+  Vector shift(static_cast<size_t>(dim));
+  for (auto& coord : shift) coord = rng.NextDouble(-1.0, 1.0);
+  for (const auto& x : points) {
+    for (const auto& y : points) {
+      Vector xs = x, ys = y;
+      for (int i = 0; i < dim; ++i) {
+        xs[i] += shift[i];
+        ys[i] += shift[i];
+      }
+      EXPECT_NEAR(LpDistance(x, y, p), LpDistance(xs, ys, p), 1e-9);
+    }
+  }
+}
+
+TEST_P(LpAxiomTest, AbsoluteHomogeneity) {
+  auto [p, dim, seed] = GetParam();
+  util::Rng rng(35000 + seed * 17 + dim);
+  auto points = MakePoints(6, static_cast<size_t>(dim), &rng);
+  const double scale = 2.5;
+  for (const auto& x : points) {
+    for (const auto& y : points) {
+      Vector xs = x, ys = y;
+      for (int i = 0; i < dim; ++i) {
+        xs[i] *= scale;
+        ys[i] *= scale;
+      }
+      EXPECT_NEAR(LpDistance(xs, ys, p), scale * LpDistance(x, y, p),
+                  1e-9 * (1.0 + LpDistance(x, y, p)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LpAxiomTest,
+    ::testing::Combine(::testing::Values(1.0, 1.5, 2.0, 3.0, 7.0, kInf),
+                       ::testing::Values(1, 3, 8),
+                       ::testing::Values(0, 1)));
+
+// Distance permutations only depend on distance comparisons, so any
+// monotone transform of the metric leaves every permutation unchanged —
+// e.g. squared L2 versus L2.
+TEST(MetricConsistency, SquaredL2GivesSamePermutations) {
+  util::Rng rng(36000);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Vector> sites(6, Vector(3));
+    for (auto& site : sites) {
+      for (auto& coord : site) coord = rng.NextDouble();
+    }
+    Vector query(3);
+    for (auto& coord : query) coord = rng.NextDouble();
+    std::vector<double> plain(6), squared(6);
+    for (size_t i = 0; i < 6; ++i) {
+      plain[i] = L2Distance(sites[i], query);
+      squared[i] = L2DistanceSquared(sites[i], query);
+    }
+    EXPECT_EQ(core::PermutationFromDistances(plain),
+              core::PermutationFromDistances(squared));
+  }
+}
+
+}  // namespace
+}  // namespace metric
+}  // namespace distperm

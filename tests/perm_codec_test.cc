@@ -1,0 +1,135 @@
+#include "core/perm_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/rng.h"
+
+namespace distperm {
+namespace core {
+namespace {
+
+uint64_t Factorial(size_t n) {
+  uint64_t f = 1;
+  for (size_t i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+TEST(PermCodec, IdentityHasRankZero) {
+  for (size_t k = 0; k <= 10; ++k) {
+    Permutation identity(k);
+    std::iota(identity.begin(), identity.end(), 0);
+    EXPECT_EQ(RankPermutation(identity), 0u) << k;
+  }
+}
+
+TEST(PermCodec, ReverseHasMaxRank) {
+  for (size_t k = 1; k <= 10; ++k) {
+    Permutation reversed(k);
+    for (size_t i = 0; i < k; ++i) {
+      reversed[i] = static_cast<uint8_t>(k - 1 - i);
+    }
+    EXPECT_EQ(RankPermutation(reversed), Factorial(k) - 1) << k;
+  }
+}
+
+TEST(PermCodec, KnownSmallRanks) {
+  // Lexicographic order of the 6 permutations of {0,1,2}.
+  EXPECT_EQ(RankPermutation({0, 1, 2}), 0u);
+  EXPECT_EQ(RankPermutation({0, 2, 1}), 1u);
+  EXPECT_EQ(RankPermutation({1, 0, 2}), 2u);
+  EXPECT_EQ(RankPermutation({1, 2, 0}), 3u);
+  EXPECT_EQ(RankPermutation({2, 0, 1}), 4u);
+  EXPECT_EQ(RankPermutation({2, 1, 0}), 5u);
+}
+
+class CodecSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CodecSweepTest, RankUnrankBijective) {
+  const size_t k = GetParam();
+  const uint64_t total = Factorial(k);
+  std::set<uint64_t> ranks;
+  Permutation perm(k);
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    uint64_t rank = RankPermutation(perm);
+    EXPECT_LT(rank, total);
+    EXPECT_TRUE(ranks.insert(rank).second) << "duplicate rank " << rank;
+    EXPECT_EQ(UnrankPermutation(rank, k), perm);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(ranks.size(), total);
+}
+
+TEST_P(CodecSweepTest, UnrankEnumeratesLexicographically) {
+  const size_t k = GetParam();
+  Permutation previous = UnrankPermutation(0, k);
+  for (uint64_t rank = 1; rank < Factorial(k); ++rank) {
+    Permutation current = UnrankPermutation(rank, k);
+    EXPECT_TRUE(std::lexicographical_compare(
+        previous.begin(), previous.end(), current.begin(), current.end()));
+    previous = current;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallK, CodecSweepTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(PermCodec, LargeKRoundTripsViaRandomPerms) {
+  util::Rng rng(99);
+  for (size_t k : {10u, 15u, 20u}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      Permutation perm(k);
+      std::iota(perm.begin(), perm.end(), 0);
+      rng.Shuffle(&perm);
+      uint64_t rank = RankPermutation(perm);
+      EXPECT_EQ(UnrankPermutation(rank, k), perm);
+    }
+  }
+}
+
+TEST(PermCodec, BigVersionMatches64BitVersion) {
+  util::Rng rng(100);
+  for (size_t k : {3u, 8u, 15u, 20u}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      Permutation perm(k);
+      std::iota(perm.begin(), perm.end(), 0);
+      rng.Shuffle(&perm);
+      util::BigUint big = RankPermutationBig(perm);
+      ASSERT_TRUE(big.FitsUint64());
+      EXPECT_EQ(big.ToUint64(), RankPermutation(perm));
+      EXPECT_EQ(UnrankPermutationBig(big, k), perm);
+    }
+  }
+}
+
+TEST(PermCodec, BigVersionHandlesKBeyond20) {
+  util::Rng rng(101);
+  for (size_t k : {21u, 30u, 60u}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      Permutation perm(k);
+      std::iota(perm.begin(), perm.end(), 0);
+      rng.Shuffle(&perm);
+      util::BigUint rank = RankPermutationBig(perm);
+      EXPECT_LT(rank, util::BigUint::Factorial(k));
+      EXPECT_EQ(UnrankPermutationBig(rank, k), perm);
+    }
+  }
+}
+
+TEST(PermCodec, PermutationKeyDistinguishesSmallPerms) {
+  // For k <= 20 the key is the exact Lehmer rank, so distinct perms get
+  // distinct keys.
+  std::set<uint64_t> keys;
+  Permutation perm = {0, 1, 2, 3, 4};
+  do {
+    EXPECT_TRUE(keys.insert(PermutationKey(perm)).second);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(keys.size(), 120u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace distperm

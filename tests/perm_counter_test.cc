@@ -1,0 +1,260 @@
+// Tests for perm_counter.h, intrinsic_dim.h, dimension_estimate.h, and
+// storage_model.h — the Section 5 measurement machinery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dimension_estimate.h"
+#include "core/euclidean_count.h"
+#include "core/intrinsic_dim.h"
+#include "core/perm_counter.h"
+#include "core/storage_model.h"
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace core {
+namespace {
+
+using metric::Vector;
+
+metric::Metric<Vector> L2() { return metric::LpMetric::L2(); }
+
+TEST(PermCounter, TwoSitesGiveAtMostTwoPermutations) {
+  util::Rng rng(1);
+  auto data = dataset::UniformCube(500, 2, &rng);
+  std::vector<Vector> sites = {{0.0, 0.5}, {1.0, 0.5}};
+  auto result = CountDistinctPermutations(data, sites, L2());
+  EXPECT_EQ(result.distinct_permutations, 2u);
+  EXPECT_EQ(result.points, 500u);
+  EXPECT_EQ(result.metric_evaluations, 1000u);
+}
+
+TEST(PermCounter, IdenticalPointsGiveOnePermutation) {
+  std::vector<Vector> data(50, Vector{0.25, 0.25});
+  std::vector<Vector> sites = {{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}};
+  auto result = CountDistinctPermutations(data, sites, L2());
+  EXPECT_EQ(result.distinct_permutations, 1u);
+}
+
+TEST(PermCounter, CountNeverExceedsEuclideanMaximum) {
+  util::Rng rng(2);
+  EuclideanCounter counter;
+  for (int d : {1, 2, 3}) {
+    for (size_t k : {3u, 4u, 5u}) {
+      auto data = dataset::UniformCube(2000, static_cast<size_t>(d), &rng);
+      auto sites = SelectRandomSites(data, k, &rng);
+      auto result = CountDistinctPermutations(data, sites, L2());
+      EXPECT_LE(result.distinct_permutations,
+                counter.Count64(d, static_cast<int>(k)))
+          << "d=" << d << " k=" << k;
+      EXPECT_GE(result.distinct_permutations, 1u);
+    }
+  }
+}
+
+TEST(PermCounter, OneDimensionalDataOnLineIsTreeLike) {
+  // Points on a line: N <= C(k,2) + 1 regardless of ambient dimension.
+  util::Rng rng(3);
+  std::vector<Vector> data;
+  for (int i = 0; i < 1000; ++i) {
+    double t = rng.NextDouble();
+    data.push_back({t, 2.0 * t, -t});  // a line in R^3
+  }
+  auto sites = SelectRandomSites(data, 6, &rng);
+  auto result = CountDistinctPermutations(data, sites, L2());
+  EXPECT_LE(result.distinct_permutations, 6u * 5u / 2u + 1u);
+}
+
+TEST(PermCounter, HistogramTotalsMatchDatabase) {
+  util::Rng rng(4);
+  auto data = dataset::UniformCube(300, 2, &rng);
+  auto sites = SelectRandomSites(data, 4, &rng);
+  auto histogram = PermutationHistogram(data, sites, L2());
+  size_t total = 0;
+  for (const auto& [rank, count] : histogram) {
+    EXPECT_GT(count, 0u);
+    total += count;
+  }
+  EXPECT_EQ(total, data.size());
+  auto result = CountDistinctPermutations(data, sites, L2());
+  EXPECT_EQ(histogram.size(), result.distinct_permutations);
+}
+
+TEST(PermCounter, PrefixCountsMatchIndividualCounts) {
+  util::Rng rng(5);
+  auto data = dataset::UniformCube(400, 3, &rng);
+  auto sites = SelectRandomSites(data, 8, &rng);
+  std::vector<size_t> ks = {3, 5, 8};
+  auto combined = CountForSitePrefixes(data, sites, L2(), ks);
+  ASSERT_EQ(combined.size(), 3u);
+  for (size_t t = 0; t < ks.size(); ++t) {
+    std::vector<Vector> prefix_sites(sites.begin(),
+                                     sites.begin() + ks[t]);
+    auto individual = CountDistinctPermutations(data, prefix_sites, L2());
+    EXPECT_EQ(combined[t].distinct_permutations,
+              individual.distinct_permutations)
+        << "k=" << ks[t];
+  }
+}
+
+TEST(PermCounter, MorePointsNeverReduceCount) {
+  util::Rng rng(6);
+  auto data = dataset::UniformCube(2000, 2, &rng);
+  auto sites = SelectRandomSites(data, 5, &rng);
+  std::vector<Vector> half(data.begin(), data.begin() + 1000);
+  auto small = CountDistinctPermutations(half, sites, L2());
+  auto large = CountDistinctPermutations(data, sites, L2());
+  EXPECT_GE(large.distinct_permutations, small.distinct_permutations);
+}
+
+TEST(SelectRandomSites, DistinctAndFromData) {
+  util::Rng rng(7);
+  auto data = dataset::UniformCube(50, 2, &rng);
+  auto sites = SelectRandomSites(data, 10, &rng);
+  EXPECT_EQ(sites.size(), 10u);
+  for (const auto& site : sites) {
+    EXPECT_NE(std::find(data.begin(), data.end(), site), data.end());
+  }
+}
+
+// ------------------------------------------------------- intrinsic dim
+
+TEST(IntrinsicDim, StatsOfConstantDistancesHaveZeroVariance) {
+  auto stats = ComputeDistanceStats({2.0, 2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0);
+  EXPECT_DOUBLE_EQ(stats.variance, 0.0);
+  EXPECT_DOUBLE_EQ(stats.rho, 0.0);
+}
+
+TEST(IntrinsicDim, KnownSmallSample) {
+  auto stats = ComputeDistanceStats({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0);
+  EXPECT_DOUBLE_EQ(stats.variance, 1.0);
+  EXPECT_DOUBLE_EQ(stats.rho, 2.0);
+  EXPECT_EQ(stats.samples, 2u);
+}
+
+TEST(IntrinsicDim, GrowsWithDimensionForUniformCubes) {
+  util::Rng rng(8);
+  double previous = 0.0;
+  for (size_t d : {1u, 2u, 4u, 8u, 16u}) {
+    auto data = dataset::UniformCube(2000, d, &rng);
+    auto stats = EstimateIntrinsicDimensionality(data, L2(), 20000, &rng);
+    EXPECT_GT(stats.rho, previous) << "d=" << d;
+    previous = stats.rho;
+  }
+}
+
+TEST(IntrinsicDim, UniformCubeRhoNearTheory) {
+  // For uniform vectors with L2, rho is known to be close to d (the
+  // paper's Table 3 lists e.g. rho ~ 13.35 at d = 10; at small d rho is
+  // close to d itself).  Accept a generous band.
+  util::Rng rng(9);
+  auto data = dataset::UniformCube(4000, 2, &rng);
+  auto stats = EstimateIntrinsicDimensionality(data, L2(), 40000, &rng);
+  EXPECT_NEAR(stats.rho, 2.2, 0.5);
+}
+
+// --------------------------------------------------- dimension estimate
+
+TEST(DimensionEstimate, ExactAtEuclideanMaxima) {
+  EuclideanCounter counter;
+  for (int d = 1; d <= 6; ++d) {
+    for (int k = 4; k <= 9; ++k) {
+      if (counter.Count(d, k) == counter.Count(d - 1, k)) continue;
+      double estimate =
+          EstimateEuclideanDimension(counter.Count64(d, k), k);
+      EXPECT_NEAR(estimate, d, 1e-9) << "d=" << d << " k=" << k;
+    }
+  }
+}
+
+TEST(DimensionEstimate, MonotoneInCount) {
+  double previous = -1.0;
+  for (uint64_t count : {1ULL, 5ULL, 20ULL, 100ULL, 1000ULL, 100000ULL}) {
+    double estimate = EstimateEuclideanDimension(count, 8);
+    EXPECT_GE(estimate, previous);
+    previous = estimate;
+  }
+}
+
+TEST(DimensionEstimate, EdgeCases) {
+  EXPECT_DOUBLE_EQ(EstimateEuclideanDimension(0, 8), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateEuclideanDimension(1, 8), 0.0);
+  // A count beyond any dimension's maximum clips at max_dimension.
+  EXPECT_DOUBLE_EQ(EstimateEuclideanDimension(40321, 8, 7), 7.0);
+}
+
+TEST(DimensionEstimate, MultiTakesMedian) {
+  EuclideanCounter counter;
+  std::vector<std::pair<int, uint64_t>> observations = {
+      {6, counter.Count64(3, 6)},
+      {7, counter.Count64(3, 7)},
+      {8, counter.Count64(3, 8)},
+  };
+  EXPECT_NEAR(EstimateEuclideanDimensionMulti(observations), 3.0, 1e-9);
+}
+
+TEST(DimensionEstimate, RecoversDimensionFromData) {
+  // Count permutations of uniform data in d dims and check the estimator
+  // lands near d (sampling never reaches the maximum, so the estimate is
+  // biased low; allow a band).
+  util::Rng rng(10);
+  auto data = dataset::UniformCube(30000, 3, &rng);
+  auto sites = SelectRandomSites(data, 7, &rng);
+  auto result = CountDistinctPermutations(data, sites, L2());
+  double estimate =
+      EstimateEuclideanDimension(result.distinct_permutations, 7);
+  EXPECT_GT(estimate, 1.8);
+  EXPECT_LT(estimate, 3.5);
+}
+
+// ------------------------------------------------------- storage model
+
+TEST(StorageModel, LaesaCostFormula) {
+  StorageScenario s{.points = 1024, .sites = 8, .dimension = 0,
+                    .occurring_perms = 0};
+  auto cost = LaesaCost(s);
+  EXPECT_EQ(cost.bits_per_point, 8u * 10u);  // lg 1024 = 10 bits each
+  EXPECT_EQ(cost.total_bits, 1024u * 80u);
+}
+
+TEST(StorageModel, RawPermutationCost) {
+  StorageScenario s{.points = 1000, .sites = 12, .dimension = 0,
+                    .occurring_perms = 0};
+  auto cost = RawPermutationCost(s);
+  EXPECT_EQ(cost.bits_per_point, 29u);  // ceil lg 12!
+}
+
+TEST(StorageModel, TableCostUsesOccurringPerms) {
+  StorageScenario s{.points = 100000, .sites = 12, .dimension = 0,
+                    .occurring_perms = 1992};  // N_{2,2}(12)
+  auto cost = TablePermutationCost(s);
+  EXPECT_EQ(cost.bits_per_point, 11u);  // lg 1992 -> 11 bits
+  EXPECT_EQ(cost.total_bits, 100000u * 11u + 1992u * 29u);
+}
+
+TEST(StorageModel, EuclideanBoundCost) {
+  StorageScenario s{.points = 10, .sites = 12, .dimension = 2,
+                    .occurring_perms = 0};
+  auto cost = EuclideanBoundCost(s);
+  EXPECT_EQ(cost.bits_per_point, 11u);  // ceil lg N_{2,2}(12) = lg 1992
+}
+
+TEST(StorageModel, PermutationSchemesBeatLaesaForLargeN) {
+  StorageScenario s{.points = 1 << 20, .sites = 12, .dimension = 3,
+                    .occurring_perms = 34662};
+  auto costs = CompareStorageCosts(s);
+  ASSERT_EQ(costs.size(), 4u);
+  const auto& laesa = costs[0];
+  for (size_t i = 1; i < costs.size(); ++i) {
+    EXPECT_LT(costs[i].total_bits, laesa.total_bits) << costs[i].scheme;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace distperm

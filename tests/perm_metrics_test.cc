@@ -1,0 +1,132 @@
+#include "core/perm_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/perm_codec.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace core {
+namespace {
+
+Permutation Identity(size_t k) {
+  Permutation p(k);
+  std::iota(p.begin(), p.end(), 0);
+  return p;
+}
+
+Permutation Reverse(size_t k) {
+  Permutation p(k);
+  for (size_t i = 0; i < k; ++i) p[i] = static_cast<uint8_t>(k - 1 - i);
+  return p;
+}
+
+TEST(Footrule, ZeroIffEqual) {
+  for (size_t k = 1; k <= 8; ++k) {
+    EXPECT_EQ(SpearmanFootrule(Identity(k), Identity(k)), 0);
+  }
+  EXPECT_GT(SpearmanFootrule({1, 0, 2}, {0, 1, 2}), 0);
+}
+
+TEST(Footrule, KnownValues) {
+  EXPECT_EQ(SpearmanFootrule({1, 0}, {0, 1}), 2);
+  EXPECT_EQ(SpearmanFootrule({1, 0, 2}, {0, 1, 2}), 2);
+  EXPECT_EQ(SpearmanFootrule({2, 1, 0}, {0, 1, 2}), 4);
+}
+
+TEST(Footrule, ReverseAttainsMaximum) {
+  for (size_t k = 1; k <= 10; ++k) {
+    EXPECT_EQ(SpearmanFootrule(Identity(k), Reverse(k)), MaxFootrule(k))
+        << k;
+  }
+}
+
+TEST(Footrule, MaxValues) {
+  EXPECT_EQ(MaxFootrule(2), 2);
+  EXPECT_EQ(MaxFootrule(3), 4);
+  EXPECT_EQ(MaxFootrule(4), 8);
+  EXPECT_EQ(MaxFootrule(5), 12);
+}
+
+TEST(KendallTau, KnownValues) {
+  EXPECT_EQ(KendallTau({0, 1, 2}, {0, 1, 2}), 0);
+  EXPECT_EQ(KendallTau({0, 1, 2}, {0, 2, 1}), 1);
+  EXPECT_EQ(KendallTau({0, 1, 2}, {2, 1, 0}), 3);
+}
+
+TEST(KendallTau, ReverseAttainsMaximum) {
+  for (size_t k = 2; k <= 10; ++k) {
+    EXPECT_EQ(KendallTau(Identity(k), Reverse(k)), MaxKendallTau(k)) << k;
+  }
+}
+
+TEST(SpearmanRho, KnownValues) {
+  EXPECT_EQ(SpearmanRhoSquared({0, 1}, {0, 1}), 0);
+  EXPECT_EQ(SpearmanRhoSquared({1, 0}, {0, 1}), 2);
+  EXPECT_EQ(SpearmanRhoSquared({2, 1, 0}, {0, 1, 2}), 8);
+}
+
+class PermMetricPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PermMetricPropertyTest, SymmetryAndTriangle) {
+  util::Rng rng(900 + GetParam());
+  const size_t k = 2 + rng.NextBounded(8);
+  std::vector<Permutation> perms;
+  for (int i = 0; i < 8; ++i) {
+    Permutation p = Identity(k);
+    rng.Shuffle(&p);
+    perms.push_back(p);
+  }
+  for (const auto& a : perms) {
+    for (const auto& b : perms) {
+      EXPECT_EQ(SpearmanFootrule(a, b), SpearmanFootrule(b, a));
+      EXPECT_EQ(KendallTau(a, b), KendallTau(b, a));
+      EXPECT_EQ(SpearmanRhoSquared(a, b), SpearmanRhoSquared(b, a));
+      for (const auto& c : perms) {
+        // Footrule and Kendall tau are metrics on permutations.
+        EXPECT_LE(SpearmanFootrule(a, c),
+                  SpearmanFootrule(a, b) + SpearmanFootrule(b, c));
+        EXPECT_LE(KendallTau(a, c), KendallTau(a, b) + KendallTau(b, c));
+      }
+    }
+  }
+}
+
+TEST_P(PermMetricPropertyTest, DiaconisGrahamInequalities) {
+  // Diaconis-Graham: tau <= footrule <= 2 * tau.
+  util::Rng rng(950 + GetParam());
+  const size_t k = 2 + rng.NextBounded(10);
+  for (int t = 0; t < 30; ++t) {
+    Permutation a = Identity(k), b = Identity(k);
+    rng.Shuffle(&a);
+    rng.Shuffle(&b);
+    int tau = KendallTau(a, b);
+    int footrule = SpearmanFootrule(a, b);
+    EXPECT_LE(tau, footrule);
+    EXPECT_LE(footrule, 2 * tau);
+  }
+}
+
+TEST_P(PermMetricPropertyTest, BoundsRespected) {
+  util::Rng rng(980 + GetParam());
+  const size_t k = 2 + rng.NextBounded(10);
+  for (int t = 0; t < 30; ++t) {
+    Permutation a = Identity(k), b = Identity(k);
+    rng.Shuffle(&a);
+    rng.Shuffle(&b);
+    EXPECT_LE(SpearmanFootrule(a, b), MaxFootrule(k));
+    EXPECT_LE(KendallTau(a, b), MaxKendallTau(k));
+    EXPECT_GE(SpearmanFootrule(a, b), 0);
+    EXPECT_GE(KendallTau(a, b), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PermMetricPropertyTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace core
+}  // namespace distperm

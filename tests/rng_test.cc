@@ -1,0 +1,175 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace distperm {
+namespace util {
+namespace {
+
+TEST(SplitMix64, DeterministicAndMixing) {
+  SplitMix64 a(42), b(42), c(43);
+  uint64_t first_a = a.Next();
+  EXPECT_EQ(first_a, b.Next());
+  EXPECT_NE(first_a, c.Next());
+  // Consecutive outputs differ.
+  EXPECT_NE(a.Next(), a.Next());
+}
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+  bool any_diff = false;
+  Rng a2(7);
+  for (int i = 0; i < 100; ++i) any_diff |= a2.NextU64() != c.NextU64();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleRangeRespected) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBoundedStaysBelowBound) {
+  Rng rng(4);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBoundedCoversAllResidues) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextBoundedRoughlyUniform) {
+  Rng rng(6);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 100);  // within 10% of expectation
+  }
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(8);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / n;
+  double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(variance, 1.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> values(50);
+  for (int i = 0; i < 50; ++i) values[i] = i;
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  EXPECT_FALSE(std::equal(values.begin(), values.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, SampleDistinctProducesDistinctInRange) {
+  Rng rng(10);
+  for (size_t n : {5u, 20u, 100u}) {
+    for (size_t count : {0u, 1u, 3u, 5u}) {
+      if (count > n) continue;
+      auto sample = rng.SampleDistinct(n, count);
+      EXPECT_EQ(sample.size(), count);
+      std::set<size_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), count);
+      for (size_t v : sample) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(Rng, SampleDistinctFullRange) {
+  Rng rng(11);
+  auto sample = rng.SampleDistinct(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SampleDistinctIsUnbiasedish) {
+  // Each element of [0,6) should appear in a 3-subset about half the time.
+  Rng rng(12);
+  std::vector<int> hits(6, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (size_t v : rng.SampleDistinct(6, 3)) ++hits[v];
+  }
+  for (int h : hits) EXPECT_NEAR(h, trials / 2, trials / 20);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(13);
+  Rng child = parent.Split();
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) differs |= parent.NextU64() != child.NextU64();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, WorksWithStdDistributions) {
+  Rng rng(14);
+  // UniformRandomBitGenerator contract.
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~uint64_t{0});
+  uint64_t v = rng();
+  (void)v;
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace distperm

@@ -1,0 +1,182 @@
+#include "metric/string_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace distperm {
+namespace metric {
+namespace {
+
+TEST(Levenshtein, KnownValues) {
+  EXPECT_EQ(LevenshteinDistance("", ""), 0);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0);
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2);
+  EXPECT_EQ(LevenshteinDistance("intention", "execution"), 5);
+  EXPECT_EQ(LevenshteinDistance("abc", "acb"), 2);
+}
+
+TEST(Levenshtein, SymmetricOnRandomWords) {
+  util::Rng rng(77);
+  for (int t = 0; t < 50; ++t) {
+    std::string a, b;
+    for (int i = 0; i < static_cast<int>(rng.NextBounded(12)); ++i) {
+      a.push_back(static_cast<char>('a' + rng.NextBounded(4)));
+    }
+    for (int i = 0; i < static_cast<int>(rng.NextBounded(12)); ++i) {
+      b.push_back(static_cast<char>('a' + rng.NextBounded(4)));
+    }
+    EXPECT_EQ(LevenshteinDistance(a, b), LevenshteinDistance(b, a));
+  }
+}
+
+TEST(Levenshtein, BoundedByLengthDifferenceAndMaxLength) {
+  EXPECT_GE(LevenshteinDistance("aaaa", "a"), 3);
+  EXPECT_LE(LevenshteinDistance("abcdef", "ghijkl"), 6);
+}
+
+TEST(LevenshteinBounded, ExactWithinCutoff) {
+  util::Rng rng(78);
+  for (int t = 0; t < 100; ++t) {
+    std::string a, b;
+    for (int i = 0; i < static_cast<int>(rng.NextBounded(15)); ++i) {
+      a.push_back(static_cast<char>('a' + rng.NextBounded(3)));
+    }
+    for (int i = 0; i < static_cast<int>(rng.NextBounded(15)); ++i) {
+      b.push_back(static_cast<char>('a' + rng.NextBounded(3)));
+    }
+    int exact = LevenshteinDistance(a, b);
+    for (int cutoff : {0, 1, 2, 5, 20}) {
+      int bounded = LevenshteinDistanceBounded(a, b, cutoff);
+      if (exact <= cutoff) {
+        EXPECT_EQ(bounded, exact) << a << " / " << b << " cutoff " << cutoff;
+      } else {
+        EXPECT_GT(bounded, cutoff) << a << " / " << b;
+      }
+    }
+  }
+}
+
+TEST(Hamming, KnownValues) {
+  EXPECT_EQ(HammingDistance("", ""), 0);
+  EXPECT_EQ(HammingDistance("abc", "abc"), 0);
+  EXPECT_EQ(HammingDistance("abc", "abd"), 1);
+  EXPECT_EQ(HammingDistance("0000", "1111"), 4);
+  EXPECT_EQ(HammingDistance("karolin", "kathrin"), 3);
+}
+
+TEST(Prefix, KnownValues) {
+  // Paper Definition 3: |a| + |b| - 2 LCP(a, b).
+  EXPECT_EQ(PrefixDistance("", ""), 0);
+  EXPECT_EQ(PrefixDistance("abc", "abc"), 0);
+  EXPECT_EQ(PrefixDistance("abc", "ab"), 1);
+  EXPECT_EQ(PrefixDistance("abc", "abd"), 2);
+  EXPECT_EQ(PrefixDistance("abc", "xyz"), 6);
+  EXPECT_EQ(PrefixDistance("a", ""), 1);
+  EXPECT_EQ(PrefixDistance("qa", "qb"), 2);
+}
+
+TEST(Prefix, LongestCommonPrefix) {
+  EXPECT_EQ(LongestCommonPrefix("", "x"), 0u);
+  EXPECT_EQ(LongestCommonPrefix("abcd", "abxy"), 2u);
+  EXPECT_EQ(LongestCommonPrefix("same", "same"), 4u);
+}
+
+TEST(Prefix, FourPointConditionHolds) {
+  // The prefix metric is a tree metric, so every 4 points satisfy
+  // d(x,y)+d(z,t) <= max(d(x,z)+d(y,t), d(x,t)+d(y,z)).
+  std::vector<std::string> points = {"",     "a",   "ab",  "abc", "abd",
+                                     "ax",   "b",   "ba",  "bb",  "abcd"};
+  for (const auto& x : points) {
+    for (const auto& y : points) {
+      for (const auto& z : points) {
+        for (const auto& t : points) {
+          int lhs = PrefixDistance(x, y) + PrefixDistance(z, t);
+          int a = PrefixDistance(x, z) + PrefixDistance(y, t);
+          int b = PrefixDistance(x, t) + PrefixDistance(y, z);
+          EXPECT_LE(lhs, std::max(a, b))
+              << x << "," << y << "," << z << "," << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(StringMetricWrappers, NamesAndValues) {
+  EXPECT_EQ(LevenshteinMetric().name(), "levenshtein");
+  EXPECT_EQ(HammingMetric().name(), "hamming");
+  EXPECT_EQ(PrefixMetric().name(), "prefix");
+  EXPECT_DOUBLE_EQ(LevenshteinMetric()("kitten", "sitting"), 3.0);
+  EXPECT_DOUBLE_EQ(PrefixMetric()("abc", "abd"), 2.0);
+}
+
+// Metric axioms for the string metrics over a random word population.
+class StringMetricAxiomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StringMetricAxiomTest, TriangleInequalityLevenshtein) {
+  util::Rng rng(1000 + GetParam());
+  std::vector<std::string> words;
+  for (int i = 0; i < 12; ++i) {
+    std::string w;
+    for (int j = 0; j < static_cast<int>(rng.NextBounded(8)); ++j) {
+      w.push_back(static_cast<char>('a' + rng.NextBounded(3)));
+    }
+    words.push_back(w);
+  }
+  for (const auto& x : words) {
+    for (const auto& y : words) {
+      for (const auto& z : words) {
+        EXPECT_LE(LevenshteinDistance(x, z),
+                  LevenshteinDistance(x, y) + LevenshteinDistance(y, z));
+      }
+    }
+  }
+}
+
+TEST_P(StringMetricAxiomTest, TriangleInequalityPrefix) {
+  util::Rng rng(2000 + GetParam());
+  std::vector<std::string> words;
+  for (int i = 0; i < 12; ++i) {
+    std::string w;
+    for (int j = 0; j < static_cast<int>(rng.NextBounded(8)); ++j) {
+      w.push_back(static_cast<char>('a' + rng.NextBounded(2)));
+    }
+    words.push_back(w);
+  }
+  for (const auto& x : words) {
+    for (const auto& y : words) {
+      for (const auto& z : words) {
+        EXPECT_LE(PrefixDistance(x, z),
+                  PrefixDistance(x, y) + PrefixDistance(y, z));
+      }
+    }
+  }
+}
+
+TEST_P(StringMetricAxiomTest, IdentityOfIndiscernibles) {
+  util::Rng rng(3000 + GetParam());
+  for (int t = 0; t < 20; ++t) {
+    std::string a, b;
+    for (int j = 0; j < static_cast<int>(rng.NextBounded(10)); ++j) {
+      a.push_back(static_cast<char>('a' + rng.NextBounded(3)));
+    }
+    for (int j = 0; j < static_cast<int>(rng.NextBounded(10)); ++j) {
+      b.push_back(static_cast<char>('a' + rng.NextBounded(3)));
+    }
+    EXPECT_EQ(LevenshteinDistance(a, b) == 0, a == b);
+    EXPECT_EQ(PrefixDistance(a, b) == 0, a == b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StringMetricAxiomTest,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace metric
+}  // namespace distperm

@@ -1,0 +1,148 @@
+#include "core/tree_count.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/euclidean_count.h"
+#include "core/perm_codec.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace core {
+namespace {
+
+using metric::WeightedTree;
+
+TEST(TreeBound, Values) {
+  EXPECT_EQ(TreePermutationBound(1), 1u);
+  EXPECT_EQ(TreePermutationBound(2), 2u);
+  EXPECT_EQ(TreePermutationBound(3), 4u);
+  EXPECT_EQ(TreePermutationBound(4), 7u);
+  EXPECT_EQ(TreePermutationBound(12), 67u);
+}
+
+TEST(TreeBound, MatchesOneDimensionalEuclidean) {
+  // The paper notes N_{1,2}(k) = C(k,2) + 1 equals the tree bound.
+  EuclideanCounter counter;
+  for (int k = 1; k <= 20; ++k) {
+    EXPECT_EQ(TreePermutationBound(static_cast<size_t>(k)),
+              counter.Count64(1, k));
+  }
+}
+
+TEST(Corollary5, AchievesBoundExactly) {
+  for (size_t k = 1; k <= 8; ++k) {
+    PathConstruction pc = Corollary5Construction(k);
+    EXPECT_EQ(pc.sites.size(), k);
+    size_t count = CountTreePermutationsBruteForce(pc.tree, pc.sites);
+    EXPECT_EQ(count, TreePermutationBound(k)) << "k=" << k;
+    size_t by_edges = CountTreePermutationsBySplitEdges(pc.tree, pc.sites);
+    EXPECT_EQ(by_edges, TreePermutationBound(k)) << "k=" << k;
+  }
+}
+
+TEST(Corollary5, SitesArePowersOfTwo) {
+  PathConstruction pc = Corollary5Construction(5);
+  EXPECT_EQ(pc.sites, (std::vector<size_t>{0, 2, 4, 8, 16}));
+  EXPECT_EQ(pc.tree.size(), 17u);  // 2^4 edges -> 17 vertices
+}
+
+TEST(TreeCount, SingleSiteSinglePermutation) {
+  WeightedTree path = WeightedTree::MakePath(10);
+  EXPECT_EQ(CountTreePermutationsBruteForce(path, {3}), 1u);
+  EXPECT_EQ(CountTreePermutationsBySplitEdges(path, {3}), 1u);
+}
+
+TEST(TreeCount, TwoSitesOnPath) {
+  // Two sites split a path into two components: 2 permutations.
+  WeightedTree path = WeightedTree::MakePath(10);
+  EXPECT_EQ(CountTreePermutationsBruteForce(path, {0, 9}), 2u);
+  EXPECT_EQ(CountTreePermutationsBySplitEdges(path, {0, 9}), 2u);
+}
+
+TEST(TreeCount, AdjacentSitesStillSplit) {
+  WeightedTree path = WeightedTree::MakePath(6);
+  EXPECT_EQ(CountTreePermutationsBruteForce(path, {2, 3}), 2u);
+}
+
+TEST(TreeCount, StarWithLeafSites) {
+  // Star center 0 with k leaf sites: the center is equidistant from all
+  // sites (tie-break gives identity), each leaf arm is closest to its own
+  // site.  With k = 3 leaves at distance 1: permutations = 1 (centre,
+  // identity by tie-break, which equals leaf-agnostic ordering?) — count
+  // both ways and require consistency rather than a hand value.
+  WeightedTree star = WeightedTree::MakeStar(6);
+  std::vector<size_t> sites = {1, 2, 3};
+  size_t brute = CountTreePermutationsBruteForce(star, sites);
+  size_t split = CountTreePermutationsBySplitEdges(star, sites);
+  EXPECT_EQ(brute, split);
+  EXPECT_LE(brute, TreePermutationBound(3));
+  EXPECT_GE(brute, 3u);  // each leaf's own arm at least
+}
+
+TEST(TreeCount, EnumerationMatchesCount) {
+  PathConstruction pc = Corollary5Construction(4);
+  auto perms = EnumerateTreePermutations(pc.tree, pc.sites);
+  EXPECT_EQ(perms.size(),
+            CountTreePermutationsBruteForce(pc.tree, pc.sites));
+  for (const auto& perm : perms) {
+    EXPECT_TRUE(IsPermutation(perm));
+    EXPECT_EQ(perm.size(), 4u);
+  }
+  // Sorted by Lehmer rank, hence strictly increasing.
+  for (size_t i = 1; i < perms.size(); ++i) {
+    EXPECT_LT(RankPermutation(perms[i - 1]), RankPermutation(perms[i]));
+  }
+}
+
+class RandomTreeCountTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RandomTreeCountTest, BruteForceMatchesSplitEdges) {
+  auto [seed, k] = GetParam();
+  util::Rng rng(4000 + seed);
+  size_t n = 20 + rng.NextBounded(60);
+  WeightedTree tree = WeightedTree::MakeRandom(n, &rng, 1.0, 1.0);
+  std::vector<size_t> sites;
+  for (size_t id : rng.SampleDistinct(n, static_cast<size_t>(k))) {
+    sites.push_back(id);
+  }
+  size_t brute = CountTreePermutationsBruteForce(tree, sites);
+  size_t split = CountTreePermutationsBySplitEdges(tree, sites);
+  EXPECT_EQ(brute, split) << "n=" << n << " k=" << k;
+  EXPECT_LE(brute, TreePermutationBound(static_cast<size_t>(k)));
+}
+
+TEST_P(RandomTreeCountTest, WeightedTreesRespectBound) {
+  auto [seed, k] = GetParam();
+  util::Rng rng(5000 + seed);
+  size_t n = 20 + rng.NextBounded(40);
+  // Generic (irrational-free but distinct) weights avoid ties entirely.
+  WeightedTree tree = WeightedTree::MakeRandom(n, &rng, 0.5, 2.5);
+  std::vector<size_t> sites;
+  for (size_t id : rng.SampleDistinct(n, static_cast<size_t>(k))) {
+    sites.push_back(id);
+  }
+  size_t brute = CountTreePermutationsBruteForce(tree, sites);
+  EXPECT_EQ(brute, CountTreePermutationsBySplitEdges(tree, sites));
+  EXPECT_LE(brute, TreePermutationBound(static_cast<size_t>(k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomTreeCountTest,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Values(2, 3, 5, 8)));
+
+TEST(TreeCount, UnachievableOnShortPath) {
+  // A path shorter than the Corollary 5 construction cannot realise the
+  // bound for k = 4 (C(4,2)+1 = 7 components need 6 distinct split edges).
+  WeightedTree path = WeightedTree::MakePath(5);  // 4 edges only
+  std::vector<size_t> sites = {0, 1, 2, 3};
+  size_t count = CountTreePermutationsBruteForce(path, sites);
+  EXPECT_LT(count, TreePermutationBound(4));
+  EXPECT_EQ(count, CountTreePermutationsBySplitEdges(path, sites));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace distperm

@@ -1,0 +1,167 @@
+#include "metric/tree_metric.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace distperm {
+namespace metric {
+namespace {
+
+// Floyd-Warshall over the tree's edges, for cross-checking Distance().
+std::vector<std::vector<double>> AllPairsBruteForce(const WeightedTree& tree) {
+  const size_t n = tree.size();
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, inf));
+  for (size_t v = 0; v < n; ++v) dist[v][v] = 0.0;
+  for (const auto& edge : tree.edges()) {
+    dist[edge.u][edge.v] = edge.weight;
+    dist[edge.v][edge.u] = edge.weight;
+  }
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (dist[i][k] + dist[k][j] < dist[i][j]) {
+          dist[i][j] = dist[i][k] + dist[k][j];
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(WeightedTree, RejectsNonTrees) {
+  WeightedTree too_few(3);
+  ASSERT_TRUE(too_few.AddEdge(0, 1, 1.0).ok());
+  EXPECT_FALSE(too_few.Finalize().ok());  // 2 edges needed
+
+  WeightedTree disconnected(4);
+  ASSERT_TRUE(disconnected.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(disconnected.AddEdge(0, 1, 2.0).ok());  // parallel edge
+  ASSERT_TRUE(disconnected.AddEdge(2, 3, 1.0).ok());
+  EXPECT_FALSE(disconnected.Finalize().ok());
+}
+
+TEST(WeightedTree, RejectsBadEdges) {
+  WeightedTree tree(3);
+  EXPECT_FALSE(tree.AddEdge(0, 0, 1.0).ok());   // self loop
+  EXPECT_FALSE(tree.AddEdge(0, 5, 1.0).ok());   // out of range
+  EXPECT_FALSE(tree.AddEdge(0, 1, 0.0).ok());   // non-positive weight
+  EXPECT_FALSE(tree.AddEdge(0, 1, -2.0).ok());
+}
+
+TEST(WeightedTree, PathDistances) {
+  WeightedTree path = WeightedTree::MakePath(6);
+  EXPECT_DOUBLE_EQ(path.Distance(0, 5), 5.0);
+  EXPECT_DOUBLE_EQ(path.Distance(2, 4), 2.0);
+  EXPECT_DOUBLE_EQ(path.Distance(3, 3), 0.0);
+  EXPECT_EQ(path.HopCount(0, 5), 5u);
+}
+
+TEST(WeightedTree, StarDistances) {
+  WeightedTree star = WeightedTree::MakeStar(5);
+  EXPECT_DOUBLE_EQ(star.Distance(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(star.Distance(1, 4), 2.0);
+  EXPECT_EQ(star.Lca(1, 4), 0u);
+}
+
+TEST(WeightedTree, CompleteBinaryDistances) {
+  WeightedTree tree = WeightedTree::MakeCompleteBinary(7);
+  // Vertices: 0 root; 1,2 children; 3,4 under 1; 5,6 under 2.
+  EXPECT_DOUBLE_EQ(tree.Distance(3, 4), 2.0);
+  EXPECT_DOUBLE_EQ(tree.Distance(3, 6), 4.0);
+  EXPECT_EQ(tree.Lca(3, 4), 1u);
+  EXPECT_EQ(tree.Lca(3, 6), 0u);
+  EXPECT_EQ(tree.Parent(5), 2u);
+  EXPECT_EQ(tree.Depth(6), 2u);
+}
+
+TEST(WeightedTree, WeightedPathDistance) {
+  WeightedTree tree(4);
+  ASSERT_TRUE(tree.AddEdge(0, 1, 2.5).ok());
+  ASSERT_TRUE(tree.AddEdge(1, 2, 0.5).ok());
+  ASSERT_TRUE(tree.AddEdge(2, 3, 10.0).ok());
+  ASSERT_TRUE(tree.Finalize().ok());
+  EXPECT_DOUBLE_EQ(tree.Distance(0, 3), 13.0);
+  EXPECT_DOUBLE_EQ(tree.Distance(1, 3), 10.5);
+}
+
+TEST(WeightedTree, DistancesFromMatchesPairwise) {
+  util::Rng rng(3);
+  WeightedTree tree = WeightedTree::MakeRandom(40, &rng, 0.5, 3.0);
+  for (size_t source : {0u, 7u, 39u}) {
+    auto from = tree.DistancesFrom(source);
+    for (size_t v = 0; v < tree.size(); ++v) {
+      EXPECT_NEAR(from[v], tree.Distance(source, v), 1e-9);
+    }
+  }
+}
+
+class RandomTreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTreeTest, LcaDistanceMatchesFloydWarshall) {
+  util::Rng rng(100 + GetParam());
+  size_t n = 3 + rng.NextBounded(25);
+  WeightedTree tree = WeightedTree::MakeRandom(n, &rng, 1.0, 5.0);
+  auto brute = AllPairsBruteForce(tree);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(tree.Distance(i, j), brute[i][j], 1e-9)
+          << "n=" << n << " i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST_P(RandomTreeTest, MetricAxiomsHold) {
+  util::Rng rng(200 + GetParam());
+  WeightedTree tree = WeightedTree::MakeRandom(20, &rng, 0.25, 4.0);
+  TreeMetric metric(&tree);
+  for (size_t x = 0; x < 20; ++x) {
+    for (size_t y = 0; y < 20; ++y) {
+      EXPECT_DOUBLE_EQ(metric(x, y), metric(y, x));
+      EXPECT_EQ(metric(x, y) == 0.0, x == y);
+      for (size_t z = 0; z < 20; z += 3) {
+        EXPECT_LE(metric(x, z), metric(x, y) + metric(y, z) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(RandomTreeTest, FourPointConditionHolds) {
+  util::Rng rng(300 + GetParam());
+  WeightedTree tree = WeightedTree::MakeRandom(12, &rng, 1.0, 2.0);
+  for (size_t x = 0; x < 12; ++x) {
+    for (size_t y = x + 1; y < 12; ++y) {
+      for (size_t z = 0; z < 12; ++z) {
+        for (size_t t = z + 1; t < 12; ++t) {
+          double lhs = tree.Distance(x, y) + tree.Distance(z, t);
+          double a = tree.Distance(x, z) + tree.Distance(y, t);
+          double b = tree.Distance(x, t) + tree.Distance(y, z);
+          EXPECT_LE(lhs, std::max(a, b) + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeTest, ::testing::Range(0, 8));
+
+TEST(WeightedTree, SingleVertexTree) {
+  util::Rng rng(1);
+  WeightedTree tree = WeightedTree::MakeRandom(1, &rng);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_DOUBLE_EQ(tree.Distance(0, 0), 0.0);
+}
+
+TEST(WeightedTree, TwoVertexTree) {
+  util::Rng rng(2);
+  WeightedTree tree = WeightedTree::MakeRandom(2, &rng, 2.0, 2.0);
+  EXPECT_DOUBLE_EQ(tree.Distance(0, 1), 2.0);
+}
+
+}  // namespace
+}  // namespace metric
+}  // namespace distperm

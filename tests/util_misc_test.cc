@@ -1,0 +1,253 @@
+// Tests for Status/Result, bit packing, table printing, and flag parsing.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/bitpack.h"
+#include "util/flags.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace distperm {
+namespace util {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+TEST(Result, CarriesValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.ValueOr(-1), 42);
+}
+
+TEST(Result, CarriesStatus) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+// --------------------------------------------------------------- Bitpack
+
+TEST(Bitpack, RoundTripFixedWidths) {
+  BitWriter writer;
+  writer.Write(5, 3);
+  writer.Write(0, 1);
+  writer.Write(1023, 10);
+  writer.Write(0xdeadbeef, 32);
+  EXPECT_EQ(writer.bit_count(), 46u);
+  auto bytes = writer.Finish();
+  EXPECT_EQ(bytes.size(), 6u);  // ceil(46 / 8)
+
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.Read(3), 5u);
+  EXPECT_EQ(reader.Read(1), 0u);
+  EXPECT_EQ(reader.Read(10), 1023u);
+  EXPECT_EQ(reader.Read(32), 0xdeadbeefu);
+  EXPECT_EQ(reader.position(), 46u);
+}
+
+TEST(Bitpack, ZeroWidthWritesNothing) {
+  BitWriter writer;
+  writer.Write(0, 0);
+  EXPECT_EQ(writer.bit_count(), 0u);
+  EXPECT_TRUE(writer.Finish().empty());
+}
+
+TEST(Bitpack, SixtyFourBitValues) {
+  BitWriter writer;
+  uint64_t value = ~uint64_t{0};
+  writer.Write(value, 64);
+  writer.Write(1, 1);
+  auto bytes = writer.Finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.Read(64), value);
+  EXPECT_EQ(reader.Read(1), 1u);
+}
+
+TEST(Bitpack, ManyValuesRoundTrip) {
+  BitWriter writer;
+  std::vector<std::pair<uint64_t, int>> items;
+  uint64_t state = 12345;
+  for (int i = 0; i < 500; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    int width = 1 + static_cast<int>(state % 24);
+    uint64_t value = (state >> 8) & ((uint64_t{1} << width) - 1);
+    items.emplace_back(value, width);
+    writer.Write(value, width);
+  }
+  auto bytes = writer.Finish();
+  BitReader reader(bytes);
+  for (const auto& [value, width] : items) {
+    EXPECT_EQ(reader.Read(width), value);
+  }
+}
+
+TEST(Bitpack, BitsFor) {
+  EXPECT_EQ(BitsFor(0), 0);
+  EXPECT_EQ(BitsFor(1), 0);
+  EXPECT_EQ(BitsFor(2), 1);
+  EXPECT_EQ(BitsFor(3), 2);
+  EXPECT_EQ(BitsFor(4), 2);
+  EXPECT_EQ(BitsFor(5), 3);
+  EXPECT_EQ(BitsFor(1024), 10);
+  EXPECT_EQ(BitsFor(1025), 11);
+}
+
+TEST(Bitpack, BitsForFactorial) {
+  EXPECT_EQ(BitsForFactorial(0), 0);   // 0! = 1 value
+  EXPECT_EQ(BitsForFactorial(1), 0);   // 1! = 1 value
+  EXPECT_EQ(BitsForFactorial(2), 1);   // 2 permutations
+  EXPECT_EQ(BitsForFactorial(3), 3);   // 6 -> 3 bits
+  EXPECT_EQ(BitsForFactorial(4), 5);   // 24 -> 5 bits
+  EXPECT_EQ(BitsForFactorial(12), 29); // 479001600 < 2^29
+}
+
+// ----------------------------------------------------------- TablePrinter
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table;
+  table.SetHeader({"name", "count"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "1000"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1000"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TablePrinter, AddRowValuesFormats) {
+  TablePrinter table;
+  table.AddRowValues("x", 42, 2.5);
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("2.50"), std::string::npos);
+}
+
+TEST(TablePrinter, HandlesRaggedRows) {
+  TablePrinter table;
+  table.SetHeader({"a"});
+  table.AddRow({"1", "2", "3"});
+  table.AddRow({"x"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("3"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- Flags
+
+std::vector<const char*> Argv(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args);
+  return argv;
+}
+
+TEST(Flags, ParsesEqualsForm) {
+  auto argv = Argv({"--points=100", "--name=test"});
+  auto flags = Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags.value().GetInt("points", 0), 100);
+  EXPECT_EQ(flags.value().GetString("name", ""), "test");
+}
+
+TEST(Flags, ParsesSpaceForm) {
+  auto argv = Argv({"--points", "250", "--verbose"});
+  auto flags = Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags.value().GetInt("points", 0), 250);
+  EXPECT_TRUE(flags.value().GetBool("verbose", false));
+}
+
+TEST(Flags, BooleanForms) {
+  auto argv = Argv({"--a", "--b=true", "--c=1", "--d=false", "--e=0"});
+  auto flags = Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(flags.ok());
+  const Flags& f = flags.value();
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_TRUE(f.GetBool("b", false));
+  EXPECT_TRUE(f.GetBool("c", false));
+  EXPECT_FALSE(f.GetBool("d", true));
+  EXPECT_FALSE(f.GetBool("e", true));
+  EXPECT_TRUE(f.GetBool("missing", true));
+}
+
+TEST(Flags, PositionalArguments) {
+  auto argv = Argv({"one", "--k=3", "two"});
+  auto flags = Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags.value().positional(),
+            (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(Flags, DoubleValues) {
+  auto argv = Argv({"--scale=0.25"});
+  auto flags = Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(flags.ok());
+  EXPECT_DOUBLE_EQ(flags.value().GetDouble("scale", 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(flags.value().GetDouble("missing", 1.5), 1.5);
+}
+
+TEST(Flags, DoubleDashEndsFlags) {
+  auto argv = Argv({"--a=1", "--", "--not-a-flag"});
+  auto flags = Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags.value().positional(),
+            (std::vector<std::string>{"--not-a-flag"}));
+}
+
+TEST(Flags, MalformedFlagRejected) {
+  auto argv = Argv({"--=x"});
+  auto flags = Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_FALSE(flags.ok());
+}
+
+TEST(Flags, HasAndNames) {
+  auto argv = Argv({"--a=1", "--b"});
+  auto flags = Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags.value().Has("a"));
+  EXPECT_TRUE(flags.value().Has("b"));
+  EXPECT_FALSE(flags.value().Has("c"));
+  EXPECT_EQ(flags.value().Names().size(), 2u);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace distperm
