@@ -1,0 +1,48 @@
+#include "engine/batch_stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/status.h"
+
+namespace distperm {
+namespace engine {
+
+LatencySummary SummarizeLatencies(std::vector<double> seconds) {
+  LatencySummary summary;
+  if (seconds.empty()) return summary;
+  std::sort(seconds.begin(), seconds.end());
+  summary.count = seconds.size();
+  summary.min_seconds = seconds.front();
+  summary.max_seconds = seconds.back();
+  double total = 0.0;
+  for (double s : seconds) total += s;
+  summary.mean_seconds = total / static_cast<double>(seconds.size());
+  size_t p99_rank = (seconds.size() * 99 + 99) / 100;  // ceil(0.99 n)
+  summary.p99_seconds = seconds[std::min(p99_rank, seconds.size()) - 1];
+  return summary;
+}
+
+double AverageRecall(
+    const std::vector<std::vector<index::SearchResult>>& actual,
+    const std::vector<std::vector<index::SearchResult>>& truth) {
+  DP_CHECK(actual.size() == truth.size());
+  if (truth.empty()) return 1.0;
+  double total = 0.0;
+  for (size_t q = 0; q < truth.size(); ++q) {
+    if (truth[q].empty()) {
+      total += 1.0;
+      continue;
+    }
+    std::unordered_set<size_t> found;
+    found.reserve(actual[q].size());
+    for (const auto& r : actual[q]) found.insert(r.id);
+    size_t hits = 0;
+    for (const auto& t : truth[q]) hits += found.count(t.id);
+    total += static_cast<double>(hits) / static_cast<double>(truth[q].size());
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+}  // namespace engine
+}  // namespace distperm

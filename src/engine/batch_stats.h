@@ -1,0 +1,58 @@
+// Batch-level statistics reported by the query engine.
+//
+// The engine keeps the paper's cost model intact under concurrency:
+// every worker accumulates metric evaluations in per-call QueryStats and
+// the engine folds them into atomic aggregates, so the reported counts
+// are exactly what a single-threaded execution of the same queries would
+// have measured.  Latency and recall are the serving-side metrics the
+// cost model does not cover.
+
+#ifndef DISTPERM_ENGINE_BATCH_STATS_H_
+#define DISTPERM_ENGINE_BATCH_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "index/index.h"
+
+namespace distperm {
+namespace engine {
+
+/// Five-number-ish summary of per-query completion latencies.
+struct LatencySummary {
+  size_t count = 0;
+  double min_seconds = 0.0;
+  double mean_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+/// Summarizes a vector of latencies (empty input yields all zeros).
+LatencySummary SummarizeLatencies(std::vector<double> seconds);
+
+/// What one RunBatch call did, in aggregate.
+struct BatchStats {
+  size_t query_count = 0;
+  size_t shard_count = 0;
+  size_t thread_count = 0;
+  /// Total metric evaluations across all shards and queries — matches
+  /// the single-threaded cost model exactly.
+  uint64_t distance_computations = 0;
+  /// Wall-clock time of the whole batch, submit to last merge.
+  double wall_seconds = 0.0;
+  /// Per-query completion latencies, measured from batch start.
+  LatencySummary latency;
+};
+
+/// Mean fraction of each truth result set recovered by the corresponding
+/// actual result set (matching by id).  Queries with empty truth count
+/// as fully recalled.  Requires equal outer sizes.
+double AverageRecall(
+    const std::vector<std::vector<index::SearchResult>>& actual,
+    const std::vector<std::vector<index::SearchResult>>& truth);
+
+}  // namespace engine
+}  // namespace distperm
+
+#endif  // DISTPERM_ENGINE_BATCH_STATS_H_

@@ -1,0 +1,47 @@
+// Batch query descriptions for the concurrent engine.
+//
+// A batch is a vector of QuerySpec: each entry asks for either the k
+// nearest neighbours of a point or all points within a radius.  Results
+// come back in batch order with global database ids, so callers never
+// see the sharding.
+
+#ifndef DISTPERM_ENGINE_QUERY_H_
+#define DISTPERM_ENGINE_QUERY_H_
+
+#include <cstddef>
+#include <utility>
+
+namespace distperm {
+namespace engine {
+
+enum class QueryType { kKnn, kRange };
+
+/// One query in a batch: a point plus either k (kKnn) or radius (kRange).
+template <typename P>
+struct QuerySpec {
+  QueryType type = QueryType::kKnn;
+  P point{};
+  size_t k = 0;
+  double radius = 0.0;
+
+  static QuerySpec Knn(P point, size_t k) {
+    QuerySpec spec;
+    spec.type = QueryType::kKnn;
+    spec.point = std::move(point);
+    spec.k = k;
+    return spec;
+  }
+
+  static QuerySpec Range(P point, double radius) {
+    QuerySpec spec;
+    spec.type = QueryType::kRange;
+    spec.point = std::move(point);
+    spec.radius = radius;
+    return spec;
+  }
+};
+
+}  // namespace engine
+}  // namespace distperm
+
+#endif  // DISTPERM_ENGINE_QUERY_H_

@@ -1,0 +1,136 @@
+// Concurrent batch query engine.
+//
+// RunBatch fans a batch of kNN/range queries out as one task per
+// (query, shard) pair onto a reusable worker pool, maps shard-local ids
+// to global ids, and merges per-shard partials into globally correct
+// answers: for an exact index, the merged results are identical to what
+// a single index over the whole database would return.  Metric
+// evaluations are accumulated per (query, shard) task in its own
+// QueryStats slot and summed after the batch barrier, so concurrency
+// never perturbs the paper's cost-model accounting.
+
+#ifndef DISTPERM_ENGINE_QUERY_ENGINE_H_
+#define DISTPERM_ENGINE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "engine/batch_stats.h"
+#include "engine/query.h"
+#include "engine/sharded_database.h"
+#include "index/index.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace distperm {
+namespace engine {
+
+/// Executes query batches against a ShardedDatabase on a fixed worker
+/// pool.  The database is borrowed, not owned, so several engines (e.g.
+/// with different thread counts) can serve the same shards.  RunBatch is
+/// not reentrant: issue one batch at a time per engine.
+template <typename P>
+class QueryEngine {
+ public:
+  struct BatchOutput {
+    /// Per query, the merged results with global ids in canonical
+    /// (distance, id) order; kNN results are truncated to k globally.
+    std::vector<std::vector<index::SearchResult>> results;
+    /// Per query, metric evaluations summed over its shard tasks.
+    std::vector<uint64_t> per_query_distance_computations;
+    BatchStats stats;
+  };
+
+  QueryEngine(const ShardedDatabase<P>* db, size_t thread_count)
+      : db_(db), pool_(thread_count) {
+    DP_CHECK(db != nullptr);
+  }
+
+  size_t thread_count() const { return pool_.thread_count(); }
+  const ShardedDatabase<P>& database() const { return *db_; }
+
+  BatchOutput RunBatch(const std::vector<QuerySpec<P>>& batch) {
+    const size_t query_count = batch.size();
+    const size_t shard_count = db_->shard_count();
+    BatchOutput out;
+    out.results.resize(query_count);
+    out.per_query_distance_computations.assign(query_count, 0);
+    out.stats.query_count = query_count;
+    out.stats.shard_count = shard_count;
+    out.stats.thread_count = pool_.thread_count();
+    if (query_count == 0) return out;
+
+    // One slot per (query, shard) task: no two tasks share a slot, so
+    // workers never contend on anything but the two batch atomics.
+    std::vector<std::vector<index::SearchResult>> partials(query_count *
+                                                           shard_count);
+    std::vector<index::QueryStats> task_stats(query_count * shard_count);
+    std::vector<std::atomic<size_t>> tasks_left(query_count);
+    for (auto& counter : tasks_left) {
+      counter.store(shard_count, std::memory_order_relaxed);
+    }
+    std::vector<double> latencies(query_count, 0.0);
+    const auto start = std::chrono::steady_clock::now();
+
+    for (size_t q = 0; q < query_count; ++q) {
+      for (size_t s = 0; s < shard_count; ++s) {
+        pool_.Submit([this, &batch, &partials, &task_stats, &tasks_left,
+                      &latencies, start, shard_count, q, s]() {
+          const QuerySpec<P>& spec = batch[q];
+          index::QueryStats* stats = &task_stats[q * shard_count + s];
+          const index::SearchIndex<P>& shard = db_->shard(s);
+          std::vector<index::SearchResult> local =
+              spec.type == QueryType::kKnn
+                  ? shard.KnnQuery(spec.point, spec.k, stats)
+                  : shard.RangeQuery(spec.point, spec.radius, stats);
+          const size_t offset = db_->shard_offset(s);
+          for (index::SearchResult& r : local) r.id += offset;
+          partials[q * shard_count + s] = std::move(local);
+          // The last shard task to finish stamps the query's latency.
+          if (tasks_left[q].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            latencies[q] = Seconds(start, std::chrono::steady_clock::now());
+          }
+        });
+      }
+    }
+    pool_.Wait();
+
+    for (size_t q = 0; q < query_count; ++q) {
+      std::vector<index::SearchResult> merged;
+      uint64_t distances = 0;
+      for (size_t s = 0; s < shard_count; ++s) {
+        const auto& partial = partials[q * shard_count + s];
+        merged.insert(merged.end(), partial.begin(), partial.end());
+        distances += task_stats[q * shard_count + s].distance_computations;
+      }
+      index::SortResults(&merged);
+      if (batch[q].type == QueryType::kKnn && merged.size() > batch[q].k) {
+        merged.resize(batch[q].k);
+      }
+      out.results[q] = std::move(merged);
+      out.per_query_distance_computations[q] = distances;
+      out.stats.distance_computations += distances;
+    }
+
+    out.stats.wall_seconds = Seconds(start, std::chrono::steady_clock::now());
+    out.stats.latency = SummarizeLatencies(std::move(latencies));
+    return out;
+  }
+
+ private:
+  static double Seconds(std::chrono::steady_clock::time_point from,
+                        std::chrono::steady_clock::time_point to) {
+    return std::chrono::duration<double>(to - from).count();
+  }
+
+  const ShardedDatabase<P>* db_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace engine
+}  // namespace distperm
+
+#endif  // DISTPERM_ENGINE_QUERY_ENGINE_H_

@@ -1,0 +1,103 @@
+// Sharded database: one SearchIndex per contiguous slice of the data.
+//
+// Shard s owns the global id range [offset(s), offset(s) + shard size);
+// a shard-local result id maps back to a global id by adding the
+// offset.  Contiguous slicing keeps that mapping O(1) and makes the
+// sharded cost model additive: the metric evaluations of one query
+// summed over all shards equal the evaluations a single index over the
+// whole database would spend (exactly, for the linear scan).
+
+#ifndef DISTPERM_ENGINE_SHARDED_DATABASE_H_
+#define DISTPERM_ENGINE_SHARDED_DATABASE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "index/index.h"
+#include "metric/metric.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace engine {
+
+/// Owns `shard_count` indexes built over contiguous slices of one
+/// database.  Immutable (and therefore freely shareable across query
+/// threads) once built.
+template <typename P>
+class ShardedDatabase {
+ public:
+  /// Builds one index over one shard's slice of the data.  Called once
+  /// per shard, in shard order, on the building thread.
+  using IndexFactory =
+      std::function<std::unique_ptr<index::SearchIndex<P>>(
+          std::vector<P> shard_data, const metric::Metric<P>& metric,
+          size_t shard_number)>;
+
+  /// Splits `data` into `shard_count` contiguous slices (sizes differing
+  /// by at most one) and builds an index over each.
+  static ShardedDatabase Build(const std::vector<P>& data,
+                               const metric::Metric<P>& metric,
+                               size_t shard_count,
+                               const IndexFactory& factory) {
+    DP_CHECK(shard_count >= 1);
+    ShardedDatabase db;
+    db.total_size_ = data.size();
+    const size_t base = data.size() / shard_count;
+    const size_t extra = data.size() % shard_count;
+    size_t offset = 0;
+    for (size_t s = 0; s < shard_count; ++s) {
+      size_t size = base + (s < extra ? 1 : 0);
+      std::vector<P> slice(data.begin() + offset,
+                           data.begin() + offset + size);
+      db.offsets_.push_back(offset);
+      db.shards_.push_back(factory(std::move(slice), metric, s));
+      DP_CHECK(db.shards_.back() != nullptr);
+      DP_CHECK(db.shards_.back()->size() == size);
+      offset += size;
+    }
+    return db;
+  }
+
+  size_t shard_count() const { return shards_.size(); }
+  size_t size() const { return total_size_; }
+
+  /// The index serving shard s.
+  const index::SearchIndex<P>& shard(size_t s) const { return *shards_[s]; }
+
+  /// Global id of shard s's local id 0.
+  size_t shard_offset(size_t s) const { return offsets_[s]; }
+
+  /// Name of the underlying index type (from shard 0).
+  std::string index_name() const { return shards_.front()->name(); }
+
+  /// Metric evaluations spent building all shards.
+  uint64_t build_distance_computations() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->build_distance_computations();
+    }
+    return total;
+  }
+
+  /// Auxiliary storage across all shards, in bits.
+  uint64_t IndexBits() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) total += shard->IndexBits();
+    return total;
+  }
+
+ private:
+  ShardedDatabase() = default;
+
+  std::vector<std::unique_ptr<index::SearchIndex<P>>> shards_;
+  std::vector<size_t> offsets_;
+  size_t total_size_ = 0;
+};
+
+}  // namespace engine
+}  // namespace distperm
+
+#endif  // DISTPERM_ENGINE_SHARDED_DATABASE_H_

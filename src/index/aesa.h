@@ -42,26 +42,6 @@ class AesaIndex : public SearchIndex<P> {
 
   std::string name() const override { return "aesa"; }
 
-  std::vector<SearchResult> RangeQuery(const P& query,
-                                       double radius) override {
-    std::vector<SearchResult> results;
-    Search(query,
-           [&]() { return radius; },
-           [&](size_t id, double d) {
-             if (d <= radius) results.push_back({id, d});
-           });
-    SortResults(&results);
-    return results;
-  }
-
-  std::vector<SearchResult> KnnQuery(const P& query, size_t k) override {
-    KnnCollector collector(k);
-    Search(query,
-           [&]() { return collector.Radius(); },
-           [&](size_t id, double d) { collector.Offer(id, d); });
-    return collector.Take();
-  }
-
   uint64_t IndexBits() const override {
     return static_cast<uint64_t>(matrix_.size()) * sizeof(double) * 8;
   }
@@ -72,20 +52,64 @@ class AesaIndex : public SearchIndex<P> {
   }
 
  protected:
-  /// Core elimination loop, shared by range and kNN queries.  `radius_fn`
-  /// returns the current pruning radius (it shrinks during kNN); `emit`
-  /// receives every point whose true distance is computed.
-  template <typename RadiusFn, typename Emit>
-  void Search(const P& query, RadiusFn radius_fn, Emit emit) {
+  std::vector<SearchResult> RangeQueryImpl(const P& query, double radius,
+                                           QueryStats* stats) const override {
+    return RangeSearch(query, radius, MinLowerBoundPicker(), stats);
+  }
+
+  std::vector<SearchResult> KnnQueryImpl(const P& query, size_t k,
+                                         QueryStats* stats) const override {
+    return KnnSearch(query, k, MinLowerBoundPicker(), stats);
+  }
+
+  /// Range query driven by an arbitrary candidate picker (iAESA supplies
+  /// a permutation-guided one).
+  template <typename Picker>
+  std::vector<SearchResult> RangeSearch(const P& query, double radius,
+                                        const Picker& pick,
+                                        QueryStats* stats) const {
+    std::vector<SearchResult> results;
+    Search(query, pick,
+           [&]() { return radius; },
+           [&](size_t id, double d) {
+             if (d <= radius) results.push_back({id, d});
+           },
+           stats);
+    SortResults(&results);
+    return results;
+  }
+
+  /// kNN query driven by an arbitrary candidate picker.
+  template <typename Picker>
+  std::vector<SearchResult> KnnSearch(const P& query, size_t k,
+                                      const Picker& pick,
+                                      QueryStats* stats) const {
+    KnnCollector collector(k);
+    Search(query, pick,
+           [&]() { return collector.Radius(); },
+           [&](size_t id, double d) { collector.Offer(id, d); },
+           stats);
+    return collector.Take();
+  }
+
+  /// Core elimination loop, shared by range and kNN queries.  `pick`
+  /// chooses the next live candidate (or returns n when none remain);
+  /// `radius_fn` returns the current pruning radius (it shrinks during
+  /// kNN); `emit` receives every point whose true distance is computed.
+  /// All per-query state lives on the caller's stack, so concurrent
+  /// searches never interfere.
+  template <typename Picker, typename RadiusFn, typename Emit>
+  void Search(const P& query, const Picker& pick, RadiusFn radius_fn,
+              Emit emit, QueryStats* stats) const {
     const size_t n = data_.size();
     std::vector<double> lower(n, 0.0);
     std::vector<bool> dead(n, false);
     while (true) {
-      size_t next = PickNextCandidate(lower, dead, query);
+      size_t next = pick(lower, dead);
       if (next == n) break;
       dead[next] = true;
       if (lower[next] > radius_fn()) continue;  // can no longer qualify
-      double d = this->QueryDist(data_[next], query);
+      double d = this->QueryDist(data_[next], query, stats);
       emit(next, d);
       double radius = radius_fn();
       const double* row = &matrix_[next * n];
@@ -98,22 +122,22 @@ class AesaIndex : public SearchIndex<P> {
     }
   }
 
-  /// Next live candidate index, or n when none remain.  AESA picks the
-  /// smallest lower bound; subclasses (iAESA) override the ordering.
-  virtual size_t PickNextCandidate(const std::vector<double>& lower,
-                                   const std::vector<bool>& dead,
-                                   const P& query) {
-    (void)query;
-    const size_t n = data_.size();
-    size_t best = n;
-    double best_bound = std::numeric_limits<double>::infinity();
-    for (size_t i = 0; i < n; ++i) {
-      if (!dead[i] && lower[i] < best_bound) {
-        best_bound = lower[i];
-        best = i;
+  /// AESA's classic ordering: the live candidate with the smallest
+  /// triangle-inequality lower bound.
+  auto MinLowerBoundPicker() const {
+    return [](const std::vector<double>& lower,
+              const std::vector<bool>& dead) {
+      const size_t n = lower.size();
+      size_t best = n;
+      double best_bound = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < n; ++i) {
+        if (!dead[i] && lower[i] < best_bound) {
+          best_bound = lower[i];
+          best = i;
+        }
       }
-    }
-    return best;
+      return best;
+    };
   }
 
   std::vector<double> matrix_;

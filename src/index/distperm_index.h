@@ -16,6 +16,7 @@
 #define DISTPERM_INDEX_DISTPERM_INDEX_H_
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -79,26 +80,6 @@ class DistPermIndex : public SearchIndex<P> {
     return prefix_ == sites_.size() ? "distperm" : "distperm-prefix";
   }
 
-  std::vector<SearchResult> RangeQuery(const P& query,
-                                       double radius) override {
-    std::vector<SearchResult> results;
-    ScanByFootrule(query, VerifyBudget(), [&](size_t id, double d) {
-      if (d <= radius) results.push_back({id, d});
-      return true;
-    });
-    SortResults(&results);
-    return results;
-  }
-
-  std::vector<SearchResult> KnnQuery(const P& query, size_t k) override {
-    KnnCollector collector(k);
-    ScanByFootrule(query, VerifyBudget(), [&](size_t id, double d) {
-      collector.Offer(id, d);
-      return true;
-    });
-    return collector.Take();
-  }
-
   /// Exact packed size of the stored permutations in bits.
   uint64_t IndexBits() const override { return packed_bits_; }
 
@@ -117,19 +98,18 @@ class DistPermIndex : public SearchIndex<P> {
     return permutations_[i];
   }
 
-  /// Decodes point i's permutation from the bit-packed buffer.
+  /// Decodes point i's permutation from the bit-packed buffer.  Records
+  /// are fixed-width, so the reader seeks straight to record i in O(1).
   core::Permutation DecodePackedPermutation(size_t i) const {
     util::BitReader reader(packed_);
     if (prefix_ == sites_.size()) {
       const int width =
           util::BitsForFactorial(static_cast<int>(sites_.size()));
-      for (size_t skip = 0; skip < i; ++skip) reader.Read(width);
+      reader.Seek(i * static_cast<size_t>(width));
       return core::UnrankPermutation(reader.Read(width), sites_.size());
     }
     const int width = util::BitsFor(sites_.size());
-    const size_t record = prefix_ * static_cast<size_t>(width);
-    for (size_t skip = 0; skip < i * prefix_; ++skip) reader.Read(width);
-    (void)record;
+    reader.Seek(i * prefix_ * static_cast<size_t>(width));
     core::Permutation perm(prefix_);
     for (size_t r = 0; r < prefix_; ++r) {
       perm[r] = static_cast<uint8_t>(reader.Read(width));
@@ -143,11 +123,38 @@ class DistPermIndex : public SearchIndex<P> {
   /// Stored prefix length (equals sites().size() for full permutations).
   size_t prefix_length() const { return prefix_; }
 
-  /// Default fraction of the database verified per query.
-  double fraction() const { return fraction_; }
+  /// Default fraction of the database verified per query.  Stored in an
+  /// atomic so the engine can retune it while queries are in flight.
+  double fraction() const {
+    return fraction_.load(std::memory_order_relaxed);
+  }
   void set_fraction(double fraction) {
     DP_CHECK(fraction > 0.0 && fraction <= 1.0);
-    fraction_ = fraction;
+    fraction_.store(fraction, std::memory_order_relaxed);
+  }
+
+ protected:
+  std::vector<SearchResult> RangeQueryImpl(const P& query, double radius,
+                                           QueryStats* stats) const override {
+    std::vector<SearchResult> results;
+    ScanByFootrule(query, VerifyBudget(), stats,
+                   [&](size_t id, double d) {
+                     if (d <= radius) results.push_back({id, d});
+                     return true;
+                   });
+    SortResults(&results);
+    return results;
+  }
+
+  std::vector<SearchResult> KnnQueryImpl(const P& query, size_t k,
+                                         QueryStats* stats) const override {
+    KnnCollector collector(k);
+    ScanByFootrule(query, VerifyBudget(), stats,
+                   [&](size_t id, double d) {
+                     collector.Offer(id, d);
+                     return true;
+                   });
+    return collector.Take();
   }
 
  private:
@@ -172,7 +179,7 @@ class DistPermIndex : public SearchIndex<P> {
   }
 
   size_t VerifyBudget() const {
-    size_t budget = static_cast<size_t>(fraction_ *
+    size_t budget = static_cast<size_t>(fraction() *
                                         static_cast<double>(data_.size()));
     return std::max<size_t>(1, std::min(budget, data_.size()));
   }
@@ -189,11 +196,12 @@ class DistPermIndex : public SearchIndex<P> {
   /// distance to it (counting sort over the bounded footrule range), and
   /// verifies the first `budget` candidates.
   template <typename Visit>
-  void ScanByFootrule(const P& query, size_t budget, Visit visit) {
+  void ScanByFootrule(const P& query, size_t budget, QueryStats* stats,
+                      Visit visit) const {
     const size_t k = sites_.size();
     std::vector<double> distances(k);
     for (size_t j = 0; j < k; ++j) {
-      distances[j] = this->QueryDist(sites_[j], query);
+      distances[j] = this->QueryDist(sites_[j], query, stats);
     }
     core::Permutation query_perm =
         prefix_ == k ? core::PermutationFromDistances(distances)
@@ -216,7 +224,7 @@ class DistPermIndex : public SearchIndex<P> {
       for (uint32_t id : bucket) {
         if (verified >= budget) return;
         ++verified;
-        if (!visit(id, this->QueryDist(data_[id], query))) return;
+        if (!visit(id, this->QueryDist(data_[id], query, stats))) return;
       }
     }
   }
@@ -226,7 +234,7 @@ class DistPermIndex : public SearchIndex<P> {
   std::vector<core::Permutation> permutations_;
   std::vector<uint8_t> packed_;
   size_t packed_bits_ = 0;
-  double fraction_;
+  std::atomic<double> fraction_;
 };
 
 }  // namespace index

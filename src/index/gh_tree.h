@@ -35,26 +35,30 @@ class GhTreeIndex : public SearchIndex<P> {
 
   std::string name() const override { return "gh-tree"; }
 
-  std::vector<SearchResult> RangeQuery(const P& query,
-                                       double radius) override {
+  uint64_t IndexBits() const override {
+    return node_count_ * (2 * sizeof(size_t) + 2 * sizeof(void*)) * 8;
+  }
+
+ protected:
+  std::vector<SearchResult> RangeQueryImpl(const P& query, double radius,
+                                           QueryStats* stats) const override {
     std::vector<SearchResult> results;
     SearchNode(root_.get(), query, [&]() { return radius; },
                [&](size_t id, double d) {
                  if (d <= radius) results.push_back({id, d});
-               });
+               },
+               stats);
     SortResults(&results);
     return results;
   }
 
-  std::vector<SearchResult> KnnQuery(const P& query, size_t k) override {
+  std::vector<SearchResult> KnnQueryImpl(const P& query, size_t k,
+                                         QueryStats* stats) const override {
     KnnCollector collector(k);
     SearchNode(root_.get(), query, [&]() { return collector.Radius(); },
-               [&](size_t id, double d) { collector.Offer(id, d); });
+               [&](size_t id, double d) { collector.Offer(id, d); },
+               stats);
     return collector.Take();
-  }
-
-  uint64_t IndexBits() const override {
-    return node_count_ * (2 * sizeof(size_t) + 2 * sizeof(void*)) * 8;
   }
 
  private:
@@ -98,23 +102,23 @@ class GhTreeIndex : public SearchIndex<P> {
 
   template <typename RadiusFn, typename Emit>
   void SearchNode(const Node* node, const P& query, RadiusFn radius_fn,
-                  Emit emit) {
+                  Emit emit, QueryStats* stats) const {
     if (node == nullptr) return;
-    double d1 = this->QueryDist(data_[node->first], query);
+    double d1 = this->QueryDist(data_[node->first], query, stats);
     emit(node->first, d1);
     if (!node->has_second) return;
-    double d2 = this->QueryDist(data_[node->second], query);
+    double d2 = this->QueryDist(data_[node->second], query, stats);
     emit(node->second, d2);
     // A subtree can be skipped when the query ball lies strictly on the
     // other side of the generalized hyperplane: (d1 - d2)/2 > r means no
     // point closer to `first` can be within r.
     double radius = radius_fn();
     if ((d1 - d2) / 2.0 <= radius) {
-      SearchNode(node->near_first.get(), query, radius_fn, emit);
+      SearchNode(node->near_first.get(), query, radius_fn, emit, stats);
     }
     radius = radius_fn();
     if ((d2 - d1) / 2.0 <= radius) {
-      SearchNode(node->near_second.get(), query, radius_fn, emit);
+      SearchNode(node->near_second.get(), query, radius_fn, emit, stats);
     }
   }
 

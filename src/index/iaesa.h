@@ -53,60 +53,63 @@ class IaesaIndex : public AesaIndex<P> {
 
   std::string name() const override { return "iaesa"; }
 
-  std::vector<SearchResult> RangeQuery(const P& query,
-                                       double radius) override {
-    PrepareQueryPermutation(query);
-    return AesaIndex<P>::RangeQuery(query, radius);
-  }
-
-  std::vector<SearchResult> KnnQuery(const P& query, size_t k) override {
-    PrepareQueryPermutation(query);
-    return AesaIndex<P>::KnnQuery(query, k);
-  }
-
  protected:
-  /// Picks the live candidate whose stored permutation is footrule-
-  /// closest to the query's (ties toward smaller lower bound).
-  size_t PickNextCandidate(const std::vector<double>& lower,
-                           const std::vector<bool>& dead,
-                           const P& query) override {
-    (void)query;
-    const size_t n = data_.size();
-    size_t best = n;
-    int best_footrule = std::numeric_limits<int>::max();
-    double best_bound = std::numeric_limits<double>::infinity();
-    for (size_t i = 0; i < n; ++i) {
-      if (dead[i]) continue;
-      int f = footrule_cache_[i];
-      if (f < best_footrule ||
-          (f == best_footrule && lower[i] < best_bound)) {
-        best_footrule = f;
-        best_bound = lower[i];
-        best = i;
-      }
-    }
-    return best;
+  std::vector<SearchResult> RangeQueryImpl(const P& query, double radius,
+                                           QueryStats* stats) const override {
+    std::vector<int> footrule = QueryFootrules(query, stats);
+    return this->RangeSearch(query, radius, FootrulePicker(footrule), stats);
+  }
+
+  std::vector<SearchResult> KnnQueryImpl(const P& query, size_t k,
+                                         QueryStats* stats) const override {
+    std::vector<int> footrule = QueryFootrules(query, stats);
+    return this->KnnSearch(query, k, FootrulePicker(footrule), stats);
   }
 
  private:
-  void PrepareQueryPermutation(const P& query) {
+  /// Footrule distance from the query's permutation to every stored
+  /// permutation.  Per-call state: lives on the caller's stack so
+  /// concurrent queries never share it.
+  std::vector<int> QueryFootrules(const P& query, QueryStats* stats) const {
     const size_t k = sites_.size();
     std::vector<double> distances(k);
     for (size_t j = 0; j < k; ++j) {
-      distances[j] = this->QueryDist(sites_[j], query);
+      distances[j] = this->QueryDist(sites_[j], query, stats);
     }
     core::Permutation query_perm =
         core::PermutationFromDistances(distances);
-    footrule_cache_.resize(data_.size());
+    std::vector<int> footrule(data_.size());
     for (size_t i = 0; i < data_.size(); ++i) {
-      footrule_cache_[i] =
-          core::SpearmanFootrule(query_perm, permutations_[i]);
+      footrule[i] = core::SpearmanFootrule(query_perm, permutations_[i]);
     }
+    return footrule;
+  }
+
+  /// Picks the live candidate whose stored permutation is footrule-
+  /// closest to the query's (ties toward smaller lower bound).
+  static auto FootrulePicker(const std::vector<int>& footrule) {
+    return [&footrule](const std::vector<double>& lower,
+                       const std::vector<bool>& dead) {
+      const size_t n = lower.size();
+      size_t best = n;
+      int best_footrule = std::numeric_limits<int>::max();
+      double best_bound = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < n; ++i) {
+        if (dead[i]) continue;
+        int f = footrule[i];
+        if (f < best_footrule ||
+            (f == best_footrule && lower[i] < best_bound)) {
+          best_footrule = f;
+          best_bound = lower[i];
+          best = i;
+        }
+      }
+      return best;
+    };
   }
 
   std::vector<P> sites_;
   std::vector<core::Permutation> permutations_;
-  std::vector<int> footrule_cache_;
 };
 
 }  // namespace index

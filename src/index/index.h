@@ -5,11 +5,18 @@
 // counts the distance computations it performs, separately for build and
 // query phases.  Indexes own a copy of the database; results identify
 // points by their position in that database.
+//
+// Queries are const and safe to issue from many threads at once: each
+// call accumulates its metric evaluations in a private QueryStats and
+// flushes them once into the index's atomic aggregate, so the per-call
+// numbers reproduce the paper's single-threaded cost model exactly no
+// matter how the calls are scheduled.
 
 #ifndef DISTPERM_INDEX_INDEX_H_
 #define DISTPERM_INDEX_INDEX_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -33,7 +40,23 @@ struct SearchResult {
 /// Sorts results by (distance, id) — the canonical result order.
 void SortResults(std::vector<SearchResult>* results);
 
+/// Per-call accounting of the paper's cost model.  Each query call gets
+/// its own accumulator, so concurrent callers never contend and a
+/// caller's numbers cover exactly its own call.
+struct QueryStats {
+  uint64_t distance_computations = 0;
+
+  void Merge(const QueryStats& other) {
+    distance_computations += other.distance_computations;
+  }
+};
+
 /// Abstract proximity index over points of type P.
+///
+/// Thread-safety contract: after construction, RangeQuery/KnnQuery are
+/// const and may be called concurrently.  Implementations must keep all
+/// per-query scratch state on the stack and charge metric evaluations to
+/// the QueryStats they receive, never to index members.
 template <typename P>
 class SearchIndex {
  public:
@@ -49,13 +72,27 @@ class SearchIndex {
   virtual std::string name() const = 0;
 
   /// All points within `radius` of `query` (inclusive), sorted by
-  /// (distance, id).
-  virtual std::vector<SearchResult> RangeQuery(const P& query,
-                                               double radius) = 0;
+  /// (distance, id).  When `stats` is non-null the call's metric
+  /// evaluations are added to it; they always also feed the index-wide
+  /// aggregate read by query_distance_computations().
+  std::vector<SearchResult> RangeQuery(const P& query, double radius,
+                                       QueryStats* stats = nullptr) const {
+    QueryStats local;
+    std::vector<SearchResult> results = RangeQueryImpl(query, radius, &local);
+    Charge(local, stats);
+    return results;
+  }
 
   /// The `k` nearest points (fewer if the database is smaller), sorted by
-  /// (distance, id); distance ties are broken toward lower ids.
-  virtual std::vector<SearchResult> KnnQuery(const P& query, size_t k) = 0;
+  /// (distance, id); distance ties are broken toward lower ids.  Stats
+  /// behave as for RangeQuery.
+  std::vector<SearchResult> KnnQuery(const P& query, size_t k,
+                                     QueryStats* stats = nullptr) const {
+    QueryStats local;
+    std::vector<SearchResult> results = KnnQueryImpl(query, k, &local);
+    Charge(local, stats);
+    return results;
+  }
 
   /// Bits of auxiliary storage the index keeps beyond the raw data.
   virtual uint64_t IndexBits() const = 0;
@@ -67,21 +104,34 @@ class SearchIndex {
   /// The metric.
   const metric::Metric<P>& metric() const { return metric_; }
 
-  /// Metric evaluations spent answering queries since ResetQueryCount().
-  uint64_t query_distance_computations() const { return query_count_; }
+  /// Metric evaluations spent answering queries since ResetQueryCount(),
+  /// aggregated across all threads.
+  uint64_t query_distance_computations() const {
+    return query_count_.load(std::memory_order_relaxed);
+  }
   /// Metric evaluations spent building the index.
   uint64_t build_distance_computations() const { return build_count_; }
-  /// Zeroes the query counter (build count is immutable after
+  /// Zeroes the query aggregate (build count is immutable after
   /// construction).
-  void ResetQueryCount() { query_count_ = 0; }
+  void ResetQueryCount() {
+    query_count_.store(0, std::memory_order_relaxed);
+  }
 
  protected:
+  /// Query implementations: const, reentrant, and required to charge
+  /// every metric evaluation to `stats` (never null) via QueryDist.
+  virtual std::vector<SearchResult> RangeQueryImpl(
+      const P& query, double radius, QueryStats* stats) const = 0;
+  virtual std::vector<SearchResult> KnnQueryImpl(
+      const P& query, size_t k, QueryStats* stats) const = 0;
+
   /// Metric evaluation charged to the query phase.
-  double QueryDist(const P& a, const P& b) {
-    ++query_count_;
+  double QueryDist(const P& a, const P& b, QueryStats* stats) const {
+    ++stats->distance_computations;
     return metric_(a, b);
   }
-  /// Metric evaluation charged to the build phase.
+  /// Metric evaluation charged to the build phase (construction is
+  /// single-threaded, so a plain counter suffices).
   double BuildDist(const P& a, const P& b) {
     ++build_count_;
     return metric_(a, b);
@@ -89,8 +139,16 @@ class SearchIndex {
 
   std::vector<P> data_;
   metric::Metric<P> metric_;
-  uint64_t query_count_ = 0;
   uint64_t build_count_ = 0;
+
+ private:
+  void Charge(const QueryStats& local, QueryStats* stats) const {
+    query_count_.fetch_add(local.distance_computations,
+                           std::memory_order_relaxed);
+    if (stats != nullptr) stats->Merge(local);
+  }
+
+  mutable std::atomic<uint64_t> query_count_{0};
 };
 
 /// Keeps the k best (smallest-distance) results seen so far; ties broken

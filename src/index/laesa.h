@@ -47,9 +47,22 @@ class LaesaIndex : public SearchIndex<P> {
 
   std::string name() const override { return "laesa"; }
 
-  std::vector<SearchResult> RangeQuery(const P& query,
-                                       double radius) override {
-    std::vector<double> query_to_pivot = MeasurePivots(query);
+  uint64_t IndexBits() const override {
+    return static_cast<uint64_t>(table_.size()) * sizeof(double) * 8;
+  }
+
+  /// The pivot ids, in selection order.
+  const std::vector<size_t>& pivot_ids() const { return pivot_ids_; }
+
+  /// Stored distance from point i to pivot j.
+  double StoredDistance(size_t i, size_t j) const {
+    return table_[i * pivot_ids_.size() + j];
+  }
+
+ protected:
+  std::vector<SearchResult> RangeQueryImpl(const P& query, double radius,
+                                           QueryStats* stats) const override {
+    std::vector<double> query_to_pivot = MeasurePivots(query, stats);
     std::vector<SearchResult> results;
     for (size_t j = 0; j < pivot_ids_.size(); ++j) {
       if (query_to_pivot[j] <= radius) {
@@ -59,15 +72,16 @@ class LaesaIndex : public SearchIndex<P> {
     for (size_t i = 0; i < data_.size(); ++i) {
       if (IsPivot(i)) continue;
       if (LowerBound(i, query_to_pivot) > radius) continue;
-      double d = this->QueryDist(data_[i], query);
+      double d = this->QueryDist(data_[i], query, stats);
       if (d <= radius) results.push_back({i, d});
     }
     SortResults(&results);
     return results;
   }
 
-  std::vector<SearchResult> KnnQuery(const P& query, size_t k) override {
-    std::vector<double> query_to_pivot = MeasurePivots(query);
+  std::vector<SearchResult> KnnQueryImpl(const P& query, size_t k,
+                                         QueryStats* stats) const override {
+    std::vector<double> query_to_pivot = MeasurePivots(query, stats);
     KnnCollector collector(k);
     for (size_t j = 0; j < pivot_ids_.size(); ++j) {
       collector.Offer(pivot_ids_[j], query_to_pivot[j]);
@@ -83,28 +97,17 @@ class LaesaIndex : public SearchIndex<P> {
     std::sort(order.begin(), order.end());
     for (const auto& [bound, i] : order) {
       if (bound > collector.Radius()) break;
-      collector.Offer(i, this->QueryDist(data_[i], query));
+      collector.Offer(i, this->QueryDist(data_[i], query, stats));
     }
     return collector.Take();
   }
 
-  uint64_t IndexBits() const override {
-    return static_cast<uint64_t>(table_.size()) * sizeof(double) * 8;
-  }
-
-  /// The pivot ids, in selection order.
-  const std::vector<size_t>& pivot_ids() const { return pivot_ids_; }
-
-  /// Stored distance from point i to pivot j.
-  double StoredDistance(size_t i, size_t j) const {
-    return table_[i * pivot_ids_.size() + j];
-  }
-
  private:
-  std::vector<double> MeasurePivots(const P& query) {
+  std::vector<double> MeasurePivots(const P& query,
+                                    QueryStats* stats) const {
     std::vector<double> distances(pivot_ids_.size());
     for (size_t j = 0; j < pivot_ids_.size(); ++j) {
-      distances[j] = this->QueryDist(data_[pivot_ids_[j]], query);
+      distances[j] = this->QueryDist(data_[pivot_ids_[j]], query, stats);
     }
     return distances;
   }

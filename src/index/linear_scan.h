@@ -24,26 +24,28 @@ class LinearScanIndex : public SearchIndex<P> {
 
   std::string name() const override { return "linear-scan"; }
 
-  std::vector<SearchResult> RangeQuery(const P& query,
-                                       double radius) override {
+  uint64_t IndexBits() const override { return 0; }
+
+ protected:
+  std::vector<SearchResult> RangeQueryImpl(const P& query, double radius,
+                                           QueryStats* stats) const override {
     std::vector<SearchResult> results;
     for (size_t i = 0; i < data_.size(); ++i) {
-      double d = this->QueryDist(data_[i], query);
+      double d = this->QueryDist(data_[i], query, stats);
       if (d <= radius) results.push_back({i, d});
     }
     SortResults(&results);
     return results;
   }
 
-  std::vector<SearchResult> KnnQuery(const P& query, size_t k) override {
+  std::vector<SearchResult> KnnQueryImpl(const P& query, size_t k,
+                                         QueryStats* stats) const override {
     KnnCollector collector(k);
     for (size_t i = 0; i < data_.size(); ++i) {
-      collector.Offer(i, this->QueryDist(data_[i], query));
+      collector.Offer(i, this->QueryDist(data_[i], query, stats));
     }
     return collector.Take();
   }
-
-  uint64_t IndexBits() const override { return 0; }
 };
 
 }  // namespace index

@@ -34,28 +34,32 @@ class VpTreeIndex : public SearchIndex<P> {
 
   std::string name() const override { return "vp-tree"; }
 
-  std::vector<SearchResult> RangeQuery(const P& query,
-                                       double radius) override {
-    std::vector<SearchResult> results;
-    SearchNode(root_.get(), query, [&]() { return radius; },
-               [&](size_t id, double d) {
-                 if (d <= radius) results.push_back({id, d});
-               });
-    SortResults(&results);
-    return results;
-  }
-
-  std::vector<SearchResult> KnnQuery(const P& query, size_t k) override {
-    KnnCollector collector(k);
-    SearchNode(root_.get(), query, [&]() { return collector.Radius(); },
-               [&](size_t id, double d) { collector.Offer(id, d); });
-    return collector.Take();
-  }
-
   uint64_t IndexBits() const override {
     // One vantage id, one radius, two child pointers per node.
     return node_count_ * (sizeof(size_t) + sizeof(double) +
                           2 * sizeof(void*)) * 8;
+  }
+
+ protected:
+  std::vector<SearchResult> RangeQueryImpl(const P& query, double radius,
+                                           QueryStats* stats) const override {
+    std::vector<SearchResult> results;
+    SearchNode(root_.get(), query, [&]() { return radius; },
+               [&](size_t id, double d) {
+                 if (d <= radius) results.push_back({id, d});
+               },
+               stats);
+    SortResults(&results);
+    return results;
+  }
+
+  std::vector<SearchResult> KnnQueryImpl(const P& query, size_t k,
+                                         QueryStats* stats) const override {
+    KnnCollector collector(k);
+    SearchNode(root_.get(), query, [&]() { return collector.Radius(); },
+               [&](size_t id, double d) { collector.Offer(id, d); },
+               stats);
+    return collector.Take();
   }
 
  private:
@@ -97,18 +101,18 @@ class VpTreeIndex : public SearchIndex<P> {
 
   template <typename RadiusFn, typename Emit>
   void SearchNode(const Node* node, const P& query, RadiusFn radius_fn,
-                  Emit emit) {
+                  Emit emit, QueryStats* stats) const {
     if (node == nullptr) return;
-    double d = this->QueryDist(data_[node->vantage], query);
+    double d = this->QueryDist(data_[node->vantage], query, stats);
     emit(node->vantage, d);
     double radius = radius_fn();
     // Inside child holds points with distance-to-vantage < median.
     if (d - radius < node->median) {
-      SearchNode(node->inside.get(), query, radius_fn, emit);
+      SearchNode(node->inside.get(), query, radius_fn, emit, stats);
     }
     radius = radius_fn();
     if (d + radius >= node->median) {
-      SearchNode(node->outside.get(), query, radius_fn, emit);
+      SearchNode(node->outside.get(), query, radius_fn, emit, stats);
     }
   }
 

@@ -57,6 +57,12 @@ uint64_t BitReader::Read(int width) {
   return value;
 }
 
+void BitReader::Seek(size_t bit_offset) {
+  DP_CHECK_MSG(bit_offset <= bytes_->size() * 8,
+               "BitReader seek past end: " << bit_offset);
+  position_ = bit_offset;
+}
+
 int BitsFor(uint64_t count) {
   if (count <= 1) return 0;
   int bits = 0;

@@ -47,6 +47,11 @@ class BitReader {
   /// Reads the next `width` bits.  Fatal if the buffer is exhausted.
   uint64_t Read(int width);
 
+  /// Jumps to an absolute bit offset, enabling O(1) random access into
+  /// fixed-width record layouts.  Fatal if the offset lies beyond the
+  /// buffer.
+  void Seek(size_t bit_offset);
+
   /// Bits consumed so far.
   size_t position() const { return position_; }
 

@@ -1,0 +1,60 @@
+// Reusable fixed-size worker thread pool.
+//
+// The batch query engine submits one task per (query, shard) pair; the
+// pool runs them on a fixed set of workers so thread creation cost is
+// paid once per engine, not once per batch.  Wait() gives batch-barrier
+// semantics: it blocks until every task submitted so far has finished,
+// after which the pool is immediately reusable for the next batch.
+
+#ifndef DISTPERM_UTIL_THREAD_POOL_H_
+#define DISTPERM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace distperm {
+namespace util {
+
+/// Fixed-size FIFO thread pool.  Submit() and Wait() may be called from
+/// the owning thread; tasks must not themselves call Submit() or Wait().
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers (at least 1).
+  explicit ThreadPool(size_t thread_count);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void Wait();
+
+  /// Number of worker threads.
+  size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;   // signalled on Submit / shutdown
+  std::condition_variable all_idle_;     // signalled when work drains
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // dequeued but not yet finished
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace util
+}  // namespace distperm
+
+#endif  // DISTPERM_UTIL_THREAD_POOL_H_

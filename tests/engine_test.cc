@@ -1,0 +1,363 @@
+// Concurrent batch query engine tests: sharded, threaded execution must
+// return exactly the results of a sequential linear scan over the whole
+// database (same ids, distances, canonical (distance, id) order), and
+// the engine's distance accounting must reproduce the single-threaded
+// cost model no matter how many workers run.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dataset/string_gen.h"
+#include "dataset/vector_gen.h"
+#include "engine/batch_stats.h"
+#include "engine/query.h"
+#include "engine/query_engine.h"
+#include "engine/sharded_database.h"
+#include "index/laesa.h"
+#include "index/linear_scan.h"
+#include "index/vp_tree.h"
+#include "metric/lp.h"
+#include "metric/string_metrics.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace distperm {
+namespace engine {
+namespace {
+
+using index::LinearScanIndex;
+using index::SearchIndex;
+using index::SearchResult;
+using metric::Vector;
+
+metric::Metric<Vector> L2() { return metric::LpMetric::L2(); }
+
+template <typename P>
+typename ShardedDatabase<P>::IndexFactory LinearFactory() {
+  return [](std::vector<P> data, const metric::Metric<P>& metric, size_t) {
+    return std::make_unique<LinearScanIndex<P>>(std::move(data), metric);
+  };
+}
+
+template <typename P>
+typename ShardedDatabase<P>::IndexFactory VpFactory(uint64_t seed) {
+  return [seed](std::vector<P> data, const metric::Metric<P>& metric,
+                size_t shard) {
+    util::Rng rng(seed + shard);
+    return std::make_unique<index::VpTreeIndex<P>>(std::move(data), metric,
+                                                   &rng);
+  };
+}
+
+template <typename P>
+typename ShardedDatabase<P>::IndexFactory LaesaFactory(uint64_t seed,
+                                                       size_t pivots) {
+  return [seed, pivots](std::vector<P> data,
+                        const metric::Metric<P>& metric, size_t shard) {
+    util::Rng rng(seed + shard);
+    size_t count = std::min(pivots, data.size());
+    return std::make_unique<index::LaesaIndex<P>>(std::move(data), metric,
+                                                  count, &rng);
+  };
+}
+
+// Sequential ground truth: one linear scan over the unsharded database.
+template <typename P>
+std::vector<std::vector<SearchResult>> SequentialTruth(
+    const std::vector<P>& data, const metric::Metric<P>& metric,
+    const std::vector<QuerySpec<P>>& batch) {
+  LinearScanIndex<P> scan(data, metric);
+  std::vector<std::vector<SearchResult>> truth;
+  truth.reserve(batch.size());
+  for (const auto& spec : batch) {
+    truth.push_back(spec.type == QueryType::kKnn
+                        ? scan.KnnQuery(spec.point, spec.k)
+                        : scan.RangeQuery(spec.point, spec.radius));
+  }
+  return truth;
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  util::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&counter]() { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, WaitIsABarrierAndPoolIsReusable) {
+  util::ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 1; round <= 5; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      pool.Submit([&counter]() { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), round * 40);
+  }
+}
+
+TEST(ThreadPool, ZeroRequestedThreadsStillWorks) {
+  util::ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran]() { ran.store(true); });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately) {
+  util::ThreadPool pool(2);
+  pool.Wait();
+}
+
+TEST(ShardedDatabase, ContiguousSlicingCoversEveryPoint) {
+  util::Rng rng(90);
+  auto data = dataset::UniformCube(103, 2, &rng);  // not divisible by 4
+  auto db = ShardedDatabase<Vector>::Build(data, L2(), 4,
+                                           LinearFactory<Vector>());
+  ASSERT_EQ(db.shard_count(), 4u);
+  EXPECT_EQ(db.size(), data.size());
+  size_t covered = 0;
+  for (size_t s = 0; s < db.shard_count(); ++s) {
+    EXPECT_EQ(db.shard_offset(s), covered);
+    for (size_t i = 0; i < db.shard(s).size(); ++i) {
+      EXPECT_EQ(db.shard(s).data()[i], data[covered + i]);
+    }
+    covered += db.shard(s).size();
+  }
+  EXPECT_EQ(covered, data.size());
+  EXPECT_EQ(db.index_name(), "linear-scan");
+}
+
+// The satellite-task test: batched sharded kNN/range results must be
+// identical to sequential LinearScanIndex results across metrics, index
+// types, shard counts, thread counts, and seeds.
+TEST(QueryEngine, ShardedBatchesMatchSequentialLinearScanOnVectors) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    util::Rng rng(1000 + seed);
+    auto data = dataset::UniformCube(350, 3, &rng);
+
+    std::vector<QuerySpec<Vector>> batch;
+    for (int q = 0; q < 12; ++q) {
+      Vector point(3);
+      for (auto& c : point) c = rng.NextDouble(-0.2, 1.2);
+      if (q % 2 == 0) {
+        batch.push_back(QuerySpec<Vector>::Knn(point, 1 + q));
+      } else {
+        batch.push_back(QuerySpec<Vector>::Range(point, 0.05 + 0.08 * q));
+      }
+    }
+    auto truth = SequentialTruth(data, L2(), batch);
+
+    std::vector<typename ShardedDatabase<Vector>::IndexFactory> factories =
+        {LinearFactory<Vector>(), VpFactory<Vector>(seed),
+         LaesaFactory<Vector>(seed, 6)};
+    for (size_t f = 0; f < factories.size(); ++f) {
+      for (size_t shards : {1u, 3u, 4u, 7u}) {
+        auto db = ShardedDatabase<Vector>::Build(data, L2(), shards,
+                                                 factories[f]);
+        for (size_t threads : {1u, 4u}) {
+          QueryEngine<Vector> engine(&db, threads);
+          auto out = engine.RunBatch(batch);
+          ASSERT_EQ(out.results.size(), batch.size());
+          for (size_t q = 0; q < batch.size(); ++q) {
+            EXPECT_EQ(out.results[q], truth[q])
+                << "factory=" << f << " shards=" << shards
+                << " threads=" << threads << " query=" << q;
+          }
+          EXPECT_EQ(AverageRecall(out.results, truth), 1.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(QueryEngine, ShardedBatchesMatchSequentialLinearScanOnStrings) {
+  util::Rng rng(77);
+  auto words = dataset::DnaSequences(140, 4, 6, 16, 0.1, &rng);
+  metric::Metric<std::string> lev((metric::LevenshteinMetric()));
+
+  std::vector<QuerySpec<std::string>> batch;
+  for (int q = 0; q < 10; ++q) {
+    const std::string& point = words[rng.NextBounded(words.size())];
+    if (q % 2 == 0) {
+      batch.push_back(QuerySpec<std::string>::Knn(point, 5));
+    } else {
+      batch.push_back(QuerySpec<std::string>::Range(point, 3.0));
+    }
+  }
+  auto truth = SequentialTruth(words, lev, batch);
+
+  auto db = ShardedDatabase<std::string>::Build(words, lev, 5,
+                                                VpFactory<std::string>(9));
+  QueryEngine<std::string> engine(&db, 4);
+  auto out = engine.RunBatch(batch);
+  for (size_t q = 0; q < batch.size(); ++q) {
+    EXPECT_EQ(out.results[q], truth[q]) << q;
+  }
+}
+
+// Linear-scan shards make the cost model exactly additive: every query
+// costs n metric evaluations regardless of sharding or threading.
+TEST(QueryEngine, DistanceAccountingMatchesSingleThreadedCostModel) {
+  util::Rng rng(31);
+  const size_t n = 257;
+  auto data = dataset::UniformCube(n, 2, &rng);
+  std::vector<QuerySpec<Vector>> batch;
+  for (int q = 0; q < 9; ++q) {
+    batch.push_back(QuerySpec<Vector>::Knn({rng.NextDouble(),
+                                            rng.NextDouble()},
+                                           5));
+  }
+  for (size_t shards : {1u, 4u, 6u}) {
+    auto db = ShardedDatabase<Vector>::Build(data, L2(), shards,
+                                             LinearFactory<Vector>());
+    for (size_t threads : {1u, 4u}) {
+      QueryEngine<Vector> engine(&db, threads);
+      auto out = engine.RunBatch(batch);
+      for (size_t q = 0; q < batch.size(); ++q) {
+        EXPECT_EQ(out.per_query_distance_computations[q], n)
+            << "shards=" << shards << " threads=" << threads;
+      }
+      EXPECT_EQ(out.stats.distance_computations, batch.size() * n);
+    }
+  }
+}
+
+// Any exact index's engine-reported counts must be independent of the
+// worker count: threading may reorder work but never changes what the
+// shards compute.
+TEST(QueryEngine, ThreadCountDoesNotPerturbDistanceCounts) {
+  util::Rng rng(32);
+  auto data = dataset::UniformCube(300, 3, &rng);
+  std::vector<QuerySpec<Vector>> batch;
+  for (int q = 0; q < 8; ++q) {
+    Vector point = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    batch.push_back(q % 2 == 0 ? QuerySpec<Vector>::Knn(point, 7)
+                               : QuerySpec<Vector>::Range(point, 0.3));
+  }
+  auto db = ShardedDatabase<Vector>::Build(data, L2(), 4,
+                                           VpFactory<Vector>(21));
+  QueryEngine<Vector> single(&db, 1);
+  QueryEngine<Vector> pooled(&db, 8);
+  auto a = single.RunBatch(batch);
+  auto b = pooled.RunBatch(batch);
+  EXPECT_EQ(a.stats.distance_computations, b.stats.distance_computations);
+  EXPECT_EQ(a.per_query_distance_computations,
+            b.per_query_distance_computations);
+  EXPECT_EQ(a.results, b.results);
+}
+
+TEST(QueryEngine, BatchStatsAreFilledIn) {
+  util::Rng rng(33);
+  auto data = dataset::UniformCube(120, 2, &rng);
+  auto db = ShardedDatabase<Vector>::Build(data, L2(), 3,
+                                           LinearFactory<Vector>());
+  QueryEngine<Vector> engine(&db, 2);
+  std::vector<QuerySpec<Vector>> batch(
+      6, QuerySpec<Vector>::Knn({0.5, 0.5}, 4));
+  auto out = engine.RunBatch(batch);
+  EXPECT_EQ(out.stats.query_count, 6u);
+  EXPECT_EQ(out.stats.shard_count, 3u);
+  EXPECT_EQ(out.stats.thread_count, 2u);
+  EXPECT_GT(out.stats.wall_seconds, 0.0);
+  EXPECT_EQ(out.stats.latency.count, 6u);
+  EXPECT_GT(out.stats.latency.min_seconds, 0.0);
+  EXPECT_LE(out.stats.latency.min_seconds, out.stats.latency.mean_seconds);
+  EXPECT_LE(out.stats.latency.mean_seconds, out.stats.latency.max_seconds);
+  EXPECT_LE(out.stats.latency.max_seconds, out.stats.wall_seconds);
+}
+
+TEST(QueryEngine, EdgeCases) {
+  util::Rng rng(34);
+  auto data = dataset::UniformCube(10, 2, &rng);
+  // More shards than points: some shards are empty.
+  auto db = ShardedDatabase<Vector>::Build(data, L2(), 16,
+                                           LinearFactory<Vector>());
+  QueryEngine<Vector> engine(&db, 4);
+
+  // Empty batch.
+  auto empty = engine.RunBatch({});
+  EXPECT_TRUE(empty.results.empty());
+  EXPECT_EQ(empty.stats.distance_computations, 0u);
+
+  // k larger than the database.
+  auto out = engine.RunBatch({QuerySpec<Vector>::Knn({0.5, 0.5}, 50)});
+  ASSERT_EQ(out.results.size(), 1u);
+  EXPECT_EQ(out.results[0].size(), data.size());
+  LinearScanIndex<Vector> scan(data, L2());
+  EXPECT_EQ(out.results[0], scan.KnnQuery({0.5, 0.5}, 50));
+
+  // Radius nothing matches.
+  auto none = engine.RunBatch({QuerySpec<Vector>::Range({9.0, 9.0}, 0.01)});
+  EXPECT_TRUE(none.results[0].empty());
+}
+
+// Direct concurrent queries against one shared index: the const API must
+// be safe without the engine, and the per-call stats must sum to the
+// index's atomic aggregate.
+TEST(SearchIndexConcurrency, SharedIndexServesManyThreads) {
+  util::Rng rng(35);
+  auto data = dataset::UniformCube(400, 3, &rng);
+  util::Rng tree_rng(36);
+  const index::VpTreeIndex<Vector> shared(data, L2(), &tree_rng);
+  LinearScanIndex<Vector> reference(data, L2());
+
+  std::vector<Vector> queries;
+  std::vector<std::vector<SearchResult>> truth;
+  for (int q = 0; q < 32; ++q) {
+    Vector point = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    truth.push_back(reference.KnnQuery(point, 6));
+    queries.push_back(std::move(point));
+  }
+
+  ASSERT_EQ(shared.query_distance_computations(), 0u);
+  std::atomic<uint64_t> stats_total{0};
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t]() {
+      for (size_t q = t; q < queries.size(); q += 4) {
+        index::QueryStats stats;
+        auto result = shared.KnnQuery(queries[q], 6, &stats);
+        if (result != truth[q]) mismatches.fetch_add(1);
+        stats_total.fetch_add(stats.distance_computations);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(shared.query_distance_computations(), stats_total.load());
+}
+
+TEST(BatchStatsHelpers, LatencySummary) {
+  auto summary = SummarizeLatencies({0.4, 0.1, 0.3, 0.2});
+  EXPECT_EQ(summary.count, 4u);
+  EXPECT_DOUBLE_EQ(summary.min_seconds, 0.1);
+  EXPECT_DOUBLE_EQ(summary.max_seconds, 0.4);
+  EXPECT_DOUBLE_EQ(summary.mean_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(summary.p99_seconds, 0.4);
+  EXPECT_EQ(SummarizeLatencies({}).count, 0u);
+}
+
+TEST(BatchStatsHelpers, AverageRecall) {
+  std::vector<std::vector<SearchResult>> truth = {
+      {{1, 0.1}, {2, 0.2}}, {{3, 0.3}}, {}};
+  std::vector<std::vector<SearchResult>> actual = {
+      {{1, 0.1}}, {{4, 0.4}}, {}};
+  // Query 0: 1/2, query 1: 0/1, query 2 (empty truth): 1.
+  EXPECT_DOUBLE_EQ(AverageRecall(actual, truth), (0.5 + 0.0 + 1.0) / 3.0);
+  EXPECT_DOUBLE_EQ(AverageRecall(truth, truth), 1.0);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace distperm

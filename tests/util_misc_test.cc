@@ -118,6 +118,32 @@ TEST(Bitpack, ManyValuesRoundTrip) {
   }
 }
 
+TEST(Bitpack, SeekJumpsToFixedWidthRecord) {
+  BitWriter writer;
+  const int width = 11;
+  for (uint64_t i = 0; i < 100; ++i) {
+    writer.Write(i * 17 % 2048, width);
+  }
+  auto bytes = writer.Finish();
+  BitReader reader(bytes);
+  // Random access in arbitrary order, no sequential skipping.
+  for (size_t i : {99u, 0u, 42u, 7u, 77u, 1u}) {
+    reader.Seek(i * width);
+    EXPECT_EQ(reader.Read(width), i * 17 % 2048) << i;
+    EXPECT_EQ(reader.position(), i * width + width);
+  }
+}
+
+TEST(Bitpack, SeekToEndThenReread) {
+  BitWriter writer;
+  writer.Write(0xabcd, 16);
+  auto bytes = writer.Finish();
+  BitReader reader(bytes);
+  reader.Seek(bytes.size() * 8);  // end of buffer: legal seek target
+  reader.Seek(0);
+  EXPECT_EQ(reader.Read(16), 0xabcdu);
+}
+
 TEST(Bitpack, BitsFor) {
   EXPECT_EQ(BitsFor(0), 0);
   EXPECT_EQ(BitsFor(1), 0);
