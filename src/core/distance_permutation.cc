@@ -6,10 +6,16 @@ namespace distperm {
 namespace core {
 
 bool IsPermutation(const Permutation& perm) {
-  std::vector<bool> seen(perm.size(), false);
+  // Fixed stack bitmask sized by kMaxSites (site values are uint8_t, so
+  // every possible value fits): no per-call heap allocation.
+  static_assert(kMaxSites == 256);
+  uint64_t seen[kMaxSites / 64] = {0, 0, 0, 0};
   for (uint8_t v : perm) {
-    if (v >= perm.size() || seen[v]) return false;
-    seen[v] = true;
+    if (v >= perm.size()) return false;
+    uint64_t& word = seen[v >> 6];
+    const uint64_t bit = uint64_t{1} << (v & 63);
+    if ((word & bit) != 0) return false;
+    word |= bit;
   }
   return true;
 }

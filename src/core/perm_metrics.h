@@ -10,6 +10,7 @@
 #define DISTPERM_CORE_PERM_METRICS_H_
 
 #include <cstdint>
+#include <cstdlib>
 
 #include "core/distance_permutation.h"
 
@@ -36,6 +37,22 @@ int KendallTau(const Permutation& a, const Permutation& b);
 /// must have equal length and contain distinct site ids.
 int PrefixFootrule(const Permutation& a, const Permutation& b,
                    size_t total_sites);
+
+/// Footrule distance from two precomputed rank arrays: sum over the k
+/// sites of |a[site] - b[site]|, where each array maps site -> rank
+/// (with absent sites of a truncated permutation at rank
+/// prefix_length).  This is the single O(k) pass the distperm index
+/// runs per stored point once it has inverted the permutations at
+/// build time — no per-pair inversion, no allocation.  Equals
+/// SpearmanFootrule on inverted full permutations and PrefixFootrule on
+/// prefix rank arrays.
+inline int FootruleFromRanks(const uint8_t* a, const uint8_t* b, size_t k) {
+  int sum = 0;
+  for (size_t site = 0; site < k; ++site) {
+    sum += std::abs(static_cast<int>(a[site]) - static_cast<int>(b[site]));
+  }
+  return sum;
+}
 
 /// Maximum possible footrule value for k sites: floor(k^2 / 2).
 int MaxFootrule(size_t k);

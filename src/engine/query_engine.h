@@ -8,6 +8,14 @@
 // evaluations are accumulated per (query, shard) task in its own
 // QueryStats slot and summed after the batch barrier, so concurrency
 // never perturbs the paper's cost-model accounting.
+//
+// Allocation behavior: the pool's threads are fixed for the engine's
+// lifetime, so the per-thread index::QueryScratch buffers (kernel score
+// blocks, candidate rankings, bound orderings) warm up over the first
+// few queries a worker serves; the database-sized transient buffers are
+// then reused allocation-free.  Small fixed-size per-query allocations
+// (site-distance vectors, result sets) remain.  The engine itself
+// allocates only the per-batch slot arrays sized by |batch| x |shards|.
 
 #ifndef DISTPERM_ENGINE_QUERY_ENGINE_H_
 #define DISTPERM_ENGINE_QUERY_ENGINE_H_
@@ -100,6 +108,11 @@ class QueryEngine {
 
     for (size_t q = 0; q < query_count; ++q) {
       std::vector<index::SearchResult> merged;
+      size_t total = 0;
+      for (size_t s = 0; s < shard_count; ++s) {
+        total += partials[q * shard_count + s].size();
+      }
+      merged.reserve(total);
       uint64_t distances = 0;
       for (size_t s = 0; s < shard_count; ++s) {
         const auto& partial = partials[q * shard_count + s];

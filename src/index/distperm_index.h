@@ -19,13 +19,16 @@
 #include <atomic>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/distance_permutation.h"
 #include "core/perm_codec.h"
 #include "core/perm_metrics.h"
+#include "index/flat_data_path.h"
 #include "index/index.h"
 #include "index/pivot_select.h"
+#include "index/query_scratch.h"
 #include "util/bitpack.h"
 #include "util/rng.h"
 
@@ -49,6 +52,7 @@ class DistPermIndex : public SearchIndex<P> {
                 size_t site_count, util::Rng* rng, double fraction = 0.1,
                 size_t prefix_length = 0)
       : SearchIndex<P>(std::move(data), std::move(metric)),
+        flat_(data_, this->metric_),
         fraction_(fraction) {
     DP_CHECK(site_count >= 1 && site_count <= core::kMaxRank64Sites);
     DP_CHECK(fraction > 0.0 && fraction <= 1.0);
@@ -58,19 +62,40 @@ class DistPermIndex : public SearchIndex<P> {
     sites_.reserve(site_count);
     for (size_t id : site_ids) sites_.push_back(data_[id]);
 
-    permutations_.reserve(data_.size());
+    // Per-site query contexts for the flat build path (sites_ is fully
+    // built above and never reallocates, so the row pointers are
+    // stable).
+    std::vector<typename FlatDataPath<P>::QueryContext> site_ctx;
+    if (flat_.enabled()) {
+      site_ctx.reserve(site_count);
+      for (const P& site : sites_) site_ctx.push_back(flat_.MakeQuery(site));
+    }
+
+    inv_ranks_.assign(data_.size() * site_count, 0);
     std::vector<double> distances(site_count);
     util::BitWriter writer;
-    for (const P& point : data_) {
+    for (size_t i = 0; i < data_.size(); ++i) {
       for (size_t j = 0; j < site_count; ++j) {
-        distances[j] = this->BuildDist(sites_[j], point);
+        distances[j] =
+            flat_.enabled()
+                ? flat_.ChargedRowDistance(site_ctx[j], i,
+                                           &this->build_count_)
+                : this->BuildDist(sites_[j], data_[i]);
       }
       core::Permutation perm =
           prefix_ == site_count
               ? core::PermutationFromDistances(distances)
               : core::PermutationPrefixFromDistances(distances, prefix_);
       PackPermutation(perm, &writer);
-      permutations_.push_back(std::move(perm));
+      // Invert once at build time: inv_ranks_[i*k + site] is the site's
+      // rank in point i's permutation, or prefix_ for sites absent from
+      // a truncated prefix.  Footrule at query time is then a single
+      // O(k) pass over two rank arrays with no per-pair inversion.
+      uint8_t* ranks = &inv_ranks_[i * site_count];
+      std::fill(ranks, ranks + site_count, static_cast<uint8_t>(prefix_));
+      for (size_t r = 0; r < perm.size(); ++r) {
+        ranks[perm[r]] = static_cast<uint8_t>(r);
+      }
     }
     packed_bits_ = writer.bit_count();
     packed_ = writer.Finish();
@@ -84,18 +109,20 @@ class DistPermIndex : public SearchIndex<P> {
   uint64_t IndexBits() const override { return packed_bits_; }
 
   /// Number of distinct (possibly truncated) permutations stored — the
-  /// paper's counted quantity.
+  /// paper's counted quantity.  Decoded from the packed buffer: the
+  /// bit-packed records and the inverted rank table are the only
+  /// permutation storage the index keeps.
   size_t DistinctPermutationCount() const {
     std::unordered_set<uint64_t> seen;
-    for (const auto& perm : permutations_) {
-      seen.insert(PrefixKey(perm));
+    for (size_t i = 0; i < data_.size(); ++i) {
+      seen.insert(PrefixKey(DecodePackedPermutation(i)));
     }
     return seen.size();
   }
 
   /// The stored permutation (or prefix) of database point i.
   core::Permutation StoredPermutation(size_t i) const {
-    return permutations_[i];
+    return DecodePackedPermutation(i);
   }
 
   /// Decodes point i's permutation from the bit-packed buffer.  Records
@@ -184,17 +211,14 @@ class DistPermIndex : public SearchIndex<P> {
     return std::max<size_t>(1, std::min(budget, data_.size()));
   }
 
-  int Footrule(const core::Permutation& query_perm,
-               const core::Permutation& stored) const {
-    if (prefix_ == sites_.size()) {
-      return core::SpearmanFootrule(query_perm, stored);
-    }
-    return core::PrefixFootrule(query_perm, stored, sites_.size());
-  }
-
-  /// Computes the query permutation, orders the database by footrule
-  /// distance to it (counting sort over the bounded footrule range), and
-  /// verifies the first `budget` candidates.
+  /// Computes the query permutation, scores every stored point with the
+  /// O(k) rank-array footrule, selects the `budget` footrule-closest
+  /// candidates with std::nth_element (partial selection — the N-budget
+  /// unverified scores are never fully ordered), sorts only the
+  /// selected slice into the canonical (footrule, id) order, and
+  /// verifies it.  The candidate sequence is identical to fully
+  /// ordering the database by (footrule, id) and taking the first
+  /// `budget`, i.e. to the original full-sort formulation.
   template <typename Visit>
   void ScanByFootrule(const P& query, size_t budget, QueryStats* stats,
                       Visit visit) const {
@@ -207,31 +231,50 @@ class DistPermIndex : public SearchIndex<P> {
         prefix_ == k ? core::PermutationFromDistances(distances)
                      : core::PermutationPrefixFromDistances(distances,
                                                             prefix_);
-    // Prefix footrule is bounded by k * prefix (each of the k sites
-    // moves by at most prefix ranks); the full footrule by k^2/2.
-    const size_t max_footrule =
-        prefix_ == k ? static_cast<size_t>(core::MaxFootrule(k))
-                     : k * prefix_;
-    std::vector<std::vector<uint32_t>> buckets(max_footrule + 1);
-    for (size_t i = 0; i < data_.size(); ++i) {
-      int f = Footrule(query_perm, permutations_[i]);
-      DP_CHECK(f >= 0 && static_cast<size_t>(f) <= max_footrule);
-      buckets[static_cast<size_t>(f)].push_back(
-          static_cast<uint32_t>(i));
+    uint8_t query_ranks[core::kMaxSites];
+    std::fill(query_ranks, query_ranks + k, static_cast<uint8_t>(prefix_));
+    for (size_t r = 0; r < query_perm.size(); ++r) {
+      query_ranks[query_perm[r]] = static_cast<uint8_t>(r);
     }
-    size_t verified = 0;
-    for (const auto& bucket : buckets) {
-      for (uint32_t id : bucket) {
-        if (verified >= budget) return;
-        ++verified;
-        if (!visit(id, this->QueryDist(data_[id], query, stats))) return;
-      }
+
+    std::vector<std::pair<uint32_t, uint32_t>>& scored =
+        QueryScratch::ForThread().scored;
+    scored.clear();
+    scored.reserve(data_.size());
+    const uint8_t* inv = inv_ranks_.data();
+    for (size_t i = 0; i < data_.size(); ++i) {
+      const int f = core::FootruleFromRanks(query_ranks, inv + i * k, k);
+      scored.emplace_back(static_cast<uint32_t>(f),
+                          static_cast<uint32_t>(i));
+    }
+    budget = std::min(budget, scored.size());
+    if (budget < scored.size()) {
+      std::nth_element(scored.begin(), scored.begin() + budget,
+                       scored.end());
+    }
+    std::sort(scored.begin(), scored.begin() + budget);
+
+    const bool flat = flat_.enabled();
+    const auto ctx = flat ? flat_.MakeQuery(query)
+                          : typename FlatDataPath<P>::QueryContext{};
+    for (size_t v = 0; v < budget; ++v) {
+      const size_t id = scored[v].second;
+      const double d =
+          flat ? flat_.ChargedRowDistance(ctx, id,
+                                          &stats->distance_computations)
+               : this->QueryDist(data_[id], query, stats);
+      if (!visit(id, d)) return;
     }
   }
 
+  FlatDataPath<P> flat_;
   std::vector<P> sites_;
   size_t prefix_ = 0;
-  std::vector<core::Permutation> permutations_;
+  /// Row i holds the inverted permutation of point i: entry `site` is
+  /// the site's rank, or prefix_length() for sites outside a stored
+  /// prefix.  Flat n x k layout, one cache-resident O(k) pass per
+  /// (query, point) footrule.
+  std::vector<uint8_t> inv_ranks_;
   std::vector<uint8_t> packed_;
   size_t packed_bits_ = 0;
   std::atomic<double> fraction_;

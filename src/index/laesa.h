@@ -17,8 +17,11 @@
 #include <string>
 #include <vector>
 
+#include "index/flat_data_path.h"
 #include "index/index.h"
 #include "index/pivot_select.h"
+#include "index/query_scratch.h"
+#include "metric/kernels.h"
 #include "util/rng.h"
 
 namespace distperm {
@@ -33,14 +36,18 @@ class LaesaIndex : public SearchIndex<P> {
   /// Builds with `pivot_count` max-min pivots chosen using `rng`.
   LaesaIndex(std::vector<P> data, metric::Metric<P> metric,
              size_t pivot_count, util::Rng* rng)
-      : SearchIndex<P>(std::move(data), std::move(metric)) {
+      : SearchIndex<P>(std::move(data), std::move(metric)),
+        flat_(data_, this->metric_) {
     pivot_ids_ = MaxMinPivots(data_, this->metric_, pivot_count, rng,
                               &this->build_count_);
     table_.resize(data_.size() * pivot_ids_.size());
+    const bool flat = flat_.enabled();
     for (size_t i = 0; i < data_.size(); ++i) {
       for (size_t j = 0; j < pivot_ids_.size(); ++j) {
         table_[i * pivot_ids_.size() + j] =
-            this->BuildDist(data_[i], data_[pivot_ids_[j]]);
+            flat ? flat_.ChargedRowPairDistance(i, pivot_ids_[j],
+                                                &this->build_count_)
+                 : this->BuildDist(data_[i], data_[pivot_ids_[j]]);
       }
     }
   }
@@ -63,6 +70,9 @@ class LaesaIndex : public SearchIndex<P> {
   std::vector<SearchResult> RangeQueryImpl(const P& query, double radius,
                                            QueryStats* stats) const override {
     std::vector<double> query_to_pivot = MeasurePivots(query, stats);
+    const bool flat = flat_.enabled();
+    const auto ctx = flat ? flat_.MakeQuery(query)
+                          : typename FlatDataPath<P>::QueryContext{};
     std::vector<SearchResult> results;
     for (size_t j = 0; j < pivot_ids_.size(); ++j) {
       if (query_to_pivot[j] <= radius) {
@@ -72,7 +82,10 @@ class LaesaIndex : public SearchIndex<P> {
     for (size_t i = 0; i < data_.size(); ++i) {
       if (IsPivot(i)) continue;
       if (LowerBound(i, query_to_pivot) > radius) continue;
-      double d = this->QueryDist(data_[i], query, stats);
+      const double d =
+          flat ? flat_.ChargedRowDistance(ctx, i,
+                                          &stats->distance_computations)
+               : this->QueryDist(data_[i], query, stats);
       if (d <= radius) results.push_back({i, d});
     }
     SortResults(&results);
@@ -82,13 +95,19 @@ class LaesaIndex : public SearchIndex<P> {
   std::vector<SearchResult> KnnQueryImpl(const P& query, size_t k,
                                          QueryStats* stats) const override {
     std::vector<double> query_to_pivot = MeasurePivots(query, stats);
+    const bool flat = flat_.enabled();
+    const auto ctx = flat ? flat_.MakeQuery(query)
+                          : typename FlatDataPath<P>::QueryContext{};
     KnnCollector collector(k);
     for (size_t j = 0; j < pivot_ids_.size(); ++j) {
       collector.Offer(pivot_ids_[j], query_to_pivot[j]);
     }
     // Verify non-pivot candidates in increasing lower-bound order; stop
-    // once the bound exceeds the shrinking radius.
-    std::vector<std::pair<double, size_t>> order;
+    // once the bound exceeds the shrinking radius.  The order array is
+    // per-thread scratch, reused allocation-free across the batch.
+    std::vector<std::pair<double, size_t>>& order =
+        QueryScratch::ForThread().bounds;
+    order.clear();
     order.reserve(data_.size());
     for (size_t i = 0; i < data_.size(); ++i) {
       if (IsPivot(i)) continue;
@@ -97,7 +116,10 @@ class LaesaIndex : public SearchIndex<P> {
     std::sort(order.begin(), order.end());
     for (const auto& [bound, i] : order) {
       if (bound > collector.Radius()) break;
-      collector.Offer(i, this->QueryDist(data_[i], query, stats));
+      collector.Offer(
+          i, flat ? flat_.ChargedRowDistance(ctx, i,
+                                             &stats->distance_computations)
+                  : this->QueryDist(data_[i], query, stats));
     }
     return collector.Take();
   }
@@ -114,13 +136,12 @@ class LaesaIndex : public SearchIndex<P> {
 
   double LowerBound(size_t i, const std::vector<double>& query_to_pivot)
       const {
-    double bound = 0.0;
-    const double* row = &table_[i * pivot_ids_.size()];
-    for (size_t j = 0; j < pivot_ids_.size(); ++j) {
-      double b = std::fabs(query_to_pivot[j] - row[j]);
-      if (b > bound) bound = b;
-    }
-    return bound;
+    // max_j |d(q, p_j) - d(x, p_j)| is exactly the L-infinity kernel
+    // over the contiguous pivot-table row (max is associative, so the
+    // vectorized form is bit-identical to the scalar loop).
+    return metric::LInfRaw(query_to_pivot.data(),
+                           &table_[i * pivot_ids_.size()],
+                           pivot_ids_.size());
   }
 
   bool IsPivot(size_t i) const {
@@ -130,6 +151,7 @@ class LaesaIndex : public SearchIndex<P> {
 
   std::vector<size_t> pivot_ids_;
   std::vector<double> table_;  // row-major n x k
+  FlatDataPath<P> flat_;
 };
 
 }  // namespace index

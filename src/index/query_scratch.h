@@ -1,0 +1,44 @@
+// Per-thread reusable query scratch buffers.
+//
+// The engine layer answers batches by fanning (query, shard) tasks onto
+// a fixed worker pool (util::ThreadPool), so the same few threads run
+// millions of queries.  Each index query needs transient buffers — a
+// block of kernel scores, an array of (footrule, id) candidates, an
+// array of (lower bound, id) pairs — that used to be heap-allocated per
+// call.  QueryScratch keeps one instance of each per thread: buffers
+// grow to the high-water mark of the queries that thread serves and are
+// then reused allocation-free.
+//
+// Contract: a query implementation may use the scratch only within one
+// Impl call (no state may live across calls — queries stay reentrant
+// per thread), and must size the buffer itself before use.
+
+#ifndef DISTPERM_INDEX_QUERY_SCRATCH_H_
+#define DISTPERM_INDEX_QUERY_SCRATCH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace distperm {
+namespace index {
+
+struct QueryScratch {
+  /// Kernel scores for one block of rows (linear scan).
+  std::vector<double> distance_block;
+  /// (footrule, id) candidate ranking (distperm index).
+  std::vector<std::pair<uint32_t, uint32_t>> scored;
+  /// (lower bound, id) verification order (LAESA).
+  std::vector<std::pair<double, size_t>> bounds;
+
+  /// The calling thread's scratch instance.
+  static QueryScratch& ForThread() {
+    static thread_local QueryScratch scratch;
+    return scratch;
+  }
+};
+
+}  // namespace index
+}  // namespace distperm
+
+#endif  // DISTPERM_INDEX_QUERY_SCRATCH_H_

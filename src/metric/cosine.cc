@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "metric/kernels.h"
 #include "util/status.h"
 
 namespace distperm {
@@ -42,15 +43,11 @@ double AngleDistance(const SparseVector& a, const SparseVector& b) {
 
 double AngleDistanceDense(const Vector& a, const Vector& b) {
   DP_CHECK_MSG(a.size() == b.size(), "dimension mismatch");
-  double dot = 0.0, na = 0.0, nb = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    dot += a[i] * b[i];
-    na += a[i] * a[i];
-    nb += b[i] * b[i];
-  }
-  DP_CHECK_MSG(na > 0 && nb > 0, "angle distance of zero vector");
-  double cosine = std::clamp(dot / std::sqrt(na * nb), -1.0, 1.0);
-  return std::acos(cosine);
+  const size_t dim = a.size();
+  const double dot = DotRaw(a.data(), b.data(), dim);
+  const double na = std::sqrt(DotRaw(a.data(), a.data(), dim));
+  const double nb = std::sqrt(DotRaw(b.data(), b.data(), dim));
+  return AngleFromParts(dot, na, nb);
 }
 
 }  // namespace metric

@@ -8,9 +8,12 @@
 #ifndef DISTPERM_METRIC_COSINE_H_
 #define DISTPERM_METRIC_COSINE_H_
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "metric/metric.h"
+#include "util/status.h"
 
 namespace distperm {
 namespace metric {
@@ -28,6 +31,15 @@ double AngleDistance(const SparseVector& a, const SparseVector& b);
 /// Angle distance on dense vectors.
 double AngleDistanceDense(const Vector& a, const Vector& b);
 
+/// Angle from a dot product and the two vector norms — the single
+/// definition of the clamp + arccos step, shared by the scalar dense
+/// path and the flat blocked path (which precomputes the norms), so
+/// both produce bit-identical distances.  Fatal on a zero norm.
+inline double AngleFromParts(double dot, double norm_a, double norm_b) {
+  DP_CHECK_MSG(norm_a > 0 && norm_b > 0, "angle distance of zero vector");
+  return std::acos(std::clamp(dot / (norm_a * norm_b), -1.0, 1.0));
+}
+
 /// Metric wrapper for sparse angle distance.
 class AngleMetric {
  public:
@@ -35,6 +47,18 @@ class AngleMetric {
     return AngleDistance(a, b);
   }
   std::string name() const { return "angle"; }
+};
+
+/// Metric wrapper for dense angle distance.  Tagged with kAngle so
+/// vector indexes can precompute per-row norms and evaluate blocks of
+/// dot products through the flat kernels.
+class DenseAngleMetric {
+ public:
+  double operator()(const Vector& a, const Vector& b) const {
+    return AngleDistanceDense(a, b);
+  }
+  std::string name() const { return "angle"; }
+  VectorKernelKind vector_kernel() const { return VectorKernelKind::kAngle; }
 };
 
 }  // namespace metric

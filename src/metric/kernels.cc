@@ -1,0 +1,142 @@
+#include "metric/kernels.h"
+
+#include <cmath>
+
+namespace distperm {
+namespace metric {
+
+// All four kernels share the same shape: a 4-lane unrolled body with
+// independent accumulators (no cross-iteration dependence, so GCC/Clang
+// emit packed SIMD at -O2/-O3 without -ffast-math), then a sequential
+// tail for dim % 4.
+
+double L1Raw(const double* __restrict a, const double* __restrict b,
+             size_t dim) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    acc0 += std::fabs(a[i] - b[i]);
+    acc1 += std::fabs(a[i + 1] - b[i + 1]);
+    acc2 += std::fabs(a[i + 2] - b[i + 2]);
+    acc3 += std::fabs(a[i + 3] - b[i + 3]);
+  }
+  double sum = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < dim; ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+double L2sqRaw(const double* __restrict a, const double* __restrict b,
+               size_t dim) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const double d0 = a[i] - b[i];
+    const double d1 = a[i + 1] - b[i + 1];
+    const double d2 = a[i + 2] - b[i + 2];
+    const double d3 = a[i + 3] - b[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  double sum = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < dim; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+// Max via comparison (the seed's `if (diff > best)` form, which lowers
+// to maxsd/maxpd) rather than std::fmax, whose NaN-handling contract
+// forces a libm call under default FP rules.
+double LInfRaw(const double* __restrict a, const double* __restrict b,
+               size_t dim) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const double d0 = std::fabs(a[i] - b[i]);
+    const double d1 = std::fabs(a[i + 1] - b[i + 1]);
+    const double d2 = std::fabs(a[i + 2] - b[i + 2]);
+    const double d3 = std::fabs(a[i + 3] - b[i + 3]);
+    acc0 = d0 > acc0 ? d0 : acc0;
+    acc1 = d1 > acc1 ? d1 : acc1;
+    acc2 = d2 > acc2 ? d2 : acc2;
+    acc3 = d3 > acc3 ? d3 : acc3;
+  }
+  double best = acc0 > acc1 ? acc0 : acc1;
+  best = acc2 > best ? acc2 : best;
+  best = acc3 > best ? acc3 : best;
+  for (; i < dim; ++i) {
+    const double d = std::fabs(a[i] - b[i]);
+    best = d > best ? d : best;
+  }
+  return best;
+}
+
+double DotRaw(const double* __restrict a, const double* __restrict b,
+              size_t dim) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  double sum = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < dim; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void L1Block(const double* __restrict query, const double* __restrict rows,
+             size_t row_count, size_t stride, size_t dim,
+             double* __restrict out) {
+  for (size_t r = 0; r < row_count; ++r) {
+    out[r] = L1Raw(query, rows + r * stride, dim);
+  }
+}
+
+void L2sqBlock(const double* __restrict query, const double* __restrict rows,
+               size_t row_count, size_t stride, size_t dim,
+               double* __restrict out) {
+  for (size_t r = 0; r < row_count; ++r) {
+    out[r] = L2sqRaw(query, rows + r * stride, dim);
+  }
+}
+
+void LInfBlock(const double* __restrict query, const double* __restrict rows,
+               size_t row_count, size_t stride, size_t dim,
+               double* __restrict out) {
+  for (size_t r = 0; r < row_count; ++r) {
+    out[r] = LInfRaw(query, rows + r * stride, dim);
+  }
+}
+
+void DotBlock(const double* __restrict query, const double* __restrict rows,
+              size_t row_count, size_t stride, size_t dim,
+              double* __restrict out) {
+  for (size_t r = 0; r < row_count; ++r) {
+    out[r] = DotRaw(query, rows + r * stride, dim);
+  }
+}
+
+double MinRaw(const double* __restrict x, size_t n) {
+  if (n == 0) return 0.0;
+  double acc0 = x[0], acc1 = x[0], acc2 = x[0], acc3 = x[0];
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 = x[i] < acc0 ? x[i] : acc0;
+    acc1 = x[i + 1] < acc1 ? x[i + 1] : acc1;
+    acc2 = x[i + 2] < acc2 ? x[i + 2] : acc2;
+    acc3 = x[i + 3] < acc3 ? x[i + 3] : acc3;
+  }
+  double best = acc0 < acc1 ? acc0 : acc1;
+  best = acc2 < best ? acc2 : best;
+  best = acc3 < best ? acc3 : best;
+  for (; i < n; ++i) best = x[i] < best ? x[i] : best;
+  return best;
+}
+
+}  // namespace metric
+}  // namespace distperm

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "metric/kernels.h"
 #include "util/status.h"
 
 namespace distperm {
@@ -12,19 +13,12 @@ using util::Status;
 
 double L1Distance(const Vector& a, const Vector& b) {
   DP_CHECK_MSG(a.size() == b.size(), "dimension mismatch");
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
-  return sum;
+  return L1Raw(a.data(), b.data(), a.size());
 }
 
 double L2DistanceSquared(const Vector& a, const Vector& b) {
   DP_CHECK_MSG(a.size() == b.size(), "dimension mismatch");
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    double diff = a[i] - b[i];
-    sum += diff * diff;
-  }
-  return sum;
+  return L2sqRaw(a.data(), b.data(), a.size());
 }
 
 double L2Distance(const Vector& a, const Vector& b) {
@@ -33,19 +27,23 @@ double L2Distance(const Vector& a, const Vector& b) {
 
 double LInfDistance(const Vector& a, const Vector& b) {
   DP_CHECK_MSG(a.size() == b.size(), "dimension mismatch");
-  double best = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    double diff = std::fabs(a[i] - b[i]);
-    if (diff > best) best = diff;
-  }
-  return best;
+  return LInfRaw(a.data(), b.data(), a.size());
 }
 
-double LpDistance(const Vector& a, const Vector& b, double p) {
-  DP_CHECK_MSG(p >= 1.0, "Lp requires p >= 1");
-  if (p == 1.0) return L1Distance(a, b);
-  if (p == 2.0) return L2Distance(a, b);
-  if (std::isinf(p)) return LInfDistance(a, b);
+namespace {
+
+// Construction-time dispatch targets for LpMetric: uniform signature so
+// operator() is a single indirect call with no per-evaluation checks.
+double L1Fn(const Vector& a, const Vector& b, double) {
+  return L1Distance(a, b);
+}
+double L2Fn(const Vector& a, const Vector& b, double) {
+  return L2Distance(a, b);
+}
+double LInfFn(const Vector& a, const Vector& b, double) {
+  return LInfDistance(a, b);
+}
+double GeneralLpFn(const Vector& a, const Vector& b, double p) {
   DP_CHECK_MSG(a.size() == b.size(), "dimension mismatch");
   double sum = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {
@@ -54,23 +52,37 @@ double LpDistance(const Vector& a, const Vector& b, double p) {
   return std::pow(sum, 1.0 / p);
 }
 
+}  // namespace
+
+double LpDistance(const Vector& a, const Vector& b, double p) {
+  DP_CHECK_MSG(p >= 1.0, "Lp requires p >= 1");
+  if (p == 1.0) return L1Distance(a, b);
+  if (p == 2.0) return L2Distance(a, b);
+  if (std::isinf(p)) return LInfDistance(a, b);
+  return GeneralLpFn(a, b, p);
+}
+
 LpMetric::LpMetric(double p) : p_(p) {
   DP_CHECK_MSG(p >= 1.0, "Lp requires p >= 1");
   if (p == 1.0) {
+    fn_ = &L1Fn;
+    kernel_ = VectorKernelKind::kL1;
     name_ = "L1";
   } else if (p == 2.0) {
+    fn_ = &L2Fn;
+    kernel_ = VectorKernelKind::kL2;
     name_ = "L2";
   } else if (std::isinf(p)) {
+    fn_ = &LInfFn;
+    kernel_ = VectorKernelKind::kLInf;
     name_ = "Linf";
   } else {
+    fn_ = &GeneralLpFn;
+    kernel_ = VectorKernelKind::kNone;
     char buf[32];
     std::snprintf(buf, sizeof(buf), "L%g", p);
     name_ = buf;
   }
-}
-
-double LpMetric::operator()(const Vector& a, const Vector& b) const {
-  return LpDistance(a, b, p_);
 }
 
 }  // namespace metric

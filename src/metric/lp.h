@@ -29,8 +29,9 @@ double LInfDistance(const Vector& a, const Vector& b);
 /// General Lp distance for p >= 1; p may be infinity.
 double LpDistance(const Vector& a, const Vector& b, double p);
 
-/// Metric object for any p in [1, infinity].  The common cases p = 1, 2,
-/// infinity dispatch to the specialized kernels.
+/// Metric object for any p in [1, infinity].  The p = 1, 2, infinity
+/// dispatch happens once at construction: operator() calls the selected
+/// kernel through a function pointer with no per-evaluation checks.
 class LpMetric {
  public:
   /// Constructs the Lp metric; `p` must be >= 1 (may be infinity).
@@ -43,7 +44,9 @@ class LpMetric {
     return LpMetric(std::numeric_limits<double>::infinity());
   }
 
-  double operator()(const Vector& a, const Vector& b) const;
+  double operator()(const Vector& a, const Vector& b) const {
+    return fn_(a, b, p_);
+  }
 
   /// "L1", "L2", "Linf", or "L<p>".
   std::string name() const { return name_; }
@@ -51,8 +54,17 @@ class LpMetric {
   /// The order p of the metric.
   double p() const { return p_; }
 
+  /// kL1 / kL2 / kLInf for the specialized orders, kNone for general p.
+  VectorKernelKind vector_kernel() const { return kernel_; }
+
  private:
+  /// Kernel selected at construction; general p reads `p` per call, the
+  /// specialized orders ignore it.
+  using Fn = double (*)(const Vector&, const Vector&, double p);
+
   double p_;
+  Fn fn_;
+  VectorKernelKind kernel_;
   std::string name_;
 };
 

@@ -28,6 +28,20 @@ using Vector = std::vector<double>;
 /// Sparse vector (sorted by dimension id) used by document spaces.
 using SparseVector = std::vector<std::pair<uint32_t, double>>;
 
+/// Identifies a dense-vector metric with a vectorized kernel (see
+/// kernels.h).  Metrics tagged with anything but kNone evaluate, on
+/// contiguous rows, bit-identically to their scalar entry points, so
+/// indexes over Vector data may route bulk distance work through the
+/// flat blocked kernels (index/flat_data_path.h) without perturbing
+/// results or the distance-computation cost model.
+enum class VectorKernelKind : uint8_t {
+  kNone = 0,  ///< No raw kernel; always evaluate through the functor.
+  kL1,        ///< Manhattan distance.
+  kL2,        ///< Euclidean distance (kernels score in squared form).
+  kLInf,      ///< Chebyshev distance.
+  kAngle,     ///< Dense angle distance (kernels precompute norms).
+};
+
 /// A named, type-erased distance function over points of type P.
 ///
 /// Wrapping costs one std::function indirection per distance evaluation;
@@ -44,14 +58,23 @@ class Metric {
       : name_(std::move(name)), fn_(std::move(fn)) {}
 
   /// Constructs from any copyable metric object exposing
-  /// `double operator()(const P&, const P&) const` and `name()`.
+  /// `double operator()(const P&, const P&) const` and `name()`.  If the
+  /// object also exposes `vector_kernel()`, the kernel tag is carried
+  /// through the type erasure so indexes can select the flat data path.
   template <typename M>
     requires requires(const M& m, const P& p) {
       { m(p, p) } -> std::convertible_to<double>;
       { m.name() } -> std::convertible_to<std::string>;
     }
   Metric(const M& m)  // NOLINT: implicit by design
-      : name_(m.name()), fn_(m) {}
+      : name_(m.name()), fn_(m) {
+    if constexpr (requires {
+                    { m.vector_kernel() } ->
+                        std::convertible_to<VectorKernelKind>;
+                  }) {
+      kernel_ = m.vector_kernel();
+    }
+  }
 
   /// Evaluates the distance.
   double operator()(const P& a, const P& b) const { return fn_(a, b); }
@@ -59,9 +82,15 @@ class Metric {
   /// Human-readable name ("L2", "levenshtein", ...).
   const std::string& name() const { return name_; }
 
+  /// Vectorized-kernel tag (kNone unless the wrapped metric declared
+  /// one).  Purely an optimization hint: evaluating through operator()
+  /// and through the tagged kernel give bit-identical distances.
+  VectorKernelKind vector_kernel() const { return kernel_; }
+
  private:
   std::string name_;
   Fn fn_;
+  VectorKernelKind kernel_ = VectorKernelKind::kNone;
 };
 
 /// The discrete metric: 0 if equal, 1 otherwise.  Useful as a degenerate
