@@ -9,8 +9,13 @@
 // cost model), and for linear-scan shards each query must cost exactly n
 // metric evaluations.
 //
+// Index structures are selected at runtime through the index registry:
+// the default sweep covers four specs, and --index=<spec> restricts the
+// run to any single registry entry (e.g. --index=gh-tree or
+// --index=distperm:k=12,fraction=0.1).
+//
 // Usage: engine_throughput [--points=4000] [--queries=48] [--dim=6]
-//                          [--k=10] [--seed=7]
+//                          [--k=10] [--seed=7] [--index=<spec>]
 
 #include <iostream>
 #include <memory>
@@ -23,10 +28,7 @@
 #include "engine/query.h"
 #include "engine/query_engine.h"
 #include "engine/sharded_database.h"
-#include "index/distperm_index.h"
-#include "index/laesa.h"
 #include "index/linear_scan.h"
-#include "index/vp_tree.h"
 #include "metric/lp.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -35,61 +37,11 @@
 using distperm::engine::QueryEngine;
 using distperm::engine::QuerySpec;
 using distperm::engine::ShardedDatabase;
-using distperm::index::SearchIndex;
 using distperm::metric::Metric;
 using distperm::metric::Vector;
 using distperm::util::Rng;
 
 namespace {
-
-using Factory = ShardedDatabase<Vector>::IndexFactory;
-
-struct IndexKind {
-  std::string label;
-  Factory factory;
-  bool exact;
-};
-
-std::vector<IndexKind> IndexKinds(uint64_t seed) {
-  std::vector<IndexKind> kinds;
-  kinds.push_back(
-      {"linear-scan",
-       [](std::vector<Vector> data, const Metric<Vector>& metric, size_t) {
-         return std::make_unique<distperm::index::LinearScanIndex<Vector>>(
-             std::move(data), metric);
-       },
-       true});
-  kinds.push_back(
-      {"vp-tree",
-       [seed](std::vector<Vector> data, const Metric<Vector>& metric,
-              size_t shard) {
-         Rng rng(seed * 131 + shard);
-         return std::make_unique<distperm::index::VpTreeIndex<Vector>>(
-             std::move(data), metric, &rng);
-       },
-       true});
-  kinds.push_back(
-      {"laesa k=8",
-       [seed](std::vector<Vector> data, const Metric<Vector>& metric,
-              size_t shard) {
-         Rng rng(seed * 257 + shard);
-         size_t pivots = std::min<size_t>(8, data.size());
-         return std::make_unique<distperm::index::LaesaIndex<Vector>>(
-             std::move(data), metric, pivots, &rng);
-       },
-       true});
-  kinds.push_back(
-      {"distperm f=.2",
-       [seed](std::vector<Vector> data, const Metric<Vector>& metric,
-              size_t shard) {
-         Rng rng(seed * 521 + shard);
-         size_t sites = std::min<size_t>(10, data.size());
-         return std::make_unique<distperm::index::DistPermIndex<Vector>>(
-             std::move(data), metric, sites, &rng, /*fraction=*/0.2);
-       },
-       false});
-  return kinds;
-}
 
 std::string Ms(double seconds) {
   char buffer[32];
@@ -120,6 +72,14 @@ int main(int argc, char** argv) {
   const uint64_t seed =
       static_cast<uint64_t>(flags.value().GetInt("seed", 7));
 
+  // Registry specs to sweep: the default four, or the single spec the
+  // caller asked for.
+  std::vector<std::string> specs = {"linear-scan", "vp-tree", "laesa:k=8",
+                                    "distperm:k=10,fraction=0.2"};
+  if (flags.value().Has("index")) {
+    specs = {flags.value().GetString("index", "linear-scan")};
+  }
+
   Rng rng(seed);
   auto data = distperm::dataset::UniformCube(points, dim, &rng);
   Metric<Vector> l2(distperm::metric::LpMetric::L2());
@@ -148,10 +108,16 @@ int main(int argc, char** argv) {
   bool cost_model_ok = true;
   bool concurrency_win = false;
   double best_speedup = 1.0;
-  for (const IndexKind& kind : IndexKinds(seed)) {
+  for (const std::string& spec : specs) {
     for (size_t shards : {1u, 4u, 8u}) {
-      auto db = ShardedDatabase<Vector>::Build(data, l2, shards,
-                                               kind.factory);
+      auto built = ShardedDatabase<Vector>::BuildFromRegistry(
+          data, l2, shards, spec, seed);
+      if (!built.ok()) {
+        std::cerr << "failed to build '" << spec << "': " << built.status()
+                  << "\n";
+        return 1;
+      }
+      const ShardedDatabase<Vector>& db = built.value();
       // Single-threaded reference execution of the same sharded queries:
       // the baseline for speedup and for cost-model equality.
       QueryEngine<Vector> sequential(&db, 1);
@@ -171,7 +137,7 @@ int main(int argc, char** argv) {
                 base.stats.distance_computations &&
             out.per_query_distance_computations ==
                 base.per_query_distance_computations;
-        if (kind.label == "linear-scan") {
+        if (spec == "linear-scan") {
           for (uint64_t per_query : out.per_query_distance_computations) {
             counts_match = counts_match && per_query == points;
           }
@@ -189,7 +155,7 @@ int main(int argc, char** argv) {
         double qps = static_cast<double>(queries) / out.stats.wall_seconds;
         double recall = distperm::engine::AverageRecall(out.results, truth);
         table.AddRow(
-            {kind.label, std::to_string(shards), std::to_string(threads),
+            {spec, std::to_string(shards), std::to_string(threads),
              Ms(out.stats.wall_seconds), Fixed(qps, 0), Fixed(speedup, 2),
              Fixed(static_cast<double>(out.stats.distance_computations) /
                        static_cast<double>(queries),

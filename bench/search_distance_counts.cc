@@ -4,22 +4,21 @@
 // storage.  Reports metric evaluations per 10-NN query, index storage,
 // and recall for the approximate permutation index.
 //
+// Every index is built from its registry spec string (--index=<spec>
+// restricts the run to one entry), so adding a structure to the
+// comparison is a string, not a compile-time change.
+//
 // Usage: search_distance_counts [--points=2000] [--queries=50]
-//                               [--dim=8] [--seed=5]
+//                               [--dim=8] [--seed=5] [--index=<spec>]
 
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dataset/vector_gen.h"
-#include "index/aesa.h"
-#include "index/distperm_index.h"
-#include "index/gh_tree.h"
-#include "index/iaesa.h"
-#include "index/laesa.h"
-#include "index/linear_scan.h"
-#include "index/vp_tree.h"
+#include "index/registry.h"
 #include "metric/lp.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -51,30 +50,36 @@ int main(int argc, char** argv) {
   auto data = distperm::dataset::UniformCube(points, dim, &rng);
   Metric<Vector> l2(LpMetric::L2());
 
-  Rng r1 = rng.Split(), r2 = rng.Split(), r3 = rng.Split(),
-      r4 = rng.Split(), r5 = rng.Split(), r6 = rng.Split();
+  // The comparison set: one registry spec per row.  --index=<spec>
+  // reduces the table to that single entry (plus the linear scan,
+  // which always leads as the recall reference).
+  std::vector<std::string> labels = {"linear-scan",
+                                     "aesa",
+                                     "iaesa:k=16",
+                                     "laesa:k=16",
+                                     "distperm:k=16,fraction=0.05",
+                                     "distperm:k=16,fraction=0.2",
+                                     "vp-tree",
+                                     "gh-tree"};
+  if (flags.value().Has("index")) {
+    const std::string requested =
+        flags.value().GetString("index", "linear-scan");
+    labels = {"linear-scan"};
+    if (requested != "linear-scan") labels.push_back(requested);
+  }
+
+  auto& registry = distperm::index::Registry<Vector>::Global();
   std::vector<std::unique_ptr<SearchIndex<Vector>>> indexes;
-  indexes.push_back(
-      std::make_unique<distperm::index::LinearScanIndex<Vector>>(data, l2));
-  indexes.push_back(
-      std::make_unique<distperm::index::AesaIndex<Vector>>(data, l2));
-  indexes.push_back(std::make_unique<distperm::index::IaesaIndex<Vector>>(
-      data, l2, 16, &r1));
-  indexes.push_back(std::make_unique<distperm::index::LaesaIndex<Vector>>(
-      data, l2, 16, &r2));
-  indexes.push_back(
-      std::make_unique<distperm::index::DistPermIndex<Vector>>(
-          data, l2, 16, &r3, /*fraction=*/0.05));
-  indexes.push_back(
-      std::make_unique<distperm::index::DistPermIndex<Vector>>(
-          data, l2, 16, &r4, /*fraction=*/0.20));
-  indexes.push_back(std::make_unique<distperm::index::VpTreeIndex<Vector>>(
-      data, l2, &r5));
-  indexes.push_back(std::make_unique<distperm::index::GhTreeIndex<Vector>>(
-      data, l2, &r6));
-  const std::vector<std::string> labels = {
-      "linear-scan", "aesa",          "iaesa",        "laesa k=16",
-      "distperm f=.05", "distperm f=.20", "vp-tree",   "gh-tree"};
+  for (const std::string& spec : labels) {
+    Rng build_rng = rng.Split();
+    auto built = registry.Create(spec, data, l2, &build_rng);
+    if (!built.ok()) {
+      std::cerr << "failed to build '" << spec << "': " << built.status()
+                << "\n";
+      return 1;
+    }
+    indexes.push_back(std::move(built).value());
+  }
 
   // Ground truth for recall via the linear scan.
   auto& reference = *indexes[0];

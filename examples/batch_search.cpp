@@ -1,12 +1,17 @@
-// Batch search demo: shard a database across vp-tree indexes, serve a
-// mixed kNN/range batch through the concurrent QueryEngine, and compare
-// the merged answers and cost accounting against an exact linear scan.
+// Batch search demo: shard a database across indexes chosen at runtime
+// from the index registry, serve a mixed kNN/range batch through the
+// concurrent QueryEngine, and compare the merged answers and cost
+// accounting against an exact linear scan.
 //
-//   ./example_batch_search [--points=20000] [--dim=4] [--shards=4]
-//                          [--threads=4] [--batch=32]
+//   ./example_batch_search [--index=vp-tree] [--points=20000] [--dim=4]
+//                          [--shards=4] [--threads=4] [--batch=32]
+//
+// --index accepts any registry spec, e.g. "laesa:k=16" or
+// "distperm:k=8,fraction=0.2" (see example_search_cli --list).
 
 #include <iostream>
 #include <memory>
+#include <string>
 
 #include "dataset/vector_gen.h"
 #include "engine/batch_stats.h"
@@ -14,7 +19,6 @@
 #include "engine/query_engine.h"
 #include "engine/sharded_database.h"
 #include "index/linear_scan.h"
-#include "index/vp_tree.h"
 #include "metric/lp.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -30,6 +34,7 @@ int main(int argc, char** argv) {
     std::cerr << flags.status() << "\n";
     return 1;
   }
+  const std::string spec = flags.value().GetString("index", "vp-tree");
   const size_t points =
       static_cast<size_t>(flags.value().GetInt("points", 20000));
   const size_t dim = static_cast<size_t>(flags.value().GetInt("dim", 4));
@@ -44,22 +49,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // 1. Generate a database and shard it: one vp-tree per contiguous
-  //    slice, each with its own deterministic RNG stream.
+  // 1. Generate a database and shard it: one registry-built index per
+  //    contiguous slice, each with its own deterministic RNG stream.
   distperm::util::Rng rng(2026);
   auto data = distperm::dataset::UniformCube(points, dim, &rng);
   distperm::metric::Metric<Vector> l2(distperm::metric::LpMetric::L2());
-  auto db = ShardedDatabase<Vector>::Build(
-      data, l2, shards,
-      [](std::vector<Vector> slice,
-         const distperm::metric::Metric<Vector>& metric, size_t shard) {
-        distperm::util::Rng tree_rng(9000 + shard);
-        return std::make_unique<distperm::index::VpTreeIndex<Vector>>(
-            std::move(slice), metric, &tree_rng);
-      });
-  std::cout << "sharded database: " << db.size() << " points over "
-            << db.shard_count() << " " << db.index_name() << " shards ("
-            << db.build_distance_computations() << " build distances)\n";
+  auto db = ShardedDatabase<Vector>::BuildFromRegistry(data, l2, shards,
+                                                       spec, 9000);
+  if (!db.ok()) {
+    std::cerr << "failed to build '" << spec << "': " << db.status()
+              << "\n";
+    return 1;
+  }
+  std::cout << "sharded database: " << db.value().size() << " points over "
+            << db.value().shard_count() << " " << db.value().index_name()
+            << " shards (" << db.value().build_distance_computations()
+            << " build distances)\n";
 
   // 2. Assemble a mixed batch: half 10-NN queries, half range queries.
   std::vector<QuerySpec<Vector>> batch;
@@ -74,8 +79,12 @@ int main(int argc, char** argv) {
   }
 
   // 3. Serve the batch on a worker pool.
-  QueryEngine<Vector> engine(&db, threads);
+  QueryEngine<Vector> engine(&db.value(), threads);
   auto out = engine.RunBatch(batch);
+  if (!out.all_ok()) {
+    std::cerr << "some queries were rejected\n";
+    return 1;
+  }
   std::cout << "batch of " << out.stats.query_count << " queries on "
             << out.stats.thread_count << " threads: "
             << out.stats.wall_seconds * 1e3 << " ms wall, "
@@ -97,10 +106,10 @@ int main(int argc, char** argv) {
   // 4. Verify against the exact single-index answer.
   distperm::index::LinearScanIndex<Vector> scan(data, l2);
   std::vector<std::vector<distperm::index::SearchResult>> truth;
-  for (const auto& spec : batch) {
-    truth.push_back(spec.type == distperm::engine::QueryType::kKnn
-                        ? scan.KnnQuery(spec.point, spec.k)
-                        : scan.RangeQuery(spec.point, spec.radius));
+  for (const auto& request : batch) {
+    truth.push_back(request.mode == distperm::engine::QueryType::kKnn
+                        ? scan.KnnQuery(request.point, request.k)
+                        : scan.RangeQuery(request.point, request.radius));
   }
   double recall = distperm::engine::AverageRecall(out.results, truth);
   std::cout << "\nrecall vs exact linear scan: " << recall

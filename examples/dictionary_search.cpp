@@ -1,18 +1,20 @@
 // Similarity search in a dictionary under edit distance — the classic
 // SISAP workload the paper's Table 2 instruments.  Builds several
-// indexes over a synthetic dictionary, searches for near-matches of a
-// misspelled word, and reports the metric evaluations each index spent.
+// indexes over a synthetic dictionary through the runtime index
+// registry (which is point-type generic: the same spec strings work
+// over strings under Levenshtein as over vectors under L2), searches
+// for near-matches of a misspelled word, and reports the metric
+// evaluations each index spent.
 //
 //   ./example_dictionary_search [--words=20000] [--query=algorithnm]
 
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "dataset/string_gen.h"
-#include "index/distperm_index.h"
-#include "index/laesa.h"
-#include "index/linear_scan.h"
-#include "index/vp_tree.h"
+#include "index/registry.h"
 #include "metric/string_metrics.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -54,42 +56,50 @@ int main(int argc, char** argv) {
 
   Metric<std::string> lev((distperm::metric::LevenshteinMetric()));
 
-  distperm::index::LinearScanIndex<std::string> scan(words, lev);
-  Rng r1 = rng.Split(), r2 = rng.Split(), r3 = rng.Split();
-  distperm::index::LaesaIndex<std::string> laesa(words, lev, 12, &r1);
-  distperm::index::VpTreeIndex<std::string> vp(words, lev, &r2);
-  distperm::index::DistPermIndex<std::string> perm(words, lev, 12, &r3,
-                                                   /*fraction=*/0.05);
+  // One registry spec per index.  The linear scan leads: it supplies
+  // the exact ground truth the others are scored against.
+  const std::vector<std::string> specs = {
+      "linear-scan", "laesa:k=12", "vp-tree",
+      "distperm:k=12,fraction=0.05"};
+  auto& registry = distperm::index::Registry<std::string>::Global();
+  std::vector<std::unique_ptr<distperm::index::SearchIndex<std::string>>>
+      indexes;
+  for (const std::string& spec : specs) {
+    Rng build_rng = rng.Split();
+    auto built = registry.Create(spec, words, lev, &build_rng);
+    if (!built.ok()) {
+      std::cerr << "failed to build '" << spec << "': " << built.status()
+                << "\n";
+      return 1;
+    }
+    indexes.push_back(std::move(built).value());
+  }
 
   std::cout << "\nnearest 5 dictionary words (exact, via linear scan):\n";
-  auto truth = scan.KnnQuery(query, 5);
+  auto truth = indexes.front()->KnnQuery(query, 5);
   for (const auto& hit : truth) {
     std::cout << "  " << words[hit.id] << "  (distance " << hit.distance
               << ")\n";
   }
 
   std::cout << "\nmetric evaluations per index for the same query:\n";
-  struct Entry {
-    const char* name;
-    distperm::index::SearchIndex<std::string>* index;
-  };
-  for (auto [name, index] :
-       {Entry{"linear-scan", &scan}, Entry{"laesa k=12", &laesa},
-        Entry{"vp-tree", &vp}, Entry{"distperm f=.05", &perm}}) {
-    index->ResetQueryCount();
-    auto hits = index->KnnQuery(query, 5);
+  for (size_t i = 0; i < indexes.size(); ++i) {
+    auto& index = *indexes[i];
+    index.ResetQueryCount();
+    auto hits = index.KnnQuery(query, 5);
     size_t overlap = 0;
     for (const auto& t : truth) {
       for (const auto& h : hits) overlap += h.id == t.id;
     }
-    std::cout << "  " << name << ": "
-              << index->query_distance_computations()
+    std::cout << "  " << specs[i] << ": "
+              << index.query_distance_computations()
               << " distances, " << overlap << "/5 of the true neighbours, "
-              << index->IndexBits() / (8 * words.size())
+              << index.IndexBits() / (8 * words.size())
               << " bytes/word index overhead\n";
   }
-  std::cout << "\nrange query: all words within edit distance 2\n";
-  auto nearby = vp.RangeQuery(query, 2.0);
+  std::cout << "\nrange query: all words within edit distance 2 "
+               "(vp-tree)\n";
+  auto nearby = indexes[2]->RangeQuery(query, 2.0);
   for (const auto& hit : nearby) {
     std::cout << "  " << words[hit.id] << " (" << hit.distance << ")\n";
   }

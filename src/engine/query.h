@@ -1,45 +1,32 @@
 // Batch query descriptions for the concurrent engine.
 //
-// A batch is a vector of QuerySpec: each entry asks for either the k
-// nearest neighbours of a point or all points within a radius.  Results
-// come back in batch order with global database ids, so callers never
-// see the sharding.
+// A batch is a vector of QuerySpec — which is exactly
+// index::SearchRequest: the engine and the index layer share one typed
+// request object, so every index-layer scenario (kNN, range,
+// kNN-within-radius, distance budgets, per-request candidate fractions)
+// is available in batches with no engine-side mirroring.  Results come
+// back in batch order with global database ids, so callers never see
+// the sharding.
+//
+// QueryType survives as an alias of index::SearchMode for existing
+// callers (QueryType::kKnn / QueryType::kRange keep compiling).
 
 #ifndef DISTPERM_ENGINE_QUERY_H_
 #define DISTPERM_ENGINE_QUERY_H_
 
-#include <cstddef>
-#include <utility>
+#include "index/search.h"
 
 namespace distperm {
 namespace engine {
 
-enum class QueryType { kKnn, kRange };
+/// Alias of index::SearchMode (kKnn, kRange, kKnnWithinRadius).
+using QueryType = index::SearchMode;
 
-/// One query in a batch: a point plus either k (kKnn) or radius (kRange).
+/// One query in a batch: an index::SearchRequest.  Construct with the
+/// factories — QuerySpec<P>::Knn(point, k), ::Range(point, radius),
+/// ::KnnWithinRadius(point, k, radius) — and the With* knob setters.
 template <typename P>
-struct QuerySpec {
-  QueryType type = QueryType::kKnn;
-  P point{};
-  size_t k = 0;
-  double radius = 0.0;
-
-  static QuerySpec Knn(P point, size_t k) {
-    QuerySpec spec;
-    spec.type = QueryType::kKnn;
-    spec.point = std::move(point);
-    spec.k = k;
-    return spec;
-  }
-
-  static QuerySpec Range(P point, double radius) {
-    QuerySpec spec;
-    spec.type = QueryType::kRange;
-    spec.point = std::move(point);
-    spec.radius = radius;
-    return spec;
-  }
-};
+using QuerySpec = index::SearchRequest<P>;
 
 }  // namespace engine
 }  // namespace distperm

@@ -1,21 +1,30 @@
 // Concurrent batch query engine.
 //
-// RunBatch fans a batch of kNN/range queries out as one task per
-// (query, shard) pair onto a reusable worker pool, maps shard-local ids
-// to global ids, and merges per-shard partials into globally correct
-// answers: for an exact index, the merged results are identical to what
-// a single index over the whole database would return.  Metric
+// RunBatch validates every QuerySpec (= index::SearchRequest) up front,
+// fans the valid ones out as one task per (query, shard) pair onto a
+// reusable worker pool, maps shard-local ids to global ids, and merges
+// per-shard partials into globally correct answers: for an exact index,
+// the merged results are identical to what a single index over the
+// whole database would return.  Invalid requests (k = 0, negative
+// radius, NaN coordinates, ...) cost nothing and come back with a
+// per-query util::Status instead of CHECK-failing the batch.  Metric
 // evaluations are accumulated per (query, shard) task in its own
 // QueryStats slot and summed after the batch barrier, so concurrency
 // never perturbs the paper's cost-model accounting.
 //
+// Distance budgets shard naively: each shard task receives the
+// request's max_distance_computations unchanged, so a budgeted query's
+// total cost is bounded by shards x budget and `truncated[q]` reports
+// whether any shard stopped early.
+//
 // Allocation behavior: the pool's threads are fixed for the engine's
 // lifetime, so the per-thread index::QueryScratch buffers (kernel score
-// blocks, candidate rankings, bound orderings) warm up over the first
-// few queries a worker serves; the database-sized transient buffers are
-// then reused allocation-free.  Small fixed-size per-query allocations
-// (site-distance vectors, result sets) remain.  The engine itself
-// allocates only the per-batch slot arrays sized by |batch| x |shards|.
+// blocks, candidate rankings, bound orderings, the pooled kNN
+// collector) warm up over the first few queries a worker serves; the
+// database-sized transient buffers are then reused allocation-free.
+// Small fixed-size per-query allocations (site-distance vectors, result
+// sets) remain.  The engine itself allocates only the per-batch slot
+// arrays sized by |batch| x |shards|.
 
 #ifndef DISTPERM_ENGINE_QUERY_ENGINE_H_
 #define DISTPERM_ENGINE_QUERY_ENGINE_H_
@@ -46,10 +55,25 @@ class QueryEngine {
   struct BatchOutput {
     /// Per query, the merged results with global ids in canonical
     /// (distance, id) order; kNN results are truncated to k globally.
+    /// Empty for queries whose status is not OK.
     std::vector<std::vector<index::SearchResult>> results;
+    /// Per query: OK, or why the request was rejected.  Rejected
+    /// queries execute no shard task and cost no metric evaluations.
+    std::vector<util::Status> statuses;
+    /// Per query: true iff at least one shard's search was stopped by
+    /// the request's distance budget (results may be incomplete).
+    std::vector<bool> truncated;
     /// Per query, metric evaluations summed over its shard tasks.
     std::vector<uint64_t> per_query_distance_computations;
     BatchStats stats;
+
+    /// True iff every query in the batch succeeded.
+    bool all_ok() const {
+      for (const util::Status& status : statuses) {
+        if (!status.ok()) return false;
+      }
+      return true;
+    }
   };
 
   QueryEngine(const ShardedDatabase<P>* db, size_t thread_count)
@@ -65,17 +89,23 @@ class QueryEngine {
     const size_t shard_count = db_->shard_count();
     BatchOutput out;
     out.results.resize(query_count);
+    out.statuses.resize(query_count);
+    out.truncated.assign(query_count, false);
     out.per_query_distance_computations.assign(query_count, 0);
     out.stats.query_count = query_count;
     out.stats.shard_count = shard_count;
     out.stats.thread_count = pool_.thread_count();
     if (query_count == 0) return out;
 
+    // Validate once per query on the calling thread; invalid queries
+    // never reach a worker.
+    for (size_t q = 0; q < query_count; ++q) {
+      out.statuses[q] = index::ValidateRequest(batch[q]);
+    }
+
     // One slot per (query, shard) task: no two tasks share a slot, so
-    // workers never contend on anything but the two batch atomics.
-    std::vector<std::vector<index::SearchResult>> partials(query_count *
-                                                           shard_count);
-    std::vector<index::QueryStats> task_stats(query_count * shard_count);
+    // workers never contend on anything but the per-query countdown.
+    std::vector<index::SearchResponse> partials(query_count * shard_count);
     std::vector<std::atomic<size_t>> tasks_left(query_count);
     for (auto& counter : tasks_left) {
       counter.store(shard_count, std::memory_order_relaxed);
@@ -84,19 +114,15 @@ class QueryEngine {
     const auto start = std::chrono::steady_clock::now();
 
     for (size_t q = 0; q < query_count; ++q) {
+      if (!out.statuses[q].ok()) continue;
       for (size_t s = 0; s < shard_count; ++s) {
-        pool_.Submit([this, &batch, &partials, &task_stats, &tasks_left,
-                      &latencies, start, shard_count, q, s]() {
-          const QuerySpec<P>& spec = batch[q];
-          index::QueryStats* stats = &task_stats[q * shard_count + s];
-          const index::SearchIndex<P>& shard = db_->shard(s);
-          std::vector<index::SearchResult> local =
-              spec.type == QueryType::kKnn
-                  ? shard.KnnQuery(spec.point, spec.k, stats)
-                  : shard.RangeQuery(spec.point, spec.radius, stats);
+        pool_.Submit([this, &batch, &partials, &tasks_left, &latencies,
+                      start, shard_count, q, s]() {
+          index::SearchResponse response =
+              db_->shard(s).Search(batch[q]);
           const size_t offset = db_->shard_offset(s);
-          for (index::SearchResult& r : local) r.id += offset;
-          partials[q * shard_count + s] = std::move(local);
+          for (index::SearchResult& r : response.results) r.id += offset;
+          partials[q * shard_count + s] = std::move(response);
           // The last shard task to finish stamps the query's latency.
           if (tasks_left[q].fetch_sub(1, std::memory_order_acq_rel) == 1) {
             latencies[q] = Seconds(start, std::chrono::steady_clock::now());
@@ -106,30 +132,43 @@ class QueryEngine {
     }
     pool_.Wait();
 
+    std::vector<double> executed_latencies;
+    executed_latencies.reserve(query_count);
     for (size_t q = 0; q < query_count; ++q) {
+      if (!out.statuses[q].ok()) continue;
+      executed_latencies.push_back(latencies[q]);
       std::vector<index::SearchResult> merged;
       size_t total = 0;
       for (size_t s = 0; s < shard_count; ++s) {
-        total += partials[q * shard_count + s].size();
+        total += partials[q * shard_count + s].results.size();
       }
       merged.reserve(total);
       uint64_t distances = 0;
+      bool truncated = false;
       for (size_t s = 0; s < shard_count; ++s) {
-        const auto& partial = partials[q * shard_count + s];
-        merged.insert(merged.end(), partial.begin(), partial.end());
-        distances += task_stats[q * shard_count + s].distance_computations;
+        index::SearchResponse& partial = partials[q * shard_count + s];
+        // Validation passed on the calling thread, so shard responses
+        // are OK by construction; propagate defensively regardless.
+        if (!partial.status.ok() && out.statuses[q].ok()) {
+          out.statuses[q] = partial.status;
+        }
+        merged.insert(merged.end(), partial.results.begin(),
+                      partial.results.end());
+        distances += partial.stats.distance_computations;
+        truncated = truncated || partial.truncated;
       }
       index::SortResults(&merged);
-      if (batch[q].type == QueryType::kKnn && merged.size() > batch[q].k) {
+      if (batch[q].mode != QueryType::kRange && merged.size() > batch[q].k) {
         merged.resize(batch[q].k);
       }
       out.results[q] = std::move(merged);
+      out.truncated[q] = truncated;
       out.per_query_distance_computations[q] = distances;
       out.stats.distance_computations += distances;
     }
 
     out.stats.wall_seconds = Seconds(start, std::chrono::steady_clock::now());
-    out.stats.latency = SummarizeLatencies(std::move(latencies));
+    out.stats.latency = SummarizeLatencies(std::move(executed_latencies));
     return out;
   }
 

@@ -17,7 +17,9 @@
 #include <vector>
 
 #include "index/index.h"
+#include "index/registry.h"
 #include "metric/metric.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace distperm {
@@ -56,6 +58,45 @@ class ShardedDatabase {
       db.shards_.push_back(factory(std::move(slice), metric, s));
       DP_CHECK(db.shards_.back() != nullptr);
       DP_CHECK(db.shards_.back()->size() == size);
+      offset += size;
+    }
+    return db;
+  }
+
+  /// Like Build, but the index type and its options come from a
+  /// runtime `index_spec` string resolved through index::Registry
+  /// (e.g. "vp-tree", "laesa:k=16", "distperm:k=8,fraction=0.2").
+  /// Each shard gets its own deterministic RNG stream derived from
+  /// `seed`, so a given (data, spec, shard_count, seed) always builds
+  /// the same database.  Returns the registry's or parser's error for
+  /// bad specs instead of dying.
+  static util::Result<ShardedDatabase> BuildFromRegistry(
+      const std::vector<P>& data, const metric::Metric<P>& metric,
+      size_t shard_count, const std::string& index_spec, uint64_t seed) {
+    if (shard_count < 1) {
+      return util::Status::InvalidArgument(
+          "ShardedDatabase: shard_count must be >= 1");
+    }
+    ShardedDatabase db;
+    db.total_size_ = data.size();
+    const size_t base = data.size() / shard_count;
+    const size_t extra = data.size() % shard_count;
+    size_t offset = 0;
+    for (size_t s = 0; s < shard_count; ++s) {
+      size_t size = base + (s < extra ? 1 : 0);
+      std::vector<P> slice(data.begin() + offset,
+                           data.begin() + offset + size);
+      util::Rng rng(seed * 0x9e3779b97f4a7c15ull + s);
+      util::Result<std::unique_ptr<index::SearchIndex<P>>> built =
+          index::Registry<P>::Global().Create(index_spec, std::move(slice),
+                                              metric, &rng);
+      if (!built.ok()) {
+        return util::Status(built.status().code(),
+                            "shard " + std::to_string(s) + ": " +
+                                built.status().message());
+      }
+      db.offsets_.push_back(offset);
+      db.shards_.push_back(std::move(built).value());
       offset += size;
     }
     return db;

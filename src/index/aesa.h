@@ -52,66 +52,33 @@ class AesaIndex : public SearchIndex<P> {
   }
 
  protected:
-  std::vector<SearchResult> RangeQueryImpl(const P& query, double radius,
-                                           QueryStats* stats) const override {
-    return RangeSearch(query, radius, MinLowerBoundPicker(), stats);
+  void SearchImpl(const SearchRequest<P>& request,
+                  SearchContext* context) const override {
+    EliminationSearch(request.point, MinLowerBoundPicker(), context);
   }
 
-  std::vector<SearchResult> KnnQueryImpl(const P& query, size_t k,
-                                         QueryStats* stats) const override {
-    return KnnSearch(query, k, MinLowerBoundPicker(), stats);
-  }
-
-  /// Range query driven by an arbitrary candidate picker (iAESA supplies
-  /// a permutation-guided one).
+  /// Core elimination loop, shared by every search mode and picker
+  /// (iAESA supplies a permutation-guided picker).  `pick` chooses the
+  /// next live candidate (or returns n when none remain); the context
+  /// supplies the mode-aware pruning radius (it shrinks as a kNN
+  /// collector fills) and receives every point whose true distance is
+  /// computed.  All per-query state lives on the caller's stack, so
+  /// concurrent searches never interfere.
   template <typename Picker>
-  std::vector<SearchResult> RangeSearch(const P& query, double radius,
-                                        const Picker& pick,
-                                        QueryStats* stats) const {
-    std::vector<SearchResult> results;
-    Search(query, pick,
-           [&]() { return radius; },
-           [&](size_t id, double d) {
-             if (d <= radius) results.push_back({id, d});
-           },
-           stats);
-    SortResults(&results);
-    return results;
-  }
-
-  /// kNN query driven by an arbitrary candidate picker.
-  template <typename Picker>
-  std::vector<SearchResult> KnnSearch(const P& query, size_t k,
-                                      const Picker& pick,
-                                      QueryStats* stats) const {
-    KnnCollector collector(k);
-    Search(query, pick,
-           [&]() { return collector.Radius(); },
-           [&](size_t id, double d) { collector.Offer(id, d); },
-           stats);
-    return collector.Take();
-  }
-
-  /// Core elimination loop, shared by range and kNN queries.  `pick`
-  /// chooses the next live candidate (or returns n when none remain);
-  /// `radius_fn` returns the current pruning radius (it shrinks during
-  /// kNN); `emit` receives every point whose true distance is computed.
-  /// All per-query state lives on the caller's stack, so concurrent
-  /// searches never interfere.
-  template <typename Picker, typename RadiusFn, typename Emit>
-  void Search(const P& query, const Picker& pick, RadiusFn radius_fn,
-              Emit emit, QueryStats* stats) const {
+  void EliminationSearch(const P& query, const Picker& pick,
+                         SearchContext* context) const {
     const size_t n = data_.size();
     std::vector<double> lower(n, 0.0);
     std::vector<bool> dead(n, false);
     while (true) {
       size_t next = pick(lower, dead);
       if (next == n) break;
+      if (context->StopAfterBudget()) return;
       dead[next] = true;
-      if (lower[next] > radius_fn()) continue;  // can no longer qualify
-      double d = this->QueryDist(data_[next], query, stats);
-      emit(next, d);
-      double radius = radius_fn();
+      if (lower[next] > context->Radius()) continue;  // cannot qualify
+      double d = this->QueryDist(data_[next], query, context->stats());
+      context->Emit(next, d);
+      const double radius = context->Radius();
       const double* row = &matrix_[next * n];
       for (size_t i = 0; i < n; ++i) {
         if (dead[i]) continue;

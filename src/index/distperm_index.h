@@ -161,27 +161,11 @@ class DistPermIndex : public SearchIndex<P> {
   }
 
  protected:
-  std::vector<SearchResult> RangeQueryImpl(const P& query, double radius,
-                                           QueryStats* stats) const override {
-    std::vector<SearchResult> results;
-    ScanByFootrule(query, VerifyBudget(), stats,
-                   [&](size_t id, double d) {
-                     if (d <= radius) results.push_back({id, d});
-                     return true;
-                   });
-    SortResults(&results);
-    return results;
-  }
-
-  std::vector<SearchResult> KnnQueryImpl(const P& query, size_t k,
-                                         QueryStats* stats) const override {
-    KnnCollector collector(k);
-    ScanByFootrule(query, VerifyBudget(), stats,
-                   [&](size_t id, double d) {
-                     collector.Offer(id, d);
-                     return true;
-                   });
-    return collector.Take();
+  void SearchImpl(const SearchRequest<P>& request,
+                  SearchContext* context) const override {
+    ScanByFootrule(request.point,
+                   VerifyBudget(request.approx_candidate_fraction),
+                   context);
   }
 
  private:
@@ -205,9 +189,14 @@ class DistPermIndex : public SearchIndex<P> {
     return key;
   }
 
-  size_t VerifyBudget() const {
-    size_t budget = static_cast<size_t>(fraction() *
-                                        static_cast<double>(data_.size()));
+  /// Points to verify on this call: `override_fraction` (a per-request
+  /// SearchRequest::approx_candidate_fraction, validated to [0, 1])
+  /// when non-zero, the index's configured default otherwise.
+  size_t VerifyBudget(double override_fraction) const {
+    const double f =
+        override_fraction > 0.0 ? override_fraction : fraction();
+    size_t budget =
+        static_cast<size_t>(f * static_cast<double>(data_.size()));
     return std::max<size_t>(1, std::min(budget, data_.size()));
   }
 
@@ -219,12 +208,13 @@ class DistPermIndex : public SearchIndex<P> {
   /// verifies it.  The candidate sequence is identical to fully
   /// ordering the database by (footrule, id) and taking the first
   /// `budget`, i.e. to the original full-sort formulation.
-  template <typename Visit>
-  void ScanByFootrule(const P& query, size_t budget, QueryStats* stats,
-                      Visit visit) const {
+  void ScanByFootrule(const P& query, size_t budget,
+                      SearchContext* context) const {
+    QueryStats* stats = context->stats();
     const size_t k = sites_.size();
     std::vector<double> distances(k);
     for (size_t j = 0; j < k; ++j) {
+      if (context->StopAfterBudget()) return;
       distances[j] = this->QueryDist(sites_[j], query, stats);
     }
     core::Permutation query_perm =
@@ -258,12 +248,12 @@ class DistPermIndex : public SearchIndex<P> {
     const auto ctx = flat ? flat_.MakeQuery(query)
                           : typename FlatDataPath<P>::QueryContext{};
     for (size_t v = 0; v < budget; ++v) {
+      if (context->StopAfterBudget()) return;
       const size_t id = scored[v].second;
-      const double d =
-          flat ? flat_.ChargedRowDistance(ctx, id,
-                                          &stats->distance_computations)
-               : this->QueryDist(data_[id], query, stats);
-      if (!visit(id, d)) return;
+      context->Emit(
+          id, flat ? flat_.ChargedRowDistance(ctx, id,
+                                              &stats->distance_computations)
+                   : this->QueryDist(data_[id], query, stats));
     }
   }
 

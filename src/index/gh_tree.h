@@ -40,25 +40,9 @@ class GhTreeIndex : public SearchIndex<P> {
   }
 
  protected:
-  std::vector<SearchResult> RangeQueryImpl(const P& query, double radius,
-                                           QueryStats* stats) const override {
-    std::vector<SearchResult> results;
-    SearchNode(root_.get(), query, [&]() { return radius; },
-               [&](size_t id, double d) {
-                 if (d <= radius) results.push_back({id, d});
-               },
-               stats);
-    SortResults(&results);
-    return results;
-  }
-
-  std::vector<SearchResult> KnnQueryImpl(const P& query, size_t k,
-                                         QueryStats* stats) const override {
-    KnnCollector collector(k);
-    SearchNode(root_.get(), query, [&]() { return collector.Radius(); },
-               [&](size_t id, double d) { collector.Offer(id, d); },
-               stats);
-    return collector.Take();
+  void SearchImpl(const SearchRequest<P>& request,
+                  SearchContext* context) const override {
+    SearchNode(root_.get(), request.point, context);
   }
 
  private:
@@ -100,25 +84,24 @@ class GhTreeIndex : public SearchIndex<P> {
     return node;
   }
 
-  template <typename RadiusFn, typename Emit>
-  void SearchNode(const Node* node, const P& query, RadiusFn radius_fn,
-                  Emit emit, QueryStats* stats) const {
-    if (node == nullptr) return;
-    double d1 = this->QueryDist(data_[node->first], query, stats);
-    emit(node->first, d1);
+  void SearchNode(const Node* node, const P& query,
+                  SearchContext* context) const {
+    if (node == nullptr || context->StopAfterBudget()) return;
+    double d1 = this->QueryDist(data_[node->first], query, context->stats());
+    context->Emit(node->first, d1);
     if (!node->has_second) return;
-    double d2 = this->QueryDist(data_[node->second], query, stats);
-    emit(node->second, d2);
+    if (context->StopAfterBudget()) return;
+    double d2 = this->QueryDist(data_[node->second], query,
+                                context->stats());
+    context->Emit(node->second, d2);
     // A subtree can be skipped when the query ball lies strictly on the
     // other side of the generalized hyperplane: (d1 - d2)/2 > r means no
     // point closer to `first` can be within r.
-    double radius = radius_fn();
-    if ((d1 - d2) / 2.0 <= radius) {
-      SearchNode(node->near_first.get(), query, radius_fn, emit, stats);
+    if ((d1 - d2) / 2.0 <= context->Radius()) {
+      SearchNode(node->near_first.get(), query, context);
     }
-    radius = radius_fn();
-    if ((d2 - d1) / 2.0 <= radius) {
-      SearchNode(node->near_second.get(), query, radius_fn, emit, stats);
+    if ((d2 - d1) / 2.0 <= context->Radius()) {
+      SearchNode(node->near_second.get(), query, context);
     }
   }
 

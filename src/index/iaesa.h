@@ -54,35 +54,35 @@ class IaesaIndex : public AesaIndex<P> {
   std::string name() const override { return "iaesa"; }
 
  protected:
-  std::vector<SearchResult> RangeQueryImpl(const P& query, double radius,
-                                           QueryStats* stats) const override {
-    std::vector<int> footrule = QueryFootrules(query, stats);
-    return this->RangeSearch(query, radius, FootrulePicker(footrule), stats);
-  }
-
-  std::vector<SearchResult> KnnQueryImpl(const P& query, size_t k,
-                                         QueryStats* stats) const override {
-    std::vector<int> footrule = QueryFootrules(query, stats);
-    return this->KnnSearch(query, k, FootrulePicker(footrule), stats);
+  void SearchImpl(const SearchRequest<P>& request,
+                  SearchContext* context) const override {
+    std::vector<int> footrule;
+    if (!QueryFootrules(request.point, context, &footrule)) return;
+    this->EliminationSearch(request.point, FootrulePicker(footrule),
+                            context);
   }
 
  private:
   /// Footrule distance from the query's permutation to every stored
   /// permutation.  Per-call state: lives on the caller's stack so
-  /// concurrent queries never share it.
-  std::vector<int> QueryFootrules(const P& query, QueryStats* stats) const {
+  /// concurrent queries never share it.  Returns false when the
+  /// distance budget runs out while measuring the sites (the search
+  /// then stops with whatever has been emitted — nothing).
+  bool QueryFootrules(const P& query, SearchContext* context,
+                      std::vector<int>* footrule) const {
     const size_t k = sites_.size();
     std::vector<double> distances(k);
     for (size_t j = 0; j < k; ++j) {
-      distances[j] = this->QueryDist(sites_[j], query, stats);
+      if (context->StopAfterBudget()) return false;
+      distances[j] = this->QueryDist(sites_[j], query, context->stats());
     }
     core::Permutation query_perm =
         core::PermutationFromDistances(distances);
-    std::vector<int> footrule(data_.size());
+    footrule->resize(data_.size());
     for (size_t i = 0; i < data_.size(); ++i) {
-      footrule[i] = core::SpearmanFootrule(query_perm, permutations_[i]);
+      (*footrule)[i] = core::SpearmanFootrule(query_perm, permutations_[i]);
     }
-    return footrule;
+    return true;
   }
 
   /// Picks the live candidate whose stored permutation is footrule-

@@ -11,6 +11,13 @@
 // flushes them once into the index's atomic aggregate, so the per-call
 // numbers reproduce the paper's single-threaded cost model exactly no
 // matter how the calls are scheduled.
+//
+// The query surface is one entry point: Search() takes an
+// index::SearchRequest (kNN / range / kNN-within-radius, plus optional
+// distance budget and candidate-fraction knobs — see search.h) and
+// returns an index::SearchResponse.  Implementations override the
+// single SearchImpl virtual; the legacy RangeQuery/KnnQuery calls are
+// thin shims over Search() kept for source compatibility.
 
 #ifndef DISTPERM_INDEX_INDEX_H_
 #define DISTPERM_INDEX_INDEX_H_
@@ -19,44 +26,24 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "index/query_scratch.h"
+#include "index/search.h"
 #include "metric/metric.h"
 #include "util/status.h"
 
 namespace distperm {
 namespace index {
 
-/// One match: database position plus its distance to the query.
-struct SearchResult {
-  size_t id = 0;
-  double distance = 0.0;
-
-  friend bool operator==(const SearchResult& a, const SearchResult& b) {
-    return a.id == b.id && a.distance == b.distance;
-  }
-};
-
-/// Sorts results by (distance, id) — the canonical result order.
-void SortResults(std::vector<SearchResult>* results);
-
-/// Per-call accounting of the paper's cost model.  Each query call gets
-/// its own accumulator, so concurrent callers never contend and a
-/// caller's numbers cover exactly its own call.
-struct QueryStats {
-  uint64_t distance_computations = 0;
-
-  void Merge(const QueryStats& other) {
-    distance_computations += other.distance_computations;
-  }
-};
-
 /// Abstract proximity index over points of type P.
 ///
-/// Thread-safety contract: after construction, RangeQuery/KnnQuery are
-/// const and may be called concurrently.  Implementations must keep all
-/// per-query scratch state on the stack and charge metric evaluations to
-/// the QueryStats they receive, never to index members.
+/// Thread-safety contract: after construction, Search (and the
+/// RangeQuery/KnnQuery shims) are const and may be called concurrently.
+/// Implementations must keep all per-query state on the stack or in the
+/// per-thread QueryScratch and charge metric evaluations to the
+/// SearchContext's QueryStats, never to index members.
 template <typename P>
 class SearchIndex {
  public:
@@ -68,30 +55,55 @@ class SearchIndex {
   SearchIndex(const SearchIndex&) = delete;
   SearchIndex& operator=(const SearchIndex&) = delete;
 
-  /// Short name for reports ("linear-scan", "laesa", ...).
+  /// Short name for reports ("linear-scan", "laesa", ...).  Every name
+  /// is also a key in index::Registry, so name() round-trips through
+  /// Registry::Create.
   virtual std::string name() const = 0;
 
-  /// All points within `radius` of `query` (inclusive), sorted by
-  /// (distance, id).  When `stats` is non-null the call's metric
-  /// evaluations are added to it; they always also feed the index-wide
+  /// Answers one SearchRequest.  The request is validated first
+  /// (InvalidArgument on k = 0 in a kNN mode, negative or NaN radius,
+  /// NaN query coordinates, out-of-range candidate fraction) — a
+  /// rejected request costs zero metric evaluations.  The response's
+  /// stats cover exactly this call; they also feed the index-wide
   /// aggregate read by query_distance_computations().
-  std::vector<SearchResult> RangeQuery(const P& query, double radius,
-                                       QueryStats* stats = nullptr) const {
-    QueryStats local;
-    std::vector<SearchResult> results = RangeQueryImpl(query, radius, &local);
-    Charge(local, stats);
-    return results;
+  SearchResponse Search(const SearchRequest<P>& request) const {
+    SearchResponse response;
+    response.status = ValidateRequest(request);
+    if (!response.status.ok()) return response;
+    KnnCollector* collector = nullptr;
+    if (request.mode != SearchMode::kRange) {
+      collector = &QueryScratch::ForThread().collector;
+      collector->Reset(request.k);
+      collector->Reserve(std::min(request.k, data_.size()));
+    }
+    SearchContext context(request.mode, request.radius,
+                          request.max_distance_computations,
+                          &response.stats, collector);
+    SearchImpl(request, &context);
+    response.results = context.TakeResults();
+    response.truncated = context.truncated();
+    query_count_.fetch_add(response.stats.distance_computations,
+                           std::memory_order_relaxed);
+    return response;
   }
 
-  /// The `k` nearest points (fewer if the database is smaller), sorted by
-  /// (distance, id); distance ties are broken toward lower ids.  Stats
-  /// behave as for RangeQuery.
+  /// Legacy shim over Search(): all points within `radius` of `query`
+  /// (inclusive), sorted by (distance, id).  When `stats` is non-null
+  /// the call's metric evaluations are added to it.  Invalid input
+  /// (negative/NaN radius, NaN coordinates) returns an empty result;
+  /// call Search() directly for the util::Status.
+  std::vector<SearchResult> RangeQuery(const P& query, double radius,
+                                       QueryStats* stats = nullptr) const {
+    return ShimSearch(SearchRequest<P>::Range(query, radius), stats);
+  }
+
+  /// Legacy shim over Search(): the `k` nearest points (fewer if the
+  /// database is smaller), sorted by (distance, id); distance ties are
+  /// broken toward lower ids.  Stats and error behavior as for
+  /// RangeQuery.
   std::vector<SearchResult> KnnQuery(const P& query, size_t k,
                                      QueryStats* stats = nullptr) const {
-    QueryStats local;
-    std::vector<SearchResult> results = KnnQueryImpl(query, k, &local);
-    Charge(local, stats);
-    return results;
+    return ShimSearch(SearchRequest<P>::Knn(query, k), stats);
   }
 
   /// Bits of auxiliary storage the index keeps beyond the raw data.
@@ -118,12 +130,14 @@ class SearchIndex {
   }
 
  protected:
-  /// Query implementations: const, reentrant, and required to charge
-  /// every metric evaluation to `stats` (never null) via QueryDist.
-  virtual std::vector<SearchResult> RangeQueryImpl(
-      const P& query, double radius, QueryStats* stats) const = 0;
-  virtual std::vector<SearchResult> KnnQueryImpl(
-      const P& query, size_t k, QueryStats* stats) const = 0;
+  /// The one query implementation: const, reentrant, and required to
+  /// charge every metric evaluation to `context->stats()` (via
+  /// QueryDist or the flat data path's charged helpers).  The
+  /// implementation drives its loop with the context's Emit / Radius /
+  /// StopAfterBudget and must return promptly once StopAfterBudget()
+  /// reports the budget spent.  The request is pre-validated.
+  virtual void SearchImpl(const SearchRequest<P>& request,
+                          SearchContext* context) const = 0;
 
   /// Metric evaluation charged to the query phase.
   double QueryDist(const P& a, const P& b, QueryStats* stats) const {
@@ -142,48 +156,14 @@ class SearchIndex {
   uint64_t build_count_ = 0;
 
  private:
-  void Charge(const QueryStats& local, QueryStats* stats) const {
-    query_count_.fetch_add(local.distance_computations,
-                           std::memory_order_relaxed);
-    if (stats != nullptr) stats->Merge(local);
+  std::vector<SearchResult> ShimSearch(SearchRequest<P> request,
+                                       QueryStats* stats) const {
+    SearchResponse response = Search(request);
+    if (stats != nullptr) stats->Merge(response.stats);
+    return std::move(response.results);
   }
 
   mutable std::atomic<uint64_t> query_count_{0};
-};
-
-/// Keeps the k best (smallest-distance) results seen so far; ties broken
-/// toward lower ids.  Used by the kNN search loops.
-class KnnCollector {
- public:
-  explicit KnnCollector(size_t k) : k_(k) {}
-
-  /// Offers a candidate.
-  void Offer(size_t id, double distance);
-
-  /// Current pruning radius: distance of the worst kept result, or
-  /// +infinity while fewer than k results are kept.
-  double Radius() const;
-
-  /// True iff a candidate at `distance` could still enter the result.
-  bool Admits(double distance) const { return distance <= Radius(); }
-
-  /// Extracts the results, sorted by (distance, id).
-  std::vector<SearchResult> Take();
-
-  size_t size() const { return heap_.size(); }
-
- private:
-  // Max-heap by (distance, id) so the worst kept result is on top.
-  struct Entry {
-    double distance;
-    size_t id;
-    friend bool operator<(const Entry& a, const Entry& b) {
-      if (a.distance != b.distance) return a.distance < b.distance;
-      return a.id < b.id;
-    }
-  };
-  size_t k_;
-  std::vector<Entry> heap_;
 };
 
 }  // namespace index

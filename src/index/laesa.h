@@ -67,44 +67,36 @@ class LaesaIndex : public SearchIndex<P> {
   }
 
  protected:
-  std::vector<SearchResult> RangeQueryImpl(const P& query, double radius,
-                                           QueryStats* stats) const override {
-    std::vector<double> query_to_pivot = MeasurePivots(query, stats);
+  void SearchImpl(const SearchRequest<P>& request,
+                  SearchContext* context) const override {
+    const P& query = request.point;
+    QueryStats* stats = context->stats();
+    std::vector<double> query_to_pivot;
+    if (!MeasurePivots(query, context, &query_to_pivot)) return;
     const bool flat = flat_.enabled();
     const auto ctx = flat ? flat_.MakeQuery(query)
                           : typename FlatDataPath<P>::QueryContext{};
-    std::vector<SearchResult> results;
     for (size_t j = 0; j < pivot_ids_.size(); ++j) {
-      if (query_to_pivot[j] <= radius) {
-        results.push_back({pivot_ids_[j], query_to_pivot[j]});
+      context->Emit(pivot_ids_[j], query_to_pivot[j]);
+    }
+    if (request.mode == SearchMode::kRange) {
+      // Fixed radius: the candidate set is known up front, so verify
+      // survivors in id order without building the bound ordering.
+      for (size_t i = 0; i < data_.size(); ++i) {
+        if (IsPivot(i)) continue;
+        if (LowerBound(i, query_to_pivot) > request.radius) continue;
+        if (context->StopAfterBudget()) return;
+        context->Emit(
+            i, flat ? flat_.ChargedRowDistance(
+                          ctx, i, &stats->distance_computations)
+                    : this->QueryDist(data_[i], query, stats));
       }
+      return;
     }
-    for (size_t i = 0; i < data_.size(); ++i) {
-      if (IsPivot(i)) continue;
-      if (LowerBound(i, query_to_pivot) > radius) continue;
-      const double d =
-          flat ? flat_.ChargedRowDistance(ctx, i,
-                                          &stats->distance_computations)
-               : this->QueryDist(data_[i], query, stats);
-      if (d <= radius) results.push_back({i, d});
-    }
-    SortResults(&results);
-    return results;
-  }
-
-  std::vector<SearchResult> KnnQueryImpl(const P& query, size_t k,
-                                         QueryStats* stats) const override {
-    std::vector<double> query_to_pivot = MeasurePivots(query, stats);
-    const bool flat = flat_.enabled();
-    const auto ctx = flat ? flat_.MakeQuery(query)
-                          : typename FlatDataPath<P>::QueryContext{};
-    KnnCollector collector(k);
-    for (size_t j = 0; j < pivot_ids_.size(); ++j) {
-      collector.Offer(pivot_ids_[j], query_to_pivot[j]);
-    }
-    // Verify non-pivot candidates in increasing lower-bound order; stop
-    // once the bound exceeds the shrinking radius.  The order array is
-    // per-thread scratch, reused allocation-free across the batch.
+    // kNN modes: verify non-pivot candidates in increasing lower-bound
+    // order; stop once the bound exceeds the shrinking radius.  The
+    // order array is per-thread scratch, reused allocation-free across
+    // the batch.
     std::vector<std::pair<double, size_t>>& order =
         QueryScratch::ForThread().bounds;
     order.clear();
@@ -115,23 +107,27 @@ class LaesaIndex : public SearchIndex<P> {
     }
     std::sort(order.begin(), order.end());
     for (const auto& [bound, i] : order) {
-      if (bound > collector.Radius()) break;
-      collector.Offer(
+      if (bound > context->Radius()) break;
+      if (context->StopAfterBudget()) return;
+      context->Emit(
           i, flat ? flat_.ChargedRowDistance(ctx, i,
                                              &stats->distance_computations)
                   : this->QueryDist(data_[i], query, stats));
     }
-    return collector.Take();
   }
 
  private:
-  std::vector<double> MeasurePivots(const P& query,
-                                    QueryStats* stats) const {
-    std::vector<double> distances(pivot_ids_.size());
+  /// Measures the query against every pivot, charging one evaluation
+  /// each.  Returns false when the distance budget runs out mid-way.
+  bool MeasurePivots(const P& query, SearchContext* context,
+                     std::vector<double>* distances) const {
+    distances->resize(pivot_ids_.size());
     for (size_t j = 0; j < pivot_ids_.size(); ++j) {
-      distances[j] = this->QueryDist(data_[pivot_ids_[j]], query, stats);
+      if (context->StopAfterBudget()) return false;
+      (*distances)[j] = this->QueryDist(data_[pivot_ids_[j]], query,
+                                        context->stats());
     }
-    return distances;
+    return true;
   }
 
   double LowerBound(size_t i, const std::vector<double>& query_to_pivot)

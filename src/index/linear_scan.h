@@ -22,7 +22,7 @@ namespace distperm {
 namespace index {
 
 /// Exhaustive scan.  No build cost, no auxiliary storage, n distance
-/// computations per query.
+/// computations per query (fewer only under a distance budget).
 template <typename P>
 class LinearScanIndex : public SearchIndex<P> {
  public:
@@ -37,77 +37,60 @@ class LinearScanIndex : public SearchIndex<P> {
   uint64_t IndexBits() const override { return 0; }
 
  protected:
-  std::vector<SearchResult> RangeQueryImpl(const P& query, double radius,
-                                           QueryStats* stats) const override {
-    std::vector<SearchResult> results;
+  void SearchImpl(const SearchRequest<P>& request,
+                  SearchContext* context) const override {
     if (flat_.enabled()) {
-      const auto ctx = flat_.MakeQuery(query);
-      const double score_bound = flat_.RangeScoreBound(radius);
-      std::vector<double>& block = QueryScratch::ForThread().distance_block;
-      block.resize(kDistanceBlockRows);
-      const size_t n = data_.size();
-      for (size_t begin = 0; begin < n; begin += kDistanceBlockRows) {
-        const size_t count = std::min(kDistanceBlockRows, n - begin);
-        flat_.BlockScores(ctx, begin, count, block.data());
-        stats->distance_computations += count;
-        for (size_t j = 0; j < count; ++j) {
-          if (block[j] > score_bound) continue;
-          const double d = flat_.ScoreToDistance(block[j]);
-          if (d <= radius) results.push_back({begin + j, d});
-        }
-      }
-    } else {
-      for (size_t i = 0; i < data_.size(); ++i) {
-        double d = this->QueryDist(data_[i], query, stats);
-        if (d <= radius) results.push_back({i, d});
-      }
-    }
-    SortResults(&results);
-    return results;
-  }
-
-  std::vector<SearchResult> KnnQueryImpl(const P& query, size_t k,
-                                         QueryStats* stats) const override {
-    KnnCollector collector(k);
-    if (flat_.enabled()) {
-      const auto ctx = flat_.MakeQuery(query);
-      std::vector<double>& block = QueryScratch::ForThread().distance_block;
-      block.resize(kDistanceBlockRows);
-      const size_t n = data_.size();
-      // The collector works in true-distance space, exactly as the
-      // scalar path does, so results are bit-identical even at sqrt
-      // ties.  Scores are only used to prune: RangeScoreBound gives a
-      // conservative score-space image of the current radius, chunks
-      // of scores are discarded with one vectorized min pass each, and
-      // only candidates surviving the score filter pay ScoreToDistance
-      // and touch the collector.
-      constexpr size_t kMinChunk = 64;
-      double score_bound = flat_.RangeScoreBound(collector.Radius());
-      for (size_t begin = 0; begin < n; begin += kDistanceBlockRows) {
-        const size_t count = std::min(kDistanceBlockRows, n - begin);
-        flat_.BlockScores(ctx, begin, count, block.data());
-        stats->distance_computations += count;
-        for (size_t c = 0; c < count; c += kMinChunk) {
-          const size_t chunk = std::min(kMinChunk, count - c);
-          if (metric::MinRaw(block.data() + c, chunk) > score_bound) {
-            continue;
-          }
-          for (size_t j = c; j < c + chunk; ++j) {
-            if (block[j] > score_bound) continue;
-            collector.Offer(begin + j, flat_.ScoreToDistance(block[j]));
-            score_bound = flat_.RangeScoreBound(collector.Radius());
-          }
-        }
-      }
-      return collector.Take();
+      FlatScan(request.point, context);
+      return;
     }
     for (size_t i = 0; i < data_.size(); ++i) {
-      collector.Offer(i, this->QueryDist(data_[i], query, stats));
+      if (context->StopAfterBudget()) return;
+      context->Emit(i,
+                    this->QueryDist(data_[i], request.point,
+                                    context->stats()));
     }
-    return collector.Take();
   }
 
  private:
+  /// Blocked-kernel scan.  Scores are only used to prune: Radius() is
+  /// mapped into score space conservatively, chunks of scores are
+  /// discarded with one vectorized min pass each, and only candidates
+  /// surviving the score filter pay ScoreToDistance and touch the
+  /// result set — so emitted distances (and at sqrt ties, results) are
+  /// bit-identical to the scalar path.  A distance budget sizes the
+  /// final block down to the remaining allowance, so a budgeted flat
+  /// scan charges exactly the budget — the same count as the scalar
+  /// path.
+  void FlatScan(const P& query, SearchContext* context) const {
+    const auto ctx = flat_.MakeQuery(query);
+    std::vector<double>& block = QueryScratch::ForThread().distance_block;
+    block.resize(kDistanceBlockRows);
+    const size_t n = data_.size();
+    constexpr size_t kMinChunk = 64;
+    double score_bound = flat_.RangeScoreBound(context->Radius());
+    for (size_t begin = 0; begin < n;) {
+      if (context->StopAfterBudget()) return;
+      const size_t count =
+          std::min({kDistanceBlockRows, n - begin,
+                    static_cast<size_t>(std::min<uint64_t>(
+                        context->BudgetRemaining(), kDistanceBlockRows))});
+      flat_.BlockScores(ctx, begin, count, block.data());
+      context->stats()->distance_computations += count;
+      for (size_t c = 0; c < count; c += kMinChunk) {
+        const size_t chunk = std::min(kMinChunk, count - c);
+        if (metric::MinRaw(block.data() + c, chunk) > score_bound) {
+          continue;
+        }
+        for (size_t j = c; j < c + chunk; ++j) {
+          if (block[j] > score_bound) continue;
+          context->Emit(begin + j, flat_.ScoreToDistance(block[j]));
+          score_bound = flat_.RangeScoreBound(context->Radius());
+        }
+      }
+      begin += count;
+    }
+  }
+
   FlatDataPath<P> flat_;
 };
 

@@ -20,6 +20,8 @@
 #include <utility>
 #include <vector>
 
+#include "index/search.h"
+
 namespace distperm {
 namespace index {
 
@@ -30,6 +32,10 @@ struct QueryScratch {
   std::vector<std::pair<uint32_t, uint32_t>> scored;
   /// (lower bound, id) verification order (LAESA).
   std::vector<std::pair<double, size_t>> bounds;
+  /// Pooled kNN collector: SearchIndex::Search re-arms it per call via
+  /// Reset/Reserve, so the kNN hot path performs no per-query heap
+  /// allocation after a thread's first few queries.
+  KnnCollector collector{0};
 
   /// The calling thread's scratch instance.
   static QueryScratch& ForThread() {

@@ -1,0 +1,148 @@
+#include "index/registry.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace distperm {
+namespace index {
+
+namespace {
+
+bool ValidNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-';
+}
+
+bool ValidKeyChar(char c) { return (c >= 'a' && c <= 'z') || c == '_'; }
+
+util::Status Malformed(const std::string& spec,
+                       const std::string& message) {
+  return util::Status::InvalidArgument("index spec '" + spec +
+                                       "': " + message);
+}
+
+}  // namespace
+
+util::Result<ParsedIndexSpec> ParseIndexSpec(const std::string& spec) {
+  ParsedIndexSpec parsed;
+  const size_t colon = spec.find(':');
+  parsed.name =
+      spec.substr(0, colon == std::string::npos ? spec.size() : colon);
+  if (parsed.name.empty()) {
+    return Malformed(spec, "empty index name");
+  }
+  for (char c : parsed.name) {
+    if (!ValidNameChar(c)) {
+      return Malformed(spec, std::string("invalid character '") + c +
+                                 "' in index name (allowed: [a-z0-9-])");
+    }
+  }
+  if (colon == std::string::npos) return parsed;
+
+  const std::string options = spec.substr(colon + 1);
+  if (options.empty()) {
+    return Malformed(spec, "dangling ':' with no options");
+  }
+  size_t begin = 0;
+  while (begin <= options.size()) {
+    size_t end = options.find(',', begin);
+    if (end == std::string::npos) end = options.size();
+    const std::string option = options.substr(begin, end - begin);
+    const size_t equals = option.find('=');
+    if (equals == std::string::npos) {
+      return Malformed(spec, "option '" + option +
+                                 "' is not of the form key=value");
+    }
+    const std::string key = option.substr(0, equals);
+    const std::string value = option.substr(equals + 1);
+    if (key.empty()) {
+      return Malformed(spec, "option with an empty key");
+    }
+    for (char c : key) {
+      if (!ValidKeyChar(c)) {
+        return Malformed(spec, std::string("invalid character '") + c +
+                                   "' in option key '" + key +
+                                   "' (allowed: [a-z_])");
+      }
+    }
+    if (value.empty()) {
+      return Malformed(spec, "option '" + key + "' has an empty value");
+    }
+    for (const auto& [seen_key, seen_value] : parsed.options) {
+      if (seen_key == key) {
+        return Malformed(spec, "duplicate option '" + key + "'");
+      }
+    }
+    parsed.options.emplace_back(key, value);
+    begin = end + 1;
+  }
+  return parsed;
+}
+
+IndexOptions::IndexOptions(
+    std::string index_name,
+    std::vector<std::pair<std::string, std::string>> options)
+    : index_name_(std::move(index_name)) {
+  entries_.reserve(options.size());
+  for (auto& [key, value] : options) {
+    entries_.push_back({std::move(key), std::move(value), false});
+  }
+}
+
+const IndexOptions::Entry* IndexOptions::Find(const std::string& key) {
+  for (Entry& entry : entries_) {
+    if (entry.key == key) {
+      entry.consumed = true;
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+util::Result<size_t> IndexOptions::GetSize(const std::string& key,
+                                           size_t fallback) {
+  const Entry* entry = Find(key);
+  if (entry == nullptr) return fallback;
+  const std::string& value = entry->value;
+  if (value[0] == '-' || value[0] == '+' ||
+      !std::isdigit(static_cast<unsigned char>(value[0]))) {
+    return util::Status::InvalidArgument(
+        index_name_ + ": option '" + key + "=" + value +
+        "' is not a non-negative integer");
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end != value.c_str() + value.size()) {
+    return util::Status::InvalidArgument(
+        index_name_ + ": option '" + key + "=" + value +
+        "' is not a non-negative integer");
+  }
+  return static_cast<size_t>(parsed);
+}
+
+util::Result<double> IndexOptions::GetDouble(const std::string& key,
+                                             double fallback) {
+  const Entry* entry = Find(key);
+  if (entry == nullptr) return fallback;
+  const std::string& value = entry->value;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size() || value.empty()) {
+    return util::Status::InvalidArgument(index_name_ + ": option '" + key +
+                                         "=" + value +
+                                         "' is not a number");
+  }
+  return parsed;
+}
+
+util::Status IndexOptions::CheckAllConsumed() const {
+  for (const Entry& entry : entries_) {
+    if (!entry.consumed) {
+      return util::Status::InvalidArgument(
+          index_name_ + ": unknown option '" + entry.key + "'");
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace index
+}  // namespace distperm

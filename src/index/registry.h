@@ -1,0 +1,340 @@
+// Runtime index registry: string-keyed factories for every search index.
+//
+// A spec string selects an index structure and its build options at
+// runtime — no compile-time index selection, no per-binary factory
+// lambdas.  Grammar:
+//
+//   spec    := name [":" option ("," option)*]
+//   option  := key "=" value
+//   name    := [a-z0-9-]+        key := [a-z_]+
+//
+// Registered names and their options (defaults in parentheses):
+//
+//   "linear-scan"                      exhaustive scan
+//   "aesa"                             full O(n^2) distance matrix
+//   "iaesa"          k(6)              AESA + permutation-guided picking
+//   "laesa"          k(8)              k max-min pivots, O(nk) table
+//   "vp-tree"                          vantage-point tree
+//   "gh-tree"                          generalized-hyperplane tree
+//   "distperm"       k(8) fraction(0.1) prefix(0)   permutation index
+//   "distperm-prefix" k(12) prefix(4) fraction(0.1) truncated variant
+//
+// Examples: "laesa:k=16", "distperm:k=6,fraction=0.2".  Every
+// SearchIndex::name() is itself a valid spec, so name() round-trips
+// through Create.  Unknown names, malformed option strings, unknown or
+// duplicate keys, and out-of-range values come back as util::Status
+// errors — never UB or CHECK-death.  Counts that exceed the database
+// size (pivot/site counts on small shards) are clamped to it.
+
+#ifndef DISTPERM_INDEX_REGISTRY_H_
+#define DISTPERM_INDEX_REGISTRY_H_
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/perm_codec.h"
+#include "index/aesa.h"
+#include "index/distperm_index.h"
+#include "index/gh_tree.h"
+#include "index/iaesa.h"
+#include "index/index.h"
+#include "index/laesa.h"
+#include "index/linear_scan.h"
+#include "index/vp_tree.h"
+#include "metric/metric.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace index {
+
+/// A spec string split into its name and (key, value) options, in
+/// order of appearance.
+struct ParsedIndexSpec {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> options;
+};
+
+/// Parses "name:key=value,..." per the grammar above.  InvalidArgument
+/// on an empty or ill-formed name, a dangling ':', a malformed or
+/// empty option, or a duplicate key.
+util::Result<ParsedIndexSpec> ParseIndexSpec(const std::string& spec);
+
+/// The option view a factory reads from: typed getters with defaults
+/// that mark keys as consumed, plus a final unknown-key check, so a
+/// misspelled option is an error instead of a silently applied default.
+class IndexOptions {
+ public:
+  IndexOptions(std::string index_name,
+               std::vector<std::pair<std::string, std::string>> options);
+
+  /// Unsigned integer option (InvalidArgument on unparseable or
+  /// negative values); `fallback` when absent.
+  util::Result<size_t> GetSize(const std::string& key, size_t fallback);
+
+  /// Floating-point option; `fallback` when absent.
+  util::Result<double> GetDouble(const std::string& key, double fallback);
+
+  /// OK iff every supplied option was consumed by a getter.
+  util::Status CheckAllConsumed() const;
+
+  const std::string& index_name() const { return index_name_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool consumed = false;
+  };
+  const Entry* Find(const std::string& key);
+
+  std::string index_name_;
+  std::vector<Entry> entries_;
+};
+
+/// String-keyed index factories for point type P.  Global() serves the
+/// built-in seven (plus the distperm-prefix variant) and accepts
+/// additional Register() calls; registration is not synchronized
+/// against concurrent Create(), so register before serving.
+template <typename P>
+class Registry {
+ public:
+  using IndexPtr = std::unique_ptr<SearchIndex<P>>;
+  /// Builds one index.  `data` is the (possibly empty) shard the index
+  /// owns; `options` holds the spec's parsed key=value pairs; `rng`
+  /// drives any randomized construction (pivot/site selection).
+  using Factory = std::function<util::Result<IndexPtr>(
+      std::vector<P> data, const metric::Metric<P>& metric,
+      IndexOptions* options, util::Rng* rng)>;
+
+  /// The process-wide registry for P, with the built-ins registered.
+  static Registry& Global() {
+    static Registry* registry = new Registry(WithBuiltins());
+    return *registry;
+  }
+
+  /// Registers a factory under `name` (which must be a valid spec name
+  /// and unused).
+  void Register(const std::string& name, Factory factory) {
+    DP_CHECK_MSG(factories_.emplace(name, std::move(factory)).second,
+                 "duplicate index registration: " << name);
+  }
+
+  bool Has(const std::string& name) const {
+    return factories_.find(name) != factories_.end();
+  }
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const {
+    std::vector<std::string> names;
+    names.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) names.push_back(name);
+    return names;
+  }
+
+  /// Parses `spec`, looks up the factory, builds the index.  NotFound
+  /// for an unregistered name; InvalidArgument for malformed specs,
+  /// unknown/duplicate/out-of-range options, or an index that cannot
+  /// be built over `data` (e.g. permutation sites on an empty shard).
+  util::Result<IndexPtr> Create(const std::string& spec,
+                                std::vector<P> data,
+                                const metric::Metric<P>& metric,
+                                util::Rng* rng) const {
+    util::Result<ParsedIndexSpec> parsed = ParseIndexSpec(spec);
+    if (!parsed.ok()) return parsed.status();
+    auto it = factories_.find(parsed.value().name);
+    if (it == factories_.end()) {
+      std::string names;
+      for (const std::string& name : Names()) {
+        names += names.empty() ? name : ", " + name;
+      }
+      return util::Status::NotFound("unknown index '" +
+                                    parsed.value().name +
+                                    "'; registered: " + names);
+    }
+    IndexOptions options(parsed.value().name,
+                         std::move(parsed.value().options));
+    util::Result<IndexPtr> created =
+        it->second(std::move(data), metric, &options, rng);
+    if (!created.ok()) return created;
+    util::Status all_consumed = options.CheckAllConsumed();
+    if (!all_consumed.ok()) return all_consumed;
+    return created;
+  }
+
+ private:
+  Registry() = default;
+
+  static util::Status BadOption(const IndexOptions& options,
+                                const std::string& message) {
+    return util::Status::InvalidArgument(options.index_name() + ": " +
+                                         message);
+  }
+
+  static Registry WithBuiltins() {
+    Registry registry;
+    registry.Register(
+        "linear-scan",
+        [](std::vector<P> data, const metric::Metric<P>& metric,
+           IndexOptions* options, util::Rng*) -> util::Result<IndexPtr> {
+          util::Status no_options = options->CheckAllConsumed();
+          if (!no_options.ok()) return no_options;
+          return IndexPtr(
+              new LinearScanIndex<P>(std::move(data), metric));
+        });
+    registry.Register(
+        "aesa",
+        [](std::vector<P> data, const metric::Metric<P>& metric,
+           IndexOptions* options, util::Rng*) -> util::Result<IndexPtr> {
+          util::Status no_options = options->CheckAllConsumed();
+          if (!no_options.ok()) return no_options;
+          return IndexPtr(new AesaIndex<P>(std::move(data), metric));
+        });
+    registry.Register(
+        "vp-tree",
+        [](std::vector<P> data, const metric::Metric<P>& metric,
+           IndexOptions* options, util::Rng* rng) -> util::Result<IndexPtr> {
+          util::Status no_options = options->CheckAllConsumed();
+          if (!no_options.ok()) return no_options;
+          return IndexPtr(new VpTreeIndex<P>(std::move(data), metric, rng));
+        });
+    registry.Register(
+        "gh-tree",
+        [](std::vector<P> data, const metric::Metric<P>& metric,
+           IndexOptions* options, util::Rng* rng) -> util::Result<IndexPtr> {
+          util::Status no_options = options->CheckAllConsumed();
+          if (!no_options.ok()) return no_options;
+          return IndexPtr(new GhTreeIndex<P>(std::move(data), metric, rng));
+        });
+    registry.Register(
+        "laesa",
+        [](std::vector<P> data, const metric::Metric<P>& metric,
+           IndexOptions* options, util::Rng* rng) -> util::Result<IndexPtr> {
+          util::Result<size_t> k = options->GetSize("k", 8);
+          if (!k.ok()) return k.status();
+          if (k.value() == 0) {
+            return BadOption(*options, "k must be >= 1");
+          }
+          util::Status consumed = options->CheckAllConsumed();
+          if (!consumed.ok()) return consumed;
+          const size_t pivots = std::min(k.value(), data.size());
+          return IndexPtr(
+              new LaesaIndex<P>(std::move(data), metric, pivots, rng));
+        });
+    registry.Register(
+        "iaesa",
+        [](std::vector<P> data, const metric::Metric<P>& metric,
+           IndexOptions* options, util::Rng* rng) -> util::Result<IndexPtr> {
+          util::Result<size_t> sites = SiteCount(options, "k", 6, data);
+          if (!sites.ok()) return sites.status();
+          util::Status consumed = options->CheckAllConsumed();
+          if (!consumed.ok()) return consumed;
+          return IndexPtr(new IaesaIndex<P>(
+              std::move(data), metric,
+              std::min(sites.value(), data.size()), rng));
+        });
+    registry.Register(
+        "distperm",
+        [](std::vector<P> data, const metric::Metric<P>& metric,
+           IndexOptions* options, util::Rng* rng) -> util::Result<IndexPtr> {
+          util::Result<size_t> requested = SiteCount(options, "k", 8, data);
+          if (!requested.ok()) return requested.status();
+          util::Result<double> fraction = Fraction(options, 0.1);
+          if (!fraction.ok()) return fraction.status();
+          util::Result<size_t> prefix = options->GetSize("prefix", 0);
+          if (!prefix.ok()) return prefix.status();
+          // Validate against the requested k; clamp both to the shard.
+          if (prefix.value() >= requested.value() && prefix.value() != 0) {
+            return BadOption(*options, "prefix must be < k (use "
+                                       "prefix=0 or omit it for full "
+                                       "permutations)");
+          }
+          util::Status consumed = options->CheckAllConsumed();
+          if (!consumed.ok()) return consumed;
+          const size_t sites = std::min(requested.value(), data.size());
+          const size_t clamped_prefix =
+              std::min(prefix.value(), sites - 1);
+          return IndexPtr(new DistPermIndex<P>(
+              std::move(data), metric, sites, rng, fraction.value(),
+              clamped_prefix));
+        });
+    registry.Register(
+        "distperm-prefix",
+        [](std::vector<P> data, const metric::Metric<P>& metric,
+           IndexOptions* options, util::Rng* rng) -> util::Result<IndexPtr> {
+          util::Result<size_t> requested =
+              SiteCount(options, "k", 12, data);
+          if (!requested.ok()) return requested.status();
+          if (requested.value() < 2) {
+            return BadOption(*options,
+                             "needs k >= 2 to truncate a permutation");
+          }
+          util::Result<double> fraction = Fraction(options, 0.1);
+          if (!fraction.ok()) return fraction.status();
+          util::Result<size_t> prefix = options->GetSize(
+              "prefix", std::min<size_t>(4, requested.value() - 1));
+          if (!prefix.ok()) return prefix.status();
+          if (prefix.value() < 1 || prefix.value() >= requested.value()) {
+            return BadOption(*options, "prefix must be in [1, k)");
+          }
+          util::Status consumed = options->CheckAllConsumed();
+          if (!consumed.ok()) return consumed;
+          // Clamp to the shard; a 1-point shard degenerates to a full
+          // 1-site permutation (prefix 0).
+          const size_t sites = std::min(requested.value(), data.size());
+          const size_t clamped_prefix =
+              std::min(prefix.value(), sites - 1);
+          return IndexPtr(new DistPermIndex<P>(
+              std::move(data), metric, sites, rng, fraction.value(),
+              clamped_prefix));
+        });
+    return registry;
+  }
+
+  /// Shared validation for permutation-site counts: parses `key` and
+  /// requires a non-empty database and a value in [1, kMaxRank64Sites].
+  /// Returns the *requested* count — callers clamp to the shard size
+  /// just before construction, after all option validation.
+  static util::Result<size_t> SiteCount(IndexOptions* options,
+                                        const std::string& key,
+                                        size_t fallback,
+                                        const std::vector<P>& data) {
+    util::Result<size_t> sites = options->GetSize(key, fallback);
+    if (!sites.ok()) return sites;
+    if (sites.value() == 0) {
+      return BadOption(*options, key + " must be >= 1");
+    }
+    if (sites.value() > core::kMaxRank64Sites) {
+      return BadOption(*options,
+                       key + " must be <= " +
+                           std::to_string(core::kMaxRank64Sites));
+    }
+    if (data.empty()) {
+      return BadOption(*options, "cannot build over an empty database");
+    }
+    return sites;
+  }
+
+  /// Shared validation for verification fractions: in (0, 1].
+  static util::Result<double> Fraction(IndexOptions* options,
+                                       double fallback) {
+    util::Result<double> fraction = options->GetDouble("fraction", fallback);
+    if (!fraction.ok()) return fraction;
+    if (!(fraction.value() > 0.0 && fraction.value() <= 1.0)) {
+      return BadOption(*options, "fraction must be in (0, 1]");
+    }
+    return fraction;
+  }
+
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace index
+}  // namespace distperm
+
+#endif  // DISTPERM_INDEX_REGISTRY_H_

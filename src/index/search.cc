@@ -1,9 +1,19 @@
-#include "index/index.h"
-
-#include <limits>
+#include "index/search.h"
 
 namespace distperm {
 namespace index {
+
+const char* SearchModeName(SearchMode mode) {
+  switch (mode) {
+    case SearchMode::kKnn:
+      return "knn";
+    case SearchMode::kRange:
+      return "range";
+    case SearchMode::kKnnWithinRadius:
+      return "knn-within-radius";
+  }
+  return "unknown";
+}
 
 void SortResults(std::vector<SearchResult>* results) {
   std::sort(results->begin(), results->end(),
@@ -29,6 +39,7 @@ void KnnCollector::Offer(size_t id, double distance) {
 }
 
 double KnnCollector::Radius() const {
+  if (k_ == 0) return -std::numeric_limits<double>::infinity();
   if (heap_.size() < k_) return std::numeric_limits<double>::infinity();
   return heap_.front().distance;
 }
@@ -42,6 +53,14 @@ std::vector<SearchResult> KnnCollector::Take() {
   heap_.clear();
   SortResults(&results);
   return results;
+}
+
+std::vector<SearchResult> SearchContext::TakeResults() {
+  if (mode_ == SearchMode::kRange) {
+    SortResults(&range_results_);
+    return std::move(range_results_);
+  }
+  return collector_->Take();
 }
 
 }  // namespace index

@@ -41,25 +41,9 @@ class VpTreeIndex : public SearchIndex<P> {
   }
 
  protected:
-  std::vector<SearchResult> RangeQueryImpl(const P& query, double radius,
-                                           QueryStats* stats) const override {
-    std::vector<SearchResult> results;
-    SearchNode(root_.get(), query, [&]() { return radius; },
-               [&](size_t id, double d) {
-                 if (d <= radius) results.push_back({id, d});
-               },
-               stats);
-    SortResults(&results);
-    return results;
-  }
-
-  std::vector<SearchResult> KnnQueryImpl(const P& query, size_t k,
-                                         QueryStats* stats) const override {
-    KnnCollector collector(k);
-    SearchNode(root_.get(), query, [&]() { return collector.Radius(); },
-               [&](size_t id, double d) { collector.Offer(id, d); },
-               stats);
-    return collector.Take();
+  void SearchImpl(const SearchRequest<P>& request,
+                  SearchContext* context) const override {
+    SearchNode(root_.get(), request.point, context);
   }
 
  private:
@@ -99,20 +83,18 @@ class VpTreeIndex : public SearchIndex<P> {
     return node;
   }
 
-  template <typename RadiusFn, typename Emit>
-  void SearchNode(const Node* node, const P& query, RadiusFn radius_fn,
-                  Emit emit, QueryStats* stats) const {
-    if (node == nullptr) return;
-    double d = this->QueryDist(data_[node->vantage], query, stats);
-    emit(node->vantage, d);
-    double radius = radius_fn();
+  void SearchNode(const Node* node, const P& query,
+                  SearchContext* context) const {
+    if (node == nullptr || context->StopAfterBudget()) return;
+    double d = this->QueryDist(data_[node->vantage], query,
+                               context->stats());
+    context->Emit(node->vantage, d);
     // Inside child holds points with distance-to-vantage < median.
-    if (d - radius < node->median) {
-      SearchNode(node->inside.get(), query, radius_fn, emit, stats);
+    if (d - context->Radius() < node->median) {
+      SearchNode(node->inside.get(), query, context);
     }
-    radius = radius_fn();
-    if (d + radius >= node->median) {
-      SearchNode(node->outside.get(), query, radius_fn, emit, stats);
+    if (d + context->Radius() >= node->median) {
+      SearchNode(node->outside.get(), query, context);
     }
   }
 

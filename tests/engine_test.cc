@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -75,7 +76,7 @@ std::vector<std::vector<SearchResult>> SequentialTruth(
   std::vector<std::vector<SearchResult>> truth;
   truth.reserve(batch.size());
   for (const auto& spec : batch) {
-    truth.push_back(spec.type == QueryType::kKnn
+    truth.push_back(spec.mode == QueryType::kKnn
                         ? scan.KnnQuery(spec.point, spec.k)
                         : scan.RangeQuery(spec.point, spec.radius));
   }
@@ -336,6 +337,94 @@ TEST(SearchIndexConcurrency, SharedIndexServesManyThreads) {
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(mismatches.load(), 0u);
   EXPECT_EQ(shared.query_distance_computations(), stats_total.load());
+}
+
+// Invalid requests in a batch come back with per-query statuses
+// instead of asserting; valid queries in the same batch are answered
+// exactly and the rejected ones cost nothing.
+TEST(QueryEngine, PropagatesPerQueryStatuses) {
+  util::Rng rng(44);
+  auto data = dataset::UniformCube(150, 2, &rng);
+  auto db = ShardedDatabase<Vector>::Build(data, L2(), 3,
+                                           LinearFactory<Vector>());
+  QueryEngine<Vector> engine(&db, 2);
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<QuerySpec<Vector>> batch = {
+      QuerySpec<Vector>::Knn({0.5, 0.5}, 4),          // valid
+      QuerySpec<Vector>::Knn({0.5, 0.5}, 0),          // k = 0
+      QuerySpec<Vector>::Range({0.5, 0.5}, -2.0),     // negative radius
+      QuerySpec<Vector>::Range({0.5, 0.5}, 0.2),      // valid
+      QuerySpec<Vector>::Knn({nan, 0.5}, 3),          // NaN coordinate
+  };
+  auto out = engine.RunBatch(batch);
+  ASSERT_EQ(out.statuses.size(), batch.size());
+  EXPECT_FALSE(out.all_ok());
+  EXPECT_TRUE(out.statuses[0].ok());
+  EXPECT_TRUE(out.statuses[3].ok());
+  for (size_t q : {1u, 2u, 4u}) {
+    EXPECT_EQ(out.statuses[q].code(), util::StatusCode::kInvalidArgument)
+        << q;
+    EXPECT_TRUE(out.results[q].empty()) << q;
+    EXPECT_EQ(out.per_query_distance_computations[q], 0u) << q;
+  }
+  // Valid queries are unperturbed: exact answers, exact accounting.
+  LinearScanIndex<Vector> scan(data, L2());
+  EXPECT_EQ(out.results[0], scan.KnnQuery({0.5, 0.5}, 4));
+  EXPECT_EQ(out.results[3], scan.RangeQuery({0.5, 0.5}, 0.2));
+  EXPECT_EQ(out.per_query_distance_computations[0], data.size());
+  // Only executed queries appear in the latency summary.
+  EXPECT_EQ(out.stats.latency.count, 2u);
+}
+
+// A distance budget propagates through the engine: each shard task
+// honors it, the per-query truncated flag reports it, and unbudgeted
+// queries in the same batch keep their exact accounting.
+TEST(QueryEngine, PropagatesTruncationUnderDistanceBudget) {
+  util::Rng rng(45);
+  const size_t n = 240;
+  auto data = dataset::UniformCube(n, 2, &rng);
+  const size_t shards = 3;
+  auto db = ShardedDatabase<Vector>::Build(data, L2(), shards,
+                                           LinearFactory<Vector>());
+  QueryEngine<Vector> engine(&db, 2);
+
+  const uint64_t budget = 20;
+  std::vector<QuerySpec<Vector>> batch = {
+      QuerySpec<Vector>::Knn({0.4, 0.4}, 3).WithDistanceBudget(budget),
+      QuerySpec<Vector>::Knn({0.4, 0.4}, 3),
+  };
+  auto out = engine.RunBatch(batch);
+  ASSERT_TRUE(out.all_ok());
+  EXPECT_TRUE(out.truncated[0]);
+  // The budget applies per (query, shard) task.
+  EXPECT_EQ(out.per_query_distance_computations[0], budget * shards);
+  EXPECT_FALSE(out.truncated[1]);
+  EXPECT_EQ(out.per_query_distance_computations[1], n);
+}
+
+// The kNN-within-radius mode flows through sharded execution: merged
+// engine answers equal the single-index response.
+TEST(QueryEngine, KnnWithinRadiusMatchesSingleIndex) {
+  util::Rng rng(46);
+  auto data = dataset::UniformCube(300, 3, &rng);
+  auto db = ShardedDatabase<Vector>::Build(data, L2(), 4,
+                                           VpFactory<Vector>(11));
+  QueryEngine<Vector> engine(&db, 3);
+  LinearScanIndex<Vector> scan(data, L2());
+  std::vector<QuerySpec<Vector>> batch;
+  for (int q = 0; q < 10; ++q) {
+    Vector point = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    batch.push_back(
+        QuerySpec<Vector>::KnnWithinRadius(point, 1 + q, 0.05 + 0.05 * q));
+  }
+  auto out = engine.RunBatch(batch);
+  ASSERT_TRUE(out.all_ok());
+  for (size_t q = 0; q < batch.size(); ++q) {
+    auto truth = scan.Search(batch[q]);
+    ASSERT_TRUE(truth.status.ok());
+    EXPECT_EQ(out.results[q], truth.results) << q;
+  }
 }
 
 TEST(BatchStatsHelpers, LatencySummary) {
