@@ -1,22 +1,48 @@
-// Batch engine throughput: sweeps shard count x worker threads x index
-// type and reports batch wall-clock, queries/second, speedup over the
-// single-threaded execution of the same sharded database, per-query
-// metric evaluations, and recall against the exact linear scan.
+// Batch engine throughput, cooperative cross-shard pruning, and
+// parallel shard construction.  Emits a machine-readable JSON report
+// (BENCH_engine.json by default) so CI can track the engine's perf
+// trajectory next to the kernel numbers.
 //
-// Two invariants are checked on every row and reported in the "cost"
-// column: the engine's distance-computation counts with T threads must
-// equal the counts with 1 thread (threading must not perturb the paper's
-// cost model), and for linear-scan shards each query must cost exactly n
-// metric evaluations.
+// Three sections:
 //
-// Index structures are selected at runtime through the index registry:
-// the default sweep covers four specs, and --index=<spec> restricts the
-// run to any single registry entry (e.g. --index=gh-tree or
-// --index=distperm:k=12,fraction=0.1).
+//  1. Throughput sweep — shard count x worker threads x index type:
+//     batch wall-clock, queries/second, speedup over the 1-thread
+//     execution of the same sharded database, per-query metric
+//     evaluations, and recall against the exact linear scan.  Two
+//     invariants are checked on every row ("cost" column): the
+//     engine's distance counts with T threads must equal the counts
+//     with 1 thread (independent scheduling never perturbs the paper's
+//     cost model), and linear-scan shards must cost exactly n per
+//     query.
 //
-// Usage: engine_throughput [--points=4000] [--queries=48] [--dim=6]
+//  2. Cooperative pruning — at 8 shards on a clustered dim-16 workload
+//     with near-data queries (the regime metric indexes are for), kNN
+//     fan-out with a shared k-th-distance bound (kCooperative and
+//     kSeedFirst) versus the independent fan-out: per-query distance
+//     computations and the reduction.  Merged results must stay
+//     bit-identical; measured on a 1-thread engine so the counts are
+//     deterministic.  The run fails unless the best exact-index
+//     reduction reaches 25% (hardware-independent, so it is gated even
+//     in --smoke; --no-strict reports without asserting).
+//
+//  3. Parallel build — ShardedDatabase::BuildFromRegistry wall time at
+//     1/2/4/8 build threads for an AESA (O(n^2)) and a LAESA (O(nk))
+//     table build: speedup over the serial build, with
+//     build_distance_computations and IndexBits required identical at
+//     every thread count (builds are deterministic).  Speedup is
+//     hardware-dependent and reported, not gated.
+//
+// Index structures are selected at runtime through the index registry;
+// --index=<spec> restricts the throughput sweep to a single entry.
+//
+// Usage: engine_throughput [--points=4000] [--queries=48] [--dim=16]
 //                          [--k=10] [--seed=7] [--index=<spec>]
+//                          [--smoke] [--no-strict]
+//                          [--out=BENCH_engine.json]
 
+#include <algorithm>
+#include <chrono>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -37,6 +63,7 @@
 using distperm::engine::QueryEngine;
 using distperm::engine::QuerySpec;
 using distperm::engine::ShardedDatabase;
+using distperm::index::ShardScheduling;
 using distperm::metric::Metric;
 using distperm::metric::Vector;
 using distperm::util::Rng;
@@ -55,6 +82,112 @@ std::string Fixed(double v, int digits) {
   return buffer;
 }
 
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ThroughputRow {
+  std::string index;
+  size_t shards = 0;
+  size_t threads = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double speedup = 1.0;
+  double dist_per_query = 0.0;
+  bool cost_ok = true;
+  double recall = 0.0;
+};
+
+struct CooperativeRow {
+  std::string index;
+  size_t shards = 0;
+  double naive = 0.0;       // per-query distance computations
+  double cooperative = 0.0;
+  double seed_first = 0.0;
+  double reduction_pct = 0.0;
+  double seed_first_reduction_pct = 0.0;
+  bool results_match = true;
+};
+
+struct BuildRow {
+  std::string index;
+  size_t threads = 0;
+  double wall_ms = 0.0;
+  double speedup = 1.0;
+  bool counts_match = true;
+};
+
+bool WriteJson(const std::string& path, size_t points, size_t queries,
+               size_t dim, size_t coop_dim, size_t k, uint64_t seed,
+               bool smoke, size_t hardware,
+               const std::vector<ThroughputRow>& throughput,
+               const std::vector<CooperativeRow>& cooperative,
+               const std::vector<BuildRow>& builds, bool pass) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  out << "{\n";
+  out << "  \"schema\": \"BENCH_engine\",\n";
+  out << "  \"config\": {\"points\": " << points
+      << ", \"queries\": " << queries << ", \"dim\": " << dim
+      << ", \"coop_dim\": " << coop_dim << ", \"k\": " << k
+      << ", \"seed\": " << seed
+      << ", \"smoke\": " << (smoke ? "true" : "false")
+      << ", \"hardware_threads\": " << hardware << "},\n";
+  out << "  \"throughput\": [\n";
+  for (size_t i = 0; i < throughput.size(); ++i) {
+    const ThroughputRow& r = throughput[i];
+    out << "    {\"index\": \"" << r.index << "\", \"shards\": " << r.shards
+        << ", \"threads\": " << r.threads
+        << ", \"wall_ms\": " << Fixed(r.wall_ms, 3)
+        << ", \"qps\": " << Fixed(r.qps, 1)
+        << ", \"speedup\": " << Fixed(r.speedup, 3)
+        << ", \"dist_per_query\": " << Fixed(r.dist_per_query, 1)
+        << ", \"cost_ok\": " << (r.cost_ok ? "true" : "false")
+        << ", \"recall\": " << Fixed(r.recall, 4) << "}"
+        << (i + 1 < throughput.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"cooperative\": [\n";
+  for (size_t i = 0; i < cooperative.size(); ++i) {
+    const CooperativeRow& r = cooperative[i];
+    out << "    {\"index\": \"" << r.index << "\", \"shards\": " << r.shards
+        << ", \"naive_dist_per_query\": " << Fixed(r.naive, 1)
+        << ", \"cooperative_dist_per_query\": " << Fixed(r.cooperative, 1)
+        << ", \"seed_first_dist_per_query\": " << Fixed(r.seed_first, 1)
+        << ", \"reduction_pct\": " << Fixed(r.reduction_pct, 1)
+        << ", \"seed_first_reduction_pct\": "
+        << Fixed(r.seed_first_reduction_pct, 1)
+        << ", \"results_match\": " << (r.results_match ? "true" : "false")
+        << "}" << (i + 1 < cooperative.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"parallel_build\": [\n";
+  for (size_t i = 0; i < builds.size(); ++i) {
+    const BuildRow& r = builds[i];
+    out << "    {\"index\": \"" << r.index
+        << "\", \"threads\": " << r.threads
+        << ", \"wall_ms\": " << Fixed(r.wall_ms, 2)
+        << ", \"speedup\": " << Fixed(r.speedup, 3)
+        << ", \"counts_match\": " << (r.counts_match ? "true" : "false")
+        << "}" << (i + 1 < builds.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"pass\": " << (pass ? "true" : "false") << "\n";
+  out << "}\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "failed writing " << path << "\n";
+    return false;
+  }
+  std::cout << "\nwrote " << path << "\n";
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -63,14 +196,18 @@ int main(int argc, char** argv) {
     std::cerr << flags.status() << "\n";
     return 1;
   }
-  const size_t points =
-      static_cast<size_t>(flags.value().GetInt("points", 4000));
-  const size_t queries =
-      static_cast<size_t>(flags.value().GetInt("queries", 48));
-  const size_t dim = static_cast<size_t>(flags.value().GetInt("dim", 6));
+  const bool smoke = flags.value().GetBool("smoke", false);
+  const bool strict = !flags.value().GetBool("no-strict", false);
+  const size_t points = static_cast<size_t>(
+      flags.value().GetInt("points", smoke ? 1500 : 4000));
+  const size_t queries = static_cast<size_t>(
+      flags.value().GetInt("queries", smoke ? 24 : 48));
+  const size_t dim = static_cast<size_t>(flags.value().GetInt("dim", 16));
   const size_t k = static_cast<size_t>(flags.value().GetInt("k", 10));
   const uint64_t seed =
       static_cast<uint64_t>(flags.value().GetInt("seed", 7));
+  const std::string out_path =
+      flags.value().GetString("out", "BENCH_engine.json");
 
   // Registry specs to sweep: the default four, or the single spec the
   // caller asked for.
@@ -99,12 +236,14 @@ int main(int argc, char** argv) {
   const size_t hardware = std::thread::hardware_concurrency();
   std::cout << "engine throughput: n=" << points << ", d=" << dim
             << ", batch=" << queries << " x " << k
-            << "-NN, hardware threads=" << hardware << "\n\n";
+            << "-NN, hardware threads=" << hardware
+            << (smoke ? " (smoke)" : "") << "\n\n";
 
   distperm::util::TablePrinter table;
   table.SetHeader({"index", "shards", "threads", "wall ms", "q/s",
                    "speedup", "dist/query", "cost", "recall"});
 
+  std::vector<ThroughputRow> throughput_rows;
   bool cost_model_ok = true;
   bool concurrency_win = false;
   double best_speedup = 1.0;
@@ -161,6 +300,12 @@ int main(int argc, char** argv) {
                        static_cast<double>(queries),
                    1),
              counts_match ? "OK" : "MISMATCH", Fixed(recall, 3)});
+        throughput_rows.push_back(
+            {spec, shards, threads, out.stats.wall_seconds * 1e3, qps,
+             speedup,
+             static_cast<double>(out.stats.distance_computations) /
+                 static_cast<double>(queries),
+             counts_match, recall});
       }
     }
   }
@@ -184,5 +329,172 @@ int main(int argc, char** argv) {
               << "); on a multi-core host >=4 threads on >=4 shards beat "
                  "sequential execution\n";
   }
-  return cost_model_ok ? 0 : 1;
+
+  // ---------------------------------------------- cooperative pruning
+  // Clustered dim-16 data with near-data queries: the workload where a
+  // k-th-distance bound has pruning power.  Counts come from a 1-thread
+  // engine, so they are deterministic and hardware-independent.
+  const size_t coop_dim = std::max<size_t>(dim, 16);
+  const size_t coop_shards = 8;
+  Rng coop_rng(seed + 1);
+  auto clustered = distperm::dataset::ClusteredCloud(
+      points, coop_dim, std::max<size_t>(8, points / 60), 0.01, &coop_rng);
+  std::vector<QuerySpec<Vector>> coop_batch;
+  for (size_t q = 0; q < queries; ++q) {
+    Vector point = clustered[coop_rng.NextBounded(clustered.size())];
+    for (double& c : point) c += coop_rng.NextDouble(-0.005, 0.005);
+    coop_batch.push_back(QuerySpec<Vector>::Knn(point, k));
+  }
+
+  std::cout << "\ncooperative cross-shard pruning: clustered n=" << points
+            << ", d=" << coop_dim << ", " << coop_shards
+            << " shards, k=" << k << " (1-thread engine, exact counts)\n\n";
+  distperm::util::TablePrinter coop_table;
+  coop_table.SetHeader({"index", "naive d/q", "coop d/q", "seed1st d/q",
+                        "saved", "seed1st saved", "results"});
+  std::vector<CooperativeRow> coop_rows;
+  bool coop_results_ok = true;
+  double best_reduction = 0.0;
+  std::vector<std::string> coop_specs = {"vp-tree", "laesa:k=16"};
+  // AESA's matrix is quadratic; bench it on a capped slice.
+  const size_t aesa_points = std::min<size_t>(points, 1500);
+  for (const std::string& spec : coop_specs) {
+    auto built = ShardedDatabase<Vector>::BuildFromRegistry(
+        clustered, l2, coop_shards, spec, seed);
+    if (!built.ok()) {
+      std::cerr << "failed to build '" << spec << "': " << built.status()
+                << "\n";
+      return 1;
+    }
+    QueryEngine<Vector> engine(&built.value(), 1);
+    auto policy_batch = coop_batch;
+    auto run = [&](ShardScheduling policy) {
+      for (auto& q : policy_batch) q.shard_scheduling = policy;
+      return engine.RunBatch(policy_batch);
+    };
+    auto naive = run(ShardScheduling::kIndependent);
+    auto coop = run(ShardScheduling::kCooperative);
+    auto seed1 = run(ShardScheduling::kSeedFirst);
+
+    CooperativeRow row;
+    row.index = spec;
+    row.shards = coop_shards;
+    const double q_count = static_cast<double>(queries);
+    row.naive =
+        static_cast<double>(naive.stats.distance_computations) / q_count;
+    row.cooperative =
+        static_cast<double>(coop.stats.distance_computations) / q_count;
+    row.seed_first =
+        static_cast<double>(seed1.stats.distance_computations) / q_count;
+    row.reduction_pct = 100.0 * (1.0 - row.cooperative / row.naive);
+    row.seed_first_reduction_pct =
+        100.0 * (1.0 - row.seed_first / row.naive);
+    row.results_match =
+        coop.results == naive.results && seed1.results == naive.results;
+    coop_results_ok = coop_results_ok && row.results_match;
+    best_reduction = std::max(
+        best_reduction,
+        std::max(row.reduction_pct, row.seed_first_reduction_pct));
+    coop_table.AddRow({spec, Fixed(row.naive, 1), Fixed(row.cooperative, 1),
+                       Fixed(row.seed_first, 1),
+                       Fixed(row.reduction_pct, 1) + "%",
+                       Fixed(row.seed_first_reduction_pct, 1) + "%",
+                       row.results_match ? "OK" : "MISMATCH"});
+    coop_rows.push_back(row);
+  }
+  coop_table.Print(std::cout);
+  std::cout << "\ncooperative: best exact-index reduction "
+            << Fixed(best_reduction, 1) << "% (gate: >= 25%), results "
+            << (coop_results_ok ? "bit-identical to the naive fan-out"
+                                : "MISMATCH")
+            << "\n";
+
+  // ------------------------------------------------- parallel builds
+  std::cout << "\nparallel shard construction (8 shards, wall time of "
+               "BuildFromRegistry):\n\n";
+  distperm::util::TablePrinter build_table;
+  build_table.SetHeader({"index", "build threads", "wall ms", "speedup",
+                         "determinism"});
+  std::vector<BuildRow> build_rows;
+  bool build_counts_ok = true;
+  struct BuildCase {
+    std::string spec;
+    const std::vector<Vector>* data;
+  };
+  std::vector<Vector> aesa_data(clustered.begin(),
+                                clustered.begin() +
+                                    static_cast<ptrdiff_t>(aesa_points));
+  const std::vector<BuildCase> build_cases = {
+      {"aesa", &aesa_data}, {"laesa:k=64", &clustered}};
+  for (const BuildCase& c : build_cases) {
+    uint64_t serial_counts = 0;
+    uint64_t serial_bits = 0;
+    double serial_ms = 0.0;
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      double best = 1e100;
+      uint64_t counts = 0;
+      uint64_t bits = 0;
+      const int reps = smoke ? 2 : 3;
+      for (int rep = 0; rep < reps; ++rep) {
+        // Copy outside the timed window and move in: the timer covers
+        // the build itself, not a serial deep copy of the dataset.
+        std::vector<Vector> rep_data = *c.data;
+        const double t0 = Now();
+        auto built = ShardedDatabase<Vector>::BuildFromRegistry(
+            std::move(rep_data), l2, 8, c.spec, seed, threads);
+        best = std::min(best, Now() - t0);
+        if (!built.ok()) {
+          std::cerr << "failed to build '" << c.spec
+                    << "': " << built.status() << "\n";
+          return 1;
+        }
+        counts = built.value().build_distance_computations();
+        bits = built.value().IndexBits();
+      }
+      if (threads == 1) {
+        serial_counts = counts;
+        serial_bits = bits;
+        serial_ms = best * 1e3;
+      }
+      const bool counts_match = counts == serial_counts &&
+                                bits == serial_bits;
+      build_counts_ok = build_counts_ok && counts_match;
+      BuildRow row;
+      row.index = c.spec;
+      row.threads = threads;
+      row.wall_ms = best * 1e3;
+      row.speedup = serial_ms / row.wall_ms;
+      row.counts_match = counts_match;
+      build_table.AddRow({c.spec, std::to_string(threads),
+                          Fixed(row.wall_ms, 2), Fixed(row.speedup, 2),
+                          counts_match ? "OK" : "MISMATCH"});
+      build_rows.push_back(row);
+    }
+  }
+  build_table.Print(std::cout);
+  std::cout << "\nparallel build: distance counts and index bits are "
+            << (build_counts_ok ? "identical" : "DIFFERENT")
+            << " at every thread count (speedup is hardware-dependent; "
+               "hardware threads="
+            << hardware << ")\n";
+
+  const bool reduction_ok = best_reduction >= 25.0;
+  const bool pass =
+      cost_model_ok && coop_results_ok && build_counts_ok && reduction_ok;
+  const bool wrote =
+      WriteJson(out_path, points, queries, dim, coop_dim, k, seed, smoke,
+                hardware, throughput_rows, coop_rows, build_rows, pass);
+  if (!pass || !wrote) {
+    std::cout << "\nRESULT: "
+              << (strict ? "FAIL" : "WARN (--no-strict)")
+              << " — cost_model=" << (cost_model_ok ? "ok" : "bad")
+              << " coop_results=" << (coop_results_ok ? "ok" : "bad")
+              << " coop_reduction="
+              << (reduction_ok ? "ok" : "below 25%")
+              << " build_determinism=" << (build_counts_ok ? "ok" : "bad")
+              << " json=" << (wrote ? "ok" : "not written") << "\n";
+    return strict ? 1 : 0;
+  }
+  std::cout << "\nRESULT: PASS\n";
+  return 0;
 }

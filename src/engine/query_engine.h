@@ -12,10 +12,31 @@
 // QueryStats slot and summed after the batch barrier, so concurrency
 // never perturbs the paper's cost-model accounting.
 //
-// Distance budgets shard naively: each shard task receives the
-// request's max_distance_computations unchanged, so a budgeted query's
-// total cost is bounded by shards x budget and `truncated[q]` reports
-// whether any shard stopped early.
+// Cooperative kNN fan-out: a kNN-mode query whose shard_scheduling is
+// kCooperative or kSeedFirst owns one cache-line-padded
+// index::SharedSearchBound.  Every shard task reads it as an extra
+// pruning cap on entry to each Radius() check and publishes its
+// collector's k-th distance as it fills, so the whole fan-out converges
+// toward single-index query cost instead of paying shards x the
+// pruning-free cost.  kSeedFirst runs one seed shard to completion
+// before submitting the rest, which then start from an already-tight
+// bound.  For exact indexes the merged results are bit-identical to the
+// independent (and to the single-index) answer — only which distances
+// get computed changes, never which neighbours come back — because the
+// shared bound can only overestimate the global k-th distance.  Which
+// evaluations are saved depends on task interleaving, so per-query
+// distance counts of cooperative runs are scheduling-dependent;
+// kIndependent (the default) keeps the seed behavior of exactly
+// reproducible counts.
+//
+// Distance budgets shard naively by default: each shard task receives
+// the request's max_distance_computations unchanged, so a budgeted
+// query's total cost is bounded by shards x budget and `truncated[q]`
+// reports whether any shard stopped early.  With
+// split_distance_budget, the budget is instead ceil-divided across the
+// shards (remainder to the first shards, shards whose slice is zero
+// skip their search and report truncation), bounding the query's total
+// cost by the budget itself.
 //
 // Allocation behavior: the pool's threads are fixed for the engine's
 // lifetime, so the per-thread index::QueryScratch buffers (kernel score
@@ -103,30 +124,66 @@ class QueryEngine {
       out.statuses[q] = index::ValidateRequest(batch[q]);
     }
 
+    // Per-query spec pointers: cooperative queries get one engine-owned
+    // request copy with their SharedSearchBound hook installed; every
+    // other query references the caller's batch directly, so the
+    // default path copies no query points.  (Per-shard copies happen
+    // only when a split budget forces a differing field.)
+    std::vector<index::SharedSearchBound> bounds(query_count);
+    std::vector<const QuerySpec<P>*> specs(query_count);
+    size_t cooperative_count = 0;
+    for (size_t q = 0; q < query_count; ++q) {
+      if (Cooperative(batch[q], shard_count)) ++cooperative_count;
+    }
+    std::vector<QuerySpec<P>> cooperative_specs;
+    cooperative_specs.reserve(cooperative_count);  // addresses must hold
+    for (size_t q = 0; q < query_count; ++q) {
+      if (Cooperative(batch[q], shard_count)) {
+        cooperative_specs.push_back(batch[q]);
+        cooperative_specs.back().shared_bound = &bounds[q];
+        specs[q] = &cooperative_specs.back();
+      } else {
+        specs[q] = &batch[q];
+      }
+    }
+
     // One slot per (query, shard) task: no two tasks share a slot, so
-    // workers never contend on anything but the per-query countdown.
+    // workers never contend on anything but the per-query countdown and
+    // (for cooperative queries) the padded shared bound.
     std::vector<index::SearchResponse> partials(query_count * shard_count);
-    std::vector<std::atomic<size_t>> tasks_left(query_count);
+    std::vector<PaddedCounter> tasks_left(query_count);
     for (auto& counter : tasks_left) {
-      counter.store(shard_count, std::memory_order_relaxed);
+      counter.value.store(shard_count, std::memory_order_relaxed);
     }
     std::vector<double> latencies(query_count, 0.0);
     const auto start = std::chrono::steady_clock::now();
 
     for (size_t q = 0; q < query_count; ++q) {
       if (!out.statuses[q].ok()) continue;
-      for (size_t s = 0; s < shard_count; ++s) {
-        pool_.Submit([this, &batch, &partials, &tasks_left, &latencies,
-                      start, shard_count, q, s]() {
-          index::SearchResponse response =
-              db_->shard(s).Search(batch[q]);
-          const size_t offset = db_->shard_offset(s);
-          for (index::SearchResult& r : response.results) r.id += offset;
-          partials[q * shard_count + s] = std::move(response);
-          // The last shard task to finish stamps the query's latency.
-          if (tasks_left[q].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            latencies[q] = Seconds(start, std::chrono::steady_clock::now());
+      if (specs[q]->shard_scheduling == index::ShardScheduling::kSeedFirst &&
+          specs[q]->shared_bound != nullptr) {
+        // Two-phase: the seed shard task submits the rest of the
+        // fan-out when it completes (the pool allows Submit from within
+        // a task), so every other shard starts from its bound.
+        pool_.Submit([this, &specs, &partials, &tasks_left, &latencies,
+                      start, shard_count, q]() {
+          RunShardTask(specs, partials, tasks_left, latencies, start,
+                       shard_count, q, /*s=*/0);
+          for (size_t s = 1; s < shard_count; ++s) {
+            pool_.Submit([this, &specs, &partials, &tasks_left,
+                          &latencies, start, shard_count, q, s]() {
+              RunShardTask(specs, partials, tasks_left, latencies,
+                           start, shard_count, q, s);
+            });
           }
+        });
+        continue;
+      }
+      for (size_t s = 0; s < shard_count; ++s) {
+        pool_.Submit([this, &specs, &partials, &tasks_left, &latencies,
+                      start, shard_count, q, s]() {
+          RunShardTask(specs, partials, tasks_left, latencies, start,
+                       shard_count, q, s);
         });
       }
     }
@@ -173,6 +230,65 @@ class QueryEngine {
   }
 
  private:
+  /// Per-query countdown of unfinished shard tasks, padded to a cache
+  /// line so adjacent queries' counters never false-share under the
+  /// per-task fetch_sub.
+  struct alignas(64) PaddedCounter {
+    std::atomic<size_t> value{0};
+  };
+
+  /// True iff this request runs its shard fan-out cooperatively: a kNN
+  /// mode (range queries have nothing to share), more than one shard,
+  /// and a cooperative scheduling policy.
+  static bool Cooperative(const QuerySpec<P>& spec, size_t shard_count) {
+    return spec.shard_scheduling != index::ShardScheduling::kIndependent &&
+           spec.mode != QueryType::kRange && shard_count > 1;
+  }
+
+  /// Shard s's distance budget: the full request budget by default, or
+  /// its ceil-divided slice (remainder to the first shards) under
+  /// split_distance_budget.
+  static uint64_t ShardBudget(const QuerySpec<P>& spec, size_t s,
+                              size_t shard_count) {
+    const uint64_t budget = spec.max_distance_computations;
+    if (!spec.split_distance_budget || budget == 0) return budget;
+    const uint64_t base = budget / shard_count;
+    const uint64_t extra = budget % shard_count;
+    return base + (s < extra ? 1 : 0);
+  }
+
+  /// One (query, shard) task: searches the shard, maps local ids to
+  /// global ids, stores the partial, and stamps the query latency when
+  /// it is the last of the query's tasks to finish.
+  void RunShardTask(const std::vector<const QuerySpec<P>*>& specs,
+                    std::vector<index::SearchResponse>& partials,
+                    std::vector<PaddedCounter>& tasks_left,
+                    std::vector<double>& latencies,
+                    std::chrono::steady_clock::time_point start,
+                    size_t shard_count, size_t q, size_t s) {
+    const QuerySpec<P>& spec = *specs[q];
+    index::SearchResponse response;
+    const uint64_t budget = ShardBudget(spec, s, shard_count);
+    if (spec.max_distance_computations != 0 && budget == 0) {
+      // A split budget smaller than the shard count starves this
+      // shard entirely: spend nothing, report the truncation.
+      response.truncated = true;
+    } else if (budget != spec.max_distance_computations) {
+      QuerySpec<P> shard_spec = spec;
+      shard_spec.max_distance_computations = budget;
+      response = db_->shard(s).Search(shard_spec);
+    } else {
+      response = db_->shard(s).Search(spec);
+    }
+    const size_t offset = db_->shard_offset(s);
+    for (index::SearchResult& r : response.results) r.id += offset;
+    partials[q * shard_count + s] = std::move(response);
+    // The last shard task to finish stamps the query's latency.
+    if (tasks_left[q].value.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      latencies[q] = Seconds(start, std::chrono::steady_clock::now());
+    }
+  }
+
   static double Seconds(std::chrono::steady_clock::time_point from,
                         std::chrono::steady_clock::time_point to) {
     return std::chrono::duration<double>(to - from).count();

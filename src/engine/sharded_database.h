@@ -6,11 +6,22 @@
 // sharded cost model additive: the metric evaluations of one query
 // summed over all shards equal the evaluations a single index over the
 // whole database would spend (exactly, for the linear scan).
+//
+// Builds scale with cores: `build_threads` > 1 constructs the shard
+// indexes concurrently on a transient util::ThreadPool.  Shard builds
+// are independent jobs (AESA's O(n^2) matrix, LAESA's O(nk) pivot
+// table) and every shard's RNG stream is derived deterministically from
+// (seed, shard number), so a given (data, spec, shard_count, seed)
+// builds bit-identical shards no matter how many build threads run.
+// `data` is taken by value: callers that move their vector in hand each
+// shard its slice by element moves — no second full copy of the
+// database is ever made.
 
 #ifndef DISTPERM_ENGINE_SHARDED_DATABASE_H_
 #define DISTPERM_ENGINE_SHARDED_DATABASE_H_
 
 #include <functional>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <utility>
@@ -21,6 +32,7 @@
 #include "metric/metric.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace distperm {
 namespace engine {
@@ -32,33 +44,37 @@ template <typename P>
 class ShardedDatabase {
  public:
   /// Builds one index over one shard's slice of the data.  Called once
-  /// per shard, in shard order, on the building thread.
+  /// per shard, in shard order when `build_threads` is 1; with more
+  /// build threads the calls run concurrently, so the factory must be
+  /// thread-safe (stateless factories and the registry path are).
   using IndexFactory =
       std::function<std::unique_ptr<index::SearchIndex<P>>(
           std::vector<P> shard_data, const metric::Metric<P>& metric,
           size_t shard_number)>;
 
   /// Splits `data` into `shard_count` contiguous slices (sizes differing
-  /// by at most one) and builds an index over each.
-  static ShardedDatabase Build(const std::vector<P>& data,
+  /// by at most one) and builds an index over each, on `build_threads`
+  /// workers (1 = on the calling thread, the default).  Pass the data
+  /// with std::move to slice by element moves instead of copies.
+  static ShardedDatabase Build(std::vector<P> data,
                                const metric::Metric<P>& metric,
                                size_t shard_count,
-                               const IndexFactory& factory) {
+                               const IndexFactory& factory,
+                               size_t build_threads = 1) {
     DP_CHECK(shard_count >= 1);
     ShardedDatabase db;
     db.total_size_ = data.size();
-    const size_t base = data.size() / shard_count;
-    const size_t extra = data.size() % shard_count;
-    size_t offset = 0;
+    std::vector<std::vector<P>> slices =
+        SliceData(std::move(data), shard_count, &db.offsets_);
+    std::vector<size_t> sizes(shard_count);
+    for (size_t s = 0; s < shard_count; ++s) sizes[s] = slices[s].size();
+    db.shards_.resize(shard_count);
+    ForEachShard(shard_count, build_threads, [&](size_t s) {
+      db.shards_[s] = factory(std::move(slices[s]), metric, s);
+    });
     for (size_t s = 0; s < shard_count; ++s) {
-      size_t size = base + (s < extra ? 1 : 0);
-      std::vector<P> slice(data.begin() + offset,
-                           data.begin() + offset + size);
-      db.offsets_.push_back(offset);
-      db.shards_.push_back(factory(std::move(slice), metric, s));
-      DP_CHECK(db.shards_.back() != nullptr);
-      DP_CHECK(db.shards_.back()->size() == size);
-      offset += size;
+      DP_CHECK(db.shards_[s] != nullptr);
+      DP_CHECK(db.shards_[s]->size() == sizes[s]);
     }
     return db;
   }
@@ -68,36 +84,42 @@ class ShardedDatabase {
   /// (e.g. "vp-tree", "laesa:k=16", "distperm:k=8,fraction=0.2").
   /// Each shard gets its own deterministic RNG stream derived from
   /// `seed`, so a given (data, spec, shard_count, seed) always builds
-  /// the same database.  Returns the registry's or parser's error for
-  /// bad specs instead of dying.
+  /// the same database — with any number of build threads.  Returns the
+  /// registry's or parser's error for bad specs instead of dying; with
+  /// several failing shards the lowest-numbered shard's error wins, so
+  /// the reported status is deterministic too.
   static util::Result<ShardedDatabase> BuildFromRegistry(
-      const std::vector<P>& data, const metric::Metric<P>& metric,
-      size_t shard_count, const std::string& index_spec, uint64_t seed) {
+      std::vector<P> data, const metric::Metric<P>& metric,
+      size_t shard_count, const std::string& index_spec, uint64_t seed,
+      size_t build_threads = 1) {
     if (shard_count < 1) {
       return util::Status::InvalidArgument(
           "ShardedDatabase: shard_count must be >= 1");
     }
     ShardedDatabase db;
     db.total_size_ = data.size();
-    const size_t base = data.size() / shard_count;
-    const size_t extra = data.size() % shard_count;
-    size_t offset = 0;
-    for (size_t s = 0; s < shard_count; ++s) {
-      size_t size = base + (s < extra ? 1 : 0);
-      std::vector<P> slice(data.begin() + offset,
-                           data.begin() + offset + size);
+    std::vector<std::vector<P>> slices =
+        SliceData(std::move(data), shard_count, &db.offsets_);
+    db.shards_.resize(shard_count);
+    std::vector<util::Status> statuses(shard_count, util::Status::OK());
+    ForEachShard(shard_count, build_threads, [&](size_t s) {
       util::Rng rng(seed * 0x9e3779b97f4a7c15ull + s);
       util::Result<std::unique_ptr<index::SearchIndex<P>>> built =
-          index::Registry<P>::Global().Create(index_spec, std::move(slice),
+          index::Registry<P>::Global().Create(index_spec,
+                                              std::move(slices[s]),
                                               metric, &rng);
       if (!built.ok()) {
-        return util::Status(built.status().code(),
-                            "shard " + std::to_string(s) + ": " +
-                                built.status().message());
+        statuses[s] = built.status();
+        return;
       }
-      db.offsets_.push_back(offset);
-      db.shards_.push_back(std::move(built).value());
-      offset += size;
+      db.shards_[s] = std::move(built).value();
+    });
+    for (size_t s = 0; s < shard_count; ++s) {
+      if (!statuses[s].ok()) {
+        return util::Status(statuses[s].code(),
+                            "shard " + std::to_string(s) + ": " +
+                                statuses[s].message());
+      }
     }
     return db;
   }
@@ -132,6 +154,47 @@ class ShardedDatabase {
 
  private:
   ShardedDatabase() = default;
+
+  /// Moves `data` apart into `shard_count` contiguous slices whose
+  /// sizes differ by at most one, recording each slice's global offset.
+  /// Element moves, not copies: the caller already owns `data` by
+  /// value, so this is the only per-point transfer in a build.
+  static std::vector<std::vector<P>> SliceData(
+      std::vector<P> data, size_t shard_count,
+      std::vector<size_t>* offsets) {
+    const size_t base = data.size() / shard_count;
+    const size_t extra = data.size() % shard_count;
+    std::vector<std::vector<P>> slices;
+    slices.reserve(shard_count);
+    size_t offset = 0;
+    for (size_t s = 0; s < shard_count; ++s) {
+      const size_t size = base + (s < extra ? 1 : 0);
+      auto begin = data.begin() + static_cast<ptrdiff_t>(offset);
+      slices.emplace_back(std::make_move_iterator(begin),
+                          std::make_move_iterator(begin + size));
+      offsets->push_back(offset);
+      offset += size;
+    }
+    return slices;
+  }
+
+  /// Runs `build` for every shard number: in shard order on the calling
+  /// thread when `build_threads` <= 1, otherwise concurrently on a
+  /// transient pool (one task per shard; the per-shard work is
+  /// self-contained, so no synchronization beyond the final Wait).
+  template <typename BuildShard>
+  static void ForEachShard(size_t shard_count, size_t build_threads,
+                           const BuildShard& build) {
+    if (build_threads <= 1 || shard_count <= 1) {
+      for (size_t s = 0; s < shard_count; ++s) build(s);
+      return;
+    }
+    util::ThreadPool pool(std::min(build_threads, shard_count));
+    for (size_t s = 0; s < shard_count; ++s) {
+      pool.Submit([&build, s]() { build(s); });
+    }
+    pool.Wait();
+  }
 
   std::vector<std::unique_ptr<index::SearchIndex<P>>> shards_;
   std::vector<size_t> offsets_;

@@ -33,6 +33,7 @@
 #ifndef DISTPERM_INDEX_FLAT_DATA_PATH_H_
 #define DISTPERM_INDEX_FLAT_DATA_PATH_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -66,6 +67,12 @@ class FlatDataPath {
 
   bool enabled() const { return false; }
   QueryContext MakeQuery(const P&) const { return {}; }
+  QueryContext MakeRowQuery(size_t) const { return {}; }
+  template <typename Fn>
+  void ForEachRowDistance(size_t, size_t, size_t, uint64_t*,
+                          const Fn&) const {
+    DP_CHECK(false);
+  }
   void BlockScores(const QueryContext&, size_t, size_t, double*) const {
     DP_CHECK(false);
   }
@@ -153,6 +160,40 @@ class FlatDataPath<metric::Vector> {
           std::sqrt(metric::DotRaw(ctx.query, ctx.query, ctx.dim));
     }
     return ctx;
+  }
+
+  /// Query context over stored row i — the build-path counterpart of
+  /// MakeQuery.  Table builds (AESA's matrix, LAESA's pivot table) use
+  /// it to evaluate one stored row against whole blocks of rows;
+  /// ScoreToDistance(BlockScores(...)[r]) is bit-identical to
+  /// RowPairDistance(i, begin + r).
+  QueryContext MakeRowQuery(size_t i) const {
+    QueryContext ctx{store_.row(i), store_.dim(), 0.0};
+    if (kind_ == metric::VectorKernelKind::kAngle) {
+      ctx.query_norm = norms_[i];
+    }
+    return ctx;
+  }
+
+  /// Evaluates stored row i against every row in [begin, end), one
+  /// kDistanceBlockRows block at a time: charges one distance
+  /// computation per row to `counter` and calls fn(row, distance) with
+  /// the true distance.  The blocked build loop shared by AESA's matrix
+  /// and LAESA's pivot table; each distance is bit-identical to
+  /// RowPairDistance(i, row).
+  template <typename Fn>
+  void ForEachRowDistance(size_t i, size_t begin, size_t end,
+                          uint64_t* counter, const Fn& fn) const {
+    const QueryContext ctx = MakeRowQuery(i);
+    double block[kDistanceBlockRows];
+    for (size_t b = begin; b < end; b += kDistanceBlockRows) {
+      const size_t count = std::min(kDistanceBlockRows, end - b);
+      BlockScores(ctx, b, count, block);
+      *counter += count;
+      for (size_t r = 0; r < count; ++r) {
+        fn(b + r, ScoreToDistance(block[r]));
+      }
+    }
   }
 
   /// Scores for rows [begin, begin + count): the distance itself for

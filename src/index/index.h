@@ -78,7 +78,9 @@ class SearchIndex {
     }
     SearchContext context(request.mode, request.radius,
                           request.max_distance_computations,
-                          &response.stats, collector);
+                          &response.stats, collector,
+                          request.initial_radius_bound,
+                          request.shared_bound);
     SearchImpl(request, &context);
     response.results = context.TakeResults();
     response.truncated = context.truncated();

@@ -18,6 +18,7 @@
 #define DISTPERM_INDEX_SEARCH_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -63,6 +64,56 @@ enum class SearchMode : uint8_t {
 /// Human-readable mode name ("knn", "range", "knn-within-radius").
 const char* SearchModeName(SearchMode mode);
 
+/// How the engine schedules one query's shard tasks.  Single-index
+/// searches ignore the field; the engine applies it per request.
+enum class ShardScheduling : uint8_t {
+  /// Naive fan-out: every shard searches from scratch.  The engine's
+  /// original behavior and the default.
+  kIndependent = 0,
+  /// Cooperative fan-out: all shard tasks start at once and share one
+  /// lock-free upper bound on the query's k-th neighbour distance, so a
+  /// shard can prune against the best radius any shard has seen so far.
+  kCooperative = 1,
+  /// Cooperative two-phase: one seed shard runs to completion first and
+  /// publishes its k-th distance; the remaining shards then fan out
+  /// against that already-tight bound.
+  kSeedFirst = 2,
+};
+
+/// Human-readable policy name ("independent", "cooperative",
+/// "seed-first").
+const char* ShardSchedulingName(ShardScheduling policy);
+
+/// Lock-free shared upper bound on a query's k-th neighbour distance,
+/// padded to a cache line so per-query bounds in an engine batch never
+/// false-share.  Shard tasks read it through SearchContext::Radius()
+/// and tighten it as their collectors fill.  The invariant that makes
+/// cooperative pruning exact: every published value is some shard's
+/// current k-th-best distance, which can only overestimate the global
+/// k-th distance — so pruning strictly beyond the bound can never
+/// discard a true global neighbour.
+struct alignas(64) SharedSearchBound {
+  std::atomic<double> value{std::numeric_limits<double>::infinity()};
+
+  double Load() const { return value.load(std::memory_order_relaxed); }
+
+  /// Lowers the bound to `candidate` when that improves it (lock-free
+  /// compare-exchange min; concurrent updaters never block).
+  void UpdateMin(double candidate) {
+    double current = value.load(std::memory_order_relaxed);
+    while (candidate < current &&
+           !value.compare_exchange_weak(current, candidate,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Re-arms the bound (engine-side, before a batch's tasks start).
+  void Reset(double v = std::numeric_limits<double>::infinity()) {
+    value.store(v, std::memory_order_relaxed);
+  }
+};
+
 /// One query: a mode, a point, and the mode's parameters, plus optional
 /// execution knobs.  Construct with the factories (Knn, Range,
 /// KnnWithinRadius) and chain the With* setters for the knobs:
@@ -91,6 +142,32 @@ struct SearchRequest {
   /// verify on this call, overriding the index's configured default.
   /// 0 means "use the index default"; exact indexes ignore the knob.
   double approx_candidate_fraction = 0.0;
+  /// Upper bound on the k-th neighbour distance, known before the
+  /// search starts (e.g. from a replica, a cache, or an earlier probe).
+  /// kNN-mode searches prune against it from the first candidate on.
+  /// Exactness contract: results stay bit-identical to an unhinted
+  /// search as long as the bound really is >= the true k-th distance; a
+  /// tighter (invalid) bound turns the search approximate.  Must be
+  /// >= 0 and not NaN; +infinity (the default) is a no-op.  Range-mode
+  /// searches ignore the field (their radius already bounds them).
+  double initial_radius_bound = std::numeric_limits<double>::infinity();
+  /// Engine scheduling policy for this query's shard fan-out (see
+  /// ShardScheduling).  Ignored outside QueryEngine::RunBatch; range
+  /// queries always run independently (every shard must report all of
+  /// its in-range points, so there is nothing to share).
+  ShardScheduling shard_scheduling = ShardScheduling::kIndependent;
+  /// When true, the engine splits max_distance_computations across the
+  /// shards (ceil-divide, remainder to the first shards) so the query's
+  /// total cost is bounded by the budget itself.  When false (default),
+  /// every shard task receives the full budget — the engine's original
+  /// behavior, bounded by shards x budget.  No effect without a budget.
+  bool split_distance_budget = false;
+  /// Engine-internal hook: when non-null, the search reads this shared
+  /// bound as an extra radius cap and publishes its collector's k-th
+  /// distance into it.  QueryEngine::RunBatch installs one per
+  /// cooperative query; callers never set it directly (the pointee must
+  /// outlive the search).
+  SharedSearchBound* shared_bound = nullptr;
 
   static SearchRequest Knn(P point, size_t k) {
     SearchRequest request;
@@ -124,6 +201,21 @@ struct SearchRequest {
 
   SearchRequest& WithCandidateFraction(double fraction) {
     approx_candidate_fraction = fraction;
+    return *this;
+  }
+
+  SearchRequest& WithInitialRadiusBound(double bound) {
+    initial_radius_bound = bound;
+    return *this;
+  }
+
+  SearchRequest& WithShardScheduling(ShardScheduling policy) {
+    shard_scheduling = policy;
+    return *this;
+  }
+
+  SearchRequest& WithSplitDistanceBudget(bool split = true) {
+    split_distance_budget = split;
     return *this;
   }
 };
@@ -193,6 +285,11 @@ util::Status ValidateRequest(const SearchRequest<P>& request) {
     return util::Status::InvalidArgument(
         "SearchRequest: approx_candidate_fraction must be in [0, 1]");
   }
+  if (std::isnan(request.initial_radius_bound) ||
+      request.initial_radius_bound < 0.0) {
+    return util::Status::InvalidArgument(
+        "SearchRequest: initial_radius_bound must be >= 0 and not NaN");
+  }
   if (internal::HasNanCoordinate(request.point)) {
     return util::Status::InvalidArgument(
         "SearchRequest: query point has a NaN coordinate");
@@ -254,15 +351,30 @@ class KnnCollector {
 /// the mode-aware pruning radius, and budget tracking.  Implementations
 /// drive their search loop with Emit/Radius/StopAfterBudget and never
 /// branch on the mode themselves, so one loop serves every mode.
+///
+/// The pruning radius additionally caps itself at the request's
+/// initial_radius_bound and (when the engine installed one) the live
+/// SharedSearchBound, so every index's pruning — block-min score
+/// filtering, ball pruning, lower-bound elimination — starts from the
+/// best k-th distance seen anywhere and keeps tightening against it.
+/// Both caps apply only to the kNN modes: a range search must report
+/// every in-range point regardless of what other shards found.
 class SearchContext {
  public:
   /// `collector` must be non-null for the kNN modes (it is pooled from
   /// QueryScratch by SearchIndex::Search) and is unused for kRange.
+  /// `initial_bound` and `shared` come from the request (defaults: no
+  /// cap, no shared bound).
   SearchContext(SearchMode mode, double radius, uint64_t budget,
-                QueryStats* stats, KnnCollector* collector)
+                QueryStats* stats, KnnCollector* collector,
+                double initial_bound =
+                    std::numeric_limits<double>::infinity(),
+                SharedSearchBound* shared = nullptr)
       : mode_(mode),
         radius_(radius),
         budget_(budget),
+        initial_bound_(initial_bound),
+        shared_(shared),
         stats_(stats),
         collector_(collector) {}
 
@@ -272,7 +384,10 @@ class SearchContext {
   /// Where implementations charge their metric evaluations.
   QueryStats* stats() const { return stats_; }
 
-  /// Offers a verified (id, true distance) pair to the result set.
+  /// Offers a verified (id, true distance) pair to the result set.  In
+  /// the kNN modes a full collector's k-th distance is published into
+  /// the shared bound (when one is installed) so concurrent shard tasks
+  /// inherit the tightest radius seen anywhere.
   void Emit(size_t id, double distance) {
     switch (mode_) {
       case SearchMode::kRange:
@@ -280,24 +395,29 @@ class SearchContext {
         break;
       case SearchMode::kKnn:
         collector_->Offer(id, distance);
+        PublishBound();
         break;
       case SearchMode::kKnnWithinRadius:
-        if (distance <= radius_) collector_->Offer(id, distance);
+        if (distance <= radius_) {
+          collector_->Offer(id, distance);
+          PublishBound();
+        }
         break;
     }
   }
 
   /// Current pruning radius: any point farther than this cannot enter
   /// the result set.  Fixed for kRange; shrinks as the collector fills
-  /// for the kNN modes.
+  /// for the kNN modes, where it is additionally capped by the
+  /// request's initial bound and the live shared bound.
   double Radius() const {
     switch (mode_) {
       case SearchMode::kRange:
         return radius_;
       case SearchMode::kKnn:
-        return collector_->Radius();
+        return CappedKnnRadius(collector_->Radius());
       case SearchMode::kKnnWithinRadius:
-        return std::min(radius_, collector_->Radius());
+        return CappedKnnRadius(std::min(radius_, collector_->Radius()));
     }
     return radius_;  // unreachable; placates -Wreturn-type
   }
@@ -330,9 +450,29 @@ class SearchContext {
   std::vector<SearchResult> TakeResults();
 
  private:
+  double CappedKnnRadius(double radius) const {
+    if (radius > initial_bound_) radius = initial_bound_;
+    if (shared_ != nullptr) {
+      const double shared = shared_->Load();
+      if (shared < radius) radius = shared;
+    }
+    return radius;
+  }
+
+  /// Publishes the collector's k-th distance once it holds k results —
+  /// any shard's k-th-best can only overestimate the global k-th
+  /// distance, so the shared minimum stays a valid pruning cap.
+  void PublishBound() {
+    if (shared_ == nullptr) return;
+    if (collector_->size() < collector_->k()) return;
+    shared_->UpdateMin(collector_->Radius());
+  }
+
   const SearchMode mode_;
   const double radius_;
   const uint64_t budget_;
+  const double initial_bound_;
+  SharedSearchBound* const shared_;
   QueryStats* const stats_;
   KnnCollector* const collector_;
   std::vector<SearchResult> range_results_;

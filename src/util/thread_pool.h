@@ -20,8 +20,12 @@
 namespace distperm {
 namespace util {
 
-/// Fixed-size FIFO thread pool.  Submit() and Wait() may be called from
-/// the owning thread; tasks must not themselves call Submit() or Wait().
+/// Fixed-size FIFO thread pool.  Wait() may be called only from the
+/// owning thread.  Submit() may be called from the owning thread or
+/// from within a running task (the engine's two-phase scheduling
+/// submits a query's fan-out from its seed task): a task's submissions
+/// happen before the task is counted finished, so Wait() cannot wake
+/// until the chained work has drained too.  Tasks must not call Wait().
 class ThreadPool {
  public:
   /// Spawns `thread_count` workers (at least 1).
