@@ -1,0 +1,88 @@
+// One generation of a live database: an immutable, refcounted snapshot.
+//
+// A Generation owns a fully built ShardedDatabase plus the metadata
+// needed to rebuild its successor deterministically (index spec, seed,
+// shard count) and a monotone generation number.  Generations are
+// shared as std::shared_ptr<const Generation>: queries pin the current
+// one with a single atomic load, compaction builds the next one off to
+// the side, and the swap retires the old generation as soon as the last
+// in-flight query drops its reference — no reader ever blocks a writer
+// and no writer ever invalidates a reader's view.
+//
+// Rebuild determinism is the property that makes generations testable:
+// Build with the same (data, spec, shard_count, seed) produces a
+// bit-identical database at any build_threads (pinned since PR 4), so
+// "the compacted generation" and "a fresh ShardedDatabase over the
+// equivalent final dataset" are the same object, results included.
+
+#ifndef DISTPERM_ENGINE_GENERATION_H_
+#define DISTPERM_ENGINE_GENERATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/sharded_database.h"
+#include "metric/metric.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace engine {
+
+/// Immutable snapshot: shards + indexes + rebuild metadata.  Create
+/// through Build (the only entry point), share via shared_ptr.
+template <typename P>
+class Generation {
+ public:
+  /// Builds generation `number` over `data` through the index registry
+  /// (same contract as ShardedDatabase::BuildFromRegistry, including
+  /// per-shard RNG streams derived from `seed`).  Returns the registry
+  /// or parser error for bad specs.
+  static util::Result<std::shared_ptr<const Generation>> Build(
+      std::vector<P> data, const metric::Metric<P>& metric,
+      size_t shard_count, const std::string& index_spec, uint64_t seed,
+      uint64_t number, size_t build_threads = 1) {
+    util::Result<ShardedDatabase<P>> built =
+        ShardedDatabase<P>::BuildFromRegistry(std::move(data), metric,
+                                              shard_count, index_spec,
+                                              seed, build_threads);
+    if (!built.ok()) return built.status();
+    return std::shared_ptr<const Generation>(new Generation(
+        std::move(built).value(), index_spec, seed, number));
+  }
+
+  const ShardedDatabase<P>& database() const { return db_; }
+
+  /// Monotone generation counter (the first built generation is 1).
+  uint64_t number() const { return number_; }
+
+  /// Number of points in this generation's base dataset.
+  size_t size() const { return db_.size(); }
+
+  const std::string& index_spec() const { return index_spec_; }
+  uint64_t seed() const { return seed_; }
+
+  /// The base dataset in global-id order — what the next compaction
+  /// applies the delta to.
+  std::vector<P> CollectData() const { return db_.CollectData(); }
+
+ private:
+  Generation(ShardedDatabase<P> db, std::string index_spec, uint64_t seed,
+             uint64_t number)
+      : db_(std::move(db)),
+        index_spec_(std::move(index_spec)),
+        seed_(seed),
+        number_(number) {}
+
+  const ShardedDatabase<P> db_;
+  const std::string index_spec_;
+  const uint64_t seed_;
+  const uint64_t number_;
+};
+
+}  // namespace engine
+}  // namespace distperm
+
+#endif  // DISTPERM_ENGINE_GENERATION_H_

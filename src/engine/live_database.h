@@ -1,0 +1,704 @@
+// Live-updatable front over generation-versioned sharded databases.
+//
+// The engine's serving state is a pair published as one immutable
+// State object behind a single atomic slot (a hand-rolled
+// std::atomic<std::shared_ptr> with TSan-verifiable ordering):
+//
+//   pin ───► State ──► Generation N   (immutable shards + indexes)
+//                 └──► DeltaLog       (append-only writes since N)
+//
+// Queries pin the current State with one acquire of that slot (a
+// few-instruction spinlock copy — no mutex, no blocking on writers or
+// compactions): the generation is immutable and the delta log is
+// append-only with a release/acquire committed counter, so a pinned
+// (generation, delta window) view stays frozen no matter how many
+// writes and compactions race past it.  QueryEngine::RunBatch receives the pinned
+// generation's ShardedDatabase explicitly, so one batch executes
+// against exactly one generation end to end.
+//
+// Writes (Insert/Remove) append to the delta log under a writer mutex.
+// A query merges the log into its answer by linear scan: delta hits are
+// measured exactly (and charged to the query's distance accounting),
+// removed ids are filtered out of the generation's results, and — via
+// the shared-bound plumbing — the delta's k-th distance caps the
+// generation search's pruning radius before it starts, so a hot delta
+// makes the shard fan-out cheaper, not just bigger.  The scan cost is
+// bounded by the `delta_scan_limit` spec knob: a full buffer pushes
+// back on writers (OutOfRange) instead of degrading readers.
+//
+// Compact() folds base ⊕ delta into generation N+1 using the same
+// deterministic registry build as a fresh database (same spec, seed,
+// shard count — so the compacted generation answers bit-identically to
+// a from-scratch build over the equivalent dataset), then atomically
+// swaps the new State in; unconsumed tail writes are carried over,
+// remapped into the new id space.  In-flight queries finish on the old
+// generation, which frees itself when its last pin drops.  Compaction
+// runs on the caller's thread, or on a background pool thread via
+// CompactAsync() / the `auto_compact_threshold` spec knob.
+//
+// Id semantics: ids name positions in the pinned view — [0, base_size)
+// for the generation, base_size + j for the j-th insert in the current
+// delta log.  Compaction compacts the numbering (removed ids vanish,
+// delta inserts move into the base), so ids are stable between
+// compactions and remapped across them; Remove() always interprets its
+// argument against the current (post-swap) numbering.
+
+#ifndef DISTPERM_ENGINE_LIVE_DATABASE_H_
+#define DISTPERM_ENGINE_LIVE_DATABASE_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "engine/generation.h"
+#include "engine/query.h"
+#include "engine/query_engine.h"
+#include "engine/sharded_database.h"
+#include "index/registry.h"
+#include "index/search.h"
+#include "metric/metric.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace distperm {
+namespace engine {
+
+/// Append-only write log with lock-free reads.  Appends are serialized
+/// externally (LiveDatabase's writer mutex); readers see a consistent
+/// prefix by acquiring `committed()` once and reading entries below it
+/// — entry contents (and the lazily allocated chunk they live in) are
+/// published by the release store of the counter, and the chunk
+/// directory itself is a fixed array of atomic pointers, so no read
+/// ever races a reallocation.
+template <typename P>
+class DeltaLog {
+ public:
+  struct Entry {
+    bool is_remove = false;
+    size_t id = 0;  ///< Assigned id (insert) or target id (remove).
+    P point{};      ///< The inserted point; default for removes.
+  };
+
+  static constexpr size_t kChunkSize = 256;
+  static constexpr size_t kMaxChunks = 4096;
+  /// Hard capacity (1M entries); delta_scan_limit caps far earlier.
+  static constexpr size_t kCapacity = kChunkSize * kMaxChunks;
+
+  DeltaLog() {
+    for (auto& chunk : chunks_) chunk.store(nullptr, std::memory_order_relaxed);
+  }
+  ~DeltaLog() {
+    for (auto& chunk : chunks_) delete chunk.load(std::memory_order_relaxed);
+  }
+  DeltaLog(const DeltaLog&) = delete;
+  DeltaLog& operator=(const DeltaLog&) = delete;
+
+  /// Number of fully published entries.  Everything below this index is
+  /// immutable and safe to read from any thread.
+  size_t committed() const { return committed_.load(std::memory_order_acquire); }
+
+  /// Entry `i`; the caller must have observed committed() > i.
+  const Entry& entry(size_t i) const {
+    const Chunk* chunk = chunks_[i / kChunkSize].load(std::memory_order_acquire);
+    return chunk->entries[i % kChunkSize];
+  }
+
+  /// Appends one entry.  Single-writer: the caller must hold the
+  /// database's writer mutex.  False when the hard capacity is reached.
+  bool Append(Entry entry) {
+    const size_t n = committed_.load(std::memory_order_relaxed);
+    if (n >= kCapacity) return false;
+    const size_t c = n / kChunkSize;
+    Chunk* chunk = chunks_[c].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new Chunk();
+      chunks_[c].store(chunk, std::memory_order_release);
+    }
+    chunk->entries[n % kChunkSize] = std::move(entry);
+    committed_.store(n + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  struct Chunk {
+    std::array<Entry, kChunkSize> entries{};
+  };
+  std::atomic<size_t> committed_{0};
+  std::array<std::atomic<Chunk*>, kMaxChunks> chunks_;
+};
+
+/// Host-side knobs for a LiveDatabase (the delta knobs travel in the
+/// index spec — see index::LiveSpecOptions).
+struct LiveOptions {
+  /// Worker threads for compaction rebuilds (ShardedDatabase
+  /// build_threads; builds stay bit-identical at any count).
+  size_t build_threads = 1;
+  /// Worker threads of the built-in serving engine used by the
+  /// RunBatch(batch) convenience overload.
+  size_t query_threads = 1;
+};
+
+/// Generation-versioned live store: lock-free pinned reads, mutex-
+/// serialized writes, compaction with atomic generation swap-in.
+template <typename P>
+class LiveDatabase {
+ private:
+  struct State {
+    std::shared_ptr<const Generation<P>> generation;
+    std::shared_ptr<DeltaLog<P>> log;
+  };
+
+  /// Atomic publication slot for the serving state — functionally
+  /// std::atomic<std::shared_ptr<const State>>, hand-rolled because
+  /// libstdc++'s _Sp_atomic unlocks its reader path with a relaxed
+  /// RMW, which leaves the reader's pointer read formally unordered
+  /// against the next writer's swap (benign on real hardware, but a
+  /// data race under the C++ model that ThreadSanitizer reports —
+  /// and the TSan CI job gates on zero reports).  A few-instruction
+  /// test-and-test-and-set spinlock with fully paired acquire/release
+  /// is the same mechanism, verifiably clean, and uncontended at this
+  /// call rate: one load per batch pin, one store per compaction.
+  class StateSlot {
+   public:
+    std::shared_ptr<const State> load() const {
+      Lock();
+      std::shared_ptr<const State> copy = ptr_;
+      Unlock();
+      return copy;
+    }
+
+    void store(std::shared_ptr<const State> next) {
+      Lock();
+      ptr_.swap(next);
+      Unlock();
+      // `next` now holds the retired state; it releases outside the
+      // critical section, so a last-reference Generation teardown
+      // never runs under the slot lock.
+    }
+
+   private:
+    void Lock() const {
+      for (;;) {
+        if (!locked_.exchange(true, std::memory_order_acquire)) return;
+        while (locked_.load(std::memory_order_relaxed)) {
+        }
+      }
+    }
+    void Unlock() const {
+      locked_.store(false, std::memory_order_release);
+    }
+
+    mutable std::atomic<bool> locked_{false};
+    std::shared_ptr<const State> ptr_;
+  };
+
+ public:
+  using BatchOutput = typename QueryEngine<P>::BatchOutput;
+
+  /// A pinned, immutable view: one generation plus the delta window
+  /// that was committed at pin time.  Copyable; holding any copy keeps
+  /// the pinned generation (and log) alive.
+  class Snapshot {
+   public:
+    uint64_t generation_number() const { return state_->generation->number(); }
+    /// The pinned generation (exposed so callers can hold weak
+    /// references and observe retirement after a swap).
+    std::shared_ptr<const Generation<P>> generation() const {
+      return state_->generation;
+    }
+    const ShardedDatabase<P>& database() const {
+      return state_->generation->database();
+    }
+    /// Entries of the pinned delta window.
+    size_t delta_entries() const { return delta_end_; }
+    /// Live points in this view: base survivors plus alive inserts.
+    size_t live_size() const {
+      const Overlay overlay = BuildOverlay(*state_, delta_end_);
+      return state_->generation->size() - overlay.removed_base +
+             overlay.inserts.size();
+    }
+    /// The view's dataset in compaction order: base survivors in id
+    /// order, then alive inserts in arrival order.  Compacting this
+    /// exact view and building a fresh database over Materialize()
+    /// yield bit-identical search behavior (same spec/seed/shards).
+    std::vector<P> Materialize() const {
+      std::vector<P> data;
+      MaterializeWindow(*state_, delta_end_, &data, nullptr);
+      return data;
+    }
+
+    /// The point behind a live id in this view — how a serving layer
+    /// fetches the record named by a SearchResult.  NotFound for
+    /// removed or never-assigned ids.
+    util::Result<P> ResolvePoint(size_t id) const {
+      const DeltaLog<P>& log = *state_->log;
+      const P* pending = nullptr;
+      for (size_t i = 0; i < delta_end_; ++i) {
+        const typename DeltaLog<P>::Entry& entry = log.entry(i);
+        if (entry.id != id) continue;
+        if (entry.is_remove) {
+          return util::Status::NotFound(
+              "LiveDatabase: id " + std::to_string(id) +
+              " was removed in this view");
+        }
+        pending = &entry.point;
+      }
+      if (pending != nullptr) return *pending;
+      const ShardedDatabase<P>& db = state_->generation->database();
+      for (size_t s = 0; s < db.shard_count(); ++s) {
+        const size_t offset = db.shard_offset(s);
+        if (id >= offset && id - offset < db.shard(s).size()) {
+          return db.shard(s).data()[id - offset];
+        }
+      }
+      return util::Status::NotFound(
+          "LiveDatabase: no point with id " + std::to_string(id));
+    }
+
+   private:
+    friend class LiveDatabase<P>;
+    // Only Pin() constructs snapshots, so state_ is always set and the
+    // accessors never see a null view.
+    Snapshot() = default;
+    std::shared_ptr<const State> state_;
+    size_t delta_end_ = 0;
+  };
+
+  /// Builds generation 1 over `data` and opens the store.  `spec` is an
+  /// index registry spec optionally carrying the live knobs
+  /// (`delta_scan_limit`, `auto_compact_threshold`); the residual spec
+  /// (knobs stripped) builds every generation's shards.
+  static util::Result<std::unique_ptr<LiveDatabase>> Open(
+      std::vector<P> data, const metric::Metric<P>& metric,
+      size_t shard_count, const std::string& spec, uint64_t seed,
+      LiveOptions options = {}) {
+    util::Result<std::pair<std::string, index::LiveSpecOptions>> split =
+        index::SplitLiveSpec(spec);
+    if (!split.ok()) return split.status();
+    util::Result<std::shared_ptr<const Generation<P>>> generation =
+        Generation<P>::Build(std::move(data), metric, shard_count,
+                             split.value().first, seed, /*number=*/1,
+                             options.build_threads);
+    if (!generation.ok()) return generation.status();
+    return std::unique_ptr<LiveDatabase>(new LiveDatabase(
+        std::move(generation).value(), metric, shard_count,
+        split.value().first, seed, split.value().second, options));
+  }
+
+  ~LiveDatabase() {
+    // Drain any in-flight background compaction before members die.
+    compact_pool_.Wait();
+  }
+
+  // ------------------------------------------------------------ reads
+
+  /// Pins the current (generation, delta window) with a single acquire
+  /// of the state slot.  Never blocks on writers or compactions and
+  /// never observes a torn pair: the window length is read from the
+  /// pinned log, which stops growing once a swap retires it.
+  Snapshot Pin() const {
+    Snapshot snapshot;
+    snapshot.state_ = state_.load();
+    snapshot.delta_end_ = snapshot.state_->log->committed();
+    return snapshot;
+  }
+
+  /// Serves `batch` against a fresh pin on the built-in engine.
+  /// Convenience path, serialized per store (RunBatch is not reentrant
+  /// per engine); concurrent serving threads should each bring their
+  /// own engine and use the overloads below.
+  BatchOutput RunBatch(const std::vector<QuerySpec<P>>& batch) {
+    std::lock_guard<std::mutex> lock(engine_mutex_);
+    return RunBatch(engine_, Pin(), batch);
+  }
+
+  /// Serves `batch` against a fresh pin on a caller-owned engine.
+  BatchOutput RunBatch(QueryEngine<P>& engine,
+                       const std::vector<QuerySpec<P>>& batch) const {
+    return RunBatch(engine, Pin(), batch);
+  }
+
+  /// Serves `batch` against an explicit pinned view: the whole batch
+  /// sees `snapshot`'s generation and delta window, bit-identically to
+  /// a fresh database built over snapshot.Materialize() for exact
+  /// indexes — racing writes and swaps cannot leak in.  Per-query
+  /// distance accounting includes the delta scan's exact evaluations;
+  /// distance budgets and truncation flags apply to the generation
+  /// search exactly as in the non-live engine (the delta leg is bounded
+  /// by delta_scan_limit instead of the budget).
+  BatchOutput RunBatch(QueryEngine<P>& engine, const Snapshot& snapshot,
+                       const std::vector<QuerySpec<P>>& batch) const {
+    const State& state = *snapshot.state_;
+    const Overlay overlay = BuildOverlay(state, snapshot.delta_end_);
+    if (overlay.inserts.empty() && overlay.removed.empty()) {
+      // Empty window: the pinned generation answers alone, with the
+      // exact behavior (and zero copies) of the non-live engine path.
+      return engine.RunBatch(state.generation->database(), batch);
+    }
+    const size_t query_count = batch.size();
+
+    // Delta leg first: exact distances to every alive insert, per
+    // query.  A full delta collector's k-th distance is a valid upper
+    // bound on the merged k-th distance (its k hits are all in the
+    // final set), so it seeds the generation search's pruning radius —
+    // delta hits tighten shard pruning instead of only adding work.
+    std::vector<QuerySpec<P>> adjusted(batch);
+    std::vector<std::vector<index::SearchResult>> delta_hits(query_count);
+    std::vector<uint64_t> delta_cost(query_count, 0);
+    for (size_t q = 0; q < query_count; ++q) {
+      const QuerySpec<P>& spec = batch[q];
+      if (!index::ValidateRequest(spec).ok()) continue;  // engine rejects
+      if (spec.mode == QueryType::kRange) {
+        for (const auto* entry : overlay.inserts) {
+          const double d = metric_(spec.point, entry->point);
+          ++delta_cost[q];
+          if (d <= spec.radius) delta_hits[q].push_back({entry->id, d});
+        }
+        continue;
+      }
+      index::KnnCollector collector(spec.k);
+      collector.Reserve(std::min(spec.k, overlay.inserts.size()));
+      for (const auto* entry : overlay.inserts) {
+        const double d = metric_(spec.point, entry->point);
+        ++delta_cost[q];
+        if (spec.mode == QueryType::kKnnWithinRadius && d > spec.radius) {
+          continue;
+        }
+        collector.Offer(entry->id, d);
+      }
+      if (collector.size() == spec.k) {
+        adjusted[q].initial_radius_bound =
+            std::min(adjusted[q].initial_radius_bound, collector.Radius());
+      }
+      delta_hits[q] = collector.Take();
+      if (overlay.removed_base > 0) {
+        // Over-fetch: up to removed_base of the generation's nearest
+        // may be filtered out, so ask for that many spares — the k
+        // best survivors are then always present in the partial.
+        adjusted[q].k = spec.k + overlay.removed_base;
+      }
+    }
+
+    BatchOutput out =
+        engine.RunBatch(state.generation->database(), adjusted);
+
+    const auto is_removed = [&overlay](size_t id) {
+      return overlay.removed.count(id) != 0;
+    };
+    for (size_t q = 0; q < query_count; ++q) {
+      if (!out.statuses[q].ok()) continue;
+      index::MergeDeltaResults(&out.results[q], is_removed,
+                               std::move(delta_hits[q]), batch[q].mode,
+                               batch[q].k);
+      out.per_query_distance_computations[q] += delta_cost[q];
+      out.stats.distance_computations += delta_cost[q];
+    }
+    return out;
+  }
+
+  // ----------------------------------------------------------- writes
+
+  /// Appends `point` to the delta; visible to every query pinned after
+  /// the append.  Returns the assigned id (stable until the next
+  /// compaction folds it into the base).  OutOfRange when the delta
+  /// holds delta_scan_limit entries — compact to make room.
+  util::Result<size_t> Insert(P point) {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    util::Status room = EnsureRoomLocked();
+    if (!room.ok()) return room;
+    const size_t id = writer_base_size_ + writer_inserts_;
+    DP_CHECK(log_->Append({/*is_remove=*/false, id, std::move(point)}));
+    ++writer_inserts_;
+    MaybeScheduleAutoCompactLocked();
+    return id;
+  }
+
+  /// Removes the live point with `id` (a base point or a pending
+  /// insert) from every query pinned after the append.  NotFound for
+  /// ids that do not name a live point in the current numbering;
+  /// OutOfRange when the delta is full.
+  util::Status Remove(size_t id) {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (id >= writer_base_size_ + writer_inserts_ ||
+        writer_removed_.count(id) != 0) {
+      return util::Status::NotFound(
+          "LiveDatabase: no live point with id " + std::to_string(id));
+    }
+    util::Status room = EnsureRoomLocked();
+    if (!room.ok()) return room;
+    DP_CHECK(log_->Append({/*is_remove=*/true, id, P{}}));
+    writer_removed_.insert(id);
+    MaybeScheduleAutoCompactLocked();
+    return util::Status::OK();
+  }
+
+  // ------------------------------------------------------- compaction
+
+  /// Folds the committed delta into a new generation on the calling
+  /// thread and swaps it in: rebuilds replacement shards from
+  /// base ⊕ delta with the store's deterministic (spec, seed, shard
+  /// count) — on `build_threads` workers — then publishes the new
+  /// State atomically.  Writes landing during the rebuild are carried
+  /// over into the new generation's delta log, remapped to the new id
+  /// space.  Queries never block: in-flight batches finish on the old
+  /// generation, which retires when its last pin drops.  On a rebuild
+  /// error (e.g. a spec that cannot index an emptied database) the old
+  /// generation keeps serving and the delta is kept.
+  util::Status Compact() {
+    return CompactPrefix(std::numeric_limits<size_t>::max());
+  }
+
+  /// Like Compact(), but folds at most the first `limit` committed
+  /// delta entries; the rest stay pending (remapped into the new
+  /// generation's log).  Smaller windows bound the rebuild's latency
+  /// and memory at the price of more frequent swaps.
+  util::Status CompactPrefix(size_t limit) {
+    std::lock_guard<std::mutex> compact_lock(compact_mutex_);
+    std::shared_ptr<const State> state =
+        state_.load();
+    const size_t end = std::min(limit, state->log->committed());
+    if (end == 0) return util::Status::OK();  // nothing to fold
+
+    std::vector<P> final_data;
+    std::unordered_map<size_t, size_t> id_map;
+    MaterializeWindow(*state, end, &final_data, &id_map);
+    util::Result<std::shared_ptr<const Generation<P>>> built =
+        Generation<P>::Build(std::move(final_data), metric_, shard_count_,
+                             index_spec_, seed_,
+                             state->generation->number() + 1,
+                             build_threads_);
+    if (!built.ok()) return built.status();
+
+    // Swap: carry the unconsumed tail into a fresh log (copied, not
+    // moved — pinned readers still scan the retired log) and publish.
+    // Writers block only for this tail replay.
+    std::lock_guard<std::mutex> write_lock(write_mutex_);
+    const size_t len = state->log->committed();
+    auto next_log = std::make_shared<DeltaLog<P>>();
+    const size_t next_base = built.value()->size();
+    size_t tail_inserts = 0;
+    std::unordered_set<size_t> tail_removed;
+    std::unordered_map<size_t, size_t> tail_map;
+    for (size_t i = end; i < len; ++i) {
+      const typename DeltaLog<P>::Entry& entry = state->log->entry(i);
+      if (!entry.is_remove) {
+        const size_t new_id = next_base + tail_inserts;
+        tail_map.emplace(entry.id, new_id);
+        DP_CHECK(next_log->Append({false, new_id, entry.point}));
+        ++tail_inserts;
+        continue;
+      }
+      // Writer-side validation guarantees the target survived the
+      // folded window, so it maps into the new space (base survivor,
+      // folded insert, or a tail insert replayed above).
+      auto mapped = id_map.find(entry.id);
+      size_t new_id = 0;
+      if (mapped != id_map.end()) {
+        new_id = mapped->second;
+      } else {
+        auto tail_mapped = tail_map.find(entry.id);
+        DP_CHECK(tail_mapped != tail_map.end());
+        new_id = tail_mapped->second;
+      }
+      DP_CHECK(next_log->Append({true, new_id, P{}}));
+      tail_removed.insert(new_id);
+    }
+    auto next = std::make_shared<const State>(
+        State{std::move(built).value(), next_log});
+    state_.store(std::move(next));
+    log_ = std::move(next_log);
+    writer_base_size_ = next_base;
+    writer_inserts_ = tail_inserts;
+    writer_removed_ = std::move(tail_removed);
+    return util::Status::OK();
+  }
+
+  /// Schedules Compact() on the store's background thread and returns
+  /// immediately; at most one background compaction is pending at a
+  /// time (further calls are no-ops until it runs).  Errors are kept in
+  /// last_background_compact_status().
+  void CompactAsync() {
+    bool expected = false;
+    if (!compact_pending_.compare_exchange_strong(expected, true)) return;
+    compact_pool_.Submit([this]() {
+      util::Status status = Compact();
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(background_status_mutex_);
+        background_compact_status_ = status;
+      }
+      compact_pending_.store(false);
+      // Writes that landed during the fold (and were carried over as
+      // the new log's tail) found compact_pending_ set and could not
+      // re-arm the trigger — re-check here so a threshold-sized tail
+      // folds without waiting for the next write.
+      if (status.ok() && auto_compact_threshold_ != 0 &&
+          delta_entries() >= auto_compact_threshold_) {
+        CompactAsync();
+      }
+    });
+  }
+
+  /// Blocks until every scheduled background compaction has finished.
+  /// Call from the owning thread only (ThreadPool::Wait contract).
+  void WaitForCompaction() { compact_pool_.Wait(); }
+
+  /// Status of the most recent failed background compaction (OK if
+  /// none failed yet).
+  util::Status last_background_compact_status() const {
+    std::lock_guard<std::mutex> lock(background_status_mutex_);
+    return background_compact_status_;
+  }
+
+  // -------------------------------------------------------- accessors
+
+  /// Current generation number (starts at 1, +1 per compaction).
+  uint64_t generation_number() const {
+    return state_.load()->generation->number();
+  }
+  /// Pending delta entries (inserts + removes) awaiting compaction.
+  size_t delta_entries() const {
+    return state_.load()->log->committed();
+  }
+  /// Live points in the current view.
+  size_t size() const { return Pin().live_size(); }
+
+  const metric::Metric<P>& metric() const { return metric_; }
+  size_t shard_count() const { return shard_count_; }
+  /// The residual index spec every generation is built from.
+  const std::string& index_spec() const { return index_spec_; }
+  uint64_t seed() const { return seed_; }
+  size_t delta_scan_limit() const { return delta_scan_limit_; }
+  size_t auto_compact_threshold() const { return auto_compact_threshold_; }
+
+ private:
+  LiveDatabase(std::shared_ptr<const Generation<P>> generation,
+               metric::Metric<P> metric, size_t shard_count,
+               std::string index_spec, uint64_t seed,
+               index::LiveSpecOptions live, LiveOptions options)
+      : metric_(std::move(metric)),
+        shard_count_(shard_count),
+        index_spec_(std::move(index_spec)),
+        seed_(seed),
+        delta_scan_limit_(
+            std::min(live.delta_scan_limit, DeltaLog<P>::kCapacity)),
+        auto_compact_threshold_(live.auto_compact_threshold),
+        build_threads_(options.build_threads),
+        writer_base_size_(generation->size()),
+        log_(std::make_shared<DeltaLog<P>>()),
+        engine_(options.query_threads) {
+    state_.store(std::make_shared<const State>(
+        State{std::move(generation), log_}));
+  }
+
+  /// Everything a query needs from one pinned delta window: the alive
+  /// inserts (in id order) and the removed ids, built in one scan.
+  struct Overlay {
+    std::vector<const typename DeltaLog<P>::Entry*> inserts;
+    std::unordered_set<size_t> removed;
+    size_t removed_base = 0;  ///< removed ids below the base size
+  };
+
+  static Overlay BuildOverlay(const State& state, size_t end) {
+    Overlay overlay;
+    const size_t base_size = state.generation->size();
+    const DeltaLog<P>& log = *state.log;
+    for (size_t i = 0; i < end; ++i) {
+      const typename DeltaLog<P>::Entry& entry = log.entry(i);
+      if (!entry.is_remove) continue;
+      overlay.removed.insert(entry.id);
+      if (entry.id < base_size) ++overlay.removed_base;
+    }
+    for (size_t i = 0; i < end; ++i) {
+      const typename DeltaLog<P>::Entry& entry = log.entry(i);
+      if (entry.is_remove || overlay.removed.count(entry.id) != 0) continue;
+      overlay.inserts.push_back(&entry);
+    }
+    return overlay;
+  }
+
+  /// The view's final dataset (base survivors in id order, then alive
+  /// inserts in arrival order) and, when requested, the old-id -> new-
+  /// position map compaction uses to remap the log tail.
+  static void MaterializeWindow(
+      const State& state, size_t end, std::vector<P>* out,
+      std::unordered_map<size_t, size_t>* id_map) {
+    const Overlay overlay = BuildOverlay(state, end);
+    std::vector<P> base = state.generation->CollectData();
+    out->reserve(base.size() - overlay.removed_base +
+                 overlay.inserts.size());
+    for (size_t id = 0; id < base.size(); ++id) {
+      if (overlay.removed.count(id) != 0) continue;
+      if (id_map != nullptr) id_map->emplace(id, out->size());
+      out->push_back(std::move(base[id]));
+    }
+    for (const auto* entry : overlay.inserts) {
+      if (id_map != nullptr) id_map->emplace(entry->id, out->size());
+      out->push_back(entry->point);  // copy: pinned readers keep the log
+    }
+  }
+
+  /// Backpressure check; caller holds write_mutex_.
+  util::Status EnsureRoomLocked() {
+    if (log_->committed() < delta_scan_limit_) return util::Status::OK();
+    return util::Status::OutOfRange(
+        "LiveDatabase: delta buffer full (delta_scan_limit=" +
+        std::to_string(delta_scan_limit_) + "); Compact() to make room");
+  }
+
+  /// Fires the background compaction once the delta reaches the
+  /// auto_compact_threshold knob; caller holds write_mutex_.
+  void MaybeScheduleAutoCompactLocked() {
+    if (auto_compact_threshold_ == 0) return;
+    if (log_->committed() < auto_compact_threshold_) return;
+    CompactAsync();
+  }
+
+  const metric::Metric<P> metric_;
+  const size_t shard_count_;
+  const std::string index_spec_;
+  const uint64_t seed_;
+  const size_t delta_scan_limit_;
+  const size_t auto_compact_threshold_;
+  const size_t build_threads_;
+
+  /// The serving state; queries pin it through the atomic slot.
+  StateSlot state_;
+
+  /// Writer-side bookkeeping, all under write_mutex_: the current log
+  /// (same object as state_'s), the id counters for assignment, and the
+  /// removed set for O(1) validation.
+  std::mutex write_mutex_;
+  size_t writer_base_size_;
+  size_t writer_inserts_ = 0;
+  std::unordered_set<size_t> writer_removed_;
+  std::shared_ptr<DeltaLog<P>> log_;
+
+  /// Compactions are serialized; the swap additionally takes
+  /// write_mutex_ for the tail replay.
+  std::mutex compact_mutex_;
+  std::atomic<bool> compact_pending_{false};
+  mutable std::mutex background_status_mutex_;
+  util::Status background_compact_status_;
+
+  /// Built-in engine for the convenience RunBatch(batch) path.
+  std::mutex engine_mutex_;
+  QueryEngine<P> engine_;
+
+  /// Background compaction worker.  Declared last: destroyed first, so
+  /// a draining compaction task never touches dead members.
+  util::ThreadPool compact_pool_{1};
+};
+
+}  // namespace engine
+}  // namespace distperm
+
+#endif  // DISTPERM_ENGINE_LIVE_DATABASE_H_

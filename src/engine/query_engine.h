@@ -70,6 +70,14 @@ namespace engine {
 /// pool.  The database is borrowed, not owned, so several engines (e.g.
 /// with different thread counts) can serve the same shards.  RunBatch is
 /// not reentrant: issue one batch at a time per engine.
+///
+/// The engine can also run without a bound database: construct with
+/// just a thread count and pass the database to RunBatch explicitly.
+/// That is the live-ingest serving mode — engine::LiveDatabase pins one
+/// immutable engine::Generation with a single atomic acquire of its
+/// state slot and hands its ShardedDatabase to RunBatch, so the whole
+/// batch executes against that one generation no matter how many
+/// compactions swap new generations in while the batch is in flight.
 template <typename P>
 class QueryEngine {
  public:
@@ -102,12 +110,32 @@ class QueryEngine {
     DP_CHECK(db != nullptr);
   }
 
-  size_t thread_count() const { return pool_.thread_count(); }
-  const ShardedDatabase<P>& database() const { return *db_; }
+  /// Unbound engine: just the worker pool.  Every batch must go through
+  /// the RunBatch overload that names its database.
+  explicit QueryEngine(size_t thread_count)
+      : db_(nullptr), pool_(thread_count) {}
 
+  size_t thread_count() const { return pool_.thread_count(); }
+  const ShardedDatabase<P>& database() const {
+    DP_CHECK(db_ != nullptr);
+    return *db_;
+  }
+
+  /// Runs the batch against the database bound at construction.
   BatchOutput RunBatch(const std::vector<QuerySpec<P>>& batch) {
+    DP_CHECK(db_ != nullptr);
+    return RunBatch(*db_, batch);
+  }
+
+  /// Runs the batch against `db`, which only needs to stay alive for
+  /// the duration of the call.  The caller chooses the snapshot: the
+  /// live-ingest path pins one generation and passes its database here,
+  /// giving the batch a frozen view while writers and compactions
+  /// proceed.
+  BatchOutput RunBatch(const ShardedDatabase<P>& db,
+                       const std::vector<QuerySpec<P>>& batch) {
     const size_t query_count = batch.size();
-    const size_t shard_count = db_->shard_count();
+    const size_t shard_count = db.shard_count();
     BatchOutput out;
     out.results.resize(query_count);
     out.statuses.resize(query_count);
@@ -165,14 +193,14 @@ class QueryEngine {
         // Two-phase: the seed shard task submits the rest of the
         // fan-out when it completes (the pool allows Submit from within
         // a task), so every other shard starts from its bound.
-        pool_.Submit([this, &specs, &partials, &tasks_left, &latencies,
-                      start, shard_count, q]() {
-          RunShardTask(specs, partials, tasks_left, latencies, start,
+        pool_.Submit([this, &db, &specs, &partials, &tasks_left,
+                      &latencies, start, shard_count, q]() {
+          RunShardTask(db, specs, partials, tasks_left, latencies, start,
                        shard_count, q, /*s=*/0);
           for (size_t s = 1; s < shard_count; ++s) {
-            pool_.Submit([this, &specs, &partials, &tasks_left,
+            pool_.Submit([this, &db, &specs, &partials, &tasks_left,
                           &latencies, start, shard_count, q, s]() {
-              RunShardTask(specs, partials, tasks_left, latencies,
+              RunShardTask(db, specs, partials, tasks_left, latencies,
                            start, shard_count, q, s);
             });
           }
@@ -180,9 +208,9 @@ class QueryEngine {
         continue;
       }
       for (size_t s = 0; s < shard_count; ++s) {
-        pool_.Submit([this, &specs, &partials, &tasks_left, &latencies,
-                      start, shard_count, q, s]() {
-          RunShardTask(specs, partials, tasks_left, latencies, start,
+        pool_.Submit([this, &db, &specs, &partials, &tasks_left,
+                      &latencies, start, shard_count, q, s]() {
+          RunShardTask(db, specs, partials, tasks_left, latencies, start,
                        shard_count, q, s);
         });
       }
@@ -260,7 +288,8 @@ class QueryEngine {
   /// One (query, shard) task: searches the shard, maps local ids to
   /// global ids, stores the partial, and stamps the query latency when
   /// it is the last of the query's tasks to finish.
-  void RunShardTask(const std::vector<const QuerySpec<P>*>& specs,
+  void RunShardTask(const ShardedDatabase<P>& db,
+                    const std::vector<const QuerySpec<P>*>& specs,
                     std::vector<index::SearchResponse>& partials,
                     std::vector<PaddedCounter>& tasks_left,
                     std::vector<double>& latencies,
@@ -276,11 +305,11 @@ class QueryEngine {
     } else if (budget != spec.max_distance_computations) {
       QuerySpec<P> shard_spec = spec;
       shard_spec.max_distance_computations = budget;
-      response = db_->shard(s).Search(shard_spec);
+      response = db.shard(s).Search(shard_spec);
     } else {
-      response = db_->shard(s).Search(spec);
+      response = db.shard(s).Search(spec);
     }
-    const size_t offset = db_->shard_offset(s);
+    const size_t offset = db.shard_offset(s);
     for (index::SearchResult& r : response.results) r.id += offset;
     partials[q * shard_count + s] = std::move(response);
     // The last shard task to finish stamps the query's latency.

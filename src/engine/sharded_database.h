@@ -133,6 +133,22 @@ class ShardedDatabase {
   /// Global id of shard s's local id 0.
   size_t shard_offset(size_t s) const { return offsets_[s]; }
 
+  /// Reassembles the database in global-id order (shard slices are
+  /// contiguous, so concatenating them in shard order restores the
+  /// original ordering exactly).  This is the base dataset a
+  /// engine::Generation rebuild starts from: compaction collects the
+  /// current generation's points, applies the delta, and builds the
+  /// replacement shards from the result — no second long-lived copy of
+  /// the database is kept anywhere.
+  std::vector<P> CollectData() const {
+    std::vector<P> data;
+    data.reserve(total_size_);
+    for (const auto& shard : shards_) {
+      data.insert(data.end(), shard->data().begin(), shard->data().end());
+    }
+    return data;
+  }
+
   /// Name of the underlying index type (from shard 0).
   std::string index_name() const { return shards_.front()->name(); }
 

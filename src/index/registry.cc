@@ -78,6 +78,51 @@ util::Result<ParsedIndexSpec> ParseIndexSpec(const std::string& spec) {
   return parsed;
 }
 
+util::Result<std::pair<std::string, LiveSpecOptions>> SplitLiveSpec(
+    const std::string& spec) {
+  util::Result<ParsedIndexSpec> parsed = ParseIndexSpec(spec);
+  if (!parsed.ok()) return parsed.status();
+
+  std::vector<std::pair<std::string, std::string>> live_pairs;
+  std::string residual = parsed.value().name;
+  bool first_option = true;
+  for (auto& [key, value] : parsed.value().options) {
+    if (key == "delta_scan_limit" || key == "auto_compact_threshold") {
+      live_pairs.emplace_back(key, value);
+      continue;
+    }
+    residual += first_option ? ":" : ",";
+    residual += key + "=" + value;
+    first_option = false;
+  }
+
+  // Reuse IndexOptions for the integer parsing and its error messages;
+  // only the two live keys are present, so CheckAllConsumed is moot.
+  LiveSpecOptions defaults;
+  IndexOptions live("live", std::move(live_pairs));
+  util::Result<size_t> limit =
+      live.GetSize("delta_scan_limit", defaults.delta_scan_limit);
+  if (!limit.ok()) return limit.status();
+  util::Result<size_t> threshold = live.GetSize(
+      "auto_compact_threshold", defaults.auto_compact_threshold);
+  if (!threshold.ok()) return threshold.status();
+
+  LiveSpecOptions options;
+  options.delta_scan_limit = limit.value();
+  options.auto_compact_threshold = threshold.value();
+  if (options.delta_scan_limit == 0) {
+    return util::Status::InvalidArgument(
+        "live spec '" + spec + "': delta_scan_limit must be >= 1");
+  }
+  if (options.auto_compact_threshold > options.delta_scan_limit) {
+    return util::Status::InvalidArgument(
+        "live spec '" + spec +
+        "': auto_compact_threshold must be <= delta_scan_limit "
+        "(the compaction must trigger before backpressure)");
+  }
+  return std::make_pair(std::move(residual), options);
+}
+
 IndexOptions::IndexOptions(
     std::string index_name,
     std::vector<std::pair<std::string, std::string>> options)

@@ -65,6 +65,34 @@ struct ParsedIndexSpec {
 /// empty option, or a duplicate key.
 util::Result<ParsedIndexSpec> ParseIndexSpec(const std::string& spec);
 
+/// Live-store knobs that ride inside an index spec.  A spec like
+/// "vp-tree:k=4,delta_scan_limit=2048,auto_compact_threshold=256"
+/// fully describes a live database: the two live keys configure the
+/// engine::LiveDatabase delta buffer and the residual spec ("vp-tree:
+/// k=4") is what every generation's shards are built from.
+struct LiveSpecOptions {
+  /// Hard cap on pending delta entries.  Every query linearly scans
+  /// the pinned delta window, so this bounds the per-query delta
+  /// overhead; once the buffer is full, Insert/Remove return OutOfRange
+  /// (backpressure) until a compaction folds the delta into a new
+  /// generation.  Must be >= 1.
+  size_t delta_scan_limit = 4096;
+  /// Pending-entry count at which a background compaction is scheduled
+  /// automatically.  0 (the default) disables auto-compaction — the
+  /// owner calls Compact()/CompactAsync() itself.  When set, must be
+  /// <= delta_scan_limit (the compaction must trigger before
+  /// backpressure does).
+  size_t auto_compact_threshold = 0;
+};
+
+/// Splits `spec` into the live-store knobs and the residual index spec
+/// with the live keys removed (option order otherwise preserved, so
+/// the residual spec builds bit-identical shards).  InvalidArgument on
+/// a malformed spec, a non-integer knob value, delta_scan_limit = 0,
+/// or auto_compact_threshold > delta_scan_limit.
+util::Result<std::pair<std::string, LiveSpecOptions>> SplitLiveSpec(
+    const std::string& spec);
+
 /// The option view a factory reads from: typed getters with defaults
 /// that mark keys as consumed, plus a final unknown-key check, so a
 /// misspelled option is an error instead of a silently applied default.

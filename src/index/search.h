@@ -21,6 +21,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <utility>
 #include <vector>
@@ -83,6 +84,22 @@ enum class ShardScheduling : uint8_t {
 /// Human-readable policy name ("independent", "cooperative",
 /// "seed-first").
 const char* ShardSchedulingName(ShardScheduling policy);
+
+/// Delta-merge hook for live stores (engine::LiveDatabase).  A live
+/// query runs in two legs: the pinned generation's index search (whose
+/// SearchContext prunes against the delta's k-th distance through
+/// initial_radius_bound — any k delta hits upper-bound the merged k-th
+/// distance, so the cap is exact) and a linear scan of the pinned delta
+/// window.  This folds the two legs together: drops every base result
+/// whose id the delta removed, appends the already-verified delta hits,
+/// restores canonical (distance, id) order, and re-trims the kNN modes
+/// to k.  `base` results keep generation ids; delta hits carry their
+/// delta-assigned ids — disjoint by construction, so the merged order
+/// is well defined.
+void MergeDeltaResults(std::vector<SearchResult>* base,
+                       const std::function<bool(size_t)>& is_removed,
+                       std::vector<SearchResult> delta_hits,
+                       SearchMode mode, size_t k);
 
 /// Lock-free shared upper bound on a query's k-th neighbour distance,
 /// padded to a cache line so per-query bounds in an engine batch never

@@ -21,17 +21,28 @@ namespace distperm {
 namespace util {
 
 /// Fixed-size FIFO thread pool.  Wait() may be called only from the
-/// owning thread.  Submit() may be called from the owning thread or
-/// from within a running task (the engine's two-phase scheduling
-/// submits a query's fan-out from its seed task): a task's submissions
-/// happen before the task is counted finished, so Wait() cannot wake
-/// until the chained work has drained too.  Tasks must not call Wait().
+/// owning thread.  Submit() is thread-safe: it may be called from the
+/// owning thread, from any other thread (live-ingest writers schedule
+/// background compactions from arbitrary threads), or from within a
+/// running task (the engine's two-phase scheduling submits a query's
+/// fan-out from its seed task).  A task's submissions happen before the
+/// task is counted finished, so Wait() cannot wake until the chained
+/// work has drained too.  Tasks must not call Wait().
+///
+/// Shutdown interacts safely with Submit-from-task: the destructor's
+/// shutdown flag lets idle workers exit once the queue is empty, but a
+/// task that submits during shutdown always has its own (still-live)
+/// worker pick the chained work up after it finishes — submissions from
+/// inside tasks are therefore never dropped, and the destructor joins
+/// only after every chain has drained (regression-tested in
+/// tests/engine_test.cc, ThreadPool.DestructorDrainsChainsStillSubmitting).
 class ThreadPool {
  public:
   /// Spawns `thread_count` workers (at least 1).
   explicit ThreadPool(size_t thread_count);
 
-  /// Drains outstanding tasks, then joins the workers.
+  /// Drains outstanding tasks (including tasks submitted by tasks
+  /// during shutdown), then joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

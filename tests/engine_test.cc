@@ -119,6 +119,37 @@ TEST(ThreadPool, WaitWithNoTasksReturnsImmediately) {
   pool.Wait();
 }
 
+// Regression for destructor vs. Submit-from-task (allowed since the
+// engine's two-phase scheduling): destroying the pool while running
+// tasks are still submitting chained work must drain every submission
+// — idle workers may exit early on the shutdown flag, but a task's own
+// worker always picks its chain up, so nothing is dropped.  Run under
+// TSan by the CI tsan job.
+TEST(ThreadPool, DestructorDrainsChainsStillSubmitting) {
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 20; ++round) {
+    counter.store(0);
+    // Declared outside the pool's scope so chained tasks can still
+    // call it while the destructor drains.
+    std::function<void(int)> chain;
+    {
+      util::ThreadPool pool(3);
+      chain = [&pool, &counter, &chain](int depth) {
+        counter.fetch_add(1);
+        if (depth > 0) pool.Submit([&chain, depth]() { chain(depth - 1); });
+      };
+      // Each root task submits a chain of depth 5 from within tasks;
+      // the pool is destroyed immediately, with no Wait(), while the
+      // chains are still growing.
+      for (int i = 0; i < 4; ++i) {
+        pool.Submit([&chain]() { chain(5); });
+      }
+    }
+    // 4 roots x (1 + 5 chained) tasks each, none lost.
+    EXPECT_EQ(counter.load(), 4 * 6) << "round " << round;
+  }
+}
+
 TEST(ShardedDatabase, ContiguousSlicingCoversEveryPoint) {
   util::Rng rng(90);
   auto data = dataset::UniformCube(103, 2, &rng);  // not divisible by 4
@@ -435,6 +466,67 @@ TEST(BatchStatsHelpers, LatencySummary) {
   EXPECT_DOUBLE_EQ(summary.mean_seconds, 0.25);
   EXPECT_DOUBLE_EQ(summary.p99_seconds, 0.4);
   EXPECT_EQ(SummarizeLatencies({}).count, 0u);
+}
+
+TEST(BatchStatsHelpers, LatencySummarySingleElement) {
+  auto summary = SummarizeLatencies({0.2});
+  EXPECT_EQ(summary.count, 1u);
+  EXPECT_DOUBLE_EQ(summary.min_seconds, 0.2);
+  EXPECT_DOUBLE_EQ(summary.mean_seconds, 0.2);
+  EXPECT_DOUBLE_EQ(summary.p99_seconds, 0.2);
+  EXPECT_DOUBLE_EQ(summary.max_seconds, 0.2);
+}
+
+// A batch where every query is rejected executes nothing: the latency
+// summary must be the empty (all-zero) summary, not a summary of
+// garbage slots, while the batch's wall clock still ticks.
+TEST(QueryEngine, LatencySummaryOnFullyRejectedBatch) {
+  util::Rng rng(47);
+  auto data = dataset::UniformCube(80, 2, &rng);
+  auto db = ShardedDatabase<Vector>::Build(data, L2(), 2,
+                                           LinearFactory<Vector>());
+  QueryEngine<Vector> engine(&db, 2);
+  std::vector<QuerySpec<Vector>> batch = {
+      QuerySpec<Vector>::Knn({0.5, 0.5}, 0),       // k = 0
+      QuerySpec<Vector>::Range({0.5, 0.5}, -1.0),  // negative radius
+  };
+  auto out = engine.RunBatch(batch);
+  EXPECT_FALSE(out.all_ok());
+  EXPECT_EQ(out.stats.latency.count, 0u);
+  EXPECT_DOUBLE_EQ(out.stats.latency.min_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(out.stats.latency.mean_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(out.stats.latency.p99_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(out.stats.latency.max_seconds, 0.0);
+  EXPECT_GT(out.stats.wall_seconds, 0.0);
+  EXPECT_EQ(out.stats.distance_computations, 0u);
+}
+
+// With one executed query among rejected ones, the summary degenerates
+// to that query's latency on every percentile.
+TEST(QueryEngine, LatencySummaryWithSingleExecutedQuery) {
+  util::Rng rng(48);
+  auto data = dataset::UniformCube(80, 2, &rng);
+  auto db = ShardedDatabase<Vector>::Build(data, L2(), 2,
+                                           LinearFactory<Vector>());
+  QueryEngine<Vector> engine(&db, 2);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<QuerySpec<Vector>> batch = {
+      QuerySpec<Vector>::Knn({nan, 0.5}, 3),  // NaN coordinate
+      QuerySpec<Vector>::Knn({0.5, 0.5}, 3),  // the only executed query
+      QuerySpec<Vector>::Knn({0.5, 0.5}, 0),  // k = 0
+  };
+  auto out = engine.RunBatch(batch);
+  EXPECT_FALSE(out.all_ok());
+  EXPECT_TRUE(out.statuses[1].ok());
+  EXPECT_EQ(out.stats.latency.count, 1u);
+  EXPECT_GT(out.stats.latency.min_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(out.stats.latency.min_seconds,
+                   out.stats.latency.max_seconds);
+  EXPECT_DOUBLE_EQ(out.stats.latency.mean_seconds,
+                   out.stats.latency.max_seconds);
+  EXPECT_DOUBLE_EQ(out.stats.latency.p99_seconds,
+                   out.stats.latency.max_seconds);
+  EXPECT_LE(out.stats.latency.max_seconds, out.stats.wall_seconds);
 }
 
 TEST(BatchStatsHelpers, AverageRecall) {

@@ -1,0 +1,307 @@
+// Concurrency stress for the live-ingest path: writer threads racing
+// reader threads across repeated compactions.  The correctness oracle
+// is the pin itself — a reader pins a (generation, delta window) view,
+// queries it, and then verifies the answers against a fresh build of
+// exactly that view's materialized dataset, so any torn read, lost
+// update, or leak of a racing write into a pinned view shows up as a
+// hard mismatch.  Run under ThreadSanitizer by the CI tsan job.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dataset/vector_gen.h"
+#include "engine/live_database.h"
+#include "engine/query.h"
+#include "engine/query_engine.h"
+#include "engine/sharded_database.h"
+#include "index/linear_scan.h"
+#include "metric/lp.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace engine {
+namespace {
+
+using index::SearchResult;
+using metric::Vector;
+
+metric::Metric<Vector> L2() { return metric::LpMetric::L2(); }
+
+// (distance, point) fingerprint — id spaces differ between a live view
+// and a fresh build over its materialized dataset.
+std::vector<std::pair<double, Vector>> Fingerprint(
+    const std::vector<SearchResult>& results,
+    const std::function<Vector(size_t)>& resolve) {
+  std::vector<std::pair<double, Vector>> prints;
+  prints.reserve(results.size());
+  for (const SearchResult& r : results) {
+    prints.emplace_back(r.distance, resolve(r.id));
+  }
+  std::sort(prints.begin(), prints.end());
+  return prints;
+}
+
+// Verifies one pinned view: the live answers over `snapshot` must be
+// bit-identical (as (distance, point) sets) to a fresh registry build
+// over snapshot.Materialize() with the store's own spec/seed/shards —
+// the acceptance bar for queries racing Compact().
+void VerifyPinnedView(const LiveDatabase<Vector>& live,
+                      const LiveDatabase<Vector>::Snapshot& snapshot,
+                      QueryEngine<Vector>& engine,
+                      const std::vector<QuerySpec<Vector>>& batch,
+                      std::atomic<size_t>* mismatches) {
+  auto got = live.RunBatch(engine, snapshot, batch);
+  ASSERT_TRUE(got.all_ok());
+
+  const std::vector<Vector> pinned_data = snapshot.Materialize();
+  auto fresh = ShardedDatabase<Vector>::BuildFromRegistry(
+      pinned_data, live.metric(), live.shard_count(), live.index_spec(),
+      live.seed());
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  QueryEngine<Vector> fresh_engine(1);
+  auto want = fresh_engine.RunBatch(fresh.value(), batch);
+
+  const auto live_resolve = [&snapshot](size_t id) {
+    auto point = snapshot.ResolvePoint(id);
+    EXPECT_TRUE(point.ok()) << "unresolvable id " << id;
+    return point.ok() ? point.value() : Vector{};
+  };
+  const auto fresh_resolve = [&pinned_data](size_t id) {
+    return pinned_data.at(id);
+  };
+  for (size_t q = 0; q < batch.size(); ++q) {
+    if (Fingerprint(got.results[q], live_resolve) !=
+        Fingerprint(want.results[q], fresh_resolve)) {
+      mismatches->fetch_add(1);
+      ADD_FAILURE() << "pinned generation " << snapshot.generation_number()
+                    << " delta " << snapshot.delta_entries() << " query "
+                    << q << ": live answer diverges from a fresh build of "
+                    << "the pinned view";
+    }
+  }
+}
+
+std::vector<QuerySpec<Vector>> ReaderBatch(util::Rng* rng) {
+  std::vector<QuerySpec<Vector>> batch;
+  for (int q = 0; q < 2; ++q) {
+    Vector point = {rng->NextDouble(), rng->NextDouble(), rng->NextDouble()};
+    batch.push_back(QuerySpec<Vector>::Knn(point, 8));
+  }
+  Vector point = {rng->NextDouble(), rng->NextDouble(), rng->NextDouble()};
+  batch.push_back(QuerySpec<Vector>::Range(point, 0.35));
+  batch.push_back(QuerySpec<Vector>::KnnWithinRadius(point, 5, 0.6));
+  return batch;
+}
+
+// N writers inserting, M readers pin-verifying, one compactor swapping
+// generations as fast as it can.  Every pinned view must stay frozen
+// and correct; every accepted insert must survive to the final state;
+// every retired generation must free itself once unpinned.
+TEST(IngestStress, WritersRacingReadersAcrossCompactions) {
+  util::Rng rng(601);
+  auto data = dataset::UniformCube(120, 3, &rng);
+  auto live_result =
+      LiveDatabase<Vector>::Open(data, L2(), 3, "vp-tree", 17);
+  ASSERT_TRUE(live_result.ok());
+  auto& live = *live_result.value();
+
+  constexpr size_t kWriters = 2;
+  constexpr size_t kInsertsPerWriter = 50;
+  constexpr size_t kReaders = 2;
+  constexpr size_t kReaderIterations = 10;
+
+  std::atomic<bool> writers_done{false};
+  std::atomic<size_t> accepted_inserts{0};
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::weak_ptr<const Generation<Vector>>> retired;
+  std::mutex retired_mutex;
+
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&live, &accepted_inserts, w]() {
+      util::Rng writer_rng(700 + w);
+      for (size_t i = 0; i < kInsertsPerWriter;) {
+        Vector point = {writer_rng.NextDouble(), writer_rng.NextDouble(),
+                        writer_rng.NextDouble()};
+        auto id = live.Insert(std::move(point));
+        if (id.ok()) {
+          accepted_inserts.fetch_add(1);
+          ++i;
+        } else {
+          // Backpressure: wait for the compactor to make room.
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&live, &mismatches, r]() {
+      util::Rng reader_rng(800 + r);
+      QueryEngine<Vector> engine(2);
+      for (size_t i = 0; i < kReaderIterations; ++i) {
+        auto batch = ReaderBatch(&reader_rng);
+        auto snapshot = live.Pin();
+        VerifyPinnedView(live, snapshot, engine, batch, &mismatches);
+      }
+    });
+  }
+  threads.emplace_back([&live, &writers_done, &retired, &retired_mutex]() {
+    while (!writers_done.load()) {
+      auto before = live.Pin().generation();
+      ASSERT_TRUE(live.Compact().ok());
+      if (live.generation_number() > before->number()) {
+        std::lock_guard<std::mutex> lock(retired_mutex);
+        retired.emplace_back(before);
+      }
+      before.reset();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  for (size_t t = 0; t < kWriters + kReaders; ++t) threads[t].join();
+  writers_done.store(true);
+  threads.back().join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(accepted_inserts.load(), kWriters * kInsertsPerWriter);
+
+  // No lost updates: the final compacted state holds the base plus
+  // every accepted insert, and answers like a fresh build.
+  ASSERT_TRUE(live.Compact().ok());
+  EXPECT_EQ(live.delta_entries(), 0u);
+  EXPECT_EQ(live.size(), data.size() + kWriters * kInsertsPerWriter);
+  QueryEngine<Vector> engine(1);
+  util::Rng final_rng(900);
+  std::atomic<size_t> final_mismatches{0};
+  VerifyPinnedView(live, live.Pin(), engine, ReaderBatch(&final_rng),
+                   &final_mismatches);
+  EXPECT_EQ(final_mismatches.load(), 0u);
+
+  // No leaks: every retired generation's refcount reached zero once
+  // the swap (and the verifying readers) let go of it.
+  EXPECT_GE(retired.size(), 1u);
+  for (const auto& generation : retired) {
+    EXPECT_TRUE(generation.expired());
+  }
+}
+
+// Removals racing readers (no compaction, so ids are stable): pinned
+// views must agree with their own materialization at every point of
+// the removal stream, and removed points must stay gone.
+TEST(IngestStress, RemovalsRacingReadersWithoutCompaction) {
+  util::Rng rng(602);
+  auto data = dataset::UniformCube(140, 3, &rng);
+  auto live_result =
+      LiveDatabase<Vector>::Open(data, L2(), 2, "linear-scan", 19);
+  ASSERT_TRUE(live_result.ok());
+  auto& live = *live_result.value();
+
+  constexpr size_t kWriters = 2;
+  constexpr size_t kRemovalsPerWriter = 40;
+  std::atomic<size_t> mismatches{0};
+
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&live, w]() {
+      // Disjoint id ranges: every removal targets a live point.
+      for (size_t i = 0; i < kRemovalsPerWriter; ++i) {
+        ASSERT_TRUE(live.Remove(w * kRemovalsPerWriter + i).ok());
+        if (i % 8 == 0) std::this_thread::yield();
+      }
+    });
+  }
+  for (size_t r = 0; r < 2; ++r) {
+    threads.emplace_back([&live, &mismatches, r]() {
+      util::Rng reader_rng(810 + r);
+      QueryEngine<Vector> engine(2);
+      for (size_t i = 0; i < 8; ++i) {
+        auto batch = ReaderBatch(&reader_rng);
+        auto snapshot = live.Pin();
+        VerifyPinnedView(live, snapshot, engine, batch, &mismatches);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  EXPECT_EQ(live.size(), data.size() - kWriters * kRemovalsPerWriter);
+  ASSERT_TRUE(live.Compact().ok());
+  EXPECT_EQ(live.size(), data.size() - kWriters * kRemovalsPerWriter);
+
+  // Every removed point is gone from a full scan of the final state.
+  auto snapshot = live.Pin();
+  const std::vector<Vector> final_data = snapshot.Materialize();
+  for (size_t id = 0; id < kWriters * kRemovalsPerWriter; ++id) {
+    EXPECT_EQ(std::find(final_data.begin(), final_data.end(), data[id]),
+              final_data.end())
+        << id;
+  }
+}
+
+// Auto-compaction scheduled from racing writer threads: the background
+// pool absorbs Submit calls from arbitrary threads while readers pin
+// and verify; the store must settle into a fully folded, correct state.
+TEST(IngestStress, AutoCompactionUnderConcurrentWriters) {
+  util::Rng rng(603);
+  auto data = dataset::UniformCube(100, 3, &rng);
+  auto live_result = LiveDatabase<Vector>::Open(
+      data, L2(), 2, "vp-tree:auto_compact_threshold=16,delta_scan_limit=64",
+      23);
+  ASSERT_TRUE(live_result.ok());
+  auto& live = *live_result.value();
+
+  constexpr size_t kWriters = 3;
+  constexpr size_t kInsertsPerWriter = 40;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&live, w]() {
+      util::Rng writer_rng(910 + w);
+      for (size_t i = 0; i < kInsertsPerWriter;) {
+        auto id = live.Insert({writer_rng.NextDouble(),
+                               writer_rng.NextDouble(),
+                               writer_rng.NextDouble()});
+        if (id.ok()) {
+          ++i;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  threads.emplace_back([&live, &mismatches]() {
+    util::Rng reader_rng(820);
+    QueryEngine<Vector> engine(1);
+    for (size_t i = 0; i < 6; ++i) {
+      auto batch = ReaderBatch(&reader_rng);
+      auto snapshot = live.Pin();
+      VerifyPinnedView(live, snapshot, engine, batch, &mismatches);
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  live.WaitForCompaction();
+  EXPECT_TRUE(live.last_background_compact_status().ok());
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GE(live.generation_number(), 2u);
+  // Writes that landed mid-fold re-arm the trigger from the compaction
+  // task itself, so no threshold-sized tail can be left stranded once
+  // the background pool drains.
+  EXPECT_LT(live.delta_entries(), live.auto_compact_threshold());
+
+  ASSERT_TRUE(live.Compact().ok());
+  EXPECT_EQ(live.size(), data.size() + kWriters * kInsertsPerWriter);
+  EXPECT_EQ(live.delta_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace distperm

@@ -1,0 +1,547 @@
+// Single-threaded live-ingest semantics: a LiveDatabase must be
+// indistinguishable from a plain engine while idle, make every
+// insert/remove visible immediately (exactly, through the delta scan,
+// for approximate base indexes too), keep budget/truncation accounting
+// untouched by the delta path, and — after Compact() — answer
+// bit-identically to a fresh ShardedDatabase built over the equivalent
+// final dataset, for every index spec in the registry, over vectors
+// and strings.
+//
+// Id spaces differ between a live view (generation ids + delta ids)
+// and a fresh build (positions in the materialized dataset), so
+// pre-compaction comparisons use (distance, point) fingerprints;
+// post-compaction the numbering coincides and equality is strict.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dataset/string_gen.h"
+#include "dataset/vector_gen.h"
+#include "engine/live_database.h"
+#include "engine/query.h"
+#include "engine/query_engine.h"
+#include "engine/sharded_database.h"
+#include "index/registry.h"
+#include "metric/lp.h"
+#include "metric/string_metrics.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace engine {
+namespace {
+
+using index::SearchResult;
+using metric::Vector;
+
+metric::Metric<Vector> L2() { return metric::LpMetric::L2(); }
+
+// Exact specs answer identically to a linear scan; approximate ones
+// (distperm family) are only pinned post-compaction, where determinism
+// makes live and fresh builds the same object.
+const std::vector<std::string> kExactSpecs = {
+    "linear-scan", "aesa", "vp-tree", "gh-tree", "laesa:k=4", "iaesa:k=4"};
+const std::vector<std::string> kApproxSpecs = {
+    "distperm:k=6,fraction=0.5", "distperm-prefix:k=6,prefix=2"};
+
+// Canonical (distance, point) multiset of one result list, for
+// comparisons across id spaces.
+template <typename P>
+std::vector<std::pair<double, P>> Fingerprint(
+    const std::vector<SearchResult>& results,
+    const std::function<P(size_t)>& resolve) {
+  std::vector<std::pair<double, P>> prints;
+  prints.reserve(results.size());
+  for (const SearchResult& r : results) {
+    prints.emplace_back(r.distance, resolve(r.id));
+  }
+  std::sort(prints.begin(), prints.end());
+  return prints;
+}
+
+template <typename P>
+std::function<P(size_t)> SnapshotResolver(
+    const typename LiveDatabase<P>::Snapshot& snapshot) {
+  return [&snapshot](size_t id) {
+    auto point = snapshot.ResolvePoint(id);
+    EXPECT_TRUE(point.ok()) << "unresolvable id " << id;
+    return point.ok() ? point.value() : P{};
+  };
+}
+
+template <typename P>
+std::function<P(size_t)> DatasetResolver(const std::vector<P>& data) {
+  return [&data](size_t id) { return data.at(id); };
+}
+
+std::vector<QuerySpec<Vector>> MixedVectorBatch(size_t dim, util::Rng* rng) {
+  std::vector<QuerySpec<Vector>> batch;
+  for (int q = 0; q < 4; ++q) {
+    Vector point(dim);
+    for (double& c : point) c = rng->NextDouble(-0.2, 1.2);
+    batch.push_back(QuerySpec<Vector>::Knn(point, 3 + q));
+  }
+  for (int q = 0; q < 2; ++q) {
+    Vector point(dim);
+    for (double& c : point) c = rng->NextDouble();
+    batch.push_back(QuerySpec<Vector>::Range(point, 0.2 + 0.2 * q));
+  }
+  Vector point(dim, 0.5);
+  batch.push_back(QuerySpec<Vector>::KnnWithinRadius(point, 4, 0.6));
+  return batch;
+}
+
+// A fresh registry-built engine over `data`, answering `batch`.
+template <typename P>
+typename QueryEngine<P>::BatchOutput FreshAnswers(
+    const std::vector<P>& data, const metric::Metric<P>& metric,
+    size_t shards, const std::string& spec, uint64_t seed,
+    const std::vector<QuerySpec<P>>& batch) {
+  auto built = ShardedDatabase<P>::BuildFromRegistry(data, metric, shards,
+                                                     spec, seed);
+  EXPECT_TRUE(built.ok()) << built.status();
+  QueryEngine<P> engine(1);
+  return engine.RunBatch(built.value(), batch);
+}
+
+TEST(LiveIngest, IdleStoreMatchesPlainEngineBitForBit) {
+  util::Rng rng(401);
+  auto data = dataset::UniformCube(60, 2, &rng);
+  std::vector<QuerySpec<Vector>> batch = MixedVectorBatch(2, &rng);
+  for (const std::string& spec : index::Registry<Vector>::Global().Names()) {
+    auto plain = ShardedDatabase<Vector>::BuildFromRegistry(data, L2(), 2,
+                                                            spec, 7);
+    ASSERT_TRUE(plain.ok()) << spec;
+    QueryEngine<Vector> plain_engine(&plain.value(), 1);
+    auto want = plain_engine.RunBatch(batch);
+
+    auto live = LiveDatabase<Vector>::Open(data, L2(), 2, spec, 7);
+    ASSERT_TRUE(live.ok()) << spec;
+    auto got = live.value()->RunBatch(batch);
+
+    EXPECT_EQ(got.results, want.results) << spec;
+    EXPECT_EQ(got.truncated, want.truncated) << spec;
+    EXPECT_EQ(got.per_query_distance_computations,
+              want.per_query_distance_computations)
+        << spec;
+    EXPECT_EQ(live.value()->generation_number(), 1u);
+    EXPECT_EQ(live.value()->delta_entries(), 0u);
+  }
+}
+
+// Inserted points are served exactly (linear delta scan) no matter how
+// approximate the base index is; removed points vanish; both survive
+// compaction, where ids are remapped but the points stay.
+TEST(LiveIngest, InsertRemoveVisibilityAcrossEverySpec) {
+  util::Rng rng(402);
+  auto data = dataset::UniformCube(40, 2, &rng);
+  for (const std::string& spec : index::Registry<Vector>::Global().Names()) {
+    auto live_result = LiveDatabase<Vector>::Open(data, L2(), 2, spec, 11);
+    ASSERT_TRUE(live_result.ok()) << spec;
+    auto& live = *live_result.value();
+
+    // Five points clustered far from the base cube: they are the
+    // exact 5-NN of a probe at their center, whatever the base index.
+    std::vector<size_t> inserted_ids;
+    for (int i = 0; i < 5; ++i) {
+      Vector p = {2.0 + 0.01 * i, 2.0 - 0.01 * i};
+      auto id = live.Insert(p);
+      ASSERT_TRUE(id.ok()) << spec;
+      inserted_ids.push_back(id.value());
+    }
+    EXPECT_EQ(live.delta_entries(), 5u);
+    Vector probe = {2.0, 2.0};
+    auto out = live.RunBatch({QuerySpec<Vector>::Knn(probe, 5)});
+    ASSERT_TRUE(out.all_ok()) << spec;
+    ASSERT_EQ(out.results[0].size(), 5u) << spec;
+    for (const SearchResult& r : out.results[0]) {
+      EXPECT_NE(std::find(inserted_ids.begin(), inserted_ids.end(), r.id),
+                inserted_ids.end())
+          << spec;
+    }
+
+    // Removing a pending insert and a base point hides both at once.
+    ASSERT_TRUE(live.Remove(inserted_ids[2]).ok()) << spec;
+    ASSERT_TRUE(live.Remove(0).ok()) << spec;
+    out = live.RunBatch({QuerySpec<Vector>::Knn(probe, 5),
+                         QuerySpec<Vector>::Knn(data[0], live.size())});
+    ASSERT_TRUE(out.all_ok()) << spec;
+    for (const SearchResult& r : out.results[0]) {
+      EXPECT_NE(r.id, inserted_ids[2]) << spec;
+    }
+    for (const SearchResult& r : out.results[1]) {
+      EXPECT_NE(r.id, 0u) << spec;
+    }
+
+    // Double-remove and unknown ids are NotFound, at zero cost.
+    EXPECT_EQ(live.Remove(0).code(), util::StatusCode::kNotFound);
+    EXPECT_EQ(live.Remove(1000).code(), util::StatusCode::kNotFound);
+
+    // Compaction preserves the view: same points, compacted ids.
+    ASSERT_TRUE(live.Compact().ok()) << spec;
+    EXPECT_EQ(live.generation_number(), 2u);
+    EXPECT_EQ(live.delta_entries(), 0u);
+    EXPECT_EQ(live.size(), data.size() - 1 + 4);
+    auto snapshot = live.Pin();
+    auto resolve = SnapshotResolver<Vector>(snapshot);
+    out = live.RunBatch({QuerySpec<Vector>::Knn(probe, 4)});
+    ASSERT_TRUE(out.all_ok()) << spec;
+    // Folded into the base, the inserts are now found by the index
+    // itself — exactly for exact indexes (approximate specs may trade
+    // them away, but must never resurrect the removed points).
+    const bool exact = spec.rfind("distperm", 0) != 0;
+    if (exact) {
+      ASSERT_EQ(out.results[0].size(), 4u) << spec;
+    }
+    for (const SearchResult& r : out.results[0]) {
+      const Vector p = resolve(r.id);
+      if (exact) {
+        EXPECT_NEAR(p[0], 2.0, 0.05) << spec;
+      }
+      EXPECT_NE(p, (Vector{2.02, 1.98})) << spec;  // the removed insert
+      EXPECT_NE(p, data[0]) << spec;               // the removed base point
+    }
+  }
+}
+
+TEST(LiveIngest, ExactSpecsMatchFreshBuildBeforeAndAfterCompaction) {
+  util::Rng rng(403);
+  auto data = dataset::UniformCube(50, 2, &rng);
+  for (const std::string& spec : kExactSpecs) {
+    auto live_result = LiveDatabase<Vector>::Open(data, L2(), 3, spec, 13);
+    ASSERT_TRUE(live_result.ok()) << spec;
+    auto& live = *live_result.value();
+
+    util::Rng write_rng(500);
+    std::vector<size_t> delta_ids;
+    for (int i = 0; i < 12; ++i) {
+      Vector p = {write_rng.NextDouble(), write_rng.NextDouble()};
+      auto id = live.Insert(std::move(p));
+      ASSERT_TRUE(id.ok());
+      delta_ids.push_back(id.value());
+    }
+    ASSERT_TRUE(live.Remove(3).ok());
+    ASSERT_TRUE(live.Remove(17).ok());
+    ASSERT_TRUE(live.Remove(delta_ids[5]).ok());
+
+    util::Rng query_rng(501);
+    auto batch = MixedVectorBatch(2, &query_rng);
+
+    auto snapshot = live.Pin();
+    const std::vector<Vector> final_data = snapshot.Materialize();
+    EXPECT_EQ(final_data.size(), data.size() - 2 + 11);
+    EXPECT_EQ(snapshot.live_size(), final_data.size());
+    auto fresh = FreshAnswers(final_data, L2(), 3, spec, 13, batch);
+    auto got = live.RunBatch(batch);
+    ASSERT_TRUE(got.all_ok()) << spec;
+    auto live_resolve = SnapshotResolver<Vector>(snapshot);
+    auto fresh_resolve = DatasetResolver(final_data);
+    for (size_t q = 0; q < batch.size(); ++q) {
+      EXPECT_EQ(Fingerprint(got.results[q], live_resolve),
+                Fingerprint(fresh.results[q], fresh_resolve))
+          << spec << " query " << q;
+    }
+
+    // Post-compaction the id spaces coincide: results, counts, and
+    // truncation flags are bit-identical to the fresh build.
+    ASSERT_TRUE(live.Compact().ok()) << spec;
+    auto compacted = live.RunBatch(batch);
+    EXPECT_EQ(compacted.results, fresh.results) << spec;
+    EXPECT_EQ(compacted.per_query_distance_computations,
+              fresh.per_query_distance_computations)
+        << spec;
+    EXPECT_EQ(compacted.truncated, fresh.truncated) << spec;
+  }
+}
+
+TEST(LiveIngest, ApproxSpecsMatchFreshBuildAfterCompaction) {
+  util::Rng rng(404);
+  auto data = dataset::UniformCube(50, 2, &rng);
+  for (const std::string& spec : kApproxSpecs) {
+    auto live_result = LiveDatabase<Vector>::Open(data, L2(), 2, spec, 19);
+    ASSERT_TRUE(live_result.ok()) << spec;
+    auto& live = *live_result.value();
+    util::Rng write_rng(502);
+    for (int i = 0; i < 9; ++i) {
+      ASSERT_TRUE(
+          live.Insert({write_rng.NextDouble(), write_rng.NextDouble()})
+              .ok());
+    }
+    ASSERT_TRUE(live.Remove(7).ok());
+    auto final_data = live.Pin().Materialize();
+    ASSERT_TRUE(live.Compact().ok()) << spec;
+
+    util::Rng query_rng(503);
+    auto batch = MixedVectorBatch(2, &query_rng);
+    auto fresh = FreshAnswers(final_data, L2(), 2, spec, 19, batch);
+    auto got = live.RunBatch(batch);
+    EXPECT_EQ(got.results, fresh.results) << spec;
+    EXPECT_EQ(got.per_query_distance_computations,
+              fresh.per_query_distance_computations)
+        << spec;
+  }
+}
+
+TEST(LiveIngest, StringsUnderLevenshtein) {
+  util::Rng rng(405);
+  auto words = dataset::DnaSequences(60, 4, 5, 12, 0.1, &rng);
+  metric::Metric<std::string> lev((metric::LevenshteinMetric()));
+  auto live_result =
+      LiveDatabase<std::string>::Open(words, lev, 3, "vp-tree", 23);
+  ASSERT_TRUE(live_result.ok());
+  auto& live = *live_result.value();
+
+  ASSERT_TRUE(live.Insert("ACGTACGTACGT").ok());
+  ASSERT_TRUE(live.Insert("TTTTTTTT").ok());
+  ASSERT_TRUE(live.Remove(5).ok());
+
+  std::vector<QuerySpec<std::string>> batch = {
+      QuerySpec<std::string>::Knn("ACGTACGT", 6),
+      QuerySpec<std::string>::Range(words[10], 4.0),
+      QuerySpec<std::string>::KnnWithinRadius("TTTTTT", 3, 5.0)};
+
+  auto snapshot = live.Pin();
+  const std::vector<std::string> final_data = snapshot.Materialize();
+  auto fresh = FreshAnswers(final_data, lev, 3, "vp-tree", 23, batch);
+  auto got = live.RunBatch(batch);
+  ASSERT_TRUE(got.all_ok());
+  auto live_resolve = SnapshotResolver<std::string>(snapshot);
+  auto fresh_resolve = DatasetResolver(final_data);
+  for (size_t q = 0; q < batch.size(); ++q) {
+    EXPECT_EQ(Fingerprint(got.results[q], live_resolve),
+              Fingerprint(fresh.results[q], fresh_resolve))
+        << q;
+  }
+
+  ASSERT_TRUE(live.Compact().ok());
+  auto compacted = live.RunBatch(batch);
+  EXPECT_EQ(compacted.results, fresh.results);
+  EXPECT_EQ(compacted.per_query_distance_computations,
+            fresh.per_query_distance_computations);
+}
+
+// The delta path must not disturb budget/truncation accounting: the
+// generation search spends exactly what the plain engine spends, the
+// delta leg adds exactly |alive inserts| evaluations per executed
+// query, and rejected queries still cost nothing.
+TEST(LiveIngest, BudgetAndTruncationAccountingUnchangedByDeltaPath) {
+  util::Rng rng(406);
+  const size_t n = 90;
+  const size_t shards = 3;
+  auto data = dataset::UniformCube(n, 2, &rng);
+  auto live_result =
+      LiveDatabase<Vector>::Open(data, L2(), shards, "linear-scan", 29);
+  ASSERT_TRUE(live_result.ok());
+  auto& live = *live_result.value();
+
+  const uint64_t budget = 10;
+  std::vector<QuerySpec<Vector>> batch = {
+      QuerySpec<Vector>::Knn({0.4, 0.4}, 3).WithDistanceBudget(budget),
+      QuerySpec<Vector>::Knn({0.4, 0.4}, 3),
+      QuerySpec<Vector>::Knn({0.4, 0.4}, 0),  // invalid
+  };
+
+  // Idle: bit-identical to the plain engine.
+  auto plain = ShardedDatabase<Vector>::BuildFromRegistry(data, L2(), shards,
+                                                          "linear-scan", 29);
+  ASSERT_TRUE(plain.ok());
+  QueryEngine<Vector> plain_engine(&plain.value(), 1);
+  auto want = plain_engine.RunBatch(batch);
+  auto idle = live.RunBatch(batch);
+  EXPECT_EQ(idle.results, want.results);
+  EXPECT_EQ(idle.truncated, want.truncated);
+  EXPECT_EQ(idle.per_query_distance_computations,
+            want.per_query_distance_computations);
+  EXPECT_TRUE(idle.truncated[0]);
+  EXPECT_EQ(idle.per_query_distance_computations[0], budget * shards);
+  EXPECT_EQ(idle.per_query_distance_computations[1], n);
+
+  // With 7 pending inserts: the base leg's budget behavior is
+  // untouched and the delta leg adds exactly 7 per executed query.
+  const size_t inserts = 7;
+  for (size_t i = 0; i < inserts; ++i) {
+    ASSERT_TRUE(live.Insert({2.0, 2.0 + 0.1 * static_cast<double>(i)}).ok());
+  }
+  auto out = live.RunBatch(batch);
+  EXPECT_TRUE(out.truncated[0]);
+  EXPECT_EQ(out.per_query_distance_computations[0],
+            budget * shards + inserts);
+  EXPECT_FALSE(out.truncated[1]);
+  EXPECT_EQ(out.per_query_distance_computations[1], n + inserts);
+  EXPECT_FALSE(out.statuses[2].ok());
+  EXPECT_EQ(out.per_query_distance_computations[2], 0u);
+  EXPECT_EQ(out.stats.latency.count, 2u);
+}
+
+TEST(LiveIngest, SpecKnobsParseAndValidate) {
+  auto split =
+      index::SplitLiveSpec("laesa:k=4,delta_scan_limit=8,auto_compact_threshold=2");
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split.value().first, "laesa:k=4");
+  EXPECT_EQ(split.value().second.delta_scan_limit, 8u);
+  EXPECT_EQ(split.value().second.auto_compact_threshold, 2u);
+
+  auto defaults = index::SplitLiveSpec("vp-tree");
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults.value().first, "vp-tree");
+  EXPECT_EQ(defaults.value().second.delta_scan_limit, 4096u);
+  EXPECT_EQ(defaults.value().second.auto_compact_threshold, 0u);
+
+  for (const std::string& bad :
+       {std::string("vp-tree:delta_scan_limit=0"),
+        std::string("vp-tree:delta_scan_limit=2,auto_compact_threshold=3"),
+        std::string("vp-tree:delta_scan_limit=abc"),
+        std::string(":delta_scan_limit=2")}) {
+    EXPECT_EQ(index::SplitLiveSpec(bad).status().code(),
+              util::StatusCode::kInvalidArgument)
+        << bad;
+  }
+
+  // Unknown residual specs still surface the registry's error.
+  util::Rng rng(407);
+  auto data = dataset::UniformCube(10, 2, &rng);
+  EXPECT_EQ(LiveDatabase<Vector>::Open(data, L2(), 2,
+                                       "no-such-index:delta_scan_limit=4", 1)
+                .status()
+                .code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(LiveIngest, DeltaScanLimitAppliesBackpressure) {
+  util::Rng rng(408);
+  auto data = dataset::UniformCube(20, 2, &rng);
+  auto live_result = LiveDatabase<Vector>::Open(
+      data, L2(), 2, "vp-tree:delta_scan_limit=3", 31);
+  ASSERT_TRUE(live_result.ok());
+  auto& live = *live_result.value();
+  EXPECT_EQ(live.delta_scan_limit(), 3u);
+
+  ASSERT_TRUE(live.Insert({1.0, 1.0}).ok());
+  ASSERT_TRUE(live.Insert({1.1, 1.1}).ok());
+  ASSERT_TRUE(live.Remove(0).ok());
+  // Full: both write kinds push back with OutOfRange.
+  EXPECT_EQ(live.Insert({1.2, 1.2}).status().code(),
+            util::StatusCode::kOutOfRange);
+  EXPECT_EQ(live.Remove(1).code(), util::StatusCode::kOutOfRange);
+
+  ASSERT_TRUE(live.Compact().ok());
+  EXPECT_EQ(live.delta_entries(), 0u);
+  ASSERT_TRUE(live.Insert({1.2, 1.2}).ok());
+  EXPECT_EQ(live.size(), 20u - 1 + 3);
+}
+
+TEST(LiveIngest, AutoCompactionRunsInBackground) {
+  util::Rng rng(409);
+  auto data = dataset::UniformCube(30, 2, &rng);
+  auto live_result = LiveDatabase<Vector>::Open(
+      data, L2(), 2, "vp-tree:auto_compact_threshold=4,delta_scan_limit=64",
+      37);
+  ASSERT_TRUE(live_result.ok());
+  auto& live = *live_result.value();
+  EXPECT_EQ(live.auto_compact_threshold(), 4u);
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        live.Insert({2.0 + 0.1 * static_cast<double>(i), 2.0}).ok());
+  }
+  live.WaitForCompaction();
+  EXPECT_TRUE(live.last_background_compact_status().ok());
+  EXPECT_EQ(live.generation_number(), 2u);
+  EXPECT_EQ(live.delta_entries(), 0u);
+  EXPECT_EQ(live.size(), 34u);
+
+  // The folded generation answers like a fresh build over the data.
+  auto snapshot = live.Pin();
+  auto batch = MixedVectorBatch(2, &rng);
+  auto fresh =
+      FreshAnswers(snapshot.Materialize(), L2(), 2, "vp-tree", 37, batch);
+  auto got = live.RunBatch(batch);
+  EXPECT_EQ(got.results, fresh.results);
+}
+
+// CompactPrefix folds only part of the window; the pending tail is
+// carried into the new generation with every id remapped into the new
+// space — including removes that target points the fold just moved.
+TEST(LiveIngest, CompactPrefixRemapsThePendingTail) {
+  util::Rng rng(410);
+  auto data = dataset::UniformCube(10, 2, &rng);
+  auto live_result =
+      LiveDatabase<Vector>::Open(data, L2(), 2, "linear-scan", 41);
+  ASSERT_TRUE(live_result.ok());
+  auto& live = *live_result.value();
+
+  const Vector a = {3.0, 3.0};
+  const Vector b = {4.0, 4.0};
+  auto id_a = live.Insert(a);
+  auto id_b = live.Insert(b);
+  ASSERT_TRUE(id_a.ok());
+  ASSERT_TRUE(id_b.ok());
+  EXPECT_EQ(id_a.value(), 10u);
+  EXPECT_EQ(id_b.value(), 11u);
+  ASSERT_TRUE(live.Remove(2).ok());             // folded below
+  ASSERT_TRUE(live.Remove(id_a.value()).ok());  // stays in the tail
+
+  // Fold the first three entries (both inserts + the base remove); the
+  // remove of `a` rides the tail and must now target a's new id.
+  ASSERT_TRUE(live.CompactPrefix(3).ok());
+  EXPECT_EQ(live.generation_number(), 2u);
+  EXPECT_EQ(live.delta_entries(), 1u);
+  EXPECT_EQ(live.size(), 10u);  // 9 base survivors + b (a removed)
+
+  auto snapshot = live.Pin();
+  auto resolve = SnapshotResolver<Vector>(snapshot);
+  auto out = live.RunBatch({QuerySpec<Vector>::Knn({3.5, 3.5}, 2)});
+  ASSERT_TRUE(out.all_ok());
+  ASSERT_EQ(out.results[0].size(), 2u);
+  EXPECT_EQ(resolve(out.results[0][0].id), b);  // a is gone, b closest
+  for (const auto& r : out.results[0]) EXPECT_NE(resolve(r.id), a);
+
+  // Folding the rest reaches the same final state as a fresh build.
+  ASSERT_TRUE(live.Compact().ok());
+  EXPECT_EQ(live.delta_entries(), 0u);
+  auto final_data = live.Pin().Materialize();
+  EXPECT_EQ(final_data.size(), 10u);
+  auto batch = MixedVectorBatch(2, &rng);
+  auto fresh = FreshAnswers(final_data, L2(), 2, "linear-scan", 41, batch);
+  auto got = live.RunBatch(batch);
+  EXPECT_EQ(got.results, fresh.results);
+}
+
+// Swapped-out generations must free themselves as soon as the last pin
+// drops: nothing in the store may keep a retired generation alive.
+TEST(LiveIngest, RetiredGenerationsAreFreedWhenUnpinned) {
+  util::Rng rng(411);
+  auto data = dataset::UniformCube(25, 2, &rng);
+  auto live_result =
+      LiveDatabase<Vector>::Open(data, L2(), 2, "vp-tree", 43);
+  ASSERT_TRUE(live_result.ok());
+  auto& live = *live_result.value();
+
+  std::weak_ptr<const Generation<Vector>> retired;
+  {
+    auto snapshot = live.Pin();
+    retired = snapshot.generation();
+    ASSERT_TRUE(live.Insert({0.5, 0.5}).ok());
+    ASSERT_TRUE(live.Compact().ok());
+    // The pin still holds generation 1 alive — and its frozen view
+    // predates both the insert and the swap.
+    EXPECT_FALSE(retired.expired());
+    EXPECT_EQ(snapshot.generation_number(), 1u);
+    EXPECT_EQ(snapshot.live_size(), 25u);
+  }
+  EXPECT_TRUE(retired.expired());
+  EXPECT_EQ(live.generation_number(), 2u);
+
+  std::weak_ptr<const Generation<Vector>> current = live.Pin().generation();
+  EXPECT_FALSE(current.expired());  // the store itself pins the head
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace distperm
