@@ -9,12 +9,17 @@
 //   ./example_search_cli --index=laesa:k=16 [--points=2000] [--dim=4]
 //       [--shards=2] [--threads=2] [--queries=8]
 //       [--mode=knn|range|knn-within-radius] [--k=5] [--radius=0.25]
-//       [--budget=0] [--fraction=0] [--seed=42]
+//       [--budget=0] [--fraction=0] [--seed=42] [--trace]
 //
 // --budget caps the metric evaluations per (query, shard) task
 // (truncated queries are flagged); --fraction overrides the distperm
-// verification fraction per request.
+// verification fraction per request; --trace prints each query's
+// per-shard span table (timing, distances, pruning bound) after the
+// results — tracing observes only, so results and counts are
+// unchanged.
 
+#include <cmath>
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -70,6 +75,7 @@ int main(int argc, char** argv) {
   const double fraction = flags.value().GetDouble("fraction", 0.0);
   const uint64_t seed =
       static_cast<uint64_t>(flags.value().GetInt("seed", 42));
+  const bool trace = flags.value().GetBool("trace", false);
 
   SearchMode mode;
   if (mode_name == "knn") {
@@ -112,7 +118,9 @@ int main(int argc, char** argv) {
             : mode == SearchMode::kRange
                   ? QuerySpec<Vector>::Range(point, radius)
                   : QuerySpec<Vector>::KnnWithinRadius(point, k, radius);
-    request.WithDistanceBudget(budget).WithCandidateFraction(fraction);
+    request.WithDistanceBudget(budget)
+        .WithCandidateFraction(fraction)
+        .WithTrace(trace);
     batch.push_back(std::move(request));
   }
 
@@ -138,6 +146,36 @@ int main(int argc, char** argv) {
   std::cout << "batch: " << out.stats.distance_computations
             << " metric evaluations over " << out.stats.wall_seconds * 1e3
             << " ms on " << out.stats.thread_count << " threads\n";
+
+  if (trace) {
+    const auto us = [](double seconds) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.1f", seconds * 1e6);
+      return std::string(buffer);
+    };
+    const auto bound = [](double b) {
+      if (std::isinf(b)) return std::string("inf");
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.4f", b);
+      return std::string(buffer);
+    };
+    std::cout << "\nper-shard spans (times relative to batch start; span "
+                 "distances sum to each query's total):\n";
+    distperm::util::TablePrinter spans;
+    spans.SetHeader({"query", "span", "start us", "stop us", "distances",
+                     "bound in", "bound out"});
+    for (size_t q = 0; q < batch.size(); ++q) {
+      for (const auto& span : out.traces[q].spans) {
+        spans.AddRow({std::to_string(q),
+                      span.delta ? "delta"
+                                 : "shard " + std::to_string(span.shard),
+                      us(span.start_seconds), us(span.stop_seconds),
+                      std::to_string(span.distance_computations),
+                      bound(span.bound_entry), bound(span.bound_exit)});
+      }
+    }
+    spans.Print(std::cout);
+  }
 
   // Recall vs the exact linear scan (1.000 for exact indexes when no
   // budget truncates the search).

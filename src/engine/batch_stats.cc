@@ -8,6 +8,21 @@
 namespace distperm {
 namespace engine {
 
+namespace {
+
+/// Quantile `q` of an ascending-sorted non-empty sample, interpolating
+/// linearly between the order statistics at rank q * (n - 1).
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  const size_t n = sorted.size();
+  const double rank = q * static_cast<double>(n - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  if (lo + 1 >= n) return sorted[n - 1];
+  const double fraction = rank - static_cast<double>(lo);
+  return sorted[lo] + fraction * (sorted[lo + 1] - sorted[lo]);
+}
+
+}  // namespace
+
 LatencySummary SummarizeLatencies(std::vector<double> seconds) {
   LatencySummary summary;
   if (seconds.empty()) return summary;
@@ -18,8 +33,8 @@ LatencySummary SummarizeLatencies(std::vector<double> seconds) {
   double total = 0.0;
   for (double s : seconds) total += s;
   summary.mean_seconds = total / static_cast<double>(seconds.size());
-  size_t p99_rank = (seconds.size() * 99 + 99) / 100;  // ceil(0.99 n)
-  summary.p99_seconds = seconds[std::min(p99_rank, seconds.size()) - 1];
+  summary.p99_seconds = SortedQuantile(seconds, 0.99);
+  summary.p999_seconds = SortedQuantile(seconds, 0.999);
   return summary;
 }
 

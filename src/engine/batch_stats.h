@@ -20,11 +20,17 @@ namespace distperm {
 namespace engine {
 
 /// Five-number-ish summary of per-query completion latencies.
+/// Percentiles interpolate linearly between order statistics (rank
+/// q * (n - 1), the common "linear" quantile definition): a single
+/// sample reports itself, two samples of {a, b} report a + q * (b - a),
+/// and the readout is continuous in the inputs — unlike the previous
+/// nearest-rank rule, which for small n snapped p99 to the max.
 struct LatencySummary {
   size_t count = 0;
   double min_seconds = 0.0;
   double mean_seconds = 0.0;
   double p99_seconds = 0.0;
+  double p999_seconds = 0.0;
   double max_seconds = 0.0;
 };
 
@@ -39,6 +45,13 @@ struct BatchStats {
   /// Total metric evaluations across all shards and queries — matches
   /// the single-threaded cost model exactly.
   uint64_t distance_computations = 0;
+  /// Candidates the indexes discarded without a metric evaluation
+  /// (block-min score filtering, lower-bound elimination), summed over
+  /// all shards and queries.  See index::QueryStats.
+  uint64_t pruning_eliminated = 0;
+  /// Candidates verified by a true distance in an approximate index's
+  /// verification stage (distperm), summed over all shards and queries.
+  uint64_t candidates_verified = 0;
   /// Wall-clock time of the whole batch, submit to last merge.
   double wall_seconds = 0.0;
   /// Per-query completion latencies, measured from batch start.

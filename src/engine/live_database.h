@@ -49,6 +49,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -66,6 +67,8 @@
 #include "index/registry.h"
 #include "index/search.h"
 #include "metric/metric.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -145,6 +148,15 @@ struct LiveOptions {
   /// Worker threads of the built-in serving engine used by the
   /// RunBatch(batch) convenience overload.
   size_t query_threads = 1;
+  /// When non-null, the store records its live_* instruments here
+  /// (write/backpressure counters, compaction histograms, delta-depth
+  /// and pinned-generation gauges — see README.md "Observability") and
+  /// wires the built-in engine's engine_*/threadpool_* series into the
+  /// same registry.  The registry must outlive the store.  The pinned
+  /// query path stays zero-lock: hot-path recordings are sharded
+  /// relaxed atomics, and the point-in-time gauges are exposition-time
+  /// callbacks.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Generation-versioned live store: lock-free pinned reads, mutex-
@@ -297,6 +309,11 @@ class LiveDatabase {
   ~LiveDatabase() {
     // Drain any in-flight background compaction before members die.
     compact_pool_.Wait();
+    if (registry_ != nullptr) {
+      for (uint64_t handle : callback_handles_) {
+        registry_->UnregisterCallback(handle);
+      }
+    }
   }
 
   // ------------------------------------------------------------ reads
@@ -346,6 +363,17 @@ class LiveDatabase {
     }
     const size_t query_count = batch.size();
 
+    // Trace bookkeeping: traced queries get a delta-leg span, and the
+    // engine's shard spans are rebased so every span of a live query
+    // is relative to this call's start.
+    bool any_trace = false;
+    for (const QuerySpec<P>& spec : batch) {
+      if (spec.collect_trace) any_trace = true;
+    }
+    const auto live_start = std::chrono::steady_clock::now();
+    std::vector<std::pair<double, double>> delta_times(
+        any_trace ? query_count : 0);
+
     // Delta leg first: exact distances to every alive insert, per
     // query.  A full delta collector's k-th distance is a valid upper
     // bound on the merged k-th distance (its k hits are all in the
@@ -357,12 +385,23 @@ class LiveDatabase {
     for (size_t q = 0; q < query_count; ++q) {
       const QuerySpec<P>& spec = batch[q];
       if (!index::ValidateRequest(spec).ok()) continue;  // engine rejects
+      const bool traced = any_trace && spec.collect_trace;
+      std::chrono::steady_clock::time_point delta_t0{};
+      if (traced) delta_t0 = std::chrono::steady_clock::now();
+      const auto stamp = [&]() {
+        if (traced) {
+          delta_times[q] = {Seconds(live_start, delta_t0),
+                            Seconds(live_start,
+                                    std::chrono::steady_clock::now())};
+        }
+      };
       if (spec.mode == QueryType::kRange) {
         for (const auto* entry : overlay.inserts) {
           const double d = metric_(spec.point, entry->point);
           ++delta_cost[q];
           if (d <= spec.radius) delta_hits[q].push_back({entry->id, d});
         }
+        stamp();
         continue;
       }
       index::KnnCollector collector(spec.k);
@@ -386,6 +425,7 @@ class LiveDatabase {
         // best survivors are then always present in the partial.
         adjusted[q].k = spec.k + overlay.removed_base;
       }
+      stamp();
     }
 
     BatchOutput out =
@@ -394,6 +434,8 @@ class LiveDatabase {
     const auto is_removed = [&overlay](size_t id) {
       return overlay.removed.count(id) != 0;
     };
+    const double engine_offset =
+        any_trace ? Seconds(live_start, out.batch_start) : 0.0;
     for (size_t q = 0; q < query_count; ++q) {
       if (!out.statuses[q].ok()) continue;
       index::MergeDeltaResults(&out.results[q], is_removed,
@@ -401,7 +443,27 @@ class LiveDatabase {
                                batch[q].k);
       out.per_query_distance_computations[q] += delta_cost[q];
       out.stats.distance_computations += delta_cost[q];
+      if (any_trace && batch[q].collect_trace) {
+        // Rebase the engine's shard spans onto this call's clock and
+        // prepend the delta-leg span, so the traced spans still
+        // partition the query's (delta-inclusive) distance count.
+        auto& spans = out.traces[q].spans;
+        for (obs::SearchTrace::Span& span : spans) {
+          span.start_seconds += engine_offset;
+          span.stop_seconds += engine_offset;
+        }
+        obs::SearchTrace::Span delta_span;
+        delta_span.delta = true;
+        delta_span.start_seconds = delta_times[q].first;
+        delta_span.stop_seconds = delta_times[q].second;
+        delta_span.distance_computations = delta_cost[q];
+        // The bound the delta leg handed the generation search (or
+        // +inf when the delta could not cap it).
+        delta_span.bound_exit = adjusted[q].initial_radius_bound;
+        spans.insert(spans.begin(), delta_span);
+      }
     }
+    if (any_trace) out.batch_start = live_start;
     return out;
   }
 
@@ -418,6 +480,7 @@ class LiveDatabase {
     const size_t id = writer_base_size_ + writer_inserts_;
     DP_CHECK(log_->Append({/*is_remove=*/false, id, std::move(point)}));
     ++writer_inserts_;
+    if (inserts_ != nullptr) inserts_->Increment();
     MaybeScheduleAutoCompactLocked();
     return id;
   }
@@ -437,6 +500,7 @@ class LiveDatabase {
     if (!room.ok()) return room;
     DP_CHECK(log_->Append({/*is_remove=*/true, id, P{}}));
     writer_removed_.insert(id);
+    if (removes_ != nullptr) removes_->Increment();
     MaybeScheduleAutoCompactLocked();
     return util::Status::OK();
   }
@@ -468,6 +532,7 @@ class LiveDatabase {
     const size_t end = std::min(limit, state->log->committed());
     if (end == 0) return util::Status::OK();  // nothing to fold
 
+    const auto compact_start = std::chrono::steady_clock::now();
     std::vector<P> final_data;
     std::unordered_map<size_t, size_t> id_map;
     MaterializeWindow(*state, end, &final_data, &id_map);
@@ -476,7 +541,13 @@ class LiveDatabase {
                              index_spec_, seed_,
                              state->generation->number() + 1,
                              build_threads_);
-    if (!built.ok()) return built.status();
+    if (!built.ok()) {
+      if (compaction_failures_ != nullptr) {
+        compaction_failures_->Increment();
+      }
+      return built.status();
+    }
+    if (registry_ != nullptr) TrackGeneration(built.value());
 
     // Swap: carry the unconsumed tail into a fresh log (copied, not
     // moved — pinned readers still scan the retired log) and publish.
@@ -519,6 +590,14 @@ class LiveDatabase {
     writer_base_size_ = next_base;
     writer_inserts_ = tail_inserts;
     writer_removed_ = std::move(tail_removed);
+    if (compactions_ != nullptr) compactions_->Increment();
+    if (compaction_seconds_ != nullptr) {
+      compaction_seconds_->Record(
+          Seconds(compact_start, std::chrono::steady_clock::now()));
+    }
+    if (compaction_folded_entries_ != nullptr) {
+      compaction_folded_entries_->Record(static_cast<double>(end));
+    }
     return util::Status::OK();
   }
 
@@ -595,8 +674,63 @@ class LiveDatabase {
         writer_base_size_(generation->size()),
         log_(std::make_shared<DeltaLog<P>>()),
         engine_(options.query_threads) {
+    TrackGeneration(generation);
     state_.store(std::make_shared<const State>(
         State{std::move(generation), log_}));
+    if (options.metrics != nullptr) EnableMetrics(options.metrics);
+  }
+
+  /// Wires the store's instruments and the built-in engine into
+  /// `registry`; called from the constructor when LiveOptions names a
+  /// registry.
+  void EnableMetrics(obs::MetricsRegistry* registry) {
+    registry_ = registry;
+    inserts_ = registry->GetCounter("live_inserts_total");
+    removes_ = registry->GetCounter("live_removes_total");
+    backpressure_ = registry->GetCounter("live_backpressure_total");
+    compactions_ = registry->GetCounter("live_compactions_total");
+    compaction_failures_ =
+        registry->GetCounter("live_compaction_failures_total");
+    compaction_seconds_ = registry->GetHistogram("live_compaction_seconds");
+    compaction_folded_entries_ =
+        registry->GetHistogram("live_compaction_folded_entries");
+    callback_handles_.push_back(registry->RegisterCallback(
+        "live_delta_depth",
+        [this]() { return static_cast<double>(delta_entries()); }));
+    callback_handles_.push_back(registry->RegisterCallback(
+        "live_pinned_generations",
+        [this]() { return static_cast<double>(AliveGenerationCount()); }));
+    engine_.EnableMetrics(registry);
+  }
+
+  /// Remembers a generation so the pinned-generation gauge can count
+  /// how many are still alive (the serving one plus every retired
+  /// generation kept alive by an in-flight pin).
+  void TrackGeneration(
+      const std::shared_ptr<const Generation<P>>& generation) {
+    std::lock_guard<std::mutex> lock(generations_mutex_);
+    tracked_generations_.erase(
+        std::remove_if(
+            tracked_generations_.begin(), tracked_generations_.end(),
+            [](const std::weak_ptr<const Generation<P>>& tracked) {
+              return tracked.expired();
+            }),
+        tracked_generations_.end());
+    tracked_generations_.push_back(generation);
+  }
+
+  size_t AliveGenerationCount() const {
+    std::lock_guard<std::mutex> lock(generations_mutex_);
+    size_t alive = 0;
+    for (const auto& tracked : tracked_generations_) {
+      if (!tracked.expired()) ++alive;
+    }
+    return alive;
+  }
+
+  static double Seconds(std::chrono::steady_clock::time_point from,
+                        std::chrono::steady_clock::time_point to) {
+    return std::chrono::duration<double>(to - from).count();
   }
 
   /// Everything a query needs from one pinned delta window: the alive
@@ -649,6 +783,7 @@ class LiveDatabase {
   /// Backpressure check; caller holds write_mutex_.
   util::Status EnsureRoomLocked() {
     if (log_->committed() < delta_scan_limit_) return util::Status::OK();
+    if (backpressure_ != nullptr) backpressure_->Increment();
     return util::Status::OutOfRange(
         "LiveDatabase: delta buffer full (delta_scan_limit=" +
         std::to_string(delta_scan_limit_) + "); Compact() to make room");
@@ -681,6 +816,21 @@ class LiveDatabase {
   size_t writer_inserts_ = 0;
   std::unordered_set<size_t> writer_removed_;
   std::shared_ptr<DeltaLog<P>> log_;
+
+  /// Observability (all null/empty when no registry was given): the
+  /// write-path counters, the compaction histograms, and the weak list
+  /// behind the pinned-generation gauge.
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Counter* inserts_ = nullptr;
+  obs::Counter* removes_ = nullptr;
+  obs::Counter* backpressure_ = nullptr;
+  obs::Counter* compactions_ = nullptr;
+  obs::Counter* compaction_failures_ = nullptr;
+  obs::Histogram* compaction_seconds_ = nullptr;
+  obs::Histogram* compaction_folded_entries_ = nullptr;
+  std::vector<uint64_t> callback_handles_;
+  mutable std::mutex generations_mutex_;
+  std::vector<std::weak_ptr<const Generation<P>>> tracked_generations_;
 
   /// Compactions are serialized; the swap additionally takes
   /// write_mutex_ for the tail replay.

@@ -53,6 +53,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -60,6 +61,8 @@
 #include "engine/query.h"
 #include "engine/sharded_database.h"
 #include "index/index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -94,6 +97,15 @@ class QueryEngine {
     std::vector<bool> truncated;
     /// Per query, metric evaluations summed over its shard tasks.
     std::vector<uint64_t> per_query_distance_computations;
+    /// Per query, the requested trace (empty spans unless the query set
+    /// collect_trace and executed).  Span times are relative to
+    /// `batch_start`; a traced query's spans sum to exactly its
+    /// per_query_distance_computations entry.
+    std::vector<obs::SearchTrace> traces;
+    /// The batch's reference clock: every span time (and the batch's
+    /// wall_seconds) is measured from this instant.  Lets wrappers
+    /// (LiveDatabase) rebase spans onto their own call start.
+    std::chrono::steady_clock::time_point batch_start{};
     BatchStats stats;
 
     /// True iff every query in the batch succeeded.
@@ -114,6 +126,52 @@ class QueryEngine {
   /// the RunBatch overload that names its database.
   explicit QueryEngine(size_t thread_count)
       : db_(nullptr), pool_(thread_count) {}
+
+  ~QueryEngine() {
+    if (registry_ != nullptr) {
+      registry_->UnregisterCallback(queue_depth_handle_);
+    }
+  }
+
+  /// Wires this engine's instruments into `registry` (see the engine_*
+  /// and threadpool_* series in README.md "Observability").  Call at
+  /// setup time, before RunBatch; the registry must outlive the
+  /// engine.  Several engines on one registry share instruments and
+  /// aggregate.  Without this call the engine records nothing — the
+  /// metrics-off baseline the observability bench compares against.
+  void EnableMetrics(obs::MetricsRegistry* registry) {
+    DP_CHECK(registry != nullptr);
+    DP_CHECK(registry_ == nullptr);
+    registry_ = registry;
+    metrics_.queries = registry->GetCounter("engine_queries_total");
+    metrics_.rejected = registry->GetCounter("engine_queries_rejected_total");
+    metrics_.truncated =
+        registry->GetCounter("engine_queries_truncated_total");
+    metrics_.split_budget =
+        registry->GetCounter("engine_queries_split_budget_total");
+    metrics_.shard_tasks = registry->GetCounter("engine_shard_tasks_total");
+    metrics_.distance_computations =
+        registry->GetCounter("engine_distance_computations_total");
+    metrics_.pruning_eliminated =
+        registry->GetCounter("engine_pruning_eliminated_total");
+    metrics_.candidates_verified =
+        registry->GetCounter("engine_candidates_verified_total");
+    metrics_.bound_tightenings =
+        registry->GetCounter("engine_coop_bound_tightenings_total");
+    metrics_.queue_wait =
+        registry->GetHistogram("engine_task_queue_wait_seconds");
+    metrics_.task_run = registry->GetHistogram("engine_task_run_seconds");
+    metrics_.query_latency =
+        registry->GetHistogram("engine_query_latency_seconds");
+    pool_.set_instruments(
+        {registry->GetCounter("threadpool_tasks_submitted_total"),
+         registry->GetCounter("threadpool_tasks_executed_total"),
+         registry->GetHistogram("threadpool_task_seconds")});
+    queue_depth_handle_ = registry->RegisterCallback(
+        "threadpool_queue_depth",
+        [this]() { return static_cast<double>(pool_.queue_depth()); });
+    metrics_.enabled = true;
+  }
 
   size_t thread_count() const { return pool_.thread_count(); }
   const ShardedDatabase<P>& database() const {
@@ -141,6 +199,7 @@ class QueryEngine {
     out.statuses.resize(query_count);
     out.truncated.assign(query_count, false);
     out.per_query_distance_computations.assign(query_count, 0);
+    out.traces.resize(query_count);
     out.stats.query_count = query_count;
     out.stats.shard_count = shard_count;
     out.stats.thread_count = pool_.thread_count();
@@ -184,7 +243,30 @@ class QueryEngine {
       counter.value.store(shard_count, std::memory_order_relaxed);
     }
     std::vector<double> latencies(query_count, 0.0);
+
+    // Trace slots, one per (query, shard) task, allocated only when
+    // some query asked for a trace.  Like `partials`, no two tasks
+    // share a slot, so tracing adds no synchronization.
+    bool any_trace = false;
+    for (size_t q = 0; q < query_count; ++q) {
+      if (batch[q].collect_trace && out.statuses[q].ok()) any_trace = true;
+    }
+    std::vector<TaskTiming> trace_slots(
+        any_trace ? query_count * shard_count : 0);
+    const auto slot_for = [&](size_t q, size_t s) -> TaskTiming* {
+      if (trace_slots.empty() || !specs[q]->collect_trace) return nullptr;
+      return &trace_slots[q * shard_count + s];
+    };
+
     const auto start = std::chrono::steady_clock::now();
+    out.batch_start = start;
+    // Queue-wait measurement needs per-task submit stamps; when nothing
+    // records them, skip the clock reads so the metrics-off submit loop
+    // stays as cheap as before.
+    const bool stamp_submits = metrics_.enabled || any_trace;
+    const auto submit_now = [stamp_submits, start]() {
+      return stamp_submits ? std::chrono::steady_clock::now() : start;
+    };
 
     for (size_t q = 0; q < query_count; ++q) {
       if (!out.statuses[q].ok()) continue;
@@ -194,24 +276,31 @@ class QueryEngine {
         // fan-out when it completes (the pool allows Submit from within
         // a task), so every other shard starts from its bound.
         pool_.Submit([this, &db, &specs, &partials, &tasks_left,
-                      &latencies, start, shard_count, q]() {
+                      &latencies, &slot_for, &submit_now, start,
+                      shard_count, q]() {
           RunShardTask(db, specs, partials, tasks_left, latencies, start,
-                       shard_count, q, /*s=*/0);
+                       /*submit=*/start, slot_for(q, 0), shard_count, q,
+                       /*s=*/0);
           for (size_t s = 1; s < shard_count; ++s) {
+            const auto submit = submit_now();
             pool_.Submit([this, &db, &specs, &partials, &tasks_left,
-                          &latencies, start, shard_count, q, s]() {
+                          &latencies, &slot_for, start, submit, shard_count,
+                          q, s]() {
               RunShardTask(db, specs, partials, tasks_left, latencies,
-                           start, shard_count, q, s);
+                           start, submit, slot_for(q, s), shard_count, q,
+                           s);
             });
           }
         });
         continue;
       }
       for (size_t s = 0; s < shard_count; ++s) {
+        const auto submit = submit_now();
         pool_.Submit([this, &db, &specs, &partials, &tasks_left,
-                      &latencies, start, shard_count, q, s]() {
+                      &latencies, &slot_for, start, submit, shard_count, q,
+                      s]() {
           RunShardTask(db, specs, partials, tasks_left, latencies, start,
-                       shard_count, q, s);
+                       submit, slot_for(q, s), shard_count, q, s);
         });
       }
     }
@@ -240,6 +329,9 @@ class QueryEngine {
         merged.insert(merged.end(), partial.results.begin(),
                       partial.results.end());
         distances += partial.stats.distance_computations;
+        out.stats.pruning_eliminated += partial.stats.pruning_eliminated;
+        out.stats.candidates_verified +=
+            partial.stats.candidates_verified;
         truncated = truncated || partial.truncated;
       }
       index::SortResults(&merged);
@@ -250,10 +342,35 @@ class QueryEngine {
       out.truncated[q] = truncated;
       out.per_query_distance_computations[q] = distances;
       out.stats.distance_computations += distances;
+
+      if (specs[q]->collect_trace && !trace_slots.empty()) {
+        // One span per shard task; the per-task distance counts are
+        // the partials' own QueryStats, so the spans partition the
+        // query's total exactly.
+        auto& spans = out.traces[q].spans;
+        spans.reserve(shard_count);
+        for (size_t s = 0; s < shard_count; ++s) {
+          const TaskTiming& timing = trace_slots[q * shard_count + s];
+          spans.push_back(
+              {s, /*delta=*/false, timing.start, timing.stop,
+               partials[q * shard_count + s].stats.distance_computations,
+               timing.bound_entry, timing.bound_exit});
+        }
+        std::sort(spans.begin(), spans.end(),
+                  [](const obs::SearchTrace::Span& a,
+                     const obs::SearchTrace::Span& b) {
+                    if (a.start_seconds != b.start_seconds) {
+                      return a.start_seconds < b.start_seconds;
+                    }
+                    return a.shard < b.shard;
+                  });
+      }
     }
 
     out.stats.wall_seconds = Seconds(start, std::chrono::steady_clock::now());
     out.stats.latency = SummarizeLatencies(std::move(executed_latencies));
+
+    if (metrics_.enabled) RecordBatchMetrics(batch, bounds, latencies, out);
     return out;
   }
 
@@ -264,6 +381,77 @@ class QueryEngine {
   struct alignas(64) PaddedCounter {
     std::atomic<size_t> value{0};
   };
+
+  /// Per-(query, shard) trace slot a task fills without contention;
+  /// the merge loop turns it into an obs::SearchTrace::Span.
+  struct TaskTiming {
+    double start = 0.0;
+    double stop = 0.0;
+    double bound_entry = std::numeric_limits<double>::infinity();
+    double bound_exit = std::numeric_limits<double>::infinity();
+  };
+
+  /// The engine's instruments, all nullable: EnableMetrics fills them,
+  /// and every recording site checks.  `enabled` short-circuits the
+  /// timing reads so the metrics-off hot path takes no clocks.
+  struct Instruments {
+    bool enabled = false;
+    obs::Counter* queries = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* truncated = nullptr;
+    obs::Counter* split_budget = nullptr;
+    obs::Counter* shard_tasks = nullptr;
+    obs::Counter* distance_computations = nullptr;
+    obs::Counter* pruning_eliminated = nullptr;
+    obs::Counter* candidates_verified = nullptr;
+    obs::Counter* bound_tightenings = nullptr;
+    obs::Histogram* queue_wait = nullptr;
+    obs::Histogram* task_run = nullptr;
+    obs::Histogram* query_latency = nullptr;
+  };
+
+  /// Folds one finished batch into the registry: query/truncation
+  /// counters, per-query latency observations, the cost-model totals,
+  /// and the cooperative bounds' tightening counts.  Runs on the
+  /// calling thread after the batch barrier, off the task hot path.
+  void RecordBatchMetrics(const std::vector<QuerySpec<P>>& batch,
+                          const std::vector<index::SharedSearchBound>& bounds,
+                          const std::vector<double>& latencies,
+                          const BatchOutput& out) {
+    uint64_t executed = 0;
+    uint64_t rejected = 0;
+    uint64_t truncated = 0;
+    uint64_t split_budget = 0;
+    for (size_t q = 0; q < batch.size(); ++q) {
+      if (!out.statuses[q].ok()) {
+        ++rejected;
+        continue;
+      }
+      ++executed;
+      if (out.truncated[q]) ++truncated;
+      if (batch[q].split_distance_budget &&
+          batch[q].max_distance_computations != 0) {
+        ++split_budget;
+      }
+      metrics_.query_latency->Record(latencies[q]);
+    }
+    metrics_.queries->Add(executed);
+    if (rejected != 0) metrics_.rejected->Add(rejected);
+    if (truncated != 0) metrics_.truncated->Add(truncated);
+    if (split_budget != 0) metrics_.split_budget->Add(split_budget);
+    metrics_.distance_computations->Add(out.stats.distance_computations);
+    if (out.stats.pruning_eliminated != 0) {
+      metrics_.pruning_eliminated->Add(out.stats.pruning_eliminated);
+    }
+    if (out.stats.candidates_verified != 0) {
+      metrics_.candidates_verified->Add(out.stats.candidates_verified);
+    }
+    uint64_t tightenings = 0;
+    for (const index::SharedSearchBound& bound : bounds) {
+      tightenings += bound.tightenings.load(std::memory_order_relaxed);
+    }
+    if (tightenings != 0) metrics_.bound_tightenings->Add(tightenings);
+  }
 
   /// True iff this request runs its shard fan-out cooperatively: a kNN
   /// mode (range queries have nothing to share), more than one shard,
@@ -287,15 +475,36 @@ class QueryEngine {
 
   /// One (query, shard) task: searches the shard, maps local ids to
   /// global ids, stores the partial, and stamps the query latency when
-  /// it is the last of the query's tasks to finish.
+  /// it is the last of the query's tasks to finish.  When metrics or a
+  /// trace slot want timing, the task additionally reads the clock on
+  /// entry/exit (and the cooperative bound, for the trace) — around
+  /// the search, never inside it, so instrumented results stay
+  /// bit-identical.
   void RunShardTask(const ShardedDatabase<P>& db,
                     const std::vector<const QuerySpec<P>*>& specs,
                     std::vector<index::SearchResponse>& partials,
                     std::vector<PaddedCounter>& tasks_left,
                     std::vector<double>& latencies,
                     std::chrono::steady_clock::time_point start,
-                    size_t shard_count, size_t q, size_t s) {
+                    std::chrono::steady_clock::time_point submit,
+                    TaskTiming* timing, size_t shard_count, size_t q,
+                    size_t s) {
     const QuerySpec<P>& spec = *specs[q];
+    const bool timed = metrics_.enabled || timing != nullptr;
+    std::chrono::steady_clock::time_point task_start{};
+    if (timed) {
+      task_start = std::chrono::steady_clock::now();
+      if (metrics_.queue_wait != nullptr) {
+        metrics_.queue_wait->Record(Seconds(submit, task_start));
+      }
+      if (timing != nullptr) {
+        timing->start = Seconds(start, task_start);
+        timing->bound_entry =
+            spec.shared_bound != nullptr
+                ? spec.shared_bound->Load()
+                : std::numeric_limits<double>::infinity();
+      }
+    }
     index::SearchResponse response;
     const uint64_t budget = ShardBudget(spec, s, shard_count);
     if (spec.max_distance_computations != 0 && budget == 0) {
@@ -312,6 +521,20 @@ class QueryEngine {
     const size_t offset = db.shard_offset(s);
     for (index::SearchResult& r : response.results) r.id += offset;
     partials[q * shard_count + s] = std::move(response);
+    if (timed) {
+      const auto task_stop = std::chrono::steady_clock::now();
+      if (metrics_.task_run != nullptr) {
+        metrics_.task_run->Record(Seconds(task_start, task_stop));
+      }
+      if (timing != nullptr) {
+        timing->stop = Seconds(start, task_stop);
+        timing->bound_exit =
+            spec.shared_bound != nullptr
+                ? spec.shared_bound->Load()
+                : std::numeric_limits<double>::infinity();
+      }
+    }
+    if (metrics_.shard_tasks != nullptr) metrics_.shard_tasks->Increment();
     // The last shard task to finish stamps the query's latency.
     if (tasks_left[q].value.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       latencies[q] = Seconds(start, std::chrono::steady_clock::now());
@@ -325,6 +548,9 @@ class QueryEngine {
 
   const ShardedDatabase<P>* db_;
   util::ThreadPool pool_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  uint64_t queue_depth_handle_ = 0;
+  Instruments metrics_;
 };
 
 }  // namespace engine

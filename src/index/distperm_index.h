@@ -244,6 +244,10 @@ class DistPermIndex : public SearchIndex<P> {
     }
     std::sort(scored.begin(), scored.begin() + budget);
 
+    // Candidates past the verification budget are dropped on their
+    // footrule score alone; everything inside it pays a true distance.
+    stats->pruning_eliminated += scored.size() - budget;
+
     const bool flat = flat_.enabled();
     const auto ctx = flat ? flat_.MakeQuery(query)
                           : typename FlatDataPath<P>::QueryContext{};
@@ -254,6 +258,7 @@ class DistPermIndex : public SearchIndex<P> {
           id, flat ? flat_.ChargedRowDistance(ctx, id,
                                               &stats->distance_computations)
                    : this->QueryDist(data_[id], query, stats));
+      ++stats->candidates_verified;
     }
   }
 

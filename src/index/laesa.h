@@ -96,7 +96,10 @@ class LaesaIndex : public SearchIndex<P> {
       // survivors in id order without building the bound ordering.
       for (size_t i = 0; i < data_.size(); ++i) {
         if (IsPivot(i)) continue;
-        if (LowerBound(i, query_to_pivot) > request.radius) continue;
+        if (LowerBound(i, query_to_pivot) > request.radius) {
+          ++stats->pruning_eliminated;
+          continue;
+        }
         if (context->StopAfterBudget()) return;
         context->Emit(
             i, flat ? flat_.ChargedRowDistance(
@@ -118,6 +121,7 @@ class LaesaIndex : public SearchIndex<P> {
       order.emplace_back(LowerBound(i, query_to_pivot), i);
     }
     std::sort(order.begin(), order.end());
+    size_t verified = 0;
     for (const auto& [bound, i] : order) {
       if (bound > context->Radius()) break;
       if (context->StopAfterBudget()) return;
@@ -125,7 +129,11 @@ class LaesaIndex : public SearchIndex<P> {
           i, flat ? flat_.ChargedRowDistance(ctx, i,
                                              &stats->distance_computations)
                   : this->QueryDist(data_[i], query, stats));
+      ++verified;
     }
+    // Everything past the stopping point was eliminated by its lower
+    // bound alone — no metric evaluation spent.
+    stats->pruning_eliminated += order.size() - verified;
   }
 
  private:

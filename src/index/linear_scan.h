@@ -79,10 +79,14 @@ class LinearScanIndex : public SearchIndex<P> {
       for (size_t c = 0; c < count; c += kMinChunk) {
         const size_t chunk = std::min(kMinChunk, count - c);
         if (metric::MinRaw(block.data() + c, chunk) > score_bound) {
+          context->stats()->pruning_eliminated += chunk;
           continue;
         }
         for (size_t j = c; j < c + chunk; ++j) {
-          if (block[j] > score_bound) continue;
+          if (block[j] > score_bound) {
+            ++context->stats()->pruning_eliminated;
+            continue;
+          }
           context->Emit(begin + j, flat_.ScoreToDistance(block[j]));
           score_bound = flat_.RangeScoreBound(context->Radius());
         }

@@ -49,9 +49,24 @@ void SortResults(std::vector<SearchResult>* results);
 /// caller's numbers cover exactly its own call.
 struct QueryStats {
   uint64_t distance_computations = 0;
+  /// Candidates a pruning filter discarded before the result stage:
+  /// pivot lower-bound elimination (LAESA) and footrule cutoff
+  /// (distperm) skip the metric evaluation itself; the flat scan's
+  /// block-min score filter skips the emit work of scores already
+  /// charged.  Indexes that prune whole subtrees without visiting them
+  /// (vp/gh trees) report 0: counting those would require per-node
+  /// subtree sizes the structures do not store.
+  uint64_t pruning_eliminated = 0;
+  /// Candidates verified by a true distance in an approximate index's
+  /// verification stage (distperm's footrule ranking).  The verified
+  /// fraction of a distperm query is candidates_verified / database
+  /// size.  Exact indexes report 0.
+  uint64_t candidates_verified = 0;
 
   void Merge(const QueryStats& other) {
     distance_computations += other.distance_computations;
+    pruning_eliminated += other.pruning_eliminated;
+    candidates_verified += other.candidates_verified;
   }
 };
 
@@ -111,6 +126,12 @@ void MergeDeltaResults(std::vector<SearchResult>* base,
 /// discard a true global neighbour.
 struct alignas(64) SharedSearchBound {
   std::atomic<double> value{std::numeric_limits<double>::infinity()};
+  /// Successful tightenings (CAS wins that lowered the bound) — the
+  /// engine folds this into its cooperative-tightening counter after
+  /// the batch barrier.  Both atomics share the bound's padded line,
+  /// and tightenings are rare once the bound converges, so the counter
+  /// adds no contention to the read-mostly fan-out.
+  std::atomic<uint64_t> tightenings{0};
 
   double Load() const { return value.load(std::memory_order_relaxed); }
 
@@ -118,16 +139,20 @@ struct alignas(64) SharedSearchBound {
   /// compare-exchange min; concurrent updaters never block).
   void UpdateMin(double candidate) {
     double current = value.load(std::memory_order_relaxed);
-    while (candidate < current &&
-           !value.compare_exchange_weak(current, candidate,
-                                        std::memory_order_release,
-                                        std::memory_order_relaxed)) {
+    while (candidate < current) {
+      if (value.compare_exchange_weak(current, candidate,
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+        tightenings.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
     }
   }
 
   /// Re-arms the bound (engine-side, before a batch's tasks start).
   void Reset(double v = std::numeric_limits<double>::infinity()) {
     value.store(v, std::memory_order_relaxed);
+    tightenings.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -179,6 +204,13 @@ struct SearchRequest {
   /// every shard task receives the full budget — the engine's original
   /// behavior, bounded by shards x budget.  No effect without a budget.
   bool split_distance_budget = false;
+  /// When true, QueryEngine::RunBatch attaches an obs::SearchTrace to
+  /// this query's BatchOutput slot: one span per shard task (plus the
+  /// delta leg on the live path) with timing, distance counts, and the
+  /// cooperative bound on entry/exit.  Observation only — results and
+  /// distance accounting are bit-identical with tracing on.  Ignored
+  /// by single-index Search().
+  bool collect_trace = false;
   /// Engine-internal hook: when non-null, the search reads this shared
   /// bound as an extra radius cap and publishes its collector's k-th
   /// distance into it.  QueryEngine::RunBatch installs one per
@@ -233,6 +265,11 @@ struct SearchRequest {
 
   SearchRequest& WithSplitDistanceBudget(bool split = true) {
     split_distance_budget = split;
+    return *this;
+  }
+
+  SearchRequest& WithTrace(bool trace = true) {
+    collect_trace = trace;
     return *this;
   }
 };

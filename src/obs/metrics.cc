@@ -1,0 +1,259 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace distperm {
+namespace obs {
+
+namespace internal {
+
+size_t ThreadCellSlot() {
+  static std::atomic<size_t> next_slot{0};
+  thread_local const size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) & (kCellCount - 1);
+  return slot;
+}
+
+namespace {
+
+/// Splices an extra label into a series name that may already carry a
+/// label set: `h` + `le="x"` -> `h{le="x"}`; `h{a="b"}` + `le="x"` ->
+/// `h{a="b",le="x"}`.
+std::string SpliceLabel(const std::string& name, const std::string& label) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) return name + "{" + label + "}";
+  std::string out = name.substr(0, name.size() - 1);
+  out += ",";
+  out += label;
+  out += "}";
+  return out;
+}
+
+/// Base name with its label set stripped (`h{a="b"}` -> `h`), for the
+/// `_sum` / `_count` / `_bucket` suffix grammar.
+std::string BaseName(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+std::string LabelSet(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? "" : name.substr(brace);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os.precision(9);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+}  // namespace internal
+
+double Histogram::BucketUpperBound(size_t i) {
+  if (i == 0) return kMinValue;
+  if (i >= kBucketCount - 1) return std::numeric_limits<double>::infinity();
+  return kMinValue * std::pow(10.0, static_cast<double>(i) /
+                                        static_cast<double>(
+                                            kBucketsPerDecade));
+}
+
+size_t Histogram::BucketIndex(double value) {
+  if (!(value > kMinValue)) return 0;  // also catches NaN
+  const double position =
+      std::log10(value / kMinValue) * static_cast<double>(kBucketsPerDecade);
+  const size_t bucket = 1 + static_cast<size_t>(position);
+  return std::min(bucket, kBucketCount - 1);
+}
+
+uint64_t Histogram::Snapshot::count() const {
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  return total;
+}
+
+double Histogram::Snapshot::mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  rank = std::min(std::max<uint64_t>(rank, 1), n);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      // The overflow bucket has no finite upper bound; report its
+      // lower edge so readouts stay finite.
+      if (i == kBucketCount - 1) return BucketUpperBound(i - 1);
+      return BucketUpperBound(i);
+    }
+  }
+  return BucketUpperBound(kBucketCount - 2);  // unreachable
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snapshot;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    snapshot.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  for (const auto& cell : sum_cells_) {
+    snapshot.sum += cell.value.load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
+    return nullptr;
+  }
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
+    return nullptr;
+  }
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
+    return nullptr;
+  }
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+uint64_t MetricsRegistry::RegisterCallback(
+    const std::string& name, std::function<double()> callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t handle = next_callback_handle_++;
+  callbacks_[name].push_back({handle, std::move(callback)});
+  return handle;
+}
+
+void MetricsRegistry::UnregisterCallback(uint64_t handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = callbacks_.begin(); it != callbacks_.end();) {
+    auto& entries = it->second;
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [handle](const CallbackEntry& e) {
+                                   return e.handle == handle;
+                                 }),
+                  entries.end());
+    it = entries.empty() ? callbacks_.erase(it) : std::next(it);
+  }
+}
+
+std::string MetricsRegistry::TextExposition() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "# distperm metrics registry \"" << name_ << "\"\n";
+  for (const auto& [name, counter] : counters_) {
+    os << name << " " << counter->Value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    os << name << " " << gauge->Value() << "\n";
+  }
+  for (const auto& [name, entries] : callbacks_) {
+    double total = 0.0;
+    for (const CallbackEntry& entry : entries) total += entry.callback();
+    os << name << " " << internal::FormatDouble(total) << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snapshot = histogram->Snap();
+    const std::string base = internal::BaseName(name);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      if (snapshot.buckets[i] == 0) continue;
+      cumulative += snapshot.buckets[i];
+      const double bound = Histogram::BucketUpperBound(i);
+      const std::string le =
+          std::isinf(bound) ? "+Inf" : internal::FormatDouble(bound);
+      os << internal::SpliceLabel(base + "_bucket" + internal::LabelSet(name),
+                                  "le=\"" + le + "\"")
+         << " " << cumulative << "\n";
+    }
+    os << internal::SpliceLabel(base + "_bucket" + internal::LabelSet(name),
+                                "le=\"+Inf\"")
+       << " " << cumulative << "\n";
+    os << base << "_sum" << internal::LabelSet(name) << " "
+       << internal::FormatDouble(snapshot.sum) << "\n";
+    os << base << "_count" << internal::LabelSet(name) << " " << cumulative
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::JsonExposition() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"registry\": \"" << internal::JsonEscape(name_) << "\"";
+  os << ", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    os << (first ? "" : ", ") << "\"" << internal::JsonEscape(name)
+       << "\": " << counter->Value();
+    first = false;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    os << (first ? "" : ", ") << "\"" << internal::JsonEscape(name)
+       << "\": " << gauge->Value();
+    first = false;
+  }
+  for (const auto& [name, entries] : callbacks_) {
+    double total = 0.0;
+    for (const CallbackEntry& entry : entries) total += entry.callback();
+    os << (first ? "" : ", ") << "\"" << internal::JsonEscape(name)
+       << "\": " << internal::FormatDouble(total);
+    first = false;
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snapshot = histogram->Snap();
+    os << (first ? "" : ", ") << "\"" << internal::JsonEscape(name)
+       << "\": {\"count\": " << snapshot.count()
+       << ", \"sum\": " << internal::FormatDouble(snapshot.sum)
+       << ", \"mean\": " << internal::FormatDouble(snapshot.mean())
+       << ", \"p50\": " << internal::FormatDouble(snapshot.Quantile(0.50))
+       << ", \"p99\": " << internal::FormatDouble(snapshot.Quantile(0.99))
+       << ", \"p999\": " << internal::FormatDouble(snapshot.Quantile(0.999))
+       << "}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace distperm

@@ -1,0 +1,246 @@
+// Lock-free engine telemetry: counters, gauges, histograms, and the
+// registry that exposes them.
+//
+// Design constraints, in order:
+//   1. The hot path must never take a lock or touch a shared cache
+//      line under contention.  Counter and Gauge shard their state
+//      across cache-line-padded atomic cells indexed by a per-thread
+//      slot, so concurrent writers from different threads usually hit
+//      different lines; Histogram records with one relaxed fetch_add
+//      into a bucket plus one sharded sum cell.  The LiveDatabase
+//      zero-lock query path stays zero-lock when instrumented.
+//   2. Counts are exact.  Sharding changes *where* increments land,
+//      never their sum: Value() folds every cell, and a histogram's
+//      bucket totals always add up to its count (regression-tested
+//      under contention in tests/obs_metrics_test.cc, including the
+//      TSan CI job).
+//   3. Reading is rare and may be approximate in time.  Exposition
+//      walks the cells with relaxed loads, so a snapshot taken while
+//      writers are active is some valid interleaving, not a torn
+//      value.
+//
+// Instruments live in a named MetricsRegistry and are created at setup
+// time (GetCounter/GetGauge/GetHistogram take a mutex; the returned
+// pointers are stable for the registry's lifetime and shared between
+// same-name callers).  Point-in-time values owned by other components
+// (queue depth, delta-log depth, pinned generations) register as
+// callback gauges, evaluated at exposition time; RegisterCallback
+// returns a handle the owner must unregister before it dies.
+//
+// Exposition: TextExposition() renders Prometheus-style lines
+// (`name{label="v"} value`, histograms as cumulative `_bucket{le=...}`
+// plus `_sum`/`_count`); JsonExposition() renders one JSON object with
+// derived percentiles (p50/p99/p999) per histogram.
+//
+// This library sits at the bottom of the dependency stack (std-only,
+// below util) so every layer — ThreadPool included — can record into
+// it.
+
+#ifndef DISTPERM_OBS_METRICS_H_
+#define DISTPERM_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace distperm {
+namespace obs {
+
+namespace internal {
+
+/// Number of padded cells a sharded instrument spreads its writers
+/// over.  A power of two so the slot mask is one AND.
+inline constexpr size_t kCellCount = 16;
+
+/// This thread's cell slot: threads are assigned round-robin on first
+/// use, so up to kCellCount concurrent writers touch distinct lines.
+size_t ThreadCellSlot();
+
+/// One cache line holding one atomic; padding keeps adjacent cells of
+/// the same instrument (and adjacent instruments) from false sharing.
+template <typename T>
+struct alignas(64) PaddedAtomic {
+  std::atomic<T> value{};
+};
+
+}  // namespace internal
+
+/// Monotonically increasing exact counter.  Add() is wait-free (one
+/// relaxed fetch_add on this thread's cell); Value() folds the cells.
+class Counter {
+ public:
+  void Add(uint64_t n) {
+    cells_[internal::ThreadCellSlot()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<internal::PaddedAtomic<uint64_t>, internal::kCellCount> cells_;
+};
+
+/// Exact signed up/down gauge with the same sharded-cell layout as
+/// Counter.  For values owned elsewhere (a queue depth, a log length),
+/// prefer a registry callback gauge over mirroring updates here.
+class Gauge {
+ public:
+  void Add(int64_t n) {
+    cells_[internal::ThreadCellSlot()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  void Decrement() { Add(-1); }
+
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<internal::PaddedAtomic<int64_t>, internal::kCellCount> cells_;
+};
+
+/// Fixed-bucket log-spaced histogram: kBucketsPerDecade buckets per
+/// decade from kMinValue up to kMinValue * 10^kDecades, plus an
+/// underflow bucket (<= kMinValue) and an overflow bucket.  Record()
+/// is lock-free: one relaxed fetch_add on the bucket plus one on a
+/// sharded sum cell.  Bucket counts are exact; percentiles read out at
+/// bucket resolution — with 8 buckets per decade an upper-bound
+/// readout overestimates by at most a factor of 10^(1/8) (~33%).
+/// The range covers seconds-scale latencies (1e-9 .. 1e9) and integer
+/// magnitudes like folded delta entries with the same layout.
+class Histogram {
+ public:
+  static constexpr double kMinValue = 1e-9;
+  static constexpr size_t kBucketsPerDecade = 8;
+  static constexpr size_t kDecades = 18;
+  /// underflow + spanned decades + overflow
+  static constexpr size_t kBucketCount = kBucketsPerDecade * kDecades + 2;
+
+  /// Records one observation.  NaN and values <= kMinValue land in the
+  /// underflow bucket; values beyond the top decade in the overflow
+  /// bucket.  Exactly one bucket count and the sum advance per call.
+  void Record(double value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_cells_[internal::ThreadCellSlot()].value.fetch_add(
+        std::isnan(value) ? 0.0 : value, std::memory_order_relaxed);
+  }
+
+  /// Upper bound of bucket `i` (+infinity for the overflow bucket).
+  static double BucketUpperBound(size_t i);
+
+  /// Which bucket a value lands in.
+  static size_t BucketIndex(double value);
+
+  /// A point-in-time copy of the distribution, read with relaxed loads
+  /// (concurrent Record()s may or may not be included; bucket totals
+  /// always sum to count()).
+  struct Snapshot {
+    std::array<uint64_t, kBucketCount> buckets{};
+    double sum = 0.0;
+
+    uint64_t count() const;
+    double mean() const;
+    /// Quantile `q` in [0, 1] at bucket resolution: the upper bound of
+    /// the bucket holding rank ceil(q * count) (the overflow bucket
+    /// reports its finite lower edge).  0 when empty.
+    double Quantile(double q) const;
+  };
+
+  Snapshot Snap() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
+  std::array<internal::PaddedAtomic<double>, internal::kCellCount>
+      sum_cells_;
+};
+
+/// Named home of a component tree's instruments.  Creation and
+/// exposition take a mutex; the instruments themselves stay lock-free.
+/// Series names may carry Prometheus-style labels inline
+/// (`engine_shard_tasks_total` or `queries_total{mode="knn"}`); the
+/// histogram exposition splices its `le` label into an existing label
+/// set.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(std::string name) : name_(std::move(name)) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named instrument.  Pointers are stable for
+  /// the registry's lifetime; same-name calls return the same
+  /// instrument (so two engines on one registry aggregate).  A name
+  /// already bound to a different instrument kind returns nullptr.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Registers a point-in-time gauge evaluated at exposition; several
+  /// callbacks under one name sum.  The callback must not call back
+  /// into this registry.  Returns a handle for UnregisterCallback —
+  /// the owner must unregister before anything the callback reads
+  /// dies.
+  uint64_t RegisterCallback(const std::string& name,
+                            std::function<double()> callback);
+  void UnregisterCallback(uint64_t handle);
+
+  /// Prometheus-style text lines.  Histograms render only their
+  /// populated buckets (cumulative, closed by `le="+Inf"`) to keep the
+  /// output readable.
+  std::string TextExposition() const;
+
+  /// One JSON object: {"registry", "counters", "gauges",
+  /// "histograms"}, each histogram with count/sum/mean/p50/p99/p999.
+  std::string JsonExposition() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct CallbackEntry {
+    uint64_t handle = 0;
+    std::function<double()> callback;
+  };
+
+  const std::string name_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::vector<CallbackEntry>> callbacks_;
+  uint64_t next_callback_handle_ = 1;
+};
+
+/// Optional instrument hooks a util::ThreadPool records into (defined
+/// here so util can depend on obs without obs knowing about util).
+/// Null members are skipped; wire-up happens at setup time.
+struct ThreadPoolInstruments {
+  Counter* tasks_submitted = nullptr;
+  Counter* tasks_executed = nullptr;
+  Histogram* task_seconds = nullptr;
+};
+
+}  // namespace obs
+}  // namespace distperm
+
+#endif  // DISTPERM_OBS_METRICS_H_

@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <chrono>
 #include <utility>
 
 namespace distperm {
@@ -27,6 +28,10 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::unique_lock<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
   }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (instruments_.tasks_submitted != nullptr) {
+    instruments_.tasks_submitted->Increment();
+  }
   work_ready_.notify_one();
 }
 
@@ -48,7 +53,20 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    if (instruments_.task_seconds != nullptr) {
+      const auto start = std::chrono::steady_clock::now();
+      task();
+      instruments_.task_seconds->Record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count());
+    } else {
+      task();
+    }
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    if (instruments_.tasks_executed != nullptr) {
+      instruments_.tasks_executed->Increment();
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;

@@ -9,13 +9,17 @@
 #ifndef DISTPERM_UTIL_THREAD_POOL_H_
 #define DISTPERM_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace distperm {
 namespace util {
@@ -57,15 +61,45 @@ class ThreadPool {
   /// Number of worker threads.
   size_t thread_count() const { return workers_.size(); }
 
+  /// Tasks enqueued but not yet picked up by a worker — the pool's
+  /// backlog at this instant.  Takes the pool mutex; meant for gauge
+  /// callbacks and tests, not for hot-path polling.
+  size_t queue_depth() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  /// Tasks accepted by Submit() so far.
+  uint64_t submitted_count() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+
+  /// Tasks that have finished running.  submitted_count() -
+  /// executed_count() is the work still queued or in flight.
+  uint64_t executed_count() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Wires optional obs instruments (null members are skipped): task
+  /// submit/execute counters and a per-task run-time histogram.  Call
+  /// at setup time, before tasks are submitted concurrently; the
+  /// pointees must outlive the pool.
+  void set_instruments(obs::ThreadPoolInstruments instruments) {
+    instruments_ = instruments;
+  }
+
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_ready_;   // signalled on Submit / shutdown
   std::condition_variable all_idle_;     // signalled when work drains
   std::deque<std::function<void()>> queue_;
   size_t in_flight_ = 0;  // dequeued but not yet finished
   bool shutdown_ = false;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> executed_{0};
+  obs::ThreadPoolInstruments instruments_;
   std::vector<std::thread> workers_;
 };
 

@@ -24,6 +24,8 @@
 #include "index/vp_tree.h"
 #include "metric/lp.h"
 #include "metric/string_metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -148,6 +150,36 @@ TEST(ThreadPool, DestructorDrainsChainsStillSubmitting) {
     // 4 roots x (1 + 5 chained) tasks each, none lost.
     EXPECT_EQ(counter.load(), 4 * 6) << "round " << round;
   }
+}
+
+// The pool's introspection accessors: submitted/executed counts are
+// exact, and queue_depth reports tasks waiting behind a busy worker.
+TEST(ThreadPool, CountersTrackSubmittedQueuedAndExecutedTasks) {
+  util::ThreadPool pool(1);
+  EXPECT_EQ(pool.submitted_count(), 0u);
+  EXPECT_EQ(pool.executed_count(), 0u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+
+  // Block the single worker so further submissions must queue.
+  std::atomic<bool> release{false};
+  std::atomic<bool> started{false};
+  pool.Submit([&release, &started]() {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!started.load()) std::this_thread::yield();
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit([]() {});
+  }
+  EXPECT_EQ(pool.submitted_count(), 4u);
+  EXPECT_EQ(pool.queue_depth(), 3u);  // blocker runs, three wait
+  EXPECT_EQ(pool.executed_count(), 0u);
+
+  release.store(true);
+  pool.Wait();
+  EXPECT_EQ(pool.submitted_count(), 4u);
+  EXPECT_EQ(pool.executed_count(), 4u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
 }
 
 TEST(ShardedDatabase, ContiguousSlicingCoversEveryPoint) {
@@ -464,17 +496,58 @@ TEST(BatchStatsHelpers, LatencySummary) {
   EXPECT_DOUBLE_EQ(summary.min_seconds, 0.1);
   EXPECT_DOUBLE_EQ(summary.max_seconds, 0.4);
   EXPECT_DOUBLE_EQ(summary.mean_seconds, 0.25);
-  EXPECT_DOUBLE_EQ(summary.p99_seconds, 0.4);
+  // Interpolated percentiles: rank q * (n - 1) between the order
+  // statistics, so p99 of 4 samples sits just below the max instead of
+  // snapping to it (the old nearest-rank rule reported 0.4 here).
+  EXPECT_DOUBLE_EQ(summary.p99_seconds,
+                   0.3 + (0.99 * 3.0 - 2.0) * (0.4 - 0.3));
+  EXPECT_DOUBLE_EQ(summary.p999_seconds,
+                   0.3 + (0.999 * 3.0 - 2.0) * (0.4 - 0.3));
   EXPECT_EQ(SummarizeLatencies({}).count, 0u);
 }
 
+// One sample: every percentile is that sample, exactly.
 TEST(BatchStatsHelpers, LatencySummarySingleElement) {
   auto summary = SummarizeLatencies({0.2});
   EXPECT_EQ(summary.count, 1u);
   EXPECT_DOUBLE_EQ(summary.min_seconds, 0.2);
   EXPECT_DOUBLE_EQ(summary.mean_seconds, 0.2);
   EXPECT_DOUBLE_EQ(summary.p99_seconds, 0.2);
+  EXPECT_DOUBLE_EQ(summary.p999_seconds, 0.2);
   EXPECT_DOUBLE_EQ(summary.max_seconds, 0.2);
+}
+
+// Two samples {a, b}: quantile q interpolates to a + q * (b - a).
+TEST(BatchStatsHelpers, LatencySummaryTwoElements) {
+  auto summary = SummarizeLatencies({0.3, 0.1});
+  EXPECT_EQ(summary.count, 2u);
+  EXPECT_DOUBLE_EQ(summary.min_seconds, 0.1);
+  EXPECT_DOUBLE_EQ(summary.max_seconds, 0.3);
+  EXPECT_DOUBLE_EQ(summary.mean_seconds, 0.2);
+  EXPECT_DOUBLE_EQ(summary.p99_seconds, 0.1 + 0.99 * (0.3 - 0.1));
+  EXPECT_DOUBLE_EQ(summary.p999_seconds, 0.1 + 0.999 * (0.3 - 0.1));
+}
+
+// One hundred samples 0.01 .. 1.00: p99 interpolates between the 99th
+// and 100th order statistics at rank 0.99 * 99 = 98.01, p999 at rank
+// 98.901 — neither snaps to the max.
+TEST(BatchStatsHelpers, LatencySummaryHundredElements) {
+  std::vector<double> seconds(100);
+  for (size_t i = 0; i < seconds.size(); ++i) {
+    seconds[i] = static_cast<double>(i + 1) / 100.0;
+  }
+  auto summary = SummarizeLatencies(seconds);
+  EXPECT_EQ(summary.count, 100u);
+  EXPECT_DOUBLE_EQ(summary.min_seconds, 0.01);
+  EXPECT_DOUBLE_EQ(summary.max_seconds, 1.0);
+  const double p99_rank = 0.99 * 99.0;    // 98.01
+  const double p999_rank = 0.999 * 99.0;  // 98.901
+  EXPECT_DOUBLE_EQ(summary.p99_seconds,
+                   0.99 + (p99_rank - 98.0) * (1.0 - 0.99));
+  EXPECT_DOUBLE_EQ(summary.p999_seconds,
+                   0.99 + (p999_rank - 98.0) * (1.0 - 0.99));
+  EXPECT_LT(summary.p99_seconds, summary.p999_seconds);
+  EXPECT_LT(summary.p999_seconds, summary.max_seconds);
 }
 
 // A batch where every query is rejected executes nothing: the latency
@@ -527,6 +600,174 @@ TEST(QueryEngine, LatencySummaryWithSingleExecutedQuery) {
   EXPECT_DOUBLE_EQ(out.stats.latency.p99_seconds,
                    out.stats.latency.max_seconds);
   EXPECT_LE(out.stats.latency.max_seconds, out.stats.wall_seconds);
+}
+
+// Tracing is pure observation: a traced batch returns bit-identical
+// results and identical distance accounting to the untraced batch, and
+// each traced query's spans partition its distance count exactly — one
+// span per shard, spans ordered by start time, every span's window
+// inside the batch wall clock.
+TEST(QueryEngine, TraceSpansPartitionDistanceCountsExactly) {
+  util::Rng rng(49);
+  auto data = dataset::UniformCube(320, 3, &rng);
+  const size_t shards = 4;
+  auto db = ShardedDatabase<Vector>::Build(data, L2(), shards,
+                                           VpFactory<Vector>(12));
+  QueryEngine<Vector> engine(&db, 3);
+
+  std::vector<QuerySpec<Vector>> plain;
+  for (int q = 0; q < 8; ++q) {
+    Vector point = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    plain.push_back(q % 2 == 0 ? QuerySpec<Vector>::Knn(point, 5)
+                               : QuerySpec<Vector>::Range(point, 0.25));
+  }
+  std::vector<QuerySpec<Vector>> traced = plain;
+  for (auto& spec : traced) spec.WithTrace();
+
+  auto base = engine.RunBatch(plain);
+  auto out = engine.RunBatch(traced);
+  ASSERT_TRUE(out.all_ok());
+  EXPECT_EQ(out.results, base.results);
+  EXPECT_EQ(out.per_query_distance_computations,
+            base.per_query_distance_computations);
+  for (size_t q = 0; q < traced.size(); ++q) {
+    // Untraced batches carry empty traces.
+    EXPECT_TRUE(base.traces[q].empty()) << q;
+    const obs::SearchTrace& trace = out.traces[q];
+    ASSERT_EQ(trace.spans.size(), shards) << q;
+    EXPECT_EQ(trace.total_distance_computations(),
+              out.per_query_distance_computations[q])
+        << q;
+    std::vector<bool> seen(shards, false);
+    for (size_t i = 0; i < trace.spans.size(); ++i) {
+      const obs::SearchTrace::Span& span = trace.spans[i];
+      EXPECT_FALSE(span.delta);
+      ASSERT_LT(span.shard, shards);
+      EXPECT_FALSE(seen[span.shard]);  // one span per shard
+      seen[span.shard] = true;
+      EXPECT_GE(span.start_seconds, 0.0);
+      EXPECT_LE(span.start_seconds, span.stop_seconds);
+      EXPECT_LE(span.stop_seconds, out.stats.wall_seconds);
+      if (i > 0) {
+        EXPECT_LE(trace.spans[i - 1].start_seconds, span.start_seconds);
+      }
+    }
+  }
+}
+
+// Tracing a cooperative fan-out records the shared bound at span entry
+// and exit; the bound can only tighten, and results stay exact.
+TEST(QueryEngine, TraceRecordsCooperativeBoundTightening) {
+  util::Rng rng(50);
+  auto data = dataset::UniformCube(400, 3, &rng);
+  auto db = ShardedDatabase<Vector>::Build(data, L2(), 4,
+                                           VpFactory<Vector>(13));
+  QueryEngine<Vector> engine(&db, 4);
+  LinearScanIndex<Vector> scan(data, L2());
+
+  Vector point = {0.4, 0.5, 0.6};
+  auto out = engine.RunBatch(
+      {QuerySpec<Vector>::Knn(point, 5).WithShardScheduling(index::ShardScheduling::kCooperative).WithTrace()});
+  ASSERT_TRUE(out.all_ok());
+  EXPECT_EQ(out.results[0], scan.KnnQuery(point, 5));
+  const obs::SearchTrace& trace = out.traces[0];
+  ASSERT_EQ(trace.spans.size(), 4u);
+  EXPECT_EQ(trace.total_distance_computations(),
+            out.per_query_distance_computations[0]);
+  for (const auto& span : trace.spans) {
+    EXPECT_LE(span.bound_exit, span.bound_entry) << span.shard;
+  }
+  // Some shard finished with the bound pulled down to a finite radius.
+  double tightest = std::numeric_limits<double>::infinity();
+  for (const auto& span : trace.spans) {
+    tightest = std::min(tightest, span.bound_exit);
+  }
+  EXPECT_TRUE(std::isfinite(tightest));
+}
+
+// EnableMetrics wires the engine into a registry: after a batch the
+// counters reproduce the batch's exact accounting, the latency
+// histogram holds one observation per executed query, and both
+// expositions name the engine series.
+TEST(QueryEngine, EnableMetricsPopulatesRegistry) {
+  util::Rng rng(51);
+  auto data = dataset::UniformCube(200, 2, &rng);
+  const size_t shards = 3;
+  auto db = ShardedDatabase<Vector>::Build(data, L2(), shards,
+                                           LinearFactory<Vector>());
+  obs::MetricsRegistry registry("test");
+  QueryEngine<Vector> engine(&db, 2);
+  engine.EnableMetrics(&registry);
+
+  std::vector<QuerySpec<Vector>> batch = {
+      QuerySpec<Vector>::Knn({0.5, 0.5}, 4),
+      QuerySpec<Vector>::Range({0.2, 0.8}, 0.3),
+      QuerySpec<Vector>::Knn({0.5, 0.5}, 0),  // rejected: k = 0
+      QuerySpec<Vector>::Knn({0.1, 0.1}, 3).WithDistanceBudget(10),
+  };
+  auto out = engine.RunBatch(batch);
+
+  EXPECT_EQ(registry.GetCounter("engine_queries_total")->Value(), 3u);
+  EXPECT_EQ(registry.GetCounter("engine_queries_rejected_total")->Value(),
+            1u);
+  EXPECT_EQ(registry.GetCounter("engine_queries_truncated_total")->Value(),
+            1u);
+  EXPECT_EQ(registry.GetCounter("engine_shard_tasks_total")->Value(),
+            3u * shards);
+  EXPECT_EQ(
+      registry.GetCounter("engine_distance_computations_total")->Value(),
+      out.stats.distance_computations);
+  EXPECT_EQ(
+      registry.GetHistogram("engine_query_latency_seconds")->Snap().count(),
+      3u);
+  EXPECT_EQ(registry.GetHistogram("engine_task_run_seconds")->Snap().count(),
+            3u * shards);
+  EXPECT_EQ(registry.GetCounter("threadpool_tasks_executed_total")->Value(),
+            3u * shards);
+
+  // A second batch accumulates into the same instruments.
+  engine.RunBatch({QuerySpec<Vector>::Knn({0.3, 0.3}, 2)});
+  EXPECT_EQ(registry.GetCounter("engine_queries_total")->Value(), 4u);
+
+  const std::string text = registry.TextExposition();
+  EXPECT_NE(text.find("engine_queries_total 4"), std::string::npos) << text;
+  EXPECT_NE(text.find("threadpool_queue_depth 0"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("engine_query_latency_seconds_count 4"),
+            std::string::npos)
+      << text;
+  const std::string json = registry.JsonExposition();
+  EXPECT_NE(json.find("\"engine_queries_total\": 4"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"engine_query_latency_seconds\""), std::string::npos)
+      << json;
+}
+
+// Metrics record cooperative bound tightenings and the pruning
+// statistics indexes report; a LAESA-sharded engine exercises both.
+TEST(QueryEngine, MetricsCoverPruningAndCooperativeSeries) {
+  util::Rng rng(52);
+  auto data = dataset::UniformCube(300, 3, &rng);
+  auto db = ShardedDatabase<Vector>::Build(data, L2(), 4,
+                                           LaesaFactory<Vector>(7, 6));
+  obs::MetricsRegistry registry("coop");
+  QueryEngine<Vector> engine(&db, 4);
+  engine.EnableMetrics(&registry);
+
+  std::vector<QuerySpec<Vector>> batch;
+  for (int q = 0; q < 6; ++q) {
+    Vector point = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    batch.push_back(QuerySpec<Vector>::Knn(point, 4).WithShardScheduling(index::ShardScheduling::kCooperative));
+  }
+  auto out = engine.RunBatch(batch);
+  ASSERT_TRUE(out.all_ok());
+  EXPECT_EQ(registry.GetCounter("engine_pruning_eliminated_total")->Value(),
+            out.stats.pruning_eliminated);
+  EXPECT_GT(out.stats.pruning_eliminated, 0u);
+  // Each query's fan-out publishes its k-th distance at least once.
+  EXPECT_GE(
+      registry.GetCounter("engine_coop_bound_tightenings_total")->Value(),
+      batch.size());
 }
 
 TEST(BatchStatsHelpers, AverageRecall) {

@@ -30,6 +30,8 @@
 #include "index/registry.h"
 #include "metric/lp.h"
 #include "metric/string_metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -540,6 +542,120 @@ TEST(LiveIngest, RetiredGenerationsAreFreedWhenUnpinned) {
 
   std::weak_ptr<const Generation<Vector>> current = live.Pin().generation();
   EXPECT_FALSE(current.expired());  // the store itself pins the head
+}
+
+// A traced live query gets one delta-leg span prepended to the shard
+// spans, every span rebased onto the call's own clock, and the spans
+// still partition the query's delta-inclusive distance count exactly.
+// Tracing changes nothing else: results and accounting stay identical
+// to the untraced run.
+TEST(LiveIngest, TraceCoversDeltaLegAndSumsExactly) {
+  util::Rng rng(412);
+  auto data = dataset::UniformCube(50, 2, &rng);
+  const size_t shards = 3;
+  auto live_result =
+      LiveDatabase<Vector>::Open(data, L2(), shards, "linear-scan", 47);
+  ASSERT_TRUE(live_result.ok());
+  auto& live = *live_result.value();
+  ASSERT_TRUE(live.Insert({0.5, 0.5}).ok());
+  ASSERT_TRUE(live.Insert({0.6, 0.6}).ok());
+  ASSERT_TRUE(live.Remove(0).ok());
+
+  std::vector<QuerySpec<Vector>> plain = {
+      QuerySpec<Vector>::Knn({0.5, 0.5}, 4),
+      QuerySpec<Vector>::Range({0.3, 0.7}, 0.4),
+  };
+  std::vector<QuerySpec<Vector>> traced = plain;
+  for (auto& spec : traced) spec.WithTrace();
+
+  auto base = live.RunBatch(plain);
+  auto out = live.RunBatch(traced);
+  ASSERT_TRUE(out.all_ok());
+  EXPECT_EQ(out.results, base.results);
+  EXPECT_EQ(out.per_query_distance_computations,
+            base.per_query_distance_computations);
+  for (size_t q = 0; q < traced.size(); ++q) {
+    const obs::SearchTrace& trace = out.traces[q];
+    ASSERT_EQ(trace.spans.size(), shards + 1) << q;  // delta + shards
+    EXPECT_TRUE(trace.spans[0].delta) << q;
+    // Two alive inserts: the delta leg pays exactly two distances.
+    EXPECT_EQ(trace.spans[0].distance_computations, 2u) << q;
+    for (size_t i = 1; i < trace.spans.size(); ++i) {
+      EXPECT_FALSE(trace.spans[i].delta) << q;
+    }
+    EXPECT_EQ(trace.total_distance_computations(),
+              out.per_query_distance_computations[q])
+        << q;
+    for (const obs::SearchTrace::Span& span : trace.spans) {
+      EXPECT_GE(span.start_seconds, 0.0) << q;
+      EXPECT_LE(span.start_seconds, span.stop_seconds) << q;
+    }
+  }
+
+  // After compaction the delta is empty: traces drop the delta span
+  // and flow straight from the engine.
+  ASSERT_TRUE(live.Compact().ok());
+  auto folded = live.RunBatch(traced);
+  ASSERT_TRUE(folded.all_ok());
+  for (size_t q = 0; q < traced.size(); ++q) {
+    EXPECT_EQ(folded.traces[q].spans.size(), shards) << q;
+    EXPECT_EQ(folded.traces[q].total_distance_computations(),
+              folded.per_query_distance_computations[q])
+        << q;
+  }
+}
+
+// LiveOptions.metrics wires the store into a registry: write and
+// compaction counters are exact, the compaction histograms record each
+// fold, and the delta-depth / pinned-generation gauges read out
+// point-in-time truth at exposition.
+TEST(LiveIngest, MetricsRecordWritesCompactionsAndGauges) {
+  util::Rng rng(413);
+  auto data = dataset::UniformCube(30, 2, &rng);
+  obs::MetricsRegistry registry("live");
+  LiveOptions options;
+  options.metrics = &registry;
+  auto live_result = LiveDatabase<Vector>::Open(
+      data, L2(), 2, "vp-tree:delta_scan_limit=4", 53, options);
+  ASSERT_TRUE(live_result.ok());
+  auto& live = *live_result.value();
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(live.Insert({2.0 + 0.1 * i, 2.0}).ok());
+  }
+  ASSERT_TRUE(live.Remove(0).ok());
+  // The window is at its delta_scan_limit: one rejected write.
+  EXPECT_FALSE(live.Insert({9.0, 9.0}).ok());
+
+  EXPECT_EQ(registry.GetCounter("live_inserts_total")->Value(), 3u);
+  EXPECT_EQ(registry.GetCounter("live_removes_total")->Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("live_backpressure_total")->Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("live_compactions_total")->Value(), 0u);
+  std::string text = registry.TextExposition();
+  EXPECT_NE(text.find("live_delta_depth 4"), std::string::npos) << text;
+
+  ASSERT_TRUE(live.Compact().ok());
+  EXPECT_EQ(registry.GetCounter("live_compactions_total")->Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("live_compaction_failures_total")->Value(),
+            0u);
+  EXPECT_EQ(
+      registry.GetHistogram("live_compaction_seconds")->Snap().count(), 1u);
+  // The folded-entries histogram saw this fold's 4-entry window.
+  EXPECT_DOUBLE_EQ(
+      registry.GetHistogram("live_compaction_folded_entries")->Snap().sum,
+      4.0);
+  text = registry.TextExposition();
+  EXPECT_NE(text.find("live_delta_depth 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("live_pinned_generations 1"), std::string::npos)
+      << text;
+
+  // The built-in serving engine shares the registry.
+  auto out = live.RunBatch({QuerySpec<Vector>::Knn({0.5, 0.5}, 3)});
+  ASSERT_TRUE(out.all_ok());
+  EXPECT_EQ(registry.GetCounter("engine_queries_total")->Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("engine_distance_computations_total")
+                ->Value(),
+            out.stats.distance_computations);
 }
 
 }  // namespace
