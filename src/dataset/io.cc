@@ -1,5 +1,7 @@
 #include "dataset/io.h"
 
+#include <unistd.h>
+
 #include <fstream>
 #include <sstream>
 
@@ -9,6 +11,21 @@ namespace dataset {
 using util::Result;
 using util::Status;
 
+namespace {
+
+/// Open failure split into the two cases callers branch on: a path
+/// that names nothing (NotFound — try the next candidate, or tell the
+/// user their flag is wrong) vs. a path that exists but cannot be read
+/// (IoError — permissions, a directory, a dying disk).
+Status OpenError(const std::string& path) {
+  if (::access(path.c_str(), F_OK) != 0) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return Status::IoError("cannot open " + path);
+}
+
+}  // namespace
+
 Status WriteVectors(const std::string& path,
                     const std::vector<metric::Vector>& points) {
   std::ofstream out(path);
@@ -16,13 +33,17 @@ Status WriteVectors(const std::string& path,
   size_t d = points.empty() ? 0 : points[0].size();
   out << points.size() << " " << d << "\n";
   out.precision(17);
-  for (const auto& point : points) {
+  for (size_t i = 0; i < points.size(); ++i) {
+    const auto& point = points[i];
     if (point.size() != d) {
-      return Status::InvalidArgument("inconsistent dimensions");
+      return Status::InvalidArgument(
+          "point " + std::to_string(i) + " has dimension " +
+          std::to_string(point.size()) + " but point 0 has " +
+          std::to_string(d));
     }
-    for (size_t i = 0; i < point.size(); ++i) {
-      if (i > 0) out << " ";
-      out << point[i];
+    for (size_t j = 0; j < point.size(); ++j) {
+      if (j > 0) out << " ";
+      out << point[j];
     }
     out << "\n";
   }
@@ -32,18 +53,45 @@ Status WriteVectors(const std::string& path,
 
 Result<std::vector<metric::Vector>> ReadVectors(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open " + path);
+  if (!in) return OpenError(path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError(path + ": empty file (expected an 'n d' header)");
+  }
   size_t n = 0, d = 0;
-  if (!(in >> n >> d)) return Status::IoError("bad header in " + path);
-  std::vector<metric::Vector> points(n, metric::Vector(d));
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < d; ++j) {
-      if (!(in >> points[i][j])) {
-        std::ostringstream msg;
-        msg << "truncated data at point " << i << " in " << path;
-        return Status::IoError(msg.str());
-      }
+  {
+    std::istringstream header(line);
+    std::string trailing;
+    if (!(header >> n >> d) || (header >> trailing)) {
+      return Status::IoError(path + ": malformed header '" + line +
+                             "' (expected 'n d')");
     }
+  }
+  std::vector<metric::Vector> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::IoError(
+          path + ": truncated payload — header promises " +
+          std::to_string(n) + " points but the file ends after " +
+          std::to_string(i));
+    }
+    std::istringstream row(line);
+    metric::Vector point;
+    point.reserve(d);
+    double value = 0.0;
+    while (row >> value) point.push_back(value);
+    if (!row.eof()) {
+      return Status::IoError(path + ": point " + std::to_string(i) +
+                             " holds a non-numeric token in '" + line + "'");
+    }
+    if (point.size() != d) {
+      return Status::InvalidArgument(
+          path + ": point " + std::to_string(i) + " has dimension " +
+          std::to_string(point.size()) + " but the header promises " +
+          std::to_string(d));
+    }
+    points.push_back(std::move(point));
   }
   return points;
 }
@@ -64,10 +112,14 @@ Status WriteStrings(const std::string& path,
 
 Result<std::vector<std::string>> ReadStrings(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open " + path);
+  if (!in) return OpenError(path);
   std::vector<std::string> lines;
   std::string line;
   while (std::getline(in, line)) lines.push_back(line);
+  if (in.bad()) {
+    return Status::IoError(path + ": read failed after " +
+                           std::to_string(lines.size()) + " lines");
+  }
   return lines;
 }
 

@@ -21,7 +21,11 @@ namespace dataset {
 util::Status WriteVectors(const std::string& path,
                           const std::vector<metric::Vector>& points);
 
-/// Reads vectors from `path`.
+/// Reads vectors from `path`.  Errors are precise so callers can
+/// branch: NotFound when the path names nothing, IoError for an
+/// unreadable file / malformed header / fewer points than the header
+/// promises / non-numeric tokens, InvalidArgument when a point's
+/// dimension disagrees with the header.
 util::Result<std::vector<metric::Vector>> ReadVectors(
     const std::string& path);
 
@@ -29,7 +33,8 @@ util::Result<std::vector<metric::Vector>> ReadVectors(
 util::Status WriteStrings(const std::string& path,
                           const std::vector<std::string>& lines);
 
-/// Reads strings, one per line (trailing newline optional).
+/// Reads strings, one per line (trailing newline optional).  NotFound
+/// when the path names nothing; IoError when the stream fails mid-read.
 util::Result<std::vector<std::string>> ReadStrings(const std::string& path);
 
 }  // namespace dataset

@@ -53,6 +53,20 @@ class Generation {
         std::move(built).value(), index_spec, seed, number));
   }
 
+  /// Wraps an already-built database as generation `number`.  Used by
+  /// snapshot restore (engine/generation_store.h), whose contract is
+  /// that `db` is bit-identical to what Build would have produced for
+  /// the same (data, spec, shard_count, seed) — either because it was
+  /// rebuilt through the registry, or because the index state was
+  /// restored verbatim from a snapshot of such a build.
+  static std::shared_ptr<const Generation> Adopt(ShardedDatabase<P> db,
+                                                 std::string index_spec,
+                                                 uint64_t seed,
+                                                 uint64_t number) {
+    return std::shared_ptr<const Generation>(new Generation(
+        std::move(db), std::move(index_spec), seed, number));
+  }
+
   const ShardedDatabase<P>& database() const { return db_; }
 
   /// Monotone generation counter (the first built generation is 1).

@@ -55,12 +55,14 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "engine/generation.h"
+#include "engine/generation_store.h"
 #include "engine/query.h"
 #include "engine/query_engine.h"
 #include "engine/sharded_database.h"
@@ -69,6 +71,8 @@
 #include "metric/metric.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/env.h"
+#include "storage/wal.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -157,6 +161,11 @@ struct LiveOptions {
   /// relaxed atomics, and the point-in-time gauges are exposition-time
   /// callbacks.
   obs::MetricsRegistry* metrics = nullptr;
+  /// File-system access for the durable path (`wal_dir` spec knob).
+  /// Null uses storage::Env::Default(); tests inject a
+  /// storage::FaultInjectionEnv to exercise crash recovery.  Ignored
+  /// when the spec has no wal_dir.
+  storage::Env* env = nullptr;
 };
 
 /// Generation-versioned live store: lock-free pinned reads, mutex-
@@ -285,10 +294,23 @@ class LiveDatabase {
     size_t delta_end_ = 0;
   };
 
-  /// Builds generation 1 over `data` and opens the store.  `spec` is an
-  /// index registry spec optionally carrying the live knobs
-  /// (`delta_scan_limit`, `auto_compact_threshold`); the residual spec
+  /// Opens the store.  `spec` is an index registry spec optionally
+  /// carrying the live knobs (`delta_scan_limit`,
+  /// `auto_compact_threshold`, `wal_dir`, `fsync`); the residual spec
   /// (knobs stripped) builds every generation's shards.
+  ///
+  /// Without `wal_dir` the store is purely in memory: generation 1 is
+  /// built over `data` and a crash discards everything.  With
+  /// `wal_dir`, the store is durable:
+  ///   - an empty directory opens fresh — generation 1 is built over
+  ///     `data`, its snapshot is written, and a WAL is started;
+  ///   - a directory holding a store recovers it — the newest valid
+  ///     snapshot is loaded (a partially written or corrupted one is
+  ///     rejected by checksum and the previous one used), its WAL is
+  ///     replayed with any torn tail truncated, and the store resumes
+  ///     exactly where the acked-and-durable writes left it.  `data`
+  ///     must be empty in this case (the on-disk store IS the data);
+  ///     spec/seed/shard_count must match what the snapshot records.
   static util::Result<std::unique_ptr<LiveDatabase>> Open(
       std::vector<P> data, const metric::Metric<P>& metric,
       size_t shard_count, const std::string& spec, uint64_t seed,
@@ -296,19 +318,31 @@ class LiveDatabase {
     util::Result<std::pair<std::string, index::LiveSpecOptions>> split =
         index::SplitLiveSpec(spec);
     if (!split.ok()) return split.status();
+    const std::string& residual_spec = split.value().first;
+    const index::LiveSpecOptions& live = split.value().second;
+    if (!live.wal_dir.empty()) {
+      return OpenDurable(std::move(data), metric, shard_count,
+                         residual_spec, seed, live, options);
+    }
     util::Result<std::shared_ptr<const Generation<P>>> generation =
         Generation<P>::Build(std::move(data), metric, shard_count,
-                             split.value().first, seed, /*number=*/1,
+                             residual_spec, seed, /*number=*/1,
                              options.build_threads);
     if (!generation.ok()) return generation.status();
     return std::unique_ptr<LiveDatabase>(new LiveDatabase(
-        std::move(generation).value(), metric, shard_count,
-        split.value().first, seed, split.value().second, options));
+        std::move(generation).value(), metric, shard_count, residual_spec,
+        seed, live, options));
   }
 
   ~LiveDatabase() {
     // Drain any in-flight background compaction before members die.
     compact_pool_.Wait();
+    if (wal_ != nullptr) {
+      // Best-effort flush of a buffered tail (kBatched/kNever); a
+      // failure here is a failure to extend durability past the last
+      // policy-mandated sync, which the policy already allows.
+      wal_->Close();
+    }
     if (registry_ != nullptr) {
       for (uint64_t handle : callback_handles_) {
         registry_->UnregisterCallback(handle);
@@ -473,10 +507,20 @@ class LiveDatabase {
   /// the append.  Returns the assigned id (stable until the next
   /// compaction folds it into the base).  OutOfRange when the delta
   /// holds delta_scan_limit entries — compact to make room.
+  ///
+  /// Durable stores write the WAL record first: an insert is only
+  /// committed to the in-memory log (and thus acked) after the WAL
+  /// accepted it, so no acked write can be absent from the log a
+  /// recovery replays.  A WAL I/O error is returned and the write is
+  /// NOT applied.
   util::Result<size_t> Insert(P point) {
     std::lock_guard<std::mutex> lock(write_mutex_);
     util::Status room = EnsureRoomLocked();
     if (!room.ok()) return room;
+    if (wal_ != nullptr) {
+      util::Status logged = wal_->Append(EncodeWalInsert<P>(point));
+      if (!logged.ok()) return logged;
+    }
     const size_t id = writer_base_size_ + writer_inserts_;
     DP_CHECK(log_->Append({/*is_remove=*/false, id, std::move(point)}));
     ++writer_inserts_;
@@ -488,7 +532,7 @@ class LiveDatabase {
   /// Removes the live point with `id` (a base point or a pending
   /// insert) from every query pinned after the append.  NotFound for
   /// ids that do not name a live point in the current numbering;
-  /// OutOfRange when the delta is full.
+  /// OutOfRange when the delta is full.  WAL-before-commit as Insert.
   util::Status Remove(size_t id) {
     std::lock_guard<std::mutex> lock(write_mutex_);
     if (id >= writer_base_size_ + writer_inserts_ ||
@@ -498,11 +542,24 @@ class LiveDatabase {
     }
     util::Status room = EnsureRoomLocked();
     if (!room.ok()) return room;
+    if (wal_ != nullptr) {
+      util::Status logged = wal_->Append(EncodeWalRemove<P>(id));
+      if (!logged.ok()) return logged;
+    }
     DP_CHECK(log_->Append({/*is_remove=*/true, id, P{}}));
     writer_removed_.insert(id);
     if (removes_ != nullptr) removes_->Increment();
     MaybeScheduleAutoCompactLocked();
     return util::Status::OK();
+  }
+
+  /// Forces everything acked so far onto disk regardless of fsync
+  /// policy (no-op for in-memory stores).  The one way to get a
+  /// durability point under fsync=batched/never without compacting.
+  util::Status SyncWal() {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (wal_ == nullptr) return util::Status::OK();
+    return wal_->Sync();
   }
 
   // ------------------------------------------------------- compaction
@@ -525,6 +582,24 @@ class LiveDatabase {
   /// delta entries; the rest stay pending (remapped into the new
   /// generation's log).  Smaller windows bound the rebuild's latency
   /// and memory at the price of more frequent swaps.
+  ///
+  /// Durable stores additionally rotate their on-disk state, ordered so
+  /// a crash at ANY point leaves exactly one recoverable store:
+  ///   1. write snapshot-(N+1) under a .tmp name (fsynced, unpublished;
+  ///      the slow part — runs before writers are blocked);
+  ///   2. under the write lock, start wal-(N+1) with the remapped
+  ///      unconsumed tail and fsync it — the tail must be durable in
+  ///      the new log BEFORE the new snapshot becomes the recovery
+  ///      root, or a crash after step 3 would lose acked writes;
+  ///   3. publish: rename the .tmp to snapshot-(N+1) + directory fsync.
+  ///      A crash before this recovers from snapshot-N + wal-N (the
+  ///      orphan wal-(N+1)/.tmp are deleted); after it, from N+1;
+  ///   4. swap the in-memory state and switch the writer to wal-(N+1);
+  ///   5. outside the locks, retire snapshot-N and wal-N (best-effort —
+  ///      recovery ignores stale generations anyway).
+  /// Any I/O failure aborts before step 4: the old generation (memory
+  /// and disk) keeps serving, partial files are deleted, and the error
+  /// is returned and counted in live_compaction_failures_total.
   util::Status CompactPrefix(size_t limit) {
     std::lock_guard<std::mutex> compact_lock(compact_mutex_);
     std::shared_ptr<const State> state =
@@ -536,10 +611,11 @@ class LiveDatabase {
     std::vector<P> final_data;
     std::unordered_map<size_t, size_t> id_map;
     MaterializeWindow(*state, end, &final_data, &id_map);
+    const uint64_t old_generation = state->generation->number();
+    const uint64_t new_generation = old_generation + 1;
     util::Result<std::shared_ptr<const Generation<P>>> built =
         Generation<P>::Build(std::move(final_data), metric_, shard_count_,
-                             index_spec_, seed_,
-                             state->generation->number() + 1,
+                             index_spec_, seed_, new_generation,
                              build_threads_);
     if (!built.ok()) {
       if (compaction_failures_ != nullptr) {
@@ -549,68 +625,149 @@ class LiveDatabase {
     }
     if (registry_ != nullptr) TrackGeneration(built.value());
 
-    // Swap: carry the unconsumed tail into a fresh log (copied, not
-    // moved — pinned readers still scan the retired log) and publish.
-    // Writers block only for this tail replay.
-    std::lock_guard<std::mutex> write_lock(write_mutex_);
-    const size_t len = state->log->committed();
-    auto next_log = std::make_shared<DeltaLog<P>>();
-    const size_t next_base = built.value()->size();
-    size_t tail_inserts = 0;
-    std::unordered_set<size_t> tail_removed;
-    std::unordered_map<size_t, size_t> tail_map;
-    for (size_t i = end; i < len; ++i) {
-      const typename DeltaLog<P>::Entry& entry = state->log->entry(i);
-      if (!entry.is_remove) {
-        const size_t new_id = next_base + tail_inserts;
-        tail_map.emplace(entry.id, new_id);
-        DP_CHECK(next_log->Append({false, new_id, entry.point}));
-        ++tail_inserts;
-        continue;
+    const bool durable = env_ != nullptr;
+    const std::string snapshot_path =
+        durable ? StorePath(SnapshotFileName(new_generation)) : std::string();
+    const std::string tmp_snapshot_path = snapshot_path + ".tmp";
+    if (durable) {
+      util::Status written = WriteSnapshotTimed(
+          *built.value(), tmp_snapshot_path, /*atomic=*/false);
+      if (!written.ok()) {
+        env_->DeleteFile(tmp_snapshot_path);  // best effort
+        if (compaction_failures_ != nullptr) {
+          compaction_failures_->Increment();
+        }
+        return written;
       }
-      // Writer-side validation guarantees the target survived the
-      // folded window, so it maps into the new space (base survivor,
-      // folded insert, or a tail insert replayed above).
-      auto mapped = id_map.find(entry.id);
-      size_t new_id = 0;
-      if (mapped != id_map.end()) {
-        new_id = mapped->second;
-      } else {
-        auto tail_mapped = tail_map.find(entry.id);
-        DP_CHECK(tail_mapped != tail_map.end());
-        new_id = tail_mapped->second;
+    }
+
+    {
+      // Swap: carry the unconsumed tail into a fresh log (copied, not
+      // moved — pinned readers still scan the retired log) and publish.
+      // Writers block only for the tail replay (and, when durable, the
+      // tail fsync + rename).
+      std::lock_guard<std::mutex> write_lock(write_mutex_);
+
+      std::unique_ptr<storage::WalWriter> next_wal;
+      const auto fail_rotation = [&](util::Status error) {
+        if (next_wal != nullptr) next_wal->Close();  // best effort, like
+        next_wal.reset();                            // the deletes below
+        env_->DeleteFile(StorePath(WalFileName(new_generation)));
+        env_->DeleteFile(tmp_snapshot_path);
+        env_->DeleteFile(snapshot_path);
+        if (compaction_failures_ != nullptr) {
+          compaction_failures_->Increment();
+        }
+        return error;
+      };
+      if (durable) {
+        storage::WalWriter::Options wal_options;
+        wal_options.policy = fsync_policy_;
+        wal_options.instruments = wal_instruments_;
+        auto opened = storage::WalWriter::Open(
+            env_, StorePath(WalFileName(new_generation)), /*truncate=*/true,
+            /*first_seq=*/1, wal_options);
+        if (!opened.ok()) return fail_rotation(opened.status());
+        next_wal = std::move(opened).value();
       }
-      DP_CHECK(next_log->Append({true, new_id, P{}}));
-      tail_removed.insert(new_id);
+
+      const size_t len = state->log->committed();
+      auto next_log = std::make_shared<DeltaLog<P>>();
+      const size_t next_base = built.value()->size();
+      size_t tail_inserts = 0;
+      std::unordered_set<size_t> tail_removed;
+      std::unordered_map<size_t, size_t> tail_map;
+      for (size_t i = end; i < len; ++i) {
+        const typename DeltaLog<P>::Entry& entry = state->log->entry(i);
+        if (!entry.is_remove) {
+          const size_t new_id = next_base + tail_inserts;
+          tail_map.emplace(entry.id, new_id);
+          if (next_wal != nullptr) {
+            util::Status logged =
+                next_wal->Append(EncodeWalInsert<P>(entry.point));
+            if (!logged.ok()) return fail_rotation(logged);
+          }
+          DP_CHECK(next_log->Append({false, new_id, entry.point}));
+          ++tail_inserts;
+          continue;
+        }
+        // Writer-side validation guarantees the target survived the
+        // folded window, so it maps into the new space (base survivor,
+        // folded insert, or a tail insert replayed above).
+        auto mapped = id_map.find(entry.id);
+        size_t new_id = 0;
+        if (mapped != id_map.end()) {
+          new_id = mapped->second;
+        } else {
+          auto tail_mapped = tail_map.find(entry.id);
+          DP_CHECK(tail_mapped != tail_map.end());
+          new_id = tail_mapped->second;
+        }
+        if (next_wal != nullptr) {
+          util::Status logged = next_wal->Append(EncodeWalRemove<P>(new_id));
+          if (!logged.ok()) return fail_rotation(logged);
+        }
+        DP_CHECK(next_log->Append({true, new_id, P{}}));
+        tail_removed.insert(new_id);
+      }
+      if (durable) {
+        util::Status synced = next_wal->Sync();
+        if (!synced.ok()) return fail_rotation(synced);
+        util::Status renamed =
+            env_->RenameFile(tmp_snapshot_path, snapshot_path);
+        if (!renamed.ok()) return fail_rotation(renamed);
+        util::Status dir_synced = env_->SyncDir(wal_dir_);
+        if (!dir_synced.ok()) return fail_rotation(dir_synced);
+      }
+      auto next = std::make_shared<const State>(
+          State{std::move(built).value(), next_log});
+      state_.store(std::move(next));
+      log_ = std::move(next_log);
+      writer_base_size_ = next_base;
+      writer_inserts_ = tail_inserts;
+      writer_removed_ = std::move(tail_removed);
+      if (durable) {
+        if (wal_ != nullptr) wal_->Close();  // old log is about to retire
+        wal_ = std::move(next_wal);
+        wal_generation_ = new_generation;
+      }
+      if (compactions_ != nullptr) compactions_->Increment();
+      if (compaction_seconds_ != nullptr) {
+        compaction_seconds_->Record(
+            Seconds(compact_start, std::chrono::steady_clock::now()));
+      }
+      if (compaction_folded_entries_ != nullptr) {
+        compaction_folded_entries_->Record(static_cast<double>(end));
+      }
     }
-    auto next = std::make_shared<const State>(
-        State{std::move(built).value(), next_log});
-    state_.store(std::move(next));
-    log_ = std::move(next_log);
-    writer_base_size_ = next_base;
-    writer_inserts_ = tail_inserts;
-    writer_removed_ = std::move(tail_removed);
-    if (compactions_ != nullptr) compactions_->Increment();
-    if (compaction_seconds_ != nullptr) {
-      compaction_seconds_->Record(
-          Seconds(compact_start, std::chrono::steady_clock::now()));
-    }
-    if (compaction_folded_entries_ != nullptr) {
-      compaction_folded_entries_->Record(static_cast<double>(end));
+    if (durable) {
+      env_->DeleteFile(StorePath(WalFileName(old_generation)));
+      env_->DeleteFile(StorePath(SnapshotFileName(old_generation)));
     }
     return util::Status::OK();
   }
 
   /// Schedules Compact() on the store's background thread and returns
   /// immediately; at most one background compaction is pending at a
-  /// time (further calls are no-ops until it runs).  Errors are kept in
-  /// last_background_compact_status().
+  /// time (further calls are no-ops until it settles).  A failed
+  /// attempt is retried with capped exponential backoff (10/20/40 ms,
+  /// four attempts total) so a transient fault — a failed fsync, a
+  /// momentarily full disk — does not permanently wedge
+  /// auto-compaction; every failed attempt counts in
+  /// live_compaction_failures_total, and the sequence's final status
+  /// lands in last_background_compact_status().
   void CompactAsync() {
     bool expected = false;
     if (!compact_pending_.compare_exchange_strong(expected, true)) return;
     compact_pool_.Submit([this]() {
+      constexpr int kAttempts = 4;
+      constexpr std::chrono::milliseconds kBaseBackoff{10};
       util::Status status = Compact();
-      if (!status.ok()) {
+      for (int attempt = 1; !status.ok() && attempt < kAttempts; ++attempt) {
+        std::this_thread::sleep_for(kBaseBackoff * (1 << (attempt - 1)));
+        status = Compact();
+      }
+      {
         std::lock_guard<std::mutex> lock(background_status_mutex_);
         background_compact_status_ = status;
       }
@@ -630,8 +787,8 @@ class LiveDatabase {
   /// Call from the owning thread only (ThreadPool::Wait contract).
   void WaitForCompaction() { compact_pool_.Wait(); }
 
-  /// Status of the most recent failed background compaction (OK if
-  /// none failed yet).
+  /// Final status of the most recent background compaction sequence
+  /// (OK initially, and again once a later sequence succeeds).
   util::Status last_background_compact_status() const {
     std::lock_guard<std::mutex> lock(background_status_mutex_);
     return background_compact_status_;
@@ -680,6 +837,212 @@ class LiveDatabase {
     if (options.metrics != nullptr) EnableMetrics(options.metrics);
   }
 
+  // ------------------------------------------------------- durability
+
+  /// Open() for specs carrying `wal_dir`: a directory with no snapshot
+  /// opens fresh (generation 1 over `data`, snapshot written, WAL
+  /// started); a directory holding a store recovers it (newest valid
+  /// snapshot + WAL replay).  See the Open() doc comment for the
+  /// contract.
+  static util::Result<std::unique_ptr<LiveDatabase>> OpenDurable(
+      std::vector<P> data, const metric::Metric<P>& metric,
+      size_t shard_count, const std::string& index_spec, uint64_t seed,
+      const index::LiveSpecOptions& live, LiveOptions options) {
+    storage::Env* env =
+        options.env != nullptr ? options.env : storage::Env::Default();
+    util::Result<storage::FsyncPolicy> policy =
+        storage::ParseFsyncPolicy(live.fsync);
+    if (!policy.ok()) return policy.status();
+    DP_RETURN_IF_ERROR(env->CreateDir(live.wal_dir));
+    util::Result<std::vector<std::string>> listing =
+        env->ListDir(live.wal_dir);
+    if (!listing.ok()) return listing.status();
+    std::vector<uint64_t> snapshots;
+    for (const std::string& name : listing.value()) {
+      bool is_snapshot = false;
+      uint64_t generation = 0;
+      if (ParseStoreFileName(name, &is_snapshot, &generation) &&
+          is_snapshot) {
+        snapshots.push_back(generation);
+      }
+    }
+    std::sort(snapshots.rbegin(), snapshots.rend());  // newest first
+
+    if (snapshots.empty()) {
+      // Fresh store.  Ordering: the snapshot is published before the
+      // WAL opens, so a crash anywhere in here leaves either nothing
+      // (re-open fresh) or a recoverable generation 1.
+      util::Result<std::shared_ptr<const Generation<P>>> generation =
+          Generation<P>::Build(std::move(data), metric, shard_count,
+                               index_spec, seed, /*number=*/1,
+                               options.build_threads);
+      if (!generation.ok()) return generation.status();
+      std::unique_ptr<LiveDatabase> db(new LiveDatabase(
+          std::move(generation).value(), metric, shard_count, index_spec,
+          seed, live, options));
+      db->AttachStorage(env, live.wal_dir, policy.value());
+      DP_RETURN_IF_ERROR(db->WriteSnapshotTimed(
+          *db->state_.load()->generation,
+          db->StorePath(SnapshotFileName(1)), /*atomic=*/true));
+      DP_RETURN_IF_ERROR(db->OpenWalForGeneration(1, /*truncate=*/true,
+                                                  /*first_seq=*/1));
+      db->DeleteStrayStoreFiles(listing.value(), /*keep_generation=*/1);
+      return db;
+    }
+
+    // Recovery.
+    if (!data.empty()) {
+      return util::Status::InvalidArgument(
+          "LiveDatabase: opening an existing durable store requires empty "
+          "seed data (the on-disk store IS the data)");
+    }
+    util::Status last_error = util::Status::IoError(
+        "LiveDatabase: no loadable snapshot in " + live.wal_dir);
+    std::shared_ptr<const Generation<P>> generation;
+    for (uint64_t gen : snapshots) {
+      auto loaded = ReadGenerationSnapshot<P>(
+          env, live.wal_dir + "/" + SnapshotFileName(gen), metric,
+          shard_count, index_spec, seed, options.build_threads);
+      if (loaded.ok()) {
+        generation = std::move(loaded).value();
+        break;
+      }
+      last_error = loaded.status();
+      // InvalidArgument is an identity mismatch (wrong spec/seed/shard
+      // count), not corruption: refuse instead of falling back to an
+      // older snapshot that would mismatch the same way.
+      if (last_error.code() == util::StatusCode::kInvalidArgument) {
+        return last_error;
+      }
+    }
+    if (generation == nullptr) return last_error;
+
+    const uint64_t gen_number = generation->number();
+    std::unique_ptr<LiveDatabase> db(new LiveDatabase(
+        std::move(generation), metric, shard_count, index_spec, seed, live,
+        options));
+    db->AttachStorage(env, live.wal_dir, policy.value());
+
+    const std::string wal_path = db->StorePath(WalFileName(gen_number));
+    uint64_t next_seq = 1;
+    auto contents = storage::ReadWal(env, wal_path, /*first_seq=*/1);
+    if (contents.ok()) {
+      if (contents.value().torn_tail) {
+        // A frame the crash tore in half; everything before it is
+        // intact, and under fsync=always everything acked is before it.
+        DP_RETURN_IF_ERROR(
+            env->TruncateFile(wal_path, contents.value().valid_bytes));
+      }
+      for (const storage::WalRecord& record : contents.value().records) {
+        auto op = DecodeWalRecord<P>(record.payload);
+        if (!op.ok()) return op.status();
+        DP_RETURN_IF_ERROR(db->ApplyRecoveredOp(std::move(op).value()));
+      }
+      if (!contents.value().records.empty()) {
+        next_seq = contents.value().records.back().seq + 1;
+      }
+      if (db->recovery_replayed_ != nullptr) {
+        db->recovery_replayed_->Add(contents.value().records.size());
+      }
+    } else if (contents.status().code() != util::StatusCode::kNotFound) {
+      // A missing WAL is fine (a crash between snapshot publication and
+      // WAL creation: zero replay); any other read error is fatal.
+      return contents.status();
+    }
+    DP_RETURN_IF_ERROR(
+        db->OpenWalForGeneration(gen_number, /*truncate=*/false, next_seq));
+    db->DeleteStrayStoreFiles(listing.value(), gen_number);
+    return db;
+  }
+
+  void AttachStorage(storage::Env* env, std::string wal_dir,
+                     storage::FsyncPolicy policy) {
+    env_ = env;
+    wal_dir_ = std::move(wal_dir);
+    fsync_policy_ = policy;
+  }
+
+  std::string StorePath(const std::string& name) const {
+    return wal_dir_ + "/" + name;
+  }
+
+  /// WriteGenerationSnapshot timed into snapshot_write_seconds.
+  util::Status WriteSnapshotTimed(const Generation<P>& generation,
+                                  const std::string& path, bool atomic) {
+    const auto start = std::chrono::steady_clock::now();
+    util::Status status =
+        WriteGenerationSnapshot<P>(env_, path, generation, atomic);
+    if (status.ok() && snapshot_seconds_ != nullptr) {
+      snapshot_seconds_->Record(
+          Seconds(start, std::chrono::steady_clock::now()));
+    }
+    return status;
+  }
+
+  /// Opens (or continues) wal-<generation> as the store's writer.
+  util::Status OpenWalForGeneration(uint64_t generation, bool truncate,
+                                    uint64_t first_seq) {
+    storage::WalWriter::Options wal_options;
+    wal_options.policy = fsync_policy_;
+    wal_options.instruments = wal_instruments_;
+    auto opened =
+        storage::WalWriter::Open(env_, StorePath(WalFileName(generation)),
+                                 truncate, first_seq, wal_options);
+    if (!opened.ok()) return opened.status();
+    wal_ = std::move(opened).value();
+    wal_generation_ = generation;
+    return util::Status::OK();
+  }
+
+  /// Re-applies one recovered WAL operation to the writer state.  Runs
+  /// before the store serves (single-threaded, wal_ still unset — the
+  /// replay must not re-append).  Insert ids are reassigned
+  /// deterministically in replay order, reproducing the original
+  /// assignment; a remove naming a dead id means the log does not
+  /// belong to the snapshot.
+  util::Status ApplyRecoveredOp(WalOp<P> op) {
+    if (!op.is_remove) {
+      const size_t id = writer_base_size_ + writer_inserts_;
+      if (!log_->Append({false, id, std::move(op.point)})) {
+        return util::Status::OutOfRange(
+            "recovery: delta log capacity exceeded during replay");
+      }
+      ++writer_inserts_;
+      return util::Status::OK();
+    }
+    const size_t id = static_cast<size_t>(op.id);
+    if (id >= writer_base_size_ + writer_inserts_ ||
+        writer_removed_.count(id) != 0) {
+      return util::Status::IoError(
+          "recovery: wal removes id " + std::to_string(id) +
+          " that is not live — the log does not match the snapshot");
+    }
+    if (!log_->Append({true, id, P{}})) {
+      return util::Status::OutOfRange(
+          "recovery: delta log capacity exceeded during replay");
+    }
+    writer_removed_.insert(id);
+    return util::Status::OK();
+  }
+
+  /// Deletes store files of other generations and .tmp leftovers —
+  /// orphans of a crashed rotation (see CompactPrefix).  Best-effort.
+  void DeleteStrayStoreFiles(const std::vector<std::string>& listing,
+                             uint64_t keep_generation) {
+    for (const std::string& name : listing) {
+      bool is_snapshot = false;
+      uint64_t generation = 0;
+      if (ParseStoreFileName(name, &is_snapshot, &generation)) {
+        if (generation != keep_generation) env_->DeleteFile(StorePath(name));
+        continue;
+      }
+      if (name.size() > 4 &&
+          name.compare(name.size() - 4, 4, ".tmp") == 0) {
+        env_->DeleteFile(StorePath(name));
+      }
+    }
+  }
+
   /// Wires the store's instruments and the built-in engine into
   /// `registry`; called from the constructor when LiveOptions names a
   /// registry.
@@ -694,6 +1057,14 @@ class LiveDatabase {
     compaction_seconds_ = registry->GetHistogram("live_compaction_seconds");
     compaction_folded_entries_ =
         registry->GetHistogram("live_compaction_folded_entries");
+    // Durability instruments: registered unconditionally (they stay at
+    // zero for in-memory stores) so dashboards see a stable series set.
+    wal_instruments_.appends_total = registry->GetCounter("wal_appends_total");
+    wal_instruments_.bytes_total = registry->GetCounter("wal_bytes_total");
+    wal_instruments_.fsync_seconds =
+        registry->GetHistogram("wal_fsync_seconds");
+    recovery_replayed_ = registry->GetCounter("recovery_replayed_entries");
+    snapshot_seconds_ = registry->GetHistogram("snapshot_write_seconds");
     callback_handles_.push_back(registry->RegisterCallback(
         "live_delta_depth",
         [this]() { return static_cast<double>(delta_entries()); }));
@@ -842,6 +1213,19 @@ class LiveDatabase {
   /// Built-in engine for the convenience RunBatch(batch) path.
   std::mutex engine_mutex_;
   QueryEngine<P> engine_;
+
+  /// Durable-store state; all unset for in-memory stores.  `env_` is
+  /// borrowed (LiveOptions contract: it outlives the store); `wal_` is
+  /// written under write_mutex_ and read by the destructor after every
+  /// other thread has drained.
+  storage::Env* env_ = nullptr;
+  std::string wal_dir_;
+  storage::FsyncPolicy fsync_policy_ = storage::FsyncPolicy::kBatched;
+  std::unique_ptr<storage::WalWriter> wal_;
+  uint64_t wal_generation_ = 0;
+  storage::WalInstruments wal_instruments_;
+  obs::Counter* recovery_replayed_ = nullptr;
+  obs::Histogram* snapshot_seconds_ = nullptr;
 
   /// Background compaction worker.  Declared last: destroyed first, so
   /// a draining compaction task never touches dead members.

@@ -101,6 +101,55 @@ class DistPermIndex : public SearchIndex<P> {
     packed_ = writer.Finish();
   }
 
+  /// Everything the index keeps besides the data itself — the exact
+  /// members search reads.  Exported for snapshot persistence and fed
+  /// back through the restore constructor: a restored index answers
+  /// bit-identically to the one that exported, because SearchImpl
+  /// depends on nothing outside this state.
+  struct PackedState {
+    std::vector<P> sites;
+    size_t prefix = 0;
+    double fraction = 0.1;
+    std::vector<uint8_t> inv_ranks;
+    std::vector<uint8_t> packed;
+    uint64_t packed_bits = 0;
+  };
+
+  PackedState ExportPackedState() const {
+    PackedState state;
+    state.sites = sites_;
+    state.prefix = prefix_;
+    state.fraction = fraction();
+    state.inv_ranks = inv_ranks_;
+    state.packed = packed_;
+    state.packed_bits = packed_bits_;
+    return state;
+  }
+
+  /// Restores an index from previously exported state without paying
+  /// the n x k build-time distance evaluations.  The state must match
+  /// `data` (same point count it was exported over); this is checked.
+  /// build_distance_computations() reports 0 for a restored index —
+  /// restoration computes no distances.
+  DistPermIndex(std::vector<P> data, metric::Metric<P> metric,
+                PackedState state)
+      : SearchIndex<P>(std::move(data), std::move(metric)),
+        flat_(data_, this->metric_),
+        sites_(std::move(state.sites)),
+        prefix_(state.prefix),
+        inv_ranks_(std::move(state.inv_ranks)),
+        packed_(std::move(state.packed)),
+        packed_bits_(state.packed_bits),
+        fraction_(state.fraction) {
+    DP_CHECK(!sites_.empty() && sites_.size() <= core::kMaxRank64Sites);
+    DP_CHECK(prefix_ >= 1 && prefix_ <= sites_.size());
+    DP_CHECK(fraction() > 0.0 && fraction() <= 1.0);
+    DP_CHECK_MSG(inv_ranks_.size() == data_.size() * sites_.size(),
+                 "restored distperm state does not match the data: "
+                     << inv_ranks_.size() << " ranks for " << data_.size()
+                     << " points x " << sites_.size() << " sites");
+  }
+
   std::string name() const override {
     return prefix_ == sites_.size() ? "distperm" : "distperm-prefix";
   }

@@ -87,7 +87,8 @@ util::Result<std::pair<std::string, LiveSpecOptions>> SplitLiveSpec(
   std::string residual = parsed.value().name;
   bool first_option = true;
   for (auto& [key, value] : parsed.value().options) {
-    if (key == "delta_scan_limit" || key == "auto_compact_threshold") {
+    if (key == "delta_scan_limit" || key == "auto_compact_threshold" ||
+        key == "wal_dir" || key == "fsync") {
       live_pairs.emplace_back(key, value);
       continue;
     }
@@ -96,8 +97,8 @@ util::Result<std::pair<std::string, LiveSpecOptions>> SplitLiveSpec(
     first_option = false;
   }
 
-  // Reuse IndexOptions for the integer parsing and its error messages;
-  // only the two live keys are present, so CheckAllConsumed is moot.
+  // Reuse IndexOptions for the option parsing and its error messages;
+  // only the live keys are present, so CheckAllConsumed is moot.
   LiveSpecOptions defaults;
   IndexOptions live("live", std::move(live_pairs));
   util::Result<size_t> limit =
@@ -106,10 +107,22 @@ util::Result<std::pair<std::string, LiveSpecOptions>> SplitLiveSpec(
   util::Result<size_t> threshold = live.GetSize(
       "auto_compact_threshold", defaults.auto_compact_threshold);
   if (!threshold.ok()) return threshold.status();
+  util::Result<std::string> wal_dir = live.GetString("wal_dir", "");
+  if (!wal_dir.ok()) return wal_dir.status();
+  util::Result<std::string> fsync = live.GetString("fsync", defaults.fsync);
+  if (!fsync.ok()) return fsync.status();
+  if (fsync.value() != "always" && fsync.value() != "batched" &&
+      fsync.value() != "never") {
+    return util::Status::InvalidArgument(
+        "live spec '" + spec + "': fsync must be always|batched|never, got '" +
+        fsync.value() + "'");
+  }
 
   LiveSpecOptions options;
   options.delta_scan_limit = limit.value();
   options.auto_compact_threshold = threshold.value();
+  options.wal_dir = wal_dir.value();
+  options.fsync = fsync.value();
   if (options.delta_scan_limit == 0) {
     return util::Status::InvalidArgument(
         "live spec '" + spec + "': delta_scan_limit must be >= 1");
@@ -177,6 +190,13 @@ util::Result<double> IndexOptions::GetDouble(const std::string& key,
                                          "' is not a number");
   }
   return parsed;
+}
+
+util::Result<std::string> IndexOptions::GetString(
+    const std::string& key, const std::string& fallback) {
+  const Entry* entry = Find(key);
+  if (entry == nullptr) return fallback;
+  return entry->value;
 }
 
 util::Status IndexOptions::CheckAllConsumed() const {

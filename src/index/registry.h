@@ -83,6 +83,15 @@ struct LiveSpecOptions {
   /// <= delta_scan_limit (the compaction must trigger before
   /// backpressure does).
   size_t auto_compact_threshold = 0;
+  /// Directory for the store's write-ahead log and snapshots.  Empty
+  /// (the default) keeps the store purely in memory — PR-5 behavior.
+  /// Non-empty makes every Insert/Remove durable per the fsync policy
+  /// and every compaction write a snapshot (see engine::LiveDatabase).
+  std::string wal_dir;
+  /// WAL fsync policy: "always" | "batched" | "never".  Parsed into
+  /// storage::FsyncPolicy by the engine; kept as a string here so the
+  /// index layer stays independent of the storage layer.
+  std::string fsync = "batched";
 };
 
 /// Splits `spec` into the live-store knobs and the residual index spec
@@ -107,6 +116,11 @@ class IndexOptions {
 
   /// Floating-point option; `fallback` when absent.
   util::Result<double> GetDouble(const std::string& key, double fallback);
+
+  /// Verbatim string option; `fallback` when absent.  Values are
+  /// already non-empty and ','-free by the spec grammar.
+  util::Result<std::string> GetString(const std::string& key,
+                                      const std::string& fallback);
 
   /// OK iff every supplied option was consumed by a getter.
   util::Status CheckAllConsumed() const;

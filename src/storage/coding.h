@@ -1,0 +1,76 @@
+// Little-endian fixed-width encoding helpers for the on-disk formats.
+//
+// Every storage format in this directory (WAL frames, snapshot headers,
+// point payloads) is written in explicit little-endian byte order so a
+// file is readable regardless of the host the writer ran on.  The
+// helpers append to a std::string (the storage layer's byte-buffer
+// currency) and read from raw pointers with explicit bounds handled by
+// the caller.
+
+#ifndef DISTPERM_STORAGE_CODING_H_
+#define DISTPERM_STORAGE_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace distperm {
+namespace storage {
+
+inline void PutFixed32(std::string* out, uint32_t value) {
+  char buffer[4];
+  for (int i = 0; i < 4; ++i) {
+    buffer[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  out->append(buffer, 4);
+}
+
+inline void PutFixed64(std::string* out, uint64_t value) {
+  char buffer[8];
+  for (int i = 0; i < 8; ++i) {
+    buffer[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  out->append(buffer, 8);
+}
+
+/// Doubles travel as their IEEE-754 bit pattern in little-endian order;
+/// round-trips are bit-exact (NaN payloads included).
+inline void PutDouble(std::string* out, double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutFixed64(out, bits);
+}
+
+/// Length-prefixed byte string (u32 length + raw bytes).
+inline void PutLengthPrefixed(std::string* out, const std::string& value) {
+  PutFixed32(out, static_cast<uint32_t>(value.size()));
+  out->append(value);
+}
+
+inline uint32_t GetFixed32(const uint8_t* p) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return value;
+}
+
+inline uint64_t GetFixed64(const uint8_t* p) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return value;
+}
+
+inline double GetDouble(const uint8_t* p) {
+  const uint64_t bits = GetFixed64(p);
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace storage
+}  // namespace distperm
+
+#endif  // DISTPERM_STORAGE_CODING_H_

@@ -1,0 +1,102 @@
+#include "storage/crc32.h"
+
+#include <array>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#include <nmmintrin.h>
+#define DISTPERM_CRC32_X86 1
+#endif
+
+namespace distperm {
+namespace storage {
+
+namespace {
+
+constexpr uint32_t kPolynomial = 0x82f63b78u;  // CRC32C, reflected
+
+/// Slicing-by-8 tables, built once at first use.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPolynomial : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (size_t slice = 1; slice < 8; ++slice) {
+        t[slice][i] =
+            (t[slice - 1][i] >> 8) ^ t[0][t[slice - 1][i] & 0xff];
+      }
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+uint32_t Crc32cTable(const uint8_t* p, size_t size, uint32_t crc) {
+  const Tables& tables = GetTables();
+  while (size >= 8) {
+    // One 8-byte step: fold the running crc into the first four bytes,
+    // then combine all eight through the slices.
+    const uint32_t lo = (crc ^ (static_cast<uint32_t>(p[0]) |
+                                static_cast<uint32_t>(p[1]) << 8 |
+                                static_cast<uint32_t>(p[2]) << 16 |
+                                static_cast<uint32_t>(p[3]) << 24));
+    crc = tables.t[7][lo & 0xff] ^ tables.t[6][(lo >> 8) & 0xff] ^
+          tables.t[5][(lo >> 16) & 0xff] ^ tables.t[4][lo >> 24] ^
+          tables.t[3][p[4]] ^ tables.t[2][p[5]] ^ tables.t[1][p[6]] ^
+          tables.t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = (crc >> 8) ^ tables.t[0][(crc ^ *p++) & 0xff];
+  }
+  return crc;
+}
+
+#ifdef DISTPERM_CRC32_X86
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(
+    const uint8_t* p, size_t size, uint32_t crc) {
+  while (size >= 8) {
+    uint64_t chunk;
+    __builtin_memcpy(&chunk, p, 8);
+    crc = static_cast<uint32_t>(_mm_crc32_u64(crc, chunk));
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+  }
+  return crc;
+}
+
+bool HardwareAvailable() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  return (ecx & bit_SSE4_2) != 0;
+}
+#endif
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const uint32_t crc = seed ^ 0xffffffffu;
+#ifdef DISTPERM_CRC32_X86
+  static const bool hardware = HardwareAvailable();
+  if (hardware) return Crc32cHardware(p, size, crc) ^ 0xffffffffu;
+#endif
+  return Crc32cTable(p, size, crc) ^ 0xffffffffu;
+}
+
+}  // namespace storage
+}  // namespace distperm

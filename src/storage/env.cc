@@ -1,0 +1,312 @@
+#include "storage/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace distperm {
+namespace storage {
+
+namespace {
+
+util::Status ErrnoStatus(const std::string& op, const std::string& path,
+                         int err) {
+  const std::string message = op + " " + path + ": " + std::strerror(err);
+  if (err == ENOENT) return util::Status::NotFound(message);
+  return util::Status::IoError(message);
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  util::Status Append(const void* data, size_t size) override {
+    if (fd_ < 0) return util::Status::IoError("append on closed file " + path_);
+    const char* p = static_cast<const char*>(data);
+    while (size > 0) {
+      const ssize_t n = ::write(fd_, p, size);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", path_, errno);
+      }
+      p += n;
+      size -= static_cast<size_t>(n);
+    }
+    return util::Status::OK();
+  }
+
+  util::Status Flush() override {
+    // Appends go straight to the OS; nothing buffered here.
+    return util::Status::OK();
+  }
+
+  util::Status Sync() override {
+    if (fd_ < 0) return util::Status::IoError("sync on closed file " + path_);
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_, errno);
+    return util::Status::OK();
+  }
+
+  util::Status Close() override {
+    if (fd_ < 0) return util::Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close", path_, errno);
+    return util::Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixMappedFile : public MappedFile {
+ public:
+  PosixMappedFile(void* base, size_t size) : base_(base), size_(size) {}
+
+  ~PosixMappedFile() override {
+    if (base_ != nullptr && size_ > 0) ::munmap(base_, size_);
+  }
+
+  const uint8_t* data() const override {
+    return static_cast<const uint8_t*>(base_);
+  }
+  size_t size() const override { return size_; }
+
+ private:
+  void* base_;
+  size_t size_;
+};
+
+class PosixEnv : public Env {
+ public:
+  util::Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+    if (truncate) flags |= O_TRUNC;
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+  }
+
+  util::Result<std::string> ReadFile(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    std::string out;
+    char buffer[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        ::close(fd);
+        return ErrnoStatus("read", path, err);
+      }
+      if (n == 0) break;
+      out.append(buffer, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  util::Result<std::shared_ptr<MappedFile>> MapFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      const int err = errno;
+      ::close(fd);
+      return ErrnoStatus("fstat", path, err);
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      return std::shared_ptr<MappedFile>(new PosixMappedFile(nullptr, 0));
+    }
+    // MAP_POPULATE pre-faults the mapping: snapshot readers sweep the
+    // whole file for checksums immediately, so taking one batched
+    // page-in here beats ~size/4KiB soft faults during that sweep.
+    void* base =
+        ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE | MAP_POPULATE, fd, 0);
+    if (base == MAP_FAILED && errno == EINVAL) {
+      // Portability fallback for kernels without MAP_POPULATE.
+      base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    }
+    const int err = errno;
+    ::close(fd);  // The mapping keeps its own reference to the file.
+    if (base == MAP_FAILED) return ErrnoStatus("mmap", path, err);
+    return std::shared_ptr<MappedFile>(new PosixMappedFile(base, size));
+  }
+
+  util::Status RenameFile(const std::string& from,
+                          const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from + " -> " + to, errno);
+    }
+    return util::Status::OK();
+  }
+
+  util::Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path, errno);
+    return util::Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  util::Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return ErrnoStatus("stat", path, errno);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  util::Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("truncate", path, errno);
+    }
+    return util::Status::OK();
+  }
+
+  util::Result<std::vector<std::string>> ListDir(
+      const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return ErrnoStatus("opendir", dir, errno);
+    std::vector<std::string> names;
+    for (;;) {
+      errno = 0;
+      struct dirent* entry = ::readdir(d);
+      if (entry == nullptr) {
+        const int err = errno;
+        ::closedir(d);
+        if (err != 0) return ErrnoStatus("readdir", dir, err);
+        break;
+      }
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(name);
+    }
+    return names;
+  }
+
+  util::Status CreateDir(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir", dir, errno);
+    }
+    return util::Status::OK();
+  }
+
+  util::Status SyncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open", dir, errno);
+    util::Status status = util::Status::OK();
+    if (::fsync(fd) != 0) status = ErrnoStatus("fsync", dir, errno);
+    ::close(fd);
+    return status;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+namespace {
+
+/// WritableFile that charges appends against the owning env's crash
+/// budget.  A crash mid-append persists the prefix that fit — the same
+/// bytes a real kill between write(2) calls would leave on disk.
+class FaultInjectionFile : public WritableFile {
+ public:
+  FaultInjectionFile(std::unique_ptr<WritableFile> base,
+                     FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  util::Status Append(const void* data, size_t size) override {
+    util::Status alive = env_->CheckAlive();
+    if (!alive.ok()) return alive;
+    const size_t allowed = env_->ConsumeWriteBudget(size);
+    if (allowed > 0) {
+      util::Status appended = base_->Append(data, allowed);
+      if (!appended.ok()) return appended;
+    }
+    if (allowed < size) {
+      return util::Status::IoError("injected crash: short write");
+    }
+    return util::Status::OK();
+  }
+
+  util::Status Flush() override {
+    util::Status alive = env_->CheckAlive();
+    if (!alive.ok()) return alive;
+    return base_->Flush();
+  }
+
+  util::Status Sync() override {
+    util::Status alive = env_->CheckAlive();
+    if (!alive.ok()) return alive;
+    util::Status injected = env_->ConsumeSync();
+    if (!injected.ok()) return injected;
+    return base_->Sync();
+  }
+
+  util::Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+}  // namespace
+
+util::Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  util::Status alive = CheckAlive();
+  if (!alive.ok()) return alive;
+  auto base = base_->NewWritableFile(path, truncate);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectionFile(std::move(base).value(), this));
+}
+
+size_t FaultInjectionEnv::ConsumeWriteBudget(size_t want) {
+  if (!crash_armed_.load()) {
+    bytes_written_.fetch_add(want);
+    return want;
+  }
+  uint64_t budget = bytes_until_crash_.load();
+  for (;;) {
+    const uint64_t allowed =
+        budget < static_cast<uint64_t>(want) ? budget : want;
+    if (bytes_until_crash_.compare_exchange_weak(budget, budget - allowed)) {
+      if (allowed < want) crashed_.store(true);
+      bytes_written_.fetch_add(allowed);
+      return static_cast<size_t>(allowed);
+    }
+  }
+}
+
+util::Status FaultInjectionEnv::ConsumeSync() {
+  sync_count_.fetch_add(1);
+  bool expected = true;
+  if (fail_next_sync_.compare_exchange_strong(expected, false)) {
+    return util::Status::IoError("injected fsync failure");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace storage
+}  // namespace distperm

@@ -1,0 +1,212 @@
+// Injectable file-system interface for the durability layer.
+//
+// Every byte the engine persists — WAL frames, snapshots, directory
+// metadata — flows through an Env, so tests can swap the real POSIX
+// implementation for a FaultInjectionEnv that tears writes mid-frame,
+// fails fsync, or "crashes" at an arbitrary byte count and then lets
+// the test reopen whatever actually reached the file system.  That is
+// how crash recovery is verified without flaky sleeps: the injected
+// crash leaves exactly the bytes a SIGKILL would have.
+//
+// The interface is deliberately small (RocksDB-style): append-only
+// writable files with explicit Flush (user buffer -> OS) and Sync
+// (fsync) steps, whole-file reads for small metadata, and read-only
+// mmap for snapshots.  All operations return util::Status — a durable
+// store must surface I/O errors to its caller, never abort.
+
+#ifndef DISTPERM_STORAGE_ENV_H_
+#define DISTPERM_STORAGE_ENV_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace distperm {
+namespace storage {
+
+/// Append-only file handle.  Append buffers nothing by itself (the WAL
+/// layers its own batching on top); Flush pushes user-space buffers the
+/// implementation may keep to the OS; Sync makes everything written so
+/// far durable (fsync).  Close flushes and releases the descriptor —
+/// further operations fail.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual util::Status Append(const void* data, size_t size) = 0;
+  util::Status Append(const std::string& data) {
+    return Append(data.data(), data.size());
+  }
+  virtual util::Status Flush() = 0;
+  virtual util::Status Sync() = 0;
+  virtual util::Status Close() = 0;
+};
+
+/// A read-only memory mapping of a whole file.  The mapping stays valid
+/// for the object's lifetime; pages are faulted in on demand, so a
+/// large snapshot costs address space, not resident memory, until it
+/// is actually read.
+class MappedFile {
+ public:
+  virtual ~MappedFile() = default;
+  virtual const uint8_t* data() const = 0;
+  virtual size_t size() const = 0;
+};
+
+/// File-system access for the storage layer.  Implementations must be
+/// thread-safe at the Env level (distinct files may be manipulated from
+/// distinct threads); a single WritableFile is single-writer.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for appending.  `truncate` starts the file empty;
+  /// otherwise existing bytes are kept and appends extend them.
+  virtual util::Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  /// Reads the whole file into a string.  NotFound when missing.
+  virtual util::Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Maps the whole file read-only.  NotFound when missing; an empty
+  /// file maps to a zero-length mapping.
+  virtual util::Result<std::shared_ptr<MappedFile>> MapFile(
+      const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (rename(2) semantics).
+  virtual util::Status RenameFile(const std::string& from,
+                                  const std::string& to) = 0;
+  virtual util::Status DeleteFile(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual util::Result<uint64_t> FileSize(const std::string& path) = 0;
+  /// Truncates the file to `size` bytes (recovery drops a torn WAL tail
+  /// this way before reopening the log for appends).
+  virtual util::Status TruncateFile(const std::string& path,
+                                    uint64_t size) = 0;
+  /// Names of the entries in `dir` ("." and ".." excluded).
+  virtual util::Result<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+  /// Creates `dir` if it does not exist (one level; parents must exist).
+  virtual util::Status CreateDir(const std::string& dir) = 0;
+  /// fsyncs the directory so renames/creates inside it are durable.
+  virtual util::Status SyncDir(const std::string& dir) = 0;
+
+  /// The process-wide POSIX implementation.
+  static Env* Default();
+};
+
+/// Wraps another Env and injects failures for recovery tests.
+///
+/// Two independent mechanisms:
+///   - CrashAfterBytes(n): the next n bytes of Append succeed, then the
+///     "process dies" — the failing Append persists only the bytes that
+///     fit (a torn write, exactly what a kill mid-write leaves) and
+///     every subsequent mutating operation fails with IoError.  Reads
+///     keep working so the test can reopen the post-crash state.
+///   - FailNextSync(): the next Sync() on any file returns IoError once
+///     (the disk said no; the store must surface it, not lose data).
+///
+/// Counters (bytes_written, syncs) let tests target a precise byte
+/// offset inside a multi-step operation like a compaction.
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  /// Arms the crash: `bytes` more bytes may be written, then everything
+  /// mutating fails.  Pass from a test before the operation under test.
+  void CrashAfterBytes(uint64_t bytes) {
+    crash_armed_.store(true);
+    bytes_until_crash_.store(bytes);
+    crashed_.store(false);
+  }
+  /// Disarms the crash and clears the crashed state.
+  void Reset() {
+    crash_armed_.store(false);
+    crashed_.store(false);
+    fail_next_sync_.store(false);
+  }
+  void FailNextSync() { fail_next_sync_.store(true); }
+
+  bool crashed() const { return crashed_.load(); }
+  uint64_t bytes_written() const { return bytes_written_.load(); }
+  uint64_t sync_count() const { return sync_count_.load(); }
+
+  util::Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  util::Result<std::string> ReadFile(const std::string& path) override {
+    return base_->ReadFile(path);
+  }
+  util::Result<std::shared_ptr<MappedFile>> MapFile(
+      const std::string& path) override {
+    return base_->MapFile(path);
+  }
+  util::Status RenameFile(const std::string& from,
+                          const std::string& to) override {
+    util::Status crashed = CheckAlive();
+    if (!crashed.ok()) return crashed;
+    return base_->RenameFile(from, to);
+  }
+  util::Status DeleteFile(const std::string& path) override {
+    util::Status crashed = CheckAlive();
+    if (!crashed.ok()) return crashed;
+    return base_->DeleteFile(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  util::Result<uint64_t> FileSize(const std::string& path) override {
+    return base_->FileSize(path);
+  }
+  util::Status TruncateFile(const std::string& path,
+                            uint64_t size) override {
+    util::Status crashed = CheckAlive();
+    if (!crashed.ok()) return crashed;
+    return base_->TruncateFile(path, size);
+  }
+  util::Result<std::vector<std::string>> ListDir(
+      const std::string& dir) override {
+    return base_->ListDir(dir);
+  }
+  util::Status CreateDir(const std::string& dir) override {
+    util::Status crashed = CheckAlive();
+    if (!crashed.ok()) return crashed;
+    return base_->CreateDir(dir);
+  }
+  util::Status SyncDir(const std::string& dir) override {
+    util::Status crashed = CheckAlive();
+    if (!crashed.ok()) return crashed;
+    return base_->SyncDir(dir);
+  }
+
+  /// IoError once the injected crash has fired; OK before.  Public so
+  /// the wrapper file handles (and tests) can consult it.
+  util::Status CheckAlive() {
+    if (crashed_.load()) {
+      return util::Status::IoError("injected crash: process is dead");
+    }
+    return util::Status::OK();
+  }
+
+  /// How many of `want` bytes may still be written; arms `crashed_`
+  /// when the budget runs out inside this request.
+  size_t ConsumeWriteBudget(size_t want);
+  util::Status ConsumeSync();
+
+ private:
+  Env* base_;
+  std::atomic<bool> crash_armed_{false};
+  std::atomic<bool> crashed_{false};
+  std::atomic<uint64_t> bytes_until_crash_{0};
+  std::atomic<bool> fail_next_sync_{false};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> sync_count_{0};
+};
+
+}  // namespace storage
+}  // namespace distperm
+
+#endif  // DISTPERM_STORAGE_ENV_H_

@@ -1,0 +1,157 @@
+#include "storage/wal.h"
+
+#include <chrono>
+
+#include "storage/coding.h"
+#include "storage/crc32.h"
+
+namespace distperm {
+namespace storage {
+
+namespace {
+constexpr size_t kFrameHeaderBytes = 16;  // u32 len + u32 crc + u64 seq
+}  // namespace
+
+util::Result<FsyncPolicy> ParseFsyncPolicy(const std::string& name) {
+  if (name == "always") return FsyncPolicy::kAlways;
+  if (name == "batched") return FsyncPolicy::kBatched;
+  if (name == "never") return FsyncPolicy::kNever;
+  return util::Status::InvalidArgument(
+      "unknown fsync policy '" + name + "' (expected always|batched|never)");
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kBatched:
+      return "batched";
+    case FsyncPolicy::kNever:
+      return "never";
+  }
+  return "unknown";
+}
+
+util::Result<std::unique_ptr<WalWriter>> WalWriter::Open(
+    Env* env, const std::string& path, bool truncate, uint64_t first_seq,
+    const Options& options) {
+  auto file = env->NewWritableFile(path, truncate);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(file).value(), first_seq, options));
+}
+
+util::Status WalWriter::Append(const std::string& payload) {
+  if (broken_) {
+    return util::Status::IoError("wal: previous append failed; log unusable");
+  }
+  std::string seq_bytes;
+  PutFixed64(&seq_bytes, next_seq_);
+  const uint32_t crc =
+      Crc32c(payload.data(), payload.size(), Crc32c(seq_bytes));
+
+  PutFixed32(&buffer_, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&buffer_, crc);
+  buffer_.append(seq_bytes);
+  buffer_.append(payload);
+  ++next_seq_;
+
+  if (options_.instruments.appends_total != nullptr) {
+    options_.instruments.appends_total->Increment();
+  }
+  if (options_.instruments.bytes_total != nullptr) {
+    options_.instruments.bytes_total->Add(kFrameHeaderBytes + payload.size());
+  }
+
+  util::Status status = util::Status::OK();
+  switch (options_.policy) {
+    case FsyncPolicy::kAlways:
+      status = WriteOutAndSync();
+      break;
+    case FsyncPolicy::kBatched:
+      if (buffer_.size() >= options_.batch_bytes) status = WriteOutAndSync();
+      break;
+    case FsyncPolicy::kNever:
+      if (buffer_.size() >= options_.batch_bytes) status = WriteOut();
+      break;
+  }
+  if (!status.ok()) broken_ = true;
+  return status;
+}
+
+util::Status WalWriter::Sync() {
+  if (broken_) {
+    return util::Status::IoError("wal: previous append failed; log unusable");
+  }
+  util::Status status = WriteOutAndSync();
+  if (!status.ok()) broken_ = true;
+  return status;
+}
+
+util::Status WalWriter::Close() {
+  if (file_ == nullptr) return util::Status::OK();
+  util::Status status = util::Status::OK();
+  if (!broken_) {
+    status = options_.policy == FsyncPolicy::kNever ? WriteOut()
+                                                    : WriteOutAndSync();
+  }
+  util::Status closed = file_->Close();
+  file_.reset();
+  return status.ok() ? closed : status;
+}
+
+util::Status WalWriter::WriteOut() {
+  if (buffer_.empty()) return util::Status::OK();
+  DP_RETURN_IF_ERROR(file_->Append(buffer_.data(), buffer_.size()));
+  buffer_.clear();
+  return file_->Flush();
+}
+
+util::Status WalWriter::WriteOutAndSync() {
+  DP_RETURN_IF_ERROR(WriteOut());
+  const auto start = std::chrono::steady_clock::now();
+  DP_RETURN_IF_ERROR(file_->Sync());
+  if (options_.instruments.fsync_seconds != nullptr) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    options_.instruments.fsync_seconds->Record(elapsed.count());
+  }
+  return util::Status::OK();
+}
+
+util::Result<WalContents> ReadWal(Env* env, const std::string& path,
+                                  uint64_t first_seq) {
+  auto raw = env->ReadFile(path);
+  if (!raw.ok()) return raw.status();
+  const std::string& bytes = raw.value();
+  const uint8_t* base = reinterpret_cast<const uint8_t*>(bytes.data());
+
+  WalContents contents;
+  uint64_t offset = 0;
+  uint64_t expected_seq = first_seq;
+  while (offset + kFrameHeaderBytes <= bytes.size()) {
+    const uint8_t* frame = base + offset;
+    const uint32_t payload_len = GetFixed32(frame);
+    const uint32_t stored_crc = GetFixed32(frame + 4);
+    const uint64_t seq = GetFixed64(frame + 8);
+    if (offset + kFrameHeaderBytes + payload_len > bytes.size()) break;
+    if (seq != expected_seq) break;
+    const uint8_t* payload = frame + kFrameHeaderBytes;
+    const uint32_t crc =
+        Crc32c(payload, payload_len, Crc32c(frame + 8, 8));
+    if (crc != stored_crc) break;
+    WalRecord record;
+    record.seq = seq;
+    record.payload.assign(reinterpret_cast<const char*>(payload),
+                          payload_len);
+    contents.records.push_back(std::move(record));
+    offset += kFrameHeaderBytes + payload_len;
+    ++expected_seq;
+  }
+  contents.valid_bytes = offset;
+  contents.torn_tail = offset < bytes.size();
+  return contents;
+}
+
+}  // namespace storage
+}  // namespace distperm

@@ -1,0 +1,153 @@
+// CRC32C-framed write-ahead log.
+//
+// Record layout (all little-endian):
+//
+//     [u32 payload_len][u32 crc][u64 seq][payload bytes]
+//
+// `crc` is the CRC32C of the 8-byte seq followed by the payload, so a
+// frame whose length field survived a crash but whose body did not is
+// still rejected.  `seq` increases by exactly 1 per record within a
+// file (starting from the writer's `first_seq`), which gives replay
+// two guarantees: a reader can detect a stale frame left over from a
+// recycled file, and an applier can skip records at or below its
+// high-water mark, making replay idempotent.
+//
+// Torn tails: ReadWal scans frames in order and stops at the first
+// frame that is incomplete, fails its CRC, or breaks the seq chain.
+// Everything before that point is returned as valid; `valid_bytes`
+// tells recovery where to truncate before reopening the file for
+// appends.  A torn tail is NOT an error — it is the expected result of
+// a crash mid-write — so ReadWal only fails on I/O errors.
+//
+// Durability is a policy, not a constant:
+//   kAlways   fsync after every append — no acked write is ever lost,
+//             at the cost of a disk round-trip per operation.
+//   kBatched  appends accumulate in a user-space buffer and are
+//             written+fsynced when `batch_bytes` have piled up (or on
+//             explicit Sync()).  A crash can lose the buffered tail —
+//             at most `batch_bytes` of acked-but-unflushed records —
+//             never a committed prefix.  This is the standard group-
+//             commit trade-off and the default for live ingest.
+//   kNever    no fsync (the OS flushes when it likes).  For bulk loads
+//             that can be re-run.
+
+#ifndef DISTPERM_STORAGE_WAL_H_
+#define DISTPERM_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "storage/env.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace storage {
+
+enum class FsyncPolicy {
+  kAlways,
+  kBatched,
+  kNever,
+};
+
+/// Parses "always" / "batched" / "never" (as accepted by the registry's
+/// `fsync=` live knob).
+util::Result<FsyncPolicy> ParseFsyncPolicy(const std::string& name);
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+/// Optional instruments a WalWriter records into; null members are
+/// skipped.  Wired up by the engine when metrics are enabled.
+struct WalInstruments {
+  obs::Counter* appends_total = nullptr;
+  obs::Counter* bytes_total = nullptr;
+  obs::Histogram* fsync_seconds = nullptr;
+};
+
+/// Single-writer append handle for one WAL file.
+class WalWriter {
+ public:
+  struct Options {
+    FsyncPolicy policy = FsyncPolicy::kBatched;
+    /// Buffered bytes that trigger a write+fsync under kBatched (also
+    /// the write-out threshold under kNever, without the fsync).  The
+    /// default is sized for throughput: kBatched's durability point is
+    /// the batch boundary by definition, and a ~1 MiB group commit
+    /// keeps the fsync rate low enough that logging costs write
+    /// bandwidth, not disk round-trips.  Lower it (or use kAlways)
+    /// when the loss window matters more than ingest speed.
+    size_t batch_bytes = 1024 * 1024;
+    WalInstruments instruments;
+  };
+
+  /// Opens `path` for appending.  `truncate` starts a fresh log;
+  /// otherwise recovery must have truncated any torn tail first.
+  /// `first_seq` is the sequence number the next record will carry
+  /// (1 for a fresh log; last valid seq + 1 when continuing one).
+  static util::Result<std::unique_ptr<WalWriter>> Open(
+      Env* env, const std::string& path, bool truncate, uint64_t first_seq,
+      const Options& options);
+
+  /// Appends one record.  On return the record is durable under
+  /// kAlways, buffered or durable under kBatched, and buffered under
+  /// kNever.  A failed append leaves the log unusable for further
+  /// appends (the file may hold a torn frame); the caller should
+  /// surface the error and reopen via recovery.
+  util::Status Append(const std::string& payload);
+
+  /// Writes out the buffer and fsyncs, regardless of policy (under
+  /// kNever this is the one way to force durability, e.g. before a
+  /// snapshot rename must not outrun the log).
+  util::Status Sync();
+
+  /// Flushes (without fsync under kNever) and closes the file.
+  util::Status Close();
+
+  /// Sequence number the next Append will carry.
+  uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, uint64_t first_seq,
+            const Options& options)
+      : file_(std::move(file)), next_seq_(first_seq), options_(options) {}
+
+  /// Hands the user-space buffer to the OS.
+  util::Status WriteOut();
+  /// WriteOut + fsync, recording the fsync latency.
+  util::Status WriteOutAndSync();
+
+  std::unique_ptr<WritableFile> file_;
+  uint64_t next_seq_;
+  Options options_;
+  std::string buffer_;
+  bool broken_ = false;
+};
+
+/// One decoded WAL record.
+struct WalRecord {
+  uint64_t seq = 0;
+  std::string payload;
+};
+
+/// Result of scanning a WAL file.
+struct WalContents {
+  std::vector<WalRecord> records;
+  /// Byte offset of the end of the last valid frame; recovery
+  /// truncates the file here before reopening it for appends.
+  uint64_t valid_bytes = 0;
+  /// True when bytes past `valid_bytes` were present and discarded
+  /// (a torn tail from a crash mid-write).
+  bool torn_tail = false;
+};
+
+/// Scans the log at `path`, validating frames with `first_seq` as the
+/// expected starting sequence.  Fails only on I/O errors (a missing
+/// file is NotFound); corruption is reported via torn_tail/valid_bytes.
+util::Result<WalContents> ReadWal(Env* env, const std::string& path,
+                                  uint64_t first_seq);
+
+}  // namespace storage
+}  // namespace distperm
+
+#endif  // DISTPERM_STORAGE_WAL_H_

@@ -1,0 +1,194 @@
+// Crash recovery with a real process kill.
+//
+// The test forks a writer child that opens a durable store
+// (fsync=always), inserts a deterministic stream of points, and
+// compacts periodically, signalling the parent over a pipe right
+// before each compaction.  The parent SIGKILLs the child on one of
+// those signals — so the kill lands in or around a compaction, the
+// hardest window (tmp snapshot write, WAL rotation, generation swap,
+// old-file retirement) — then reopens the directory and requires that
+// the recovered store is exactly the seed data plus a prefix of the
+// insert stream, and answers queries fingerprint-identically to a
+// fresh in-memory build over that same prefix.
+//
+// Which compaction triggers the kill rotates across invocations, so
+// CI's `--gtest_repeat=20` loop sweeps the kill point through
+// different phases of the rotation protocol.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dataset/vector_gen.h"
+#include "engine/live_database.h"
+#include "engine/query.h"
+#include "metric/lp.h"
+#include "storage/env.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace engine {
+namespace {
+
+using metric::Vector;
+
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kForkUnsafe = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kForkUnsafe = true;
+#else
+constexpr bool kForkUnsafe = false;
+#endif
+#else
+constexpr bool kForkUnsafe = false;
+#endif
+
+constexpr size_t kBaseCount = 80;
+constexpr size_t kStreamCount = 120;
+constexpr size_t kInsertsPerCompact = 25;
+constexpr uint64_t kSeed = 97;
+const char kSpecTail[] = ",wal_dir=";
+
+metric::Metric<Vector> L2() { return metric::LpMetric::L2(); }
+
+std::vector<Vector> BaseData() {
+  util::Rng rng(181);
+  return dataset::UniformCube(kBaseCount, 3, &rng);
+}
+
+std::vector<Vector> StreamData() {
+  util::Rng rng(182);
+  return dataset::UniformCube(kStreamCount, 3, &rng);
+}
+
+std::string StoreSpec(const std::string& dir) {
+  return std::string("vp-tree:fsync=always") + kSpecTail + dir;
+}
+
+/// The child's whole life.  No gtest here: any failure is an abnormal
+/// exit code the parent turns into a test failure.
+[[noreturn]] void WriterChild(const std::string& dir, int signal_fd) {
+  auto live = LiveDatabase<Vector>::Open(BaseData(), L2(), 2,
+                                         StoreSpec(dir), kSeed);
+  if (!live.ok()) _exit(2);
+  const std::vector<Vector> stream = StreamData();
+  for (size_t i = 0; i < stream.size(); ++i) {
+    if (!live.value()->Insert(stream[i]).ok()) _exit(3);
+    if ((i + 1) % kInsertsPerCompact == 0) {
+      const char byte = 'c';
+      if (::write(signal_fd, &byte, 1) != 1) _exit(4);
+      if (!live.value()->Compact().ok()) _exit(5);
+    }
+  }
+  _exit(0);
+}
+
+TEST(CrashRecovery, KillMidCompactionRecoversAckedPrefix) {
+  if (kForkUnsafe) {
+    GTEST_SKIP() << "fork-based crash test is not run under TSan";
+  }
+  storage::Env* env = storage::Env::Default();
+  const std::string dir = ::testing::TempDir() + "/crash_recovery_store";
+  ASSERT_TRUE(env->CreateDir(dir).ok());
+  auto stale = env->ListDir(dir);
+  ASSERT_TRUE(stale.ok());
+  for (const std::string& file : stale.value()) {
+    ASSERT_TRUE(env->DeleteFile(dir + "/" + file).ok());
+  }
+
+  // Rotate the kill point across repeated invocations (gtest_repeat
+  // keeps static state), so the SIGKILL sweeps the rotation protocol.
+  static int invocation = 0;
+  const int kill_on_signal = invocation++ % 4 + 1;
+
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ::close(pipe_fds[0]);
+    WriterChild(dir, pipe_fds[1]);  // never returns
+  }
+  ::close(pipe_fds[1]);
+
+  int signals_seen = 0;
+  char byte;
+  while (signals_seen < kill_on_signal &&
+         ::read(pipe_fds[0], &byte, 1) == 1) {
+    ++signals_seen;
+  }
+  ::close(pipe_fds[0]);
+  // Kill as the child enters (or is inside) its compaction.  If the
+  // child already finished the whole stream, the kill is a no-op and
+  // recovery must produce the complete dataset — also a valid case.
+  ::kill(child, SIGKILL);
+  int wait_status = 0;
+  ASSERT_EQ(::waitpid(child, &wait_status, 0), child);
+  if (WIFEXITED(wait_status)) {
+    ASSERT_EQ(WEXITSTATUS(wait_status), 0)
+        << "writer child failed before the kill";
+  } else {
+    ASSERT_TRUE(WIFSIGNALED(wait_status));
+    ASSERT_EQ(WTERMSIG(wait_status), SIGKILL);
+  }
+
+  // Reboot: recover the store from disk alone.
+  auto live = LiveDatabase<Vector>::Open({}, L2(), 2, StoreSpec(dir), kSeed);
+  ASSERT_TRUE(live.ok()) << live.status();
+  const std::vector<Vector> recovered = live.value()->Pin().Materialize();
+
+  // fsync=always and no removes: the recovered view must be exactly
+  // the base data followed by a prefix of the insert stream.
+  const std::vector<Vector> base = BaseData();
+  const std::vector<Vector> stream = StreamData();
+  ASSERT_GE(recovered.size(), base.size());
+  ASSERT_LE(recovered.size(), base.size() + stream.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    ASSERT_EQ(recovered[i], base[i]) << "base point " << i;
+  }
+  const size_t acked = recovered.size() - base.size();
+  ASSERT_GE(acked, kill_on_signal * kInsertsPerCompact)
+      << "inserts acked before the signalled compaction must survive";
+  for (size_t i = 0; i < acked; ++i) {
+    ASSERT_EQ(recovered[base.size() + i], stream[i]) << "stream point " << i;
+  }
+
+  // And the recovered store answers exactly like a fresh build over
+  // the recovered dataset (vp-tree is exact, ids align: recovery
+  // preserves the insert order, so id i is recovered[i] in both).
+  auto fresh = LiveDatabase<Vector>::Open(recovered, L2(), 2, "vp-tree",
+                                          kSeed);
+  ASSERT_TRUE(fresh.ok());
+  std::vector<QuerySpec<Vector>> batch;
+  util::Rng qrng(183);
+  for (int q = 0; q < 4; ++q) {
+    batch.push_back(QuerySpec<Vector>::Knn(
+        {qrng.NextDouble(), qrng.NextDouble(), qrng.NextDouble()}, 9));
+  }
+  auto got = live.value()->RunBatch(batch);
+  auto want = fresh.value()->RunBatch(batch);
+  ASSERT_TRUE(got.all_ok());
+  ASSERT_TRUE(want.all_ok());
+  for (size_t q = 0; q < batch.size(); ++q) {
+    std::vector<std::pair<double, size_t>> got_pairs, want_pairs;
+    for (const auto& r : got.results[q]) got_pairs.emplace_back(r.distance, r.id);
+    for (const auto& r : want.results[q]) want_pairs.emplace_back(r.distance, r.id);
+    std::sort(got_pairs.begin(), got_pairs.end());
+    std::sort(want_pairs.begin(), want_pairs.end());
+    EXPECT_EQ(got_pairs, want_pairs) << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace distperm

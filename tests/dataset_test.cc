@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <set>
 #include <string>
 
@@ -233,6 +234,75 @@ TEST(Io, MissingFileFails) {
 TEST(Io, RejectsNewlinesInStrings) {
   std::string path = ::testing::TempDir() + "/bad_strings.txt";
   EXPECT_FALSE(WriteStrings(path, {"a\nb"}).ok());
+}
+
+// --- error taxonomy: callers branch on the code, so each failure mode
+// --- must map to exactly one.
+
+std::string WriteRawFile(const std::string& name, const std::string& body) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+TEST(Io, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadVectors("/nonexistent/path/file.txt").status().code(),
+            util::StatusCode::kNotFound);
+  EXPECT_EQ(ReadStrings("/nonexistent/path/file.txt").status().code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(Io, EmptyVectorFileIsIoError) {
+  std::string path = WriteRawFile("empty_vectors.txt", "");
+  EXPECT_EQ(ReadVectors(path).status().code(), util::StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(Io, MalformedHeaderIsIoError) {
+  for (const char* body : {"hello\n", "3\n", "2 3 4\n", "-1 nope\n"}) {
+    std::string path = WriteRawFile("bad_header.txt", body);
+    auto loaded = ReadVectors(path);
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError) << body;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Io, TruncatedPayloadIsIoError) {
+  std::string path =
+      WriteRawFile("truncated_vectors.txt", "3 2\n0 1\n2 3\n");
+  auto loaded = ReadVectors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+  EXPECT_NE(loaded.status().message().find("truncated"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Io, DimensionMismatchIsInvalidArgument) {
+  for (const char* body : {"2 3\n0 1 2\n3 4\n",      // too few coordinates
+                           "2 2\n0 1\n2 3 4\n"}) {   // too many
+    std::string path = WriteRawFile("dim_mismatch.txt", body);
+    auto loaded = ReadVectors(path);
+    ASSERT_FALSE(loaded.ok()) << body;
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument)
+        << body;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Io, NonNumericTokenIsIoError) {
+  std::string path = WriteRawFile("non_numeric.txt", "1 2\n0.5 abc\n");
+  auto loaded = ReadVectors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(Io, WriteVectorsRejectsInconsistentDimensions) {
+  std::string path = ::testing::TempDir() + "/inconsistent.txt";
+  util::Status status = WriteVectors(path, {{1.0, 2.0}, {3.0}});
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
 }
 
 }  // namespace
