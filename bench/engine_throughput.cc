@@ -69,6 +69,19 @@
 //     two ratios are wall-clock, so --smoke reports them for the
 //     CI-side JSON check without asserting in-process.
 //
+//  7. Serving — the network front door versus the in-process engine
+//     it fronts: the same batch answered by LiveDatabase::RunBatch on
+//     one thread, over a loopback TCP connection with the perm cache
+//     bypassed (kRequestNoCache), and from the warmed
+//     distance-permutation cache.  Wire answers must be bit-identical
+//     to the in-process engine — ids, distances, AND per-query
+//     distance counts (cache-probe site distances are accounted
+//     separately, never folded into query stats) — gated always.
+//     Loopback must hold >= 50% of in-process on one engine thread
+//     and warm cache replays must run >= 5x the uncached wire rate;
+//     both are wall-clock, so --smoke defers them to the CI-side JSON
+//     check.
+//
 // Index structures are selected at runtime through the index registry;
 // --index=<spec> restricts the throughput sweep to a single entry.
 //
@@ -97,7 +110,9 @@
 #include "engine/sharded_database.h"
 #include "index/linear_scan.h"
 #include "metric/lp.h"
+#include "net/client.h"
 #include "obs/metrics.h"
+#include "server/search_server.h"
 #include "storage/env.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -195,6 +210,18 @@ struct LiveIngestResult {
   bool results_match = true;
 };
 
+struct ServingResult {
+  std::string spec;
+  double inproc_qps = 0.0;    // LiveDatabase::RunBatch, 1 engine thread
+  double loopback_qps = 0.0;  // same batch over TCP, cache bypassed
+  double loopback_ratio_pct = 0.0;  // 100 * loopback/inproc (gate: >= 50)
+  double uncached_qps = 0.0;  // == loopback (kRequestNoCache path)
+  double cached_qps = 0.0;    // warm perm-cache replays over the wire
+  double cached_speedup = 0.0;  // cached / uncached (gate: >= 5)
+  size_t cache_hits = 0;        // hits in the last cached round
+  bool results_match = true;    // wire == in-process, incl. counts
+};
+
 bool WriteJson(const std::string& path, size_t points, size_t queries,
                size_t dim, size_t coop_dim, size_t k, uint64_t seed,
                bool smoke, size_t hardware,
@@ -203,7 +230,8 @@ bool WriteJson(const std::string& path, size_t points, size_t queries,
                const std::vector<BuildRow>& builds,
                const LiveIngestResult& live,
                const ObservabilityResult& obs,
-               const DurabilityResult& durability, bool pass) {
+               const DurabilityResult& durability,
+               const ServingResult& serving, bool pass) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot write " << path << "\n";
@@ -290,6 +318,19 @@ bool WriteJson(const std::string& path, size_t points, size_t queries,
       << ", \"open_gate_pct\": 10"
       << ", \"recovered_match\": "
       << (durability.recovered_match ? "true" : "false") << "},\n";
+  out << "  \"serving\": {\"spec\": \"" << serving.spec
+      << "\", \"inproc_qps\": " << Fixed(serving.inproc_qps, 1)
+      << ", \"loopback_qps\": " << Fixed(serving.loopback_qps, 1)
+      << ", \"loopback_ratio_pct\": "
+      << Fixed(serving.loopback_ratio_pct, 1)
+      << ", \"loopback_gate_pct\": 50"
+      << ", \"uncached_qps\": " << Fixed(serving.uncached_qps, 1)
+      << ", \"cached_qps\": " << Fixed(serving.cached_qps, 1)
+      << ", \"cached_speedup\": " << Fixed(serving.cached_speedup, 2)
+      << ", \"speedup_gate\": 5"
+      << ", \"cache_hits\": " << serving.cache_hits
+      << ", \"results_match\": "
+      << (serving.results_match ? "true" : "false") << "},\n";
   out << "  \"pass\": " << (pass ? "true" : "false") << "\n";
   out << "}\n";
   out.flush();
@@ -1024,6 +1065,145 @@ int main(int argc, char** argv) {
                     : "DIVERGES from its pre-close answers")
             << "\n";
 
+  // ------------------------------------------------------ serving
+  // The network front door versus the in-process engine it fronts.
+  // Both sides run one engine thread over the same LiveDatabase; the
+  // wire side adds codec + epoll + TCP loopback, and the cached side
+  // answers from the distance-permutation cache after a warm pass.
+  // Every wire round is verified against the in-process reference —
+  // ids, distances, and per-query distance counts must be
+  // bit-identical (the cache probe's site distances are accounted in
+  // perm_cache_probe_distances_total, never in query stats).
+  ServingResult serving;
+  serving.spec = "vp-tree";
+  {
+    distperm::engine::LiveOptions serve_live_options;
+    serve_live_options.query_threads = 1;
+    auto opened = LiveDatabase<Vector>::Open(data, l2, 4, serving.spec,
+                                             seed, serve_live_options);
+    if (!opened.ok()) {
+      std::cerr << "serving: open failed: " << opened.status() << "\n";
+      return 1;
+    }
+    LiveDatabase<Vector>& live = *opened.value();
+
+    const int serve_reps = smoke ? 12 : 24;
+    live.RunBatch(batch);  // warm the scratch buffers
+    double best_local = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < serve_reps; ++rep) {
+      const double t0 = Now();
+      live.RunBatch(batch);
+      best_local = std::min(best_local, Now() - t0);
+    }
+    serving.inproc_qps = static_cast<double>(queries) / best_local;
+    const auto want = live.RunBatch(batch);
+
+    distperm::server::SearchServer<Vector>::Options server_options;
+    server_options.engine_threads = 1;
+    server_options.perm_cache_capacity = 4096;
+    server_options.perm_cache_sites = 12;
+    distperm::server::SearchServer<Vector> server(&live, server_options);
+    if (auto status = server.Start(0); !status.ok()) {
+      std::cerr << "serving: " << status << "\n";
+      return 1;
+    }
+    std::thread serve_thread([&server]() { server.Run(); });
+    bool wire_up = true;
+    {
+      auto connected =
+          distperm::net::Client::Connect("127.0.0.1", server.port());
+      if (!connected.ok()) {
+        std::cerr << "serving: " << connected.status() << "\n";
+        wire_up = false;
+        serving.results_match = false;
+      } else {
+        distperm::net::Client& client = *connected.value();
+        // One wire round: the whole batch pipelined on one
+        // connection, every response checked against the reference.
+        size_t round_hits = 0;
+        const auto wire_round = [&](bool no_cache) {
+          auto responses = client.SearchBatch(batch, no_cache);
+          if (!responses.ok()) {
+            std::cerr << "serving: " << responses.status() << "\n";
+            serving.results_match = false;
+            return false;
+          }
+          round_hits = 0;
+          for (size_t q = 0; q < responses.value().size(); ++q) {
+            const auto& r = responses.value()[q];
+            if (!r.status.ok() || r.results != want.results[q] ||
+                r.stats.distance_computations !=
+                    want.per_query_distance_computations[q]) {
+              serving.results_match = false;
+            }
+            if (r.cache_hit) ++round_hits;
+          }
+          return true;
+        };
+
+        // (a) uncached loopback: kRequestNoCache skips the cache
+        // probe entirely, so this is the plain serving path — decode,
+        // admit, engine, encode.
+        double best_wire = std::numeric_limits<double>::infinity();
+        if (wire_round(true)) {  // warm the connection
+          for (int rep = 0; rep < serve_reps; ++rep) {
+            const double t0 = Now();
+            if (!wire_round(true)) break;
+            best_wire = std::min(best_wire, Now() - t0);
+          }
+        }
+        serving.loopback_qps = static_cast<double>(queries) / best_wire;
+        serving.uncached_qps = serving.loopback_qps;
+        serving.loopback_ratio_pct =
+            100.0 * serving.loopback_qps / serving.inproc_qps;
+
+        // (b) cached: the first default-flag pass fills the cache,
+        // later rounds replay the stored responses verbatim.
+        double best_cached = std::numeric_limits<double>::infinity();
+        if (wire_round(false)) {  // fill the cache
+          for (int rep = 0; rep < serve_reps; ++rep) {
+            const double t0 = Now();
+            if (!wire_round(false)) break;
+            best_cached = std::min(best_cached, Now() - t0);
+          }
+        }
+        serving.cached_qps = static_cast<double>(queries) / best_cached;
+        serving.cache_hits = round_hits;
+        serving.cached_speedup =
+            serving.cached_qps / serving.uncached_qps;
+      }
+    }
+    server.Shutdown();
+    serve_thread.join();
+    if (!wire_up) {
+      std::cerr << "serving: loopback connection failed\n";
+    }
+  }
+  std::cout << "\nserving (" << serving.spec
+            << ", 1 engine thread, loopback TCP, best of "
+            << (smoke ? 12 : 24) << " rounds):\n\n";
+  distperm::util::TablePrinter serve_table;
+  serve_table.SetHeader({"path", "q/s", "ratio", "cache hits", "results"});
+  serve_table.AddRow({"in-process", Fixed(serving.inproc_qps, 0), "100%",
+                      "-", "-"});
+  serve_table.AddRow({"loopback (uncached)", Fixed(serving.loopback_qps, 0),
+                      Fixed(serving.loopback_ratio_pct, 1) + "%", "-",
+                      serving.results_match ? "OK" : "MISMATCH"});
+  serve_table.AddRow({"loopback (perm cache)", Fixed(serving.cached_qps, 0),
+                      Fixed(serving.cached_speedup, 2) + "x uncached",
+                      std::to_string(serving.cache_hits),
+                      serving.results_match ? "OK" : "MISMATCH"});
+  serve_table.Print(std::cout);
+  std::cout << "\nserving: loopback at "
+            << Fixed(serving.loopback_ratio_pct, 1)
+            << "% of in-process (gate: >= 50%), warm cache replays at "
+            << Fixed(serving.cached_speedup, 2)
+            << "x the uncached wire rate (gate: >= 5x), wire answers "
+            << (serving.results_match
+                    ? "bit-identical to the in-process engine"
+                    : "DIVERGE from the in-process engine")
+            << "\n";
+
   const bool reduction_ok = best_reduction >= 25.0;
   // The ratio is the bench's only wall-clock gate, so --smoke (CI on
   // shared runners) checks just the count/equality half; full runs
@@ -1042,12 +1222,20 @@ int main(int argc, char** argv) {
       durability.recovered_match &&
       (smoke || (durability.wal_ratio_pct >= 60.0 &&
                  durability.open_ratio_pct < 10.0));
+  // Wire bit-identity is deterministic and always gated; the loopback
+  // ratio and cache speedup are wall-clock, so --smoke defers them to
+  // the CI-side JSON check.
+  const bool serving_ok =
+      serving.results_match &&
+      (smoke || (serving.loopback_ratio_pct >= 50.0 &&
+                 serving.cached_speedup >= 5.0));
   const bool pass = cost_model_ok && coop_results_ok && build_counts_ok &&
-                    reduction_ok && ingest_ok && obs_ok && durability_ok;
+                    reduction_ok && ingest_ok && obs_ok && durability_ok &&
+                    serving_ok;
   const bool wrote =
       WriteJson(out_path, points, queries, dim, coop_dim, k, seed, smoke,
                 hardware, throughput_rows, coop_rows, build_rows, live_row,
-                obs_row, durability, pass);
+                obs_row, durability, serving, pass);
   if (!pass || !wrote) {
     std::cout << "\nRESULT: "
               << (strict ? "FAIL" : "WARN (--no-strict)")
@@ -1061,6 +1249,8 @@ int main(int argc, char** argv) {
               << (obs_ok ? "ok" : "overhead above 3% or traces bad")
               << " durability="
               << (durability_ok ? "ok" : "ratios out of gate or recovery bad")
+              << " serving="
+              << (serving_ok ? "ok" : "gates missed or wire answers bad")
               << " json=" << (wrote ? "ok" : "not written") << "\n";
     return strict ? 1 : 0;
   }

@@ -1,0 +1,111 @@
+// Remote search client: connect to an example_serve instance, run kNN
+// batches over the wire, and report throughput plus cache behavior.
+//
+//   ./example_remote_search [--host=127.0.0.1] [--port=7471]
+//                           [--queries=64] [--k=8] [--dim=16]
+//                           [--seed=7] [--repeat=1] [--inserts=0]
+//                           [--ping-only]
+//
+// --ping-only makes a single Ping round trip and exits — CI's smoke
+// job uses it as a readiness probe.  --repeat > 1 re-sends the same
+// batch, so a cache-enabled server answers later rounds from its perm
+// cache (watch the reported cache_hits).  Exits nonzero on any failed
+// response.
+
+#include <chrono>
+#include <iostream>
+
+#include "dataset/vector_gen.h"
+#include "index/search.h"
+#include "metric/lp.h"
+#include "net/client.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+using distperm::metric::Vector;
+
+int main(int argc, char** argv) {
+  auto flags = distperm::util::Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status() << "\n";
+    return 1;
+  }
+  const distperm::util::Flags& f = flags.value();
+  const std::string host = f.GetString("host", "127.0.0.1");
+  const uint16_t port = static_cast<uint16_t>(f.GetInt("port", 7471));
+  const size_t queries = static_cast<size_t>(f.GetInt("queries", 64));
+  const size_t k = static_cast<size_t>(f.GetInt("k", 8));
+  const size_t dim = static_cast<size_t>(f.GetInt("dim", 16));
+  const uint64_t seed = static_cast<uint64_t>(f.GetInt("seed", 7));
+  const size_t repeat = static_cast<size_t>(f.GetInt("repeat", 1));
+  const size_t inserts = static_cast<size_t>(f.GetInt("inserts", 0));
+
+  auto connected = distperm::net::Client::Connect(host, port);
+  if (!connected.ok()) {
+    std::cerr << connected.status() << "\n";
+    return 1;
+  }
+  distperm::net::Client& client = *connected.value();
+
+  if (f.GetBool("ping-only", false)) {
+    if (auto status = client.Ping(); !status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::cout << "pong\n";
+    return 0;
+  }
+
+  distperm::util::Rng rng(seed);
+  const std::vector<Vector> probes =
+      distperm::dataset::UniformCube(queries, dim, &rng);
+  std::vector<distperm::index::SearchRequest<Vector>> batch;
+  batch.reserve(queries);
+  for (const Vector& probe : probes) {
+    batch.push_back(
+        distperm::index::SearchRequest<Vector>::Knn(probe, k));
+  }
+
+  for (size_t i = 0; i < inserts; ++i) {
+    const Vector extra = distperm::dataset::UniformCube(1, dim, &rng)[0];
+    auto response = client.Insert(extra);
+    if (!response.ok() || !response.value().status.ok()) {
+      std::cerr << "insert failed\n";
+      return 1;
+    }
+    std::cout << "inserted id " << response.value().id << "\n";
+  }
+
+  size_t failed = 0;
+  for (size_t round = 0; round < repeat; ++round) {
+    const auto start = std::chrono::steady_clock::now();
+    auto responses = client.SearchBatch(batch);
+    const auto elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    if (!responses.ok()) {
+      std::cerr << responses.status() << "\n";
+      return 1;
+    }
+    size_t cache_hits = 0;
+    size_t bound_seeds = 0;
+    uint64_t distance_computations = 0;
+    for (const auto& response : responses.value()) {
+      if (!response.status.ok()) {
+        std::cerr << "query failed: " << response.status.message << "\n";
+        ++failed;
+      }
+      if (response.cache_hit) ++cache_hits;
+      if (response.bound_seeded) ++bound_seeds;
+      distance_computations += response.stats.distance_computations;
+    }
+    std::cout << "round " << (round + 1) << ": " << queries
+              << " queries in " << elapsed << "s ("
+              << static_cast<uint64_t>(queries / elapsed)
+              << " qps), cache_hits=" << cache_hits
+              << ", bound_seeds=" << bound_seeds
+              << ", distance_computations=" << distance_computations
+              << "\n";
+  }
+  return failed == 0 ? 0 : 1;
+}

@@ -1,0 +1,164 @@
+// Network serving walkthrough: open a LiveDatabase (optionally
+// durable), put a SearchServer in front of it, and answer the binary
+// protocol until SIGINT/SIGTERM — then drain, compact, and exit 0.
+//
+//   ./example_serve [--spec=vp-tree] [--shards=4] [--points=4096]
+//                   [--dim=16] [--seed=42] [--port=7471]
+//                   [--metrics-port=0] [--threads=2]
+//                   [--build-threads=2] [--dir=]
+//                   [--cache-capacity=4096] [--cache-sites=12]
+//                   [--cache-prefix=4] [--cache-ttl-seconds=0]
+//                   [--admission-budget=0] [--max-requests-per-conn=256]
+//                   [--idle-timeout-ms=0]
+//
+// With --dir the store is durable: a directory that already holds a
+// snapshot is recovered (the on-disk store IS the data; --points is
+// ignored), a fresh one is seeded with --points of UniformCube.  On
+// shutdown the WAL tail is folded with a final Compact(), so a
+// subsequent run resumes exactly where this one stopped.
+
+#include <csignal>
+#include <iostream>
+#include <thread>
+
+#include "dataset/vector_gen.h"
+#include "engine/live_database.h"
+#include "metric/lp.h"
+#include "obs/metrics.h"
+#include "server/search_server.h"
+#include "storage/env.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+using distperm::engine::LiveDatabase;
+using distperm::engine::LiveOptions;
+using distperm::metric::Vector;
+using distperm::server::SearchServer;
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+void HandleSignal(int signal) { g_signal = signal; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = distperm::util::Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status() << "\n";
+    return 1;
+  }
+  const distperm::util::Flags& f = flags.value();
+  const std::string spec = f.GetString("spec", "vp-tree");
+  const size_t shards = static_cast<size_t>(f.GetInt("shards", 4));
+  const size_t points = static_cast<size_t>(f.GetInt("points", 4096));
+  const size_t dim = static_cast<size_t>(f.GetInt("dim", 16));
+  const uint64_t seed = static_cast<uint64_t>(f.GetInt("seed", 42));
+  const uint16_t port = static_cast<uint16_t>(f.GetInt("port", 7471));
+  const uint16_t metrics_port =
+      static_cast<uint16_t>(f.GetInt("metrics-port", 0));
+  const std::string dir = f.GetString("dir", "");
+
+  // The store: durable when --dir names a directory, in-memory
+  // otherwise.  Recovery detects an existing snapshot in --dir and
+  // opens with empty data.
+  distperm::metric::Metric<Vector> l2(distperm::metric::LpMetric::L2());
+  std::vector<Vector> data;
+  std::string live_spec = spec;
+  if (!dir.empty()) {
+    distperm::storage::Env* env = distperm::storage::Env::Default();
+    env->CreateDir(dir);
+    bool has_snapshot = false;
+    if (auto listing = env->ListDir(dir); listing.ok()) {
+      for (const std::string& name : listing.value()) {
+        if (name.rfind("snapshot-", 0) == 0) has_snapshot = true;
+      }
+    }
+    if (!has_snapshot) {
+      distperm::util::Rng rng(seed);
+      data = distperm::dataset::UniformCube(points, dim, &rng);
+    }
+    live_spec += (live_spec.find(':') == std::string::npos ? ":" : ",");
+    live_spec += "wal_dir=" + dir;
+  } else {
+    distperm::util::Rng rng(seed);
+    data = distperm::dataset::UniformCube(points, dim, &rng);
+  }
+
+  distperm::obs::MetricsRegistry metrics("serve");
+  LiveOptions live_options;
+  live_options.build_threads =
+      static_cast<size_t>(f.GetInt("build-threads", 2));
+  live_options.metrics = &metrics;
+  auto opened = LiveDatabase<Vector>::Open(std::move(data), l2, shards,
+                                           live_spec, seed, live_options);
+  if (!opened.ok()) {
+    std::cerr << opened.status() << "\n";
+    return 1;
+  }
+  LiveDatabase<Vector>& db = *opened.value();
+  std::cout << "store: " << db.index_spec() << " x " << shards
+            << " shards, generation " << db.generation_number()
+            << ", n=" << db.size()
+            << (dir.empty() ? "" : ", wal_dir=" + dir) << "\n";
+
+  SearchServer<Vector>::Options server_options;
+  server_options.engine_threads =
+      static_cast<size_t>(f.GetInt("threads", 2));
+  server_options.max_inflight_distance_budget =
+      static_cast<uint64_t>(f.GetInt("admission-budget", 0));
+  server_options.max_requests_per_connection =
+      static_cast<size_t>(f.GetInt("max-requests-per-conn", 256));
+  server_options.idle_timeout_ms =
+      static_cast<uint64_t>(f.GetInt("idle-timeout-ms", 0));
+  server_options.perm_cache_capacity =
+      static_cast<size_t>(f.GetInt("cache-capacity", 4096));
+  server_options.perm_cache_sites =
+      static_cast<size_t>(f.GetInt("cache-sites", 12));
+  server_options.perm_cache_prefix =
+      static_cast<size_t>(f.GetInt("cache-prefix", 4));
+  server_options.perm_cache_ttl_seconds =
+      static_cast<uint64_t>(f.GetInt("cache-ttl-seconds", 0));
+  server_options.metrics = &metrics;
+  SearchServer<Vector> server(&db, server_options);
+  if (auto status = server.Start(port); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
+  if (metrics_port != 0 || f.Has("metrics-port")) {
+    if (auto status = server.StartMetrics(metrics_port); !status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::cout << "metrics: http://127.0.0.1:" << server.metrics_port()
+              << "/metrics\n";
+  }
+  std::cout << "serving on port " << server.port() << "\n" << std::flush;
+
+  // Shutdown ordering: signal -> stop accepting + drain (Shutdown) ->
+  // loop exits -> final Compact() folds the WAL tail for durable
+  // stores -> exit 0.
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::thread serving([&server]() { server.Run(); });
+  while (g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cout << "signal " << static_cast<int>(g_signal)
+            << ": draining\n";
+  server.Shutdown();
+  serving.join();
+  if (!dir.empty()) {
+    if (auto status = db.Compact(); !status.ok()) {
+      std::cerr << "final compact: " << status << "\n";
+      return 1;
+    }
+    std::cout << "compacted to generation " << db.generation_number()
+              << "\n";
+  }
+  std::cout << "served " << server.requests_served() << " requests in "
+            << server.batches_executed() << " batches, "
+            << server.overload_rejected() << " overload-rejected, "
+            << server.decode_errors() << " decode errors\n";
+  return 0;
+}

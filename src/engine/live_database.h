@@ -524,6 +524,9 @@ class LiveDatabase {
     const size_t id = writer_base_size_ + writer_inserts_;
     DP_CHECK(log_->Append({/*is_remove=*/false, id, std::move(point)}));
     ++writer_inserts_;
+    published_delta_depth_.store(log_->committed(),
+                                 std::memory_order_relaxed);
+    mutation_clock_.fetch_add(1, std::memory_order_relaxed);
     if (inserts_ != nullptr) inserts_->Increment();
     MaybeScheduleAutoCompactLocked();
     return id;
@@ -548,6 +551,10 @@ class LiveDatabase {
     }
     DP_CHECK(log_->Append({/*is_remove=*/true, id, P{}}));
     writer_removed_.insert(id);
+    published_delta_depth_.store(log_->committed(),
+                                 std::memory_order_relaxed);
+    mutation_clock_.fetch_add(1, std::memory_order_relaxed);
+    remove_clock_.fetch_add(1, std::memory_order_relaxed);
     if (removes_ != nullptr) removes_->Increment();
     MaybeScheduleAutoCompactLocked();
     return util::Status::OK();
@@ -726,6 +733,13 @@ class LiveDatabase {
       writer_base_size_ = next_base;
       writer_inserts_ = tail_inserts;
       writer_removed_ = std::move(tail_removed);
+      published_generation_.store(new_generation, std::memory_order_relaxed);
+      published_delta_depth_.store(log_->committed(),
+                                   std::memory_order_relaxed);
+      // A swap remaps ids, so cached result sets keyed on the old
+      // numbering must stop serving: bump the mutation clock even
+      // though the live point set is unchanged.
+      mutation_clock_.fetch_add(1, std::memory_order_relaxed);
       if (durable) {
         if (wal_ != nullptr) wal_->Close();  // old log is about to retire
         wal_ = std::move(next_wal);
@@ -796,13 +810,32 @@ class LiveDatabase {
 
   // -------------------------------------------------------- accessors
 
-  /// Current generation number (starts at 1, +1 per compaction).
+  /// Current generation number (starts at 1, +1 per compaction).  A
+  /// relaxed atomic mirror of the published state — no pin, no slot
+  /// lock — so serving layers can tag cache entries per request.
   uint64_t generation_number() const {
-    return state_.load()->generation->number();
+    return published_generation_.load(std::memory_order_relaxed);
   }
   /// Pending delta entries (inserts + removes) awaiting compaction.
+  /// Mirror of the current log's committed counter, readable without
+  /// pinning; paired with generation_number() it identifies the
+  /// serving (generation, delta window) to within one racing write.
   size_t delta_entries() const {
-    return state_.load()->log->committed();
+    return published_delta_depth_.load(std::memory_order_relaxed);
+  }
+  /// Monotone write clock: +1 per acked Insert/Remove and +1 per
+  /// generation swap.  Two equal readings bracket a window in which the
+  /// set of visible (id, point) pairs cannot have changed, which is
+  /// exactly the validity condition for serving a cached result set.
+  uint64_t mutation_clock() const {
+    return mutation_clock_.load(std::memory_order_relaxed);
+  }
+  /// Monotone removal clock: +1 per acked Remove.  Inserts only shrink
+  /// true k-th distances and compactions preserve the live point set,
+  /// so a cached k-th-distance upper bound stays valid exactly while
+  /// this clock is unchanged.
+  uint64_t remove_clock() const {
+    return remove_clock_.load(std::memory_order_relaxed);
   }
   /// Live points in the current view.
   size_t size() const { return Pin().live_size(); }
@@ -832,6 +865,8 @@ class LiveDatabase {
         log_(std::make_shared<DeltaLog<P>>()),
         engine_(options.query_threads) {
     TrackGeneration(generation);
+    published_generation_.store(generation->number(),
+                                std::memory_order_relaxed);
     state_.store(std::make_shared<const State>(
         State{std::move(generation), log_}));
     if (options.metrics != nullptr) EnableMetrics(options.metrics);
@@ -1008,6 +1043,9 @@ class LiveDatabase {
             "recovery: delta log capacity exceeded during replay");
       }
       ++writer_inserts_;
+      published_delta_depth_.store(log_->committed(),
+                                   std::memory_order_relaxed);
+      mutation_clock_.fetch_add(1, std::memory_order_relaxed);
       return util::Status::OK();
     }
     const size_t id = static_cast<size_t>(op.id);
@@ -1022,6 +1060,10 @@ class LiveDatabase {
           "recovery: delta log capacity exceeded during replay");
     }
     writer_removed_.insert(id);
+    published_delta_depth_.store(log_->committed(),
+                                 std::memory_order_relaxed);
+    mutation_clock_.fetch_add(1, std::memory_order_relaxed);
+    remove_clock_.fetch_add(1, std::memory_order_relaxed);
     return util::Status::OK();
   }
 
@@ -1178,6 +1220,18 @@ class LiveDatabase {
 
   /// The serving state; queries pin it through the atomic slot.
   StateSlot state_;
+
+  /// Pin-free mirrors of the published state, for cache tagging and
+  /// cheap introspection (/statz).  All monotone except the delta
+  /// depth, which resets to the carried tail at each swap.  Relaxed is
+  /// sufficient: a tag is read before the pin it guards, so an entry
+  /// filled under tag T only ever serves while zero mutations landed
+  /// since T — any write between the tag read and a later lookup bumps
+  /// the clock before that lookup can observe equality.
+  std::atomic<uint64_t> published_generation_{1};
+  std::atomic<size_t> published_delta_depth_{0};
+  std::atomic<uint64_t> mutation_clock_{0};
+  std::atomic<uint64_t> remove_clock_{0};
 
   /// Writer-side bookkeeping, all under write_mutex_: the current log
   /// (same object as state_'s), the id counters for assignment, and the

@@ -1,0 +1,153 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace distperm {
+namespace net {
+
+namespace {
+util::Status IoError(const std::string& what) {
+  return util::Status::IoError("net: " + what + ": " +
+                               std::strerror(errno));
+}
+}  // namespace
+
+util::Result<std::unique_ptr<Client>> Client::Connect(
+    const std::string& host, uint16_t port) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, numeric.c_str(), &address.sin_addr) != 1) {
+    return util::Status::InvalidArgument(
+        "net: host must be a numeric IPv4 address or \"localhost\", got "
+        "\"" + host + "\"");
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return IoError("socket");
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&address),
+              sizeof(address)) != 0) {
+    const util::Status status = IoError("connect");
+    close(fd);
+    return status;
+  }
+  const int enable = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() { close(fd_); }
+
+util::Status Client::Ping() {
+  DP_RETURN_IF_ERROR(SendFrame(MessageType::kPing, std::string()));
+  auto frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame.value().first != MessageType::kPong) {
+    return UnexpectedFrame(frame.value());
+  }
+  return util::Status::OK();
+}
+
+util::Result<WireStatus> Client::Remove(uint64_t id) {
+  std::string payload;
+  EncodeRemoveRequest(&payload, id);
+  DP_RETURN_IF_ERROR(SendFrame(MessageType::kRemove, payload));
+  auto frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame.value().first != MessageType::kRemoveResult) {
+    return UnexpectedFrame(frame.value());
+  }
+  const std::string& bytes = frame.value().second;
+  return DecodeWireStatus(reinterpret_cast<const uint8_t*>(bytes.data()),
+                          bytes.size());
+}
+
+util::Status Client::SendFrame(MessageType type,
+                               const std::string& payload) {
+  return SendRaw(EncodeFrame(type, payload));
+}
+
+util::Status Client::SendRaw(const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = send(fd_, bytes.data() + sent, bytes.size() - sent,
+                           MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return IoError("send");
+  }
+  return util::Status::OK();
+}
+
+util::Result<std::pair<MessageType, std::string>> Client::ReadFrame() {
+  for (;;) {
+    FrameView view;
+    size_t frame_size = 0;
+    util::Status error;
+    const FrameParse parse = ParseFrame(
+        reinterpret_cast<const uint8_t*>(buffer_.data()), buffer_.size(),
+        &view, &frame_size, &error);
+    if (parse == FrameParse::kError) return error;
+    if (parse == FrameParse::kComplete) {
+      std::pair<MessageType, std::string> frame(
+          view.type,
+          std::string(reinterpret_cast<const char*>(view.payload),
+                      view.payload_size));
+      buffer_.erase(0, frame_size);
+      return frame;
+    }
+    char chunk[65536];
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return util::Status::IoError("net: connection closed by peer");
+    }
+    if (errno == EINTR) continue;
+    return IoError("recv");
+  }
+}
+
+util::Result<WireSearchResponse> Client::ReadSearchResponse() {
+  auto frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame.value().first != MessageType::kSearchResult) {
+    return UnexpectedFrame(frame.value());
+  }
+  const std::string& bytes = frame.value().second;
+  return DecodeSearchResponse(
+      reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+}
+
+util::Status Client::UnexpectedFrame(
+    const std::pair<MessageType, std::string>& frame) {
+  if (frame.first == MessageType::kError) {
+    auto status = DecodeWireStatus(
+        reinterpret_cast<const uint8_t*>(frame.second.data()),
+        frame.second.size());
+    if (status.ok()) {
+      return util::Status::InvalidArgument(
+          "net: server rejected the stream (" +
+          std::string(WireCodeName(status.value().code)) + ": " +
+          status.value().message + ")");
+    }
+  }
+  return util::Status::Internal(
+      "net: unexpected frame type " +
+      std::to_string(static_cast<int>(frame.first)));
+}
+
+}  // namespace net
+}  // namespace distperm

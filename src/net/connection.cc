@@ -1,0 +1,52 @@
+#include "net/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace distperm {
+namespace net {
+
+Connection::Connection(int fd) : fd_(fd) { Touch(); }
+
+Connection::~Connection() { close(fd_); }
+
+Connection::ReadResult Connection::ReadReady() {
+  char buffer[65536];
+  for (;;) {
+    const ssize_t n = recv(fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      read_buffer_.append(buffer, static_cast<size_t>(n));
+      bytes_read_ += static_cast<uint64_t>(n);
+      Touch();
+      continue;
+    }
+    if (n == 0) return ReadResult::kClosed;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadResult::kOpen;
+    if (errno == EINTR) continue;
+    return ReadResult::kError;
+  }
+}
+
+util::Status Connection::Flush() {
+  while (!write_buffer_.empty()) {
+    const ssize_t n = send(fd_, write_buffer_.data(), write_buffer_.size(),
+                           MSG_NOSIGNAL);
+    if (n > 0) {
+      write_buffer_.erase(0, static_cast<size_t>(n));
+      bytes_written_ += static_cast<uint64_t>(n);
+      Touch();
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return util::Status::OK();
+    if (errno == EINTR) continue;
+    return util::Status::IoError(std::string("net: send: ") +
+                                 std::strerror(errno));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace net
+}  // namespace distperm

@@ -1,0 +1,70 @@
+// One non-blocking connection: owned fd, read buffer, write buffer.
+//
+// The event loop drives it: ReadReady() drains the socket into the
+// read buffer (the frame parser consumes from the front), Queue() +
+// Flush() stage and push response bytes.  Partial writes stay queued;
+// the server watches EPOLLOUT only while has_pending_write().
+
+#ifndef DISTPERM_NET_CONNECTION_H_
+#define DISTPERM_NET_CONNECTION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace distperm {
+namespace net {
+
+class Connection {
+ public:
+  /// Takes ownership of `fd` (closed in the destructor).
+  explicit Connection(int fd);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_; }
+
+  enum class ReadResult {
+    kOpen,    ///< Drained what was available; connection still up.
+    kClosed,  ///< Peer closed cleanly.
+    kError,   ///< Socket error; tear the connection down.
+  };
+
+  /// Drains everything available into the read buffer.
+  ReadResult ReadReady();
+
+  std::string& read_buffer() { return read_buffer_; }
+  /// Drops `n` parsed bytes from the front of the read buffer.
+  void Consume(size_t n) { read_buffer_.erase(0, n); }
+
+  /// Stages bytes for writing (appends to the write buffer).
+  void Queue(const std::string& bytes) { write_buffer_.append(bytes); }
+
+  /// Writes as much of the write buffer as the socket accepts.
+  util::Status Flush();
+  bool has_pending_write() const { return !write_buffer_.empty(); }
+
+  std::chrono::steady_clock::time_point last_activity() const {
+    return last_activity_;
+  }
+  void Touch() { last_activity_ = std::chrono::steady_clock::now(); }
+
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  int fd_;
+  std::string read_buffer_;
+  std::string write_buffer_;
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+  std::chrono::steady_clock::time_point last_activity_;
+};
+
+}  // namespace net
+}  // namespace distperm
+
+#endif  // DISTPERM_NET_CONNECTION_H_

@@ -1,0 +1,69 @@
+#include "net/listener.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace distperm {
+namespace net {
+
+namespace {
+util::Status IoError(const std::string& what) {
+  return util::Status::IoError("net: " + what + ": " +
+                               std::strerror(errno));
+}
+}  // namespace
+
+util::Result<std::unique_ptr<Listener>> Listener::Bind(uint16_t port) {
+  const int fd =
+      socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return IoError("socket");
+  const int enable = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_ANY);
+  address.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&address),
+           sizeof(address)) != 0) {
+    const util::Status status = IoError("bind");
+    close(fd);
+    return status;
+  }
+  if (listen(fd, 128) != 0) {
+    const util::Status status = IoError("listen");
+    close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_size) !=
+      0) {
+    const util::Status status = IoError("getsockname");
+    close(fd);
+    return status;
+  }
+  return std::unique_ptr<Listener>(
+      new Listener(fd, ntohs(bound.sin_port)));
+}
+
+Listener::~Listener() { close(fd_); }
+
+util::Result<int> Listener::Accept() {
+  const int client =
+      accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (client < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return IoError("accept");
+  }
+  const int enable = 1;
+  setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return client;
+}
+
+}  // namespace net
+}  // namespace distperm

@@ -1,0 +1,40 @@
+// Non-blocking TCP listener.
+
+#ifndef DISTPERM_NET_LISTENER_H_
+#define DISTPERM_NET_LISTENER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "util/status.h"
+
+namespace distperm {
+namespace net {
+
+class Listener {
+ public:
+  /// Binds 0.0.0.0:`port` (0 picks an ephemeral port — read it back
+  /// with port()) and listens, non-blocking, SO_REUSEADDR.
+  static util::Result<std::unique_ptr<Listener>> Bind(uint16_t port);
+
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  int fd() const { return fd_; }
+  uint16_t port() const { return port_; }
+
+  /// Accepts one pending connection as a non-blocking, TCP_NODELAY
+  /// socket.  Returns -1 (not an error) when none is pending.
+  util::Result<int> Accept();
+
+ private:
+  Listener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+  int fd_;
+  uint16_t port_;
+};
+
+}  // namespace net
+}  // namespace distperm
+
+#endif  // DISTPERM_NET_LISTENER_H_

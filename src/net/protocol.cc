@@ -1,0 +1,228 @@
+#include "net/protocol.h"
+
+#include "storage/crc32.h"
+
+namespace distperm {
+namespace net {
+
+const char* WireCodeName(WireCode code) {
+  switch (code) {
+    case WireCode::kOk:
+      return "OK";
+    case WireCode::kInvalidArgument:
+      return "InvalidArgument";
+    case WireCode::kOutOfRange:
+      return "OutOfRange";
+    case WireCode::kNotFound:
+      return "NotFound";
+    case WireCode::kIoError:
+      return "IoError";
+    case WireCode::kUnimplemented:
+      return "Unimplemented";
+    case WireCode::kInternal:
+      return "Internal";
+    case WireCode::kUnavailable:
+      return "Unavailable";
+  }
+  return "Unknown";
+}
+
+WireCode WireCodeFromStatus(const util::Status& status) {
+  switch (status.code()) {
+    case util::StatusCode::kOk:
+      return WireCode::kOk;
+    case util::StatusCode::kInvalidArgument:
+      return WireCode::kInvalidArgument;
+    case util::StatusCode::kOutOfRange:
+      return WireCode::kOutOfRange;
+    case util::StatusCode::kNotFound:
+      return WireCode::kNotFound;
+    case util::StatusCode::kIoError:
+      return WireCode::kIoError;
+    case util::StatusCode::kUnimplemented:
+      return WireCode::kUnimplemented;
+    case util::StatusCode::kInternal:
+      return WireCode::kInternal;
+  }
+  return WireCode::kInternal;
+}
+
+std::string EncodeFrame(MessageType type, const std::string& payload) {
+  DP_CHECK(payload.size() <= kMaxPayloadSize);
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  storage::PutFixed32(&frame, kFrameMagic);
+  frame.push_back(static_cast<char>(kProtocolVersion));
+  frame.push_back(static_cast<char>(type));
+  frame.push_back(0);
+  frame.push_back(0);
+  storage::PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  storage::PutFixed32(&frame,
+                      storage::Crc32c(payload.data(), payload.size()));
+  frame.append(payload);
+  return frame;
+}
+
+FrameParse ParseFrame(const uint8_t* data, size_t size, FrameView* out,
+                      size_t* frame_size, util::Status* error) {
+  // Reject garbage as early as the bytes allow: a stream that cannot
+  // become a valid frame fails on its first four bytes, not after the
+  // peer ships a whole bogus "payload".
+  if (size < 4) return FrameParse::kIncomplete;
+  if (storage::GetFixed32(data) != kFrameMagic) {
+    *error = util::Status::InvalidArgument("net: bad frame magic");
+    return FrameParse::kError;
+  }
+  if (size < 5) return FrameParse::kIncomplete;
+  if (data[4] != kProtocolVersion) {
+    *error = util::Status::InvalidArgument(
+        "net: protocol version skew (peer speaks v" +
+        std::to_string(data[4]) + ", this build speaks v" +
+        std::to_string(kProtocolVersion) + ")");
+    return FrameParse::kError;
+  }
+  if (size < kFrameHeaderSize) return FrameParse::kIncomplete;
+  const uint32_t payload_size = storage::GetFixed32(data + 8);
+  if (payload_size > kMaxPayloadSize) {
+    *error = util::Status::InvalidArgument(
+        "net: frame payload of " + std::to_string(payload_size) +
+        " bytes exceeds the " + std::to_string(kMaxPayloadSize) +
+        "-byte cap");
+    return FrameParse::kError;
+  }
+  const size_t total = kFrameHeaderSize + payload_size;
+  if (size < total) return FrameParse::kIncomplete;
+  const uint32_t expected_crc = storage::GetFixed32(data + 12);
+  const uint32_t actual_crc =
+      storage::Crc32c(data + kFrameHeaderSize, payload_size);
+  if (expected_crc != actual_crc) {
+    *error = util::Status::IoError("net: frame payload checksum mismatch");
+    return FrameParse::kError;
+  }
+  out->version = data[4];
+  out->type = static_cast<MessageType>(data[5]);
+  out->payload = data + kFrameHeaderSize;
+  out->payload_size = payload_size;
+  *frame_size = total;
+  return FrameParse::kComplete;
+}
+
+void EncodeSearchResponse(std::string* out,
+                          const WireSearchResponse& response) {
+  out->push_back(static_cast<char>(response.status.code));
+  storage::PutLengthPrefixed(out, response.status.message);
+  uint8_t flags = 0;
+  if (response.truncated) flags |= kResponseTruncated;
+  if (response.cache_hit) flags |= kResponseCacheHit;
+  if (response.bound_seeded) flags |= kResponseBoundSeeded;
+  out->push_back(static_cast<char>(flags));
+  storage::PutFixed64(out, response.generation);
+  storage::PutFixed64(out, response.stats.distance_computations);
+  storage::PutFixed64(out, response.stats.pruning_eliminated);
+  storage::PutFixed64(out, response.stats.candidates_verified);
+  storage::PutFixed32(out, static_cast<uint32_t>(response.results.size()));
+  for (const index::SearchResult& result : response.results) {
+    storage::PutFixed64(out, result.id);
+    storage::PutDouble(out, result.distance);
+  }
+}
+
+util::Result<WireSearchResponse> DecodeSearchResponse(const uint8_t* data,
+                                                      size_t size) {
+  PayloadReader reader(data, size);
+  WireSearchResponse response;
+  const uint8_t code = reader.U8();
+  response.status.message = reader.Bytes();
+  const uint8_t flags = reader.U8();
+  response.generation = reader.U64();
+  response.stats.distance_computations = reader.U64();
+  response.stats.pruning_eliminated = reader.U64();
+  response.stats.candidates_verified = reader.U64();
+  const uint32_t count = reader.U32();
+  // Bound the reserve by what the payload can actually hold (16 bytes
+  // per result), so a corrupt count cannot force a huge allocation.
+  if (reader.ok() && static_cast<size_t>(count) * 16 > size) {
+    return util::Status::InvalidArgument(
+        "net: search response result count exceeds the payload");
+  }
+  response.results.reserve(count);
+  for (uint32_t i = 0; i < count && reader.ok(); ++i) {
+    index::SearchResult result;
+    result.id = static_cast<size_t>(reader.U64());
+    result.distance = reader.F64();
+    response.results.push_back(result);
+  }
+  if (!reader.AtEnd()) {
+    return util::Status::InvalidArgument(
+        "net: truncated or oversized search response payload");
+  }
+  if (code > static_cast<uint8_t>(WireCode::kUnavailable)) {
+    return util::Status::InvalidArgument(
+        "net: unknown wire status code " + std::to_string(code));
+  }
+  response.status.code = static_cast<WireCode>(code);
+  response.truncated = (flags & kResponseTruncated) != 0;
+  response.cache_hit = (flags & kResponseCacheHit) != 0;
+  response.bound_seeded = (flags & kResponseBoundSeeded) != 0;
+  return response;
+}
+
+void EncodeInsertResponse(std::string* out,
+                          const WireInsertResponse& response) {
+  out->push_back(static_cast<char>(response.status.code));
+  storage::PutLengthPrefixed(out, response.status.message);
+  storage::PutFixed64(out, response.id);
+}
+
+util::Result<WireInsertResponse> DecodeInsertResponse(const uint8_t* data,
+                                                      size_t size) {
+  PayloadReader reader(data, size);
+  WireInsertResponse response;
+  const uint8_t code = reader.U8();
+  response.status.message = reader.Bytes();
+  response.id = reader.U64();
+  if (!reader.AtEnd() ||
+      code > static_cast<uint8_t>(WireCode::kUnavailable)) {
+    return util::Status::InvalidArgument(
+        "net: malformed insert response payload");
+  }
+  response.status.code = static_cast<WireCode>(code);
+  return response;
+}
+
+void EncodeRemoveRequest(std::string* out, uint64_t id) {
+  storage::PutFixed64(out, id);
+}
+
+util::Result<uint64_t> DecodeRemoveRequest(const uint8_t* data,
+                                           size_t size) {
+  PayloadReader reader(data, size);
+  const uint64_t id = reader.U64();
+  if (!reader.AtEnd()) {
+    return util::Status::InvalidArgument(
+        "net: malformed remove request payload");
+  }
+  return id;
+}
+
+void EncodeWireStatus(std::string* out, const WireStatus& status) {
+  out->push_back(static_cast<char>(status.code));
+  storage::PutLengthPrefixed(out, status.message);
+}
+
+util::Result<WireStatus> DecodeWireStatus(const uint8_t* data, size_t size) {
+  PayloadReader reader(data, size);
+  WireStatus status;
+  const uint8_t code = reader.U8();
+  status.message = reader.Bytes();
+  if (!reader.AtEnd() ||
+      code > static_cast<uint8_t>(WireCode::kUnavailable)) {
+    return util::Status::InvalidArgument(
+        "net: malformed status payload");
+  }
+  status.code = static_cast<WireCode>(code);
+  return status;
+}
+
+}  // namespace net
+}  // namespace distperm

@@ -1,0 +1,276 @@
+#include "server/perm_cache.h"
+
+#include <atomic>
+#include <chrono>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+namespace distperm {
+namespace server {
+
+namespace {
+
+/// FNV-1a over the key picks the shard; independent from the maps' own
+/// std::hash so one bad hash cannot both skew shards and chain buckets.
+size_t ShardHash(const std::string& key) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : key) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return static_cast<size_t>(hash);
+}
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+std::string PermCacheFullKey(const core::Permutation& perm,
+                             const std::string& request_bytes) {
+  std::string key;
+  key.reserve(2 + perm.size() + request_bytes.size());
+  key.push_back('A');  // answer namespace
+  key.push_back(static_cast<char>(perm.size()));
+  key.append(reinterpret_cast<const char*>(perm.data()), perm.size());
+  key.append(request_bytes);
+  return key;
+}
+
+std::string PermCachePrefixKey(const core::Permutation& perm,
+                               size_t prefix_length, uint8_t mode,
+                               uint64_t k) {
+  const size_t length = std::min(prefix_length, perm.size());
+  std::string key;
+  key.reserve(2 + length + 9);
+  key.push_back('B');  // bound namespace
+  key.push_back(static_cast<char>(length));
+  key.append(reinterpret_cast<const char*>(perm.data()), length);
+  key.push_back(static_cast<char>(mode));
+  storage::PutFixed64(&key, k);
+  return key;
+}
+
+struct PermCacheStore::Impl {
+  struct AnswerEntry {
+    std::string key;
+    net::WireSearchResponse response;
+    CacheTags tags;
+    Clock::time_point filled;
+  };
+  struct BoundEntry {
+    double kth_distance = 0.0;
+    std::vector<double> site_distances;
+    uint64_t remove_clock = 0;
+    Clock::time_point filled;
+  };
+  struct Shard {
+    std::mutex mutex;
+    /// Front = most recently used.
+    std::list<AnswerEntry> lru;
+    std::unordered_map<std::string, std::list<AnswerEntry>::iterator>
+        answers;
+    std::unordered_map<std::string, BoundEntry> bounds;
+  };
+
+  explicit Impl(const Options& opts) : options(opts) {
+    const size_t count = std::max<size_t>(1, options.shard_count);
+    shards = std::vector<Shard>(count);
+    per_shard_capacity = std::max<size_t>(1, options.capacity / count);
+    if (options.metrics != nullptr) {
+      obs_hits = options.metrics->GetCounter("perm_cache_hits_total");
+      obs_misses = options.metrics->GetCounter("perm_cache_misses_total");
+      obs_bound_seeds =
+          options.metrics->GetCounter("perm_cache_bound_seeds_total");
+      obs_invalidations =
+          options.metrics->GetCounter("perm_cache_invalidations_total");
+      obs_evictions =
+          options.metrics->GetCounter("perm_cache_evictions_total");
+      obs_probe_distances =
+          options.metrics->GetCounter("perm_cache_probe_distances_total");
+    }
+  }
+
+  Shard& ShardFor(const std::string& key) {
+    return shards[ShardHash(key) % shards.size()];
+  }
+
+  bool Expired(Clock::time_point filled, Clock::time_point now) const {
+    if (options.ttl_seconds == 0) return false;
+    return now - filled >= std::chrono::seconds(options.ttl_seconds);
+  }
+
+  void CountHit() {
+    hits.fetch_add(1, std::memory_order_relaxed);
+    if (obs_hits != nullptr) obs_hits->Increment();
+  }
+  void CountMiss() {
+    misses.fetch_add(1, std::memory_order_relaxed);
+    if (obs_misses != nullptr) obs_misses->Increment();
+  }
+  void CountInvalidation() {
+    invalidations.fetch_add(1, std::memory_order_relaxed);
+    if (obs_invalidations != nullptr) obs_invalidations->Increment();
+  }
+  void CountEviction() {
+    evictions.fetch_add(1, std::memory_order_relaxed);
+    if (obs_evictions != nullptr) obs_evictions->Increment();
+  }
+
+  Options options;
+  std::vector<Shard> shards;
+  size_t per_shard_capacity = 1;
+
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> bound_seeds{0};
+  std::atomic<uint64_t> invalidations{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> probe_distances{0};
+
+  obs::Counter* obs_hits = nullptr;
+  obs::Counter* obs_misses = nullptr;
+  obs::Counter* obs_bound_seeds = nullptr;
+  obs::Counter* obs_invalidations = nullptr;
+  obs::Counter* obs_evictions = nullptr;
+  obs::Counter* obs_probe_distances = nullptr;
+};
+
+PermCacheStore::PermCacheStore(const Options& options)
+    : impl_(new Impl(options)) {}
+
+PermCacheStore::~PermCacheStore() { delete impl_; }
+
+bool PermCacheStore::LookupAnswer(const std::string& key,
+                                  const CacheTags& tags,
+                                  net::WireSearchResponse* out) {
+  Impl::Shard& shard = impl_->ShardFor(key);
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.answers.find(key);
+  if (it == shard.answers.end()) {
+    impl_->CountMiss();
+    return false;
+  }
+  const Impl::AnswerEntry& entry = *it->second;
+  if (entry.tags.generation != tags.generation ||
+      entry.tags.mutation_clock != tags.mutation_clock ||
+      impl_->Expired(entry.filled, now)) {
+    shard.lru.erase(it->second);
+    shard.answers.erase(it);
+    impl_->CountInvalidation();
+    impl_->CountMiss();
+    return false;
+  }
+  *out = entry.response;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  impl_->CountHit();
+  return true;
+}
+
+void PermCacheStore::FillAnswer(const std::string& key,
+                                const net::WireSearchResponse& response,
+                                const CacheTags& tags) {
+  Impl::Shard& shard = impl_->ShardFor(key);
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.answers.find(key);
+  if (it != shard.answers.end()) {
+    it->second->response = response;
+    it->second->tags = tags;
+    it->second->filled = now;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Impl::AnswerEntry{key, response, tags, now});
+  shard.answers.emplace(key, shard.lru.begin());
+  while (shard.answers.size() > impl_->per_shard_capacity) {
+    shard.answers.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    impl_->CountEviction();
+  }
+}
+
+bool PermCacheStore::LookupBound(const std::string& key,
+                                 const CacheTags& tags, double* kth_distance,
+                                 std::vector<double>* site_distances) {
+  Impl::Shard& shard = impl_->ShardFor(key);
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.bounds.find(key);
+  if (it == shard.bounds.end()) return false;
+  if (it->second.remove_clock != tags.remove_clock ||
+      impl_->Expired(it->second.filled, now)) {
+    shard.bounds.erase(it);
+    impl_->CountInvalidation();
+    return false;
+  }
+  *kth_distance = it->second.kth_distance;
+  *site_distances = it->second.site_distances;
+  return true;
+}
+
+void PermCacheStore::FillBound(const std::string& key, double kth_distance,
+                               const std::vector<double>& site_distances,
+                               const CacheTags& tags) {
+  Impl::Shard& shard = impl_->ShardFor(key);
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.bounds.find(key);
+  if (it != shard.bounds.end()) {
+    // Keep the tighter bound while both describe the same point set.
+    if (it->second.remove_clock == tags.remove_clock &&
+        it->second.kth_distance <= kth_distance &&
+        !impl_->Expired(it->second.filled, now)) {
+      return;
+    }
+    it->second = Impl::BoundEntry{kth_distance, site_distances,
+                                  tags.remove_clock, now};
+    return;
+  }
+  while (shard.bounds.size() >= impl_->per_shard_capacity) {
+    shard.bounds.erase(shard.bounds.begin());
+    impl_->CountEviction();
+  }
+  shard.bounds.emplace(
+      key, Impl::BoundEntry{kth_distance, site_distances, tags.remove_clock,
+                            now});
+}
+
+void PermCacheStore::RecordProbeDistances(uint64_t n) {
+  impl_->probe_distances.fetch_add(n, std::memory_order_relaxed);
+  if (impl_->obs_probe_distances != nullptr) {
+    impl_->obs_probe_distances->Add(n);
+  }
+}
+
+void PermCacheStore::RecordBoundSeed() {
+  impl_->bound_seeds.fetch_add(1, std::memory_order_relaxed);
+  if (impl_->obs_bound_seeds != nullptr) impl_->obs_bound_seeds->Increment();
+}
+
+uint64_t PermCacheStore::hits() const {
+  return impl_->hits.load(std::memory_order_relaxed);
+}
+uint64_t PermCacheStore::misses() const {
+  return impl_->misses.load(std::memory_order_relaxed);
+}
+uint64_t PermCacheStore::bound_seeds() const {
+  return impl_->bound_seeds.load(std::memory_order_relaxed);
+}
+uint64_t PermCacheStore::invalidations() const {
+  return impl_->invalidations.load(std::memory_order_relaxed);
+}
+uint64_t PermCacheStore::evictions() const {
+  return impl_->evictions.load(std::memory_order_relaxed);
+}
+uint64_t PermCacheStore::probe_distances() const {
+  return impl_->probe_distances.load(std::memory_order_relaxed);
+}
+
+const PermCacheStore::Options& PermCacheStore::options() const {
+  return impl_->options;
+}
+
+}  // namespace server
+}  // namespace distperm

@@ -1,0 +1,265 @@
+// A result/bound cache keyed by the query's distance permutation.
+//
+// The paper's object — the distance permutation Pi_y of a point y with
+// respect to k sites — is a cheap, metric-aware locality signature:
+// two queries with equal permutations rank every site identically, so
+// they sit in the same cell of the site Voronoi-like partition.  The
+// cache exploits it twice:
+//
+//  * Answer cache (full key = permutation bytes + the encoded request
+//    payload): a repeated request replays its cached WireSearchResponse
+//    verbatim, costing only the site-distance probe.  Collisions are
+//    impossible — the map compares the entire key, and the key embeds
+//    the whole request.
+//
+//  * Bound table (prefix key = first `prefix_length` permutation
+//    entries + mode + k): a *different* query that lands in the same
+//    permutation-prefix cell seeds its initial_radius_bound from a
+//    cached neighbour's k-th distance via the triangle inequality.
+//    For the cached query q_c with k-th distance d_c and any site s_i,
+//        d(q, p) <= d(q, q_c) + d(q_c, p)
+//                <= min_i (d(q, s_i) + d(s_i, q_c)) + d_c
+//    holds for each of q_c's k results p, so at least k points lie
+//    within that radius of q and the bound is valid.  SearchRequest's
+//    exactness contract (bound >= true k-th distance => bit-identical
+//    results) makes the seed a pure pruning win: it can only reduce
+//    distance computations, never change exact results.
+//
+// Invalidation is clock-based, not event-based.  The server reads the
+// LiveDatabase's pin-free clocks BEFORE pinning the snapshot a batch
+// runs against, and stamps entries with those tags:
+//
+//  * answers are valid while (generation, mutation_clock) both match —
+//    any insert, remove, or compaction swap (ids remap) kills them;
+//  * bounds are valid while remove_clock matches — inserts only
+//    shrink true k-th distances and compactions preserve the live
+//    point set, so only removes can grow the k-th distance.
+//
+// Because tags are read before the pin they guard, an entry stamped T
+// only ever serves when zero mutations landed since T: any interleaved
+// write bumps the clock before a later lookup observes equality.
+//
+// Probe cost (one metric evaluation per site) is accounted in its own
+// counter, never folded into query stats — remote distance counts stay
+// bit-identical to in-process runs.
+
+#ifndef DISTPERM_SERVER_PERM_CACHE_H_
+#define DISTPERM_SERVER_PERM_CACHE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/distance_permutation.h"
+#include "index/search.h"
+#include "metric/metric.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace server {
+
+/// Mutation tags a cache entry is stamped with; see the header comment
+/// for the validity rules.  Read these from the LiveDatabase BEFORE
+/// pinning the snapshot the batch runs against.
+struct CacheTags {
+  uint64_t generation = 0;
+  uint64_t mutation_clock = 0;
+  uint64_t remove_clock = 0;
+};
+
+/// Non-template storage: sharded LRU answer map + bound table, with
+/// counters.  PermCache<P> layers the metric-dependent probe on top.
+class PermCacheStore {
+ public:
+  struct Options {
+    /// Total answer-entry capacity across shards; 0 disables the cache.
+    size_t capacity = 4096;
+    size_t shard_count = 8;
+    /// Permutation prefix length for the bound table.
+    size_t prefix_length = 4;
+    /// Entries older than this are stale regardless of tags; 0 = no TTL.
+    uint64_t ttl_seconds = 0;
+    /// Seed initial_radius_bound from the bound table.
+    bool enable_bounds = true;
+    /// Optional registry for perm_cache_* counters.
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  explicit PermCacheStore(const Options& options);
+  ~PermCacheStore();
+  PermCacheStore(const PermCacheStore&) = delete;
+  PermCacheStore& operator=(const PermCacheStore&) = delete;
+
+  /// Answer lookup; on a valid hit copies the cached response into
+  /// `*out` and returns true.  Tag/TTL mismatches erase the entry.
+  bool LookupAnswer(const std::string& key, const CacheTags& tags,
+                    net::WireSearchResponse* out);
+  void FillAnswer(const std::string& key,
+                  const net::WireSearchResponse& response,
+                  const CacheTags& tags);
+
+  /// Bound lookup; on a valid hit copies the cached k-th distance and
+  /// the cached query's site distances and returns true.
+  bool LookupBound(const std::string& key, const CacheTags& tags,
+                   double* kth_distance,
+                   std::vector<double>* site_distances);
+  void FillBound(const std::string& key, double kth_distance,
+                 const std::vector<double>& site_distances,
+                 const CacheTags& tags);
+
+  void RecordProbeDistances(uint64_t n);
+  void RecordBoundSeed();
+
+  // Test/introspection accessors (mirrors of the obs counters).
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t bound_seeds() const;
+  uint64_t invalidations() const;
+  uint64_t evictions() const;
+  uint64_t probe_distances() const;
+
+  const Options& options() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// One cache probe's outcome, threaded from Lookup to Fill.
+struct CacheProbe {
+  /// The cache was on and this request was probed at all.
+  bool eligible = false;
+  /// `cached` holds a verbatim prior response for this exact request.
+  bool hit = false;
+  /// `bound` tightens the request's initial_radius_bound.
+  bool bound_seeded = false;
+  double bound = std::numeric_limits<double>::infinity();
+  net::WireSearchResponse cached;
+  core::Permutation perm;
+  std::vector<double> site_distances;
+  std::string full_key;
+  std::string prefix_key;
+  /// Metric evaluations this probe itself spent (== site count).
+  uint64_t probe_distance_computations = 0;
+};
+
+/// Key builders (exposed for tests).
+std::string PermCacheFullKey(const core::Permutation& perm,
+                             const std::string& request_bytes);
+std::string PermCachePrefixKey(const core::Permutation& perm,
+                               size_t prefix_length, uint8_t mode,
+                               uint64_t k);
+
+template <typename P>
+class PermCache {
+ public:
+  using Options = PermCacheStore::Options;
+
+  PermCache(metric::Metric<P> metric, const Options& options)
+      : metric_(std::move(metric)), store_(options) {}
+
+  /// Fixes the cache's sites.  Call once at server start; fewer than
+  /// two sites (or zero capacity) leaves the cache disabled.
+  void SetSites(std::vector<P> sites) {
+    DP_CHECK(sites.size() <= core::kMaxSites);
+    sites_ = std::move(sites);
+  }
+
+  bool enabled() const {
+    return sites_.size() >= 2 && store_.options().capacity > 0;
+  }
+  size_t site_count() const { return sites_.size(); }
+
+  /// Probes both tables for `request`.  `bounds_allowed` lets the
+  /// caller veto the bound path per request (the server turns it off
+  /// for approximate index specs, where initial_radius_bound tightening
+  /// is not exactness-preserving in spirit even though it is in math).
+  CacheProbe Lookup(const index::SearchRequest<P>& request,
+                    const CacheTags& tags, bool bounds_allowed = true) {
+    CacheProbe probe;
+    if (!enabled()) return probe;
+    probe.eligible = true;
+    probe.site_distances.reserve(sites_.size());
+    for (const P& site : sites_) {
+      probe.site_distances.push_back(metric_(site, request.point));
+    }
+    probe.probe_distance_computations = sites_.size();
+    store_.RecordProbeDistances(probe.probe_distance_computations);
+    probe.perm = core::PermutationFromDistances(probe.site_distances);
+
+    std::string request_bytes;
+    net::EncodeSearchRequest(&request_bytes, request);
+    probe.full_key = PermCacheFullKey(probe.perm, request_bytes);
+    if (store_.LookupAnswer(probe.full_key, tags, &probe.cached)) {
+      probe.hit = true;
+      return probe;
+    }
+
+    if (BoundEligible(request)) {
+      probe.prefix_key =
+          PermCachePrefixKey(probe.perm, store_.options().prefix_length,
+                             static_cast<uint8_t>(request.mode), request.k);
+      if (bounds_allowed && store_.options().enable_bounds) {
+        double kth = 0.0;
+        std::vector<double> cached_distances;
+        if (store_.LookupBound(probe.prefix_key, tags, &kth,
+                               &cached_distances) &&
+            cached_distances.size() == probe.site_distances.size()) {
+          double via_site = std::numeric_limits<double>::infinity();
+          for (size_t i = 0; i < cached_distances.size(); ++i) {
+            const double candidate =
+                probe.site_distances[i] + cached_distances[i];
+            if (candidate < via_site) via_site = candidate;
+          }
+          const double bound = kth + via_site;
+          if (bound < request.initial_radius_bound) {
+            probe.bound_seeded = true;
+            probe.bound = bound;
+            store_.RecordBoundSeed();
+          }
+        }
+      }
+    }
+    return probe;
+  }
+
+  /// Stores an executed response under the probe's keys.  A bound entry
+  /// is only written when the response proves a k-th distance: exactly
+  /// k results and no truncation.
+  void Fill(const CacheProbe& probe, const index::SearchRequest<P>& request,
+            const net::WireSearchResponse& response, const CacheTags& tags) {
+    if (!probe.eligible || probe.hit) return;
+    if (!response.status.ok()) return;
+    store_.FillAnswer(probe.full_key, response, tags);
+    if (!probe.prefix_key.empty() && !response.truncated &&
+        response.results.size() == request.k && request.k > 0) {
+      store_.FillBound(probe.prefix_key, response.results.back().distance,
+                       probe.site_distances, tags);
+    }
+  }
+
+  PermCacheStore& store() { return store_; }
+  const PermCacheStore& store() const { return store_; }
+
+ private:
+  /// The bound path only applies to unbudgeted kNN: a budget makes the
+  /// baseline truncation-sensitive, and range queries have no k-th
+  /// distance to seed from.
+  static bool BoundEligible(const index::SearchRequest<P>& request) {
+    return request.mode == index::SearchMode::kKnn && request.k > 0 &&
+           request.max_distance_computations == 0;
+  }
+
+  metric::Metric<P> metric_;
+  std::vector<P> sites_;
+  PermCacheStore store_;
+};
+
+}  // namespace server
+}  // namespace distperm
+
+#endif  // DISTPERM_SERVER_PERM_CACHE_H_

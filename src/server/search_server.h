@@ -1,0 +1,655 @@
+// Network front door over a LiveDatabase.
+//
+// One epoll thread owns everything: accepts, frame parsing, admission,
+// cache probes, and the engine call itself.  Search frames that arrive
+// back-to-back on a connection are coalesced into one
+// QueryEngine::RunBatch against a single pinned snapshot (the engine
+// parallelizes internally across its worker pool), so a pipelining
+// client gets batch throughput without the server juggling futures.
+// Any non-search frame (ping/insert/remove) flushes the pending batch
+// first — responses always leave in request order.
+//
+// Admission control spends a distance-computation budget as currency:
+// each search's cost is estimated from the live store's size (clamped
+// by the request's own budget when it has one), and a batch stops
+// admitting once the estimates exceed `max_inflight_distance_budget`.
+// Rejected requests get an explicit kUnavailable response — overload
+// is an answer, not a dropped connection.  The first request of a
+// batch is always admitted, so a budget below the cost of one search
+// degrades to serial execution instead of livelock.
+//
+// The perm cache (see perm_cache.h) sits in front of the engine:
+// mutation tags are read BEFORE the snapshot pin, hits replay verbatim
+// (flagged kResponseCacheHit), and prefix-cell neighbours seed
+// initial_radius_bound (flagged kResponseBoundSeeded) — exactness-
+// preserving, so the bound path only ever reduces distance
+// computations.  The bound path is disabled automatically for
+// approximate ("distperm*") index specs.
+//
+// Shutdown() is thread-safe: the next tick closes the listeners,
+// flushes every connection, and stops the loop — callers then drop
+// the server and run their own final Compact() for durable stores.
+
+#ifndef DISTPERM_SERVER_SEARCH_SERVER_H_
+#define DISTPERM_SERVER_SEARCH_SERVER_H_
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "engine/live_database.h"
+#include "engine/query_engine.h"
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "net/listener.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+#include "server/perm_cache.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace server {
+
+/// Point-in-time snapshot for the /statz page (built in the .cc so the
+/// JSON shape has one owner).
+struct ServerStatz {
+  uint64_t generation = 0;
+  uint64_t delta_depth = 0;
+  uint64_t mutation_clock = 0;
+  uint64_t remove_clock = 0;
+  uint64_t connections = 0;
+  uint64_t requests = 0;
+  uint64_t batches = 0;
+  uint64_t overload_rejected = 0;
+  uint64_t decode_errors = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_bound_seeds = 0;
+  uint64_t cache_invalidations = 0;
+  uint64_t cache_evictions = 0;
+};
+std::string StatzJson(const ServerStatz& statz);
+
+/// True once `buffer` holds a complete HTTP request line; extracts the
+/// GET path ("" for malformed lines).
+bool ParseHttpGetPath(const std::string& buffer, std::string* path);
+std::string HttpTextResponse(int status_code, const std::string& body);
+
+template <typename P>
+class SearchServer {
+ public:
+  struct Options {
+    /// Worker threads of the server-owned QueryEngine.
+    size_t engine_threads = 1;
+    /// Admission currency: estimated distance computations a batch may
+    /// admit.  0 = unlimited.
+    uint64_t max_inflight_distance_budget = 0;
+    /// Cap on search requests coalesced into one batch per connection;
+    /// the overflow gets kUnavailable.
+    size_t max_requests_per_connection = 256;
+    size_t max_connections = 1024;
+    /// Idle connections older than this are closed by the tick sweep.
+    /// 0 = never.
+    uint64_t idle_timeout_ms = 0;
+    /// Perm-cache answer capacity; 0 = cache off.
+    size_t perm_cache_capacity = 0;
+    /// Sites sampled from the store at startup for the cache's
+    /// distance permutations.
+    size_t perm_cache_sites = 12;
+    size_t perm_cache_prefix = 4;
+    uint64_t perm_cache_ttl_seconds = 0;
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  SearchServer(engine::LiveDatabase<P>* db, const Options& options)
+      : db_(db), options_(options), engine_(options.engine_threads) {
+    DP_CHECK(db_ != nullptr);
+    if (options_.metrics != nullptr) {
+      engine_.EnableMetrics(options_.metrics);
+      obs_accepted_ = options_.metrics->GetCounter(
+          "server_connections_accepted_total");
+      obs_requests_ = options_.metrics->GetCounter("server_requests_total");
+      obs_overload_ = options_.metrics->GetCounter(
+          "server_overload_rejected_total");
+      obs_decode_errors_ =
+          options_.metrics->GetCounter("server_decode_errors_total");
+      obs_batches_ = options_.metrics->GetCounter("server_batches_total");
+      connections_gauge_handle_ = options_.metrics->RegisterCallback(
+          "server_active_connections",
+          [this]() { return static_cast<double>(connections_.size()); });
+    }
+    bounds_allowed_ = db_->index_spec().rfind("distperm", 0) != 0;
+    approx_size_.store(std::max<uint64_t>(1, db_->size()),
+                       std::memory_order_relaxed);
+    if (options_.perm_cache_capacity > 0) {
+      typename PermCache<P>::Options cache_options;
+      cache_options.capacity = options_.perm_cache_capacity;
+      cache_options.prefix_length = options_.perm_cache_prefix;
+      cache_options.ttl_seconds = options_.perm_cache_ttl_seconds;
+      cache_options.enable_bounds = bounds_allowed_;
+      cache_options.metrics = options_.metrics;
+      cache_ = std::make_unique<PermCache<P>>(db_->metric(), cache_options);
+      SampleCacheSites();
+    }
+    loop_.set_tick([this]() { Tick(); });
+  }
+
+  ~SearchServer() {
+    if (options_.metrics != nullptr) {
+      options_.metrics->UnregisterCallback(connections_gauge_handle_);
+    }
+  }
+  SearchServer(const SearchServer&) = delete;
+  SearchServer& operator=(const SearchServer&) = delete;
+
+  /// Binds the search port (0 = ephemeral; see port()).
+  util::Status Start(uint16_t port) {
+    auto listener = net::Listener::Bind(port);
+    if (!listener.ok()) return listener.status();
+    listener_ = std::move(listener).value();
+    return loop_.Add(listener_->fd(), EPOLLIN,
+                     [this](uint32_t) { AcceptReady(); });
+  }
+
+  /// Binds the plaintext metrics port (GET /metrics, GET /statz).
+  util::Status StartMetrics(uint16_t port) {
+    auto listener = net::Listener::Bind(port);
+    if (!listener.ok()) return listener.status();
+    metrics_listener_ = std::move(listener).value();
+    return loop_.Add(metrics_listener_->fd(), EPOLLIN,
+                     [this](uint32_t) { AcceptMetricsReady(); });
+  }
+
+  uint16_t port() const { return listener_ ? listener_->port() : 0; }
+  uint16_t metrics_port() const {
+    return metrics_listener_ ? metrics_listener_->port() : 0;
+  }
+
+  /// Blocks serving until Shutdown().
+  void Run() { loop_.Run(); }
+
+  /// Thread/signal-safe-ish graceful stop: the next tick closes the
+  /// listeners, flushes connections, and stops the loop.
+  void Shutdown() {
+    draining_.store(true, std::memory_order_release);
+    loop_.Wake();
+  }
+
+  // Test accessors (loop-thread values mirrored in relaxed atomics).
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t overload_rejected() const {
+    return overloads_.load(std::memory_order_relaxed);
+  }
+  uint64_t decode_errors() const {
+    return decode_errors_.load(std::memory_order_relaxed);
+  }
+  uint64_t batches_executed() const {
+    return batches_.load(std::memory_order_relaxed);
+  }
+  const PermCacheStore* cache_store() const {
+    return cache_ ? &cache_->store() : nullptr;
+  }
+
+ private:
+  struct BatchItem {
+    index::SearchRequest<P> request;
+    bool no_cache = false;
+    bool rejected = false;
+    std::string reject_message;
+  };
+
+  /// Evenly spaced ids over the initial snapshot; removed ids (holes)
+  /// are skipped, and fewer than two surviving sites disable the cache.
+  void SampleCacheSites() {
+    typename engine::LiveDatabase<P>::Snapshot snapshot = db_->Pin();
+    const size_t n =
+        snapshot.database().size() + snapshot.delta_entries();
+    if (n == 0) return;
+    const size_t want =
+        std::min(options_.perm_cache_sites, std::min(n, core::kMaxSites));
+    std::vector<P> sites;
+    sites.reserve(want);
+    for (size_t i = 0; i < want; ++i) {
+      util::Result<P> point = snapshot.ResolvePoint(i * n / want);
+      if (point.ok()) sites.push_back(std::move(point).value());
+    }
+    cache_->SetSites(std::move(sites));
+  }
+
+  void AcceptReady() {
+    for (;;) {
+      util::Result<int> accepted = listener_->Accept();
+      if (!accepted.ok()) return;
+      const int fd = accepted.value();
+      if (fd < 0) return;
+      if (draining_.load(std::memory_order_acquire) ||
+          connections_.size() + metrics_connections_.size() >=
+              options_.max_connections) {
+        close(fd);
+        continue;
+      }
+      Count(&accepted_, obs_accepted_);
+      connections_.emplace(fd, std::make_unique<net::Connection>(fd));
+      loop_.Add(fd, EPOLLIN,
+                [this, fd](uint32_t events) { ConnectionReady(fd, events); });
+    }
+  }
+
+  void AcceptMetricsReady() {
+    for (;;) {
+      util::Result<int> accepted = metrics_listener_->Accept();
+      if (!accepted.ok()) return;
+      const int fd = accepted.value();
+      if (fd < 0) return;
+      if (draining_.load(std::memory_order_acquire)) {
+        close(fd);
+        continue;
+      }
+      metrics_connections_.emplace(fd, std::make_unique<net::Connection>(fd));
+      loop_.Add(fd, EPOLLIN,
+                [this, fd](uint32_t events) { MetricsReady(fd, events); });
+    }
+  }
+
+  void ConnectionReady(int fd, uint32_t events) {
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    net::Connection& conn = *it->second;
+    bool close_after = false;
+    if ((events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+      const net::Connection::ReadResult read = conn.ReadReady();
+      const bool keep = ProcessFrames(&conn, &close_after);
+      if (!keep || read != net::Connection::ReadResult::kOpen) {
+        // Answer what we parsed, then drop: flush below and close.
+        close_after = true;
+      }
+    }
+    if (!conn.Flush().ok()) {
+      CloseConnection(fd);
+      return;
+    }
+    if (close_after && !conn.has_pending_write()) {
+      CloseConnection(fd);
+      return;
+    }
+    if (close_after) closing_.emplace(fd, true);
+    UpdateInterest(fd, conn);
+  }
+
+  void MetricsReady(int fd, uint32_t events) {
+    auto it = metrics_connections_.find(fd);
+    if (it == metrics_connections_.end()) return;
+    net::Connection& conn = *it->second;
+    bool respond = false;
+    std::string path;
+    if ((events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+      const net::Connection::ReadResult read = conn.ReadReady();
+      respond = ParseHttpGetPath(conn.read_buffer(), &path);
+      if (!respond && read != net::Connection::ReadResult::kOpen) {
+        CloseMetricsConnection(fd);
+        return;
+      }
+    }
+    if (respond) {
+      conn.Queue(MetricsResponse(path));
+      closing_.emplace(fd, true);
+    }
+    if (!conn.Flush().ok() ||
+        (closing_.count(fd) != 0 && !conn.has_pending_write())) {
+      CloseMetricsConnection(fd);
+      return;
+    }
+    UpdateInterest(fd, conn);
+  }
+
+  std::string MetricsResponse(const std::string& path) {
+    if (path == "/metrics") {
+      const std::string body = options_.metrics != nullptr
+                                   ? options_.metrics->TextExposition()
+                                   : std::string("# no metrics registry\n");
+      return HttpTextResponse(200, body);
+    }
+    if (path == "/statz") {
+      ServerStatz statz;
+      statz.generation = db_->generation_number();
+      statz.delta_depth = db_->delta_entries();
+      statz.mutation_clock = db_->mutation_clock();
+      statz.remove_clock = db_->remove_clock();
+      statz.connections = connections_.size();
+      statz.requests = requests_.load(std::memory_order_relaxed);
+      statz.batches = batches_.load(std::memory_order_relaxed);
+      statz.overload_rejected = overloads_.load(std::memory_order_relaxed);
+      statz.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+      if (cache_) {
+        const PermCacheStore& store = cache_->store();
+        statz.cache_hits = store.hits();
+        statz.cache_misses = store.misses();
+        statz.cache_bound_seeds = store.bound_seeds();
+        statz.cache_invalidations = store.invalidations();
+        statz.cache_evictions = store.evictions();
+      }
+      return HttpTextResponse(200, StatzJson(statz));
+    }
+    return HttpTextResponse(404, "not found: " + path + "\n");
+  }
+
+  /// Parses every complete frame in the connection's read buffer.
+  /// Returns false when the connection must close (protocol error).
+  bool ProcessFrames(net::Connection* conn, bool* close_after) {
+    std::vector<BatchItem> batch;
+    uint64_t batch_cost = 0;
+    bool keep = true;
+    for (;;) {
+      net::FrameView view;
+      size_t frame_size = 0;
+      util::Status error;
+      const net::FrameParse parse = net::ParseFrame(
+          reinterpret_cast<const uint8_t*>(conn->read_buffer().data()),
+          conn->read_buffer().size(), &view, &frame_size, &error);
+      if (parse == net::FrameParse::kIncomplete) break;
+      if (parse == net::FrameParse::kError) {
+        ExecuteSearchBatch(conn, &batch);
+        SendError(conn, net::WireStatus::FromStatus(error));
+        Count(&decode_errors_, obs_decode_errors_);
+        keep = false;
+        break;
+      }
+      const bool frame_ok = DispatchFrame(conn, view, &batch, &batch_cost);
+      conn->Consume(frame_size);
+      if (!frame_ok) {
+        keep = false;
+        break;
+      }
+    }
+    ExecuteSearchBatch(conn, &batch);
+    if (!keep) *close_after = true;
+    return keep;
+  }
+
+  bool DispatchFrame(net::Connection* conn, const net::FrameView& view,
+                     std::vector<BatchItem>* batch, uint64_t* batch_cost) {
+    switch (view.type) {
+      case net::MessageType::kPing: {
+        ExecuteSearchBatch(conn, batch);
+        conn->Queue(net::EncodeFrame(net::MessageType::kPong, ""));
+        return true;
+      }
+      case net::MessageType::kSearch: {
+        auto decoded = net::DecodeSearchRequest<P>(view.payload,
+                                                   view.payload_size);
+        if (!decoded.ok()) {
+          ExecuteSearchBatch(conn, batch);
+          SendError(conn, net::WireStatus::FromStatus(decoded.status()));
+          Count(&decode_errors_, obs_decode_errors_);
+          return false;
+        }
+        BatchItem item;
+        item.request = std::move(decoded.value().request);
+        item.no_cache = decoded.value().no_cache;
+        Admit(&item, batch->size(), batch_cost);
+        batch->push_back(std::move(item));
+        return true;
+      }
+      case net::MessageType::kInsert: {
+        ExecuteSearchBatch(conn, batch);
+        auto point = net::DecodeInsertRequest<P>(view.payload,
+                                                 view.payload_size);
+        net::WireInsertResponse response;
+        if (!point.ok()) {
+          response.status = net::WireStatus::FromStatus(point.status());
+          Count(&decode_errors_, obs_decode_errors_);
+        } else {
+          util::Result<size_t> id = db_->Insert(std::move(point).value());
+          if (id.ok()) {
+            response.id = id.value();
+          } else {
+            response.status = net::WireStatus::FromStatus(id.status());
+          }
+        }
+        std::string payload;
+        net::EncodeInsertResponse(&payload, response);
+        conn->Queue(
+            net::EncodeFrame(net::MessageType::kInsertResult, payload));
+        return true;
+      }
+      case net::MessageType::kRemove: {
+        ExecuteSearchBatch(conn, batch);
+        auto id = net::DecodeRemoveRequest(view.payload, view.payload_size);
+        net::WireStatus response;
+        if (!id.ok()) {
+          response = net::WireStatus::FromStatus(id.status());
+          Count(&decode_errors_, obs_decode_errors_);
+        } else {
+          response = net::WireStatus::FromStatus(db_->Remove(id.value()));
+        }
+        std::string payload;
+        net::EncodeWireStatus(&payload, response);
+        conn->Queue(
+            net::EncodeFrame(net::MessageType::kRemoveResult, payload));
+        return true;
+      }
+      default: {
+        ExecuteSearchBatch(conn, batch);
+        SendError(conn,
+                  {net::WireCode::kInvalidArgument,
+                   "unexpected client frame type " +
+                       std::to_string(static_cast<int>(view.type))});
+        Count(&decode_errors_, obs_decode_errors_);
+        return false;
+      }
+    }
+  }
+
+  /// Admission: per-connection batch cap, then the distance budget.
+  /// The first request of a batch is always admitted (progress
+  /// guarantee); after that, estimated cost must fit the budget.
+  void Admit(BatchItem* item, size_t batch_size, uint64_t* batch_cost) {
+    if (batch_size >= options_.max_requests_per_connection) {
+      item->rejected = true;
+      item->reject_message =
+          "admission: per-connection request cap (" +
+          std::to_string(options_.max_requests_per_connection) +
+          ") exceeded";
+      Count(&overloads_, obs_overload_);
+      return;
+    }
+    const uint64_t approx = approx_size_.load(std::memory_order_relaxed);
+    uint64_t estimate = approx;
+    if (item->request.max_distance_computations > 0) {
+      estimate = std::min<uint64_t>(
+          estimate, item->request.max_distance_computations);
+    }
+    if (options_.max_inflight_distance_budget > 0 && batch_size > 0 &&
+        *batch_cost + estimate > options_.max_inflight_distance_budget) {
+      item->rejected = true;
+      item->reject_message =
+          "admission: distance budget exhausted (estimated " +
+          std::to_string(estimate) + " over a batch budget of " +
+          std::to_string(options_.max_inflight_distance_budget) + ")";
+      Count(&overloads_, obs_overload_);
+      return;
+    }
+    *batch_cost += estimate;
+  }
+
+  void ExecuteSearchBatch(net::Connection* conn,
+                          std::vector<BatchItem>* batch) {
+    if (batch->empty()) return;
+    Count(&batches_, obs_batches_);
+    // Tags first, pin second: an entry stamped with these tags only
+    // serves while zero mutations landed since they were read.
+    CacheTags tags;
+    tags.generation = db_->generation_number();
+    tags.mutation_clock = db_->mutation_clock();
+    tags.remove_clock = db_->remove_clock();
+    typename engine::LiveDatabase<P>::Snapshot snapshot = db_->Pin();
+    approx_size_.store(
+        snapshot.database().size() + snapshot.delta_entries(),
+        std::memory_order_relaxed);
+
+    const size_t count = batch->size();
+    std::vector<CacheProbe> probes(count);
+    std::vector<engine::QuerySpec<P>> engine_batch;
+    constexpr size_t kNotRun = static_cast<size_t>(-1);
+    std::vector<size_t> engine_index(count, kNotRun);
+    for (size_t i = 0; i < count; ++i) {
+      BatchItem& item = (*batch)[i];
+      if (item.rejected) continue;
+      if (cache_ && !item.no_cache) {
+        probes[i] = cache_->Lookup(item.request, tags, bounds_allowed_);
+        if (probes[i].hit) continue;
+      }
+      engine::QuerySpec<P> spec = item.request;
+      if (probes[i].bound_seeded &&
+          probes[i].bound < spec.initial_radius_bound) {
+        spec.initial_radius_bound = probes[i].bound;
+      }
+      engine_index[i] = engine_batch.size();
+      engine_batch.push_back(std::move(spec));
+    }
+
+    typename engine::QueryEngine<P>::BatchOutput out;
+    if (!engine_batch.empty()) {
+      out = db_->RunBatch(engine_, snapshot, engine_batch);
+    }
+
+    for (size_t i = 0; i < count; ++i) {
+      BatchItem& item = (*batch)[i];
+      net::WireSearchResponse response;
+      if (item.rejected) {
+        response.status = net::WireStatus::Unavailable(item.reject_message);
+      } else if (probes[i].hit) {
+        response = probes[i].cached;
+        response.cache_hit = true;
+      } else {
+        const size_t j = engine_index[i];
+        if (!out.statuses[j].ok()) {
+          response.status = net::WireStatus::FromStatus(out.statuses[j]);
+        }
+        response.truncated = out.truncated[j];
+        response.bound_seeded = probes[i].bound_seeded;
+        response.generation = snapshot.generation_number();
+        response.stats.distance_computations =
+            out.per_query_distance_computations[j];
+        response.results = std::move(out.results[j]);
+        if (cache_ && !item.no_cache && response.status.ok()) {
+          cache_->Fill(probes[i], item.request, response, tags);
+        }
+      }
+      Count(&requests_, obs_requests_);
+      std::string payload;
+      net::EncodeSearchResponse(&payload, response);
+      conn->Queue(
+          net::EncodeFrame(net::MessageType::kSearchResult, payload));
+    }
+    batch->clear();
+  }
+
+  void SendError(net::Connection* conn, const net::WireStatus& status) {
+    std::string payload;
+    net::EncodeWireStatus(&payload, status);
+    conn->Queue(net::EncodeFrame(net::MessageType::kError, payload));
+  }
+
+  void UpdateInterest(int fd, const net::Connection& conn) {
+    loop_.Modify(fd, conn.has_pending_write() ? (EPOLLIN | EPOLLOUT)
+                                              : EPOLLIN);
+  }
+
+  void CloseConnection(int fd) {
+    loop_.Remove(fd);
+    closing_.erase(fd);
+    connections_.erase(fd);  // Connection dtor closes the fd.
+  }
+
+  void CloseMetricsConnection(int fd) {
+    loop_.Remove(fd);
+    closing_.erase(fd);
+    metrics_connections_.erase(fd);
+  }
+
+  void Tick() {
+    if (draining_.load(std::memory_order_acquire)) {
+      if (listener_) {
+        loop_.Remove(listener_->fd());
+        listener_.reset();
+      }
+      if (metrics_listener_) {
+        loop_.Remove(metrics_listener_->fd());
+        metrics_listener_.reset();
+      }
+      // Everything parsed has been answered inline; flush best-effort
+      // and drop the rest.
+      for (auto& entry : connections_) entry.second->Flush();
+      for (auto& entry : metrics_connections_) entry.second->Flush();
+      while (!connections_.empty()) {
+        CloseConnection(connections_.begin()->first);
+      }
+      while (!metrics_connections_.empty()) {
+        CloseMetricsConnection(metrics_connections_.begin()->first);
+      }
+      loop_.Stop();
+      return;
+    }
+    if (options_.idle_timeout_ms == 0) return;
+    const auto now = std::chrono::steady_clock::now();
+    const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+    std::vector<int> idle;
+    for (const auto& entry : connections_) {
+      if (now - entry.second->last_activity() >= limit) {
+        idle.push_back(entry.first);
+      }
+    }
+    for (const int fd : idle) CloseConnection(fd);
+  }
+
+  void Count(std::atomic<uint64_t>* mirror, obs::Counter* counter) {
+    mirror->fetch_add(1, std::memory_order_relaxed);
+    if (counter != nullptr) counter->Increment();
+  }
+
+  engine::LiveDatabase<P>* db_;
+  Options options_;
+  engine::QueryEngine<P> engine_;
+  net::EventLoop loop_;
+  std::unique_ptr<net::Listener> listener_;
+  std::unique_ptr<net::Listener> metrics_listener_;
+  std::unordered_map<int, std::unique_ptr<net::Connection>> connections_;
+  std::unordered_map<int, std::unique_ptr<net::Connection>>
+      metrics_connections_;
+  std::unordered_map<int, bool> closing_;
+  std::unique_ptr<PermCache<P>> cache_;
+  bool bounds_allowed_ = true;
+  std::atomic<bool> draining_{false};
+  /// Approximate live size, refreshed from each batch's snapshot; the
+  /// admission estimator's notion of "one full scan".
+  std::atomic<uint64_t> approx_size_{1};
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> overloads_{0};
+  std::atomic<uint64_t> decode_errors_{0};
+  std::atomic<uint64_t> batches_{0};
+
+  obs::Counter* obs_accepted_ = nullptr;
+  obs::Counter* obs_requests_ = nullptr;
+  obs::Counter* obs_overload_ = nullptr;
+  obs::Counter* obs_decode_errors_ = nullptr;
+  obs::Counter* obs_batches_ = nullptr;
+  uint64_t connections_gauge_handle_ = 0;
+};
+
+}  // namespace server
+}  // namespace distperm
+
+#endif  // DISTPERM_SERVER_SEARCH_SERVER_H_

@@ -1,0 +1,288 @@
+// PermCache semantics: answer hits replay the cached response
+// verbatim, clock tags invalidate exactly as designed (any mutation
+// kills answers; only removes kill bounds), the triangle-inequality
+// bound is computed exactly and is always a valid upper bound on the
+// true k-th distance, LRU eviction bounds memory, and concurrent
+// Lookup/Fill is race-free (the tsan CI job runs this suite).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "index/search.h"
+#include "metric/lp.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+#include "server/perm_cache.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace server {
+namespace {
+
+using index::SearchRequest;
+using metric::Vector;
+
+metric::Metric<Vector> L2() { return metric::LpMetric::L2(); }
+
+std::vector<Vector> CornerSites() {
+  return {Vector{0.0, 0.0}, Vector{10.0, 0.0}, Vector{0.0, 10.0},
+          Vector{10.0, 10.0}};
+}
+
+net::WireSearchResponse MakeResponse(std::vector<index::SearchResult> results,
+                                     uint64_t generation) {
+  net::WireSearchResponse response;
+  response.generation = generation;
+  response.stats.distance_computations = 100;
+  response.results = std::move(results);
+  return response;
+}
+
+TEST(PermCache, HitReplaysVerbatim) {
+  PermCache<Vector> cache(L2(), {});
+  cache.SetSites(CornerSites());
+  ASSERT_TRUE(cache.enabled());
+
+  const SearchRequest<Vector> request =
+      SearchRequest<Vector>::Knn(Vector{1.0, 1.0}, 3);
+  const CacheTags tags{7, 11, 2};
+
+  CacheProbe miss = cache.Lookup(request, tags);
+  ASSERT_TRUE(miss.eligible);
+  EXPECT_FALSE(miss.hit);
+  EXPECT_EQ(miss.probe_distance_computations, 4u);
+  EXPECT_EQ(cache.store().misses(), 1u);
+
+  const net::WireSearchResponse response =
+      MakeResponse({{5, 0.5}, {9, 1.25}, {2, 2.0}}, 7);
+  cache.Fill(miss, request, response, tags);
+
+  CacheProbe hit = cache.Lookup(request, tags);
+  ASSERT_TRUE(hit.hit);
+  EXPECT_EQ(cache.store().hits(), 1u);
+  EXPECT_EQ(hit.cached.generation, 7u);
+  EXPECT_EQ(hit.cached.stats.distance_computations, 100u);
+  ASSERT_EQ(hit.cached.results.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(hit.cached.results[i].id, response.results[i].id);
+    EXPECT_EQ(hit.cached.results[i].distance, response.results[i].distance);
+  }
+}
+
+TEST(PermCache, DistinctRequestsDoNotCollide) {
+  PermCache<Vector> cache(L2(), {});
+  cache.SetSites(CornerSites());
+  const CacheTags tags{1, 0, 0};
+  const SearchRequest<Vector> k3 =
+      SearchRequest<Vector>::Knn(Vector{1.0, 1.0}, 3);
+  const SearchRequest<Vector> k5 =
+      SearchRequest<Vector>::Knn(Vector{1.0, 1.0}, 5);
+
+  CacheProbe probe = cache.Lookup(k3, tags);
+  cache.Fill(probe, k3, MakeResponse({{1, 0.5}, {2, 0.6}, {3, 0.7}}, 1),
+             tags);
+  // Same point, different k: a different full key, so no answer hit —
+  // but same mode lands nothing either since k differs in the prefix
+  // key too.
+  EXPECT_FALSE(cache.Lookup(k5, tags).hit);
+  EXPECT_TRUE(cache.Lookup(k3, tags).hit);
+}
+
+TEST(PermCache, AnyMutationInvalidatesAnswers) {
+  PermCache<Vector> cache(L2(), {});
+  cache.SetSites(CornerSites());
+  const SearchRequest<Vector> request =
+      SearchRequest<Vector>::Knn(Vector{2.0, 3.0}, 2);
+
+  const CacheTags filled{3, 10, 4};
+  CacheProbe probe = cache.Lookup(request, filled);
+  cache.Fill(probe, request, MakeResponse({{1, 0.1}, {2, 0.2}}, 3), filled);
+
+  // An insert bumps mutation_clock only: answers die.
+  const CacheTags after_insert{3, 11, 4};
+  EXPECT_FALSE(cache.Lookup(request, after_insert).hit);
+  EXPECT_GE(cache.store().invalidations(), 1u);
+
+  // A compaction swap changes the generation: answers die too.
+  cache.Fill(cache.Lookup(request, after_insert), request,
+             MakeResponse({{1, 0.1}, {2, 0.2}}, 3), after_insert);
+  const CacheTags after_swap{4, 12, 4};
+  EXPECT_FALSE(cache.Lookup(request, after_swap).hit);
+}
+
+TEST(PermCache, BoundMathIsExactAndValid) {
+  const metric::Metric<Vector> l2 = L2();
+  PermCache<Vector> cache(l2, {});
+  const std::vector<Vector> sites = CornerSites();
+  cache.SetSites(sites);
+  const CacheTags tags{1, 0, 0};
+
+  // Fill from q_c with a proven k-th distance.
+  const Vector cached_query{1.0, 1.0};
+  const SearchRequest<Vector> cached_request =
+      SearchRequest<Vector>::Knn(cached_query, 3);
+  const double kth = 2.0;
+  CacheProbe fill_probe = cache.Lookup(cached_request, tags);
+  cache.Fill(fill_probe, cached_request,
+             MakeResponse({{1, 0.5}, {2, 1.0}, {3, kth}}, 1), tags);
+
+  // A different query in the same permutation cell seeds its bound.
+  const Vector query{1.2, 0.9};
+  const SearchRequest<Vector> request = SearchRequest<Vector>::Knn(query, 3);
+  CacheProbe probe = cache.Lookup(request, tags);
+  EXPECT_FALSE(probe.hit);
+  ASSERT_TRUE(probe.bound_seeded);
+  EXPECT_EQ(cache.store().bound_seeds(), 1u);
+
+  double via_site = std::numeric_limits<double>::infinity();
+  for (const Vector& site : sites) {
+    via_site = std::min(via_site, l2(site, query) + l2(site, cached_query));
+  }
+  EXPECT_DOUBLE_EQ(probe.bound, kth + via_site);
+  // Triangle-inequality validity: the bound dominates the direct path.
+  EXPECT_GE(probe.bound, kth + l2(query, cached_query) - 1e-12);
+}
+
+TEST(PermCache, OnlyRemovesInvalidateBounds) {
+  PermCache<Vector> cache(L2(), {});
+  cache.SetSites(CornerSites());
+  const SearchRequest<Vector> cached_request =
+      SearchRequest<Vector>::Knn(Vector{1.0, 1.0}, 3);
+  const CacheTags filled{1, 5, 2};
+  cache.Fill(cache.Lookup(cached_request, filled), cached_request,
+             MakeResponse({{1, 0.5}, {2, 1.0}, {3, 2.0}}, 1), filled);
+
+  const SearchRequest<Vector> request =
+      SearchRequest<Vector>::Knn(Vector{1.1, 1.0}, 3);
+  // Insert + compaction (mutation/generation move, remove_clock
+  // doesn't): inserts can only shrink the true k-th distance, so the
+  // bound stays valid and still seeds.
+  const CacheTags after_insert{2, 9, 2};
+  CacheProbe seeded = cache.Lookup(request, after_insert);
+  EXPECT_TRUE(seeded.bound_seeded);
+
+  // A remove can grow the true k-th distance: the bound dies.
+  const CacheTags after_remove{2, 10, 3};
+  CacheProbe dropped = cache.Lookup(request, after_remove);
+  EXPECT_FALSE(dropped.bound_seeded);
+}
+
+TEST(PermCache, BoundRequiresProvenKthDistance) {
+  PermCache<Vector> cache(L2(), {});
+  cache.SetSites(CornerSites());
+  const CacheTags tags{1, 0, 0};
+  const SearchRequest<Vector> request =
+      SearchRequest<Vector>::Knn(Vector{1.0, 1.0}, 3);
+
+  // Two results for k=3 (store smaller than k): no k-th distance, no
+  // bound entry.
+  cache.Fill(cache.Lookup(request, tags), request,
+             MakeResponse({{1, 0.5}, {2, 1.0}}, 1), tags);
+  const SearchRequest<Vector> neighbour =
+      SearchRequest<Vector>::Knn(Vector{1.1, 1.0}, 3);
+  EXPECT_FALSE(cache.Lookup(neighbour, tags).bound_seeded);
+
+  // A truncated response proves nothing either.
+  net::WireSearchResponse truncated =
+      MakeResponse({{1, 0.5}, {2, 1.0}, {3, 2.0}}, 1);
+  truncated.truncated = true;
+  cache.Fill(cache.Lookup(request, tags), request, truncated, tags);
+  EXPECT_FALSE(cache.Lookup(neighbour, tags).bound_seeded);
+}
+
+TEST(PermCache, BudgetedAndRangeQueriesSkipBounds) {
+  PermCache<Vector> cache(L2(), {});
+  cache.SetSites(CornerSites());
+  const CacheTags tags{1, 0, 0};
+  SearchRequest<Vector> budgeted =
+      SearchRequest<Vector>::Knn(Vector{1.0, 1.0}, 3);
+  budgeted.max_distance_computations = 50;
+  CacheProbe probe = cache.Lookup(budgeted, tags);
+  EXPECT_TRUE(probe.prefix_key.empty());
+
+  const SearchRequest<Vector> range =
+      SearchRequest<Vector>::Range(Vector{1.0, 1.0}, 2.5);
+  EXPECT_TRUE(cache.Lookup(range, tags).prefix_key.empty());
+}
+
+TEST(PermCache, TtlExpiresEntries) {
+  PermCacheStore::Options options;
+  options.ttl_seconds = 1;
+  PermCache<Vector> cache(L2(), options);
+  cache.SetSites(CornerSites());
+  const CacheTags tags{1, 0, 0};
+  const SearchRequest<Vector> request =
+      SearchRequest<Vector>::Knn(Vector{1.0, 1.0}, 2);
+  cache.Fill(cache.Lookup(request, tags), request,
+             MakeResponse({{1, 0.5}, {2, 1.0}}, 1), tags);
+  EXPECT_TRUE(cache.Lookup(request, tags).hit);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+  EXPECT_FALSE(cache.Lookup(request, tags).hit);
+  EXPECT_GE(cache.store().invalidations(), 1u);
+}
+
+TEST(PermCache, LruEvictionBoundsTheCache) {
+  PermCacheStore::Options options;
+  options.capacity = 16;
+  options.shard_count = 2;
+  PermCache<Vector> cache(L2(), options);
+  cache.SetSites(CornerSites());
+  const CacheTags tags{1, 0, 0};
+  util::Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const SearchRequest<Vector> request = SearchRequest<Vector>::Knn(
+        Vector{rng.NextDouble() * 10.0, rng.NextDouble() * 10.0},
+        1 + (i % 7));
+    cache.Fill(cache.Lookup(request, tags), request,
+               MakeResponse({{static_cast<size_t>(i), 0.5}}, 1), tags);
+  }
+  EXPECT_GT(cache.store().evictions(), 0u);
+}
+
+TEST(PermCache, DisabledBelowTwoSites) {
+  PermCache<Vector> cache(L2(), {});
+  cache.SetSites({Vector{0.0, 0.0}});
+  EXPECT_FALSE(cache.enabled());
+  const SearchRequest<Vector> request =
+      SearchRequest<Vector>::Knn(Vector{1.0, 1.0}, 2);
+  EXPECT_FALSE(cache.Lookup(request, CacheTags{}).eligible);
+}
+
+TEST(PermCache, ConcurrentLookupAndFillIsRaceFree) {
+  PermCacheStore::Options options;
+  options.capacity = 64;
+  options.shard_count = 4;
+  PermCache<Vector> cache(L2(), options);
+  cache.SetSites(CornerSites());
+  const CacheTags tags{1, 0, 0};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&cache, &tags, t]() {
+      util::Rng rng(1000 + t);
+      for (int i = 0; i < 300; ++i) {
+        const SearchRequest<Vector> request = SearchRequest<Vector>::Knn(
+            Vector{rng.NextDouble() * 10.0, rng.NextDouble() * 10.0},
+            1 + (i % 5));
+        CacheProbe probe = cache.Lookup(request, tags);
+        if (!probe.hit) {
+          cache.Fill(probe, request,
+                     MakeResponse({{static_cast<size_t>(i), 1.0}}, 1),
+                     tags);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(cache.store().hits() + cache.store().misses(), 1200u);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace distperm
