@@ -10,12 +10,21 @@
 //                   [--cache-prefix=4] [--cache-ttl-seconds=0]
 //                   [--admission-budget=0] [--max-requests-per-conn=256]
 //                   [--idle-timeout-ms=0]
+//                   [--replicate-from=0] [--primary-host=127.0.0.1]
 //
 // With --dir the store is durable: a directory that already holds a
 // snapshot is recovered (the on-disk store IS the data; --points is
 // ignored), a fresh one is seeded with --points of UniformCube.  On
 // shutdown the WAL tail is folded with a final Compact(), so a
 // subsequent run resumes exactly where this one stopped.
+//
+// With --replicate-from=PORT the process is a read replica instead:
+// it bootstraps --dir from the primary at --primary-host:PORT (or
+// recovers an existing replica directory), tails the primary's WAL
+// stream, and serves read-only queries that stay bit-identical to the
+// primary's.  --spec/--seed/--shards must match the primary; --points
+// is ignored.  Losing the primary degrades the replica to stale reads
+// plus reconnect attempts — it never exits on its own.
 
 #include <csignal>
 #include <iostream>
@@ -25,6 +34,7 @@
 #include "engine/live_database.h"
 #include "metric/lp.h"
 #include "obs/metrics.h"
+#include "server/replica_server.h"
 #include "server/search_server.h"
 #include "storage/env.h"
 #include "util/flags.h"
@@ -33,12 +43,79 @@
 using distperm::engine::LiveDatabase;
 using distperm::engine::LiveOptions;
 using distperm::metric::Vector;
+using distperm::server::ReplicaServer;
 using distperm::server::SearchServer;
 
 namespace {
 
 volatile std::sig_atomic_t g_signal = 0;
 void HandleSignal(int signal) { g_signal = signal; }
+
+/// The replica branch of main(): everything between flag parsing and
+/// exit when --replicate-from is set.
+int RunReplica(const distperm::util::Flags& f) {
+  distperm::metric::Metric<Vector> l2(distperm::metric::LpMetric::L2());
+  distperm::obs::MetricsRegistry metrics("replica");
+  ReplicaServer<Vector>::Options options;
+  options.dir = f.GetString("dir", "");
+  if (options.dir.empty()) {
+    std::cerr << "--replicate-from requires --dir\n";
+    return 1;
+  }
+  options.index_spec = f.GetString("spec", "vp-tree");
+  options.seed = static_cast<uint64_t>(f.GetInt("seed", 42));
+  options.shard_count = static_cast<size_t>(f.GetInt("shards", 4));
+  options.build_threads = static_cast<size_t>(f.GetInt("build-threads", 2));
+  options.engine_threads = static_cast<size_t>(f.GetInt("threads", 2));
+  options.metrics = &metrics;
+  options.replication.primary_host =
+      f.GetString("primary-host", "127.0.0.1");
+  options.replication.primary_port =
+      static_cast<uint16_t>(f.GetInt("replicate-from", 0));
+
+  auto opened = ReplicaServer<Vector>::Open(l2, options);
+  if (!opened.ok()) {
+    std::cerr << opened.status() << "\n";
+    return 1;
+  }
+  ReplicaServer<Vector>& replica = *opened.value();
+  const uint16_t port = static_cast<uint16_t>(f.GetInt("port", 7472));
+  if (auto status = replica.Start(port); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
+  if (f.Has("metrics-port")) {
+    const uint16_t metrics_port =
+        static_cast<uint16_t>(f.GetInt("metrics-port", 0));
+    if (auto status = replica.StartMetrics(metrics_port); !status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::cout << "metrics: http://127.0.0.1:"
+              << replica.server().metrics_port() << "/metrics\n";
+  }
+  std::cout << "replica of " << options.replication.primary_host << ":"
+            << options.replication.primary_port << ", generation "
+            << replica.db().generation_number()
+            << ", n=" << replica.db().size() << "\n";
+  std::cout << "serving on port " << replica.server().port() << "\n"
+            << std::flush;
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::thread serving([&replica]() { replica.Run(); });
+  while (g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cout << "signal " << static_cast<int>(g_signal) << ": draining\n";
+  // No final Compact(): a replica never rotates its own generation.
+  replica.Shutdown();
+  serving.join();
+  std::cout << "applied " << replica.replication().applied_records()
+            << " records over " << replica.replication().reconnects()
+            << " connections\n";
+  return 0;
+}
 
 }  // namespace
 
@@ -49,6 +126,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const distperm::util::Flags& f = flags.value();
+  if (f.Has("replicate-from")) return RunReplica(f);
   const std::string spec = f.GetString("spec", "vp-tree");
   const size_t shards = static_cast<size_t>(f.GetInt("shards", 4));
   const size_t points = static_cast<size_t>(f.GetInt("points", 4096));

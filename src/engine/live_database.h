@@ -143,6 +143,40 @@ class DeltaLog {
   std::array<std::atomic<Chunk*>, kMaxChunks> chunks_;
 };
 
+/// Observer of a store's logical write stream — the hook a serving
+/// layer uses to feed replicas.  Callbacks fire on the writer's thread
+/// with the write mutex held, in exact commit order; implementations
+/// must be fast (hand off to another thread) and must not call back
+/// into the store.
+class ReplicationListener {
+ public:
+  virtual ~ReplicationListener() = default;
+  /// One committed write.  `record` is the exact WAL payload bytes
+  /// (EncodeWalInsert/EncodeWalRemove), `seq` its 1-based WAL sequence
+  /// within `generation` — a replica appending these to its own WAL
+  /// reproduces the primary's log byte for byte.
+  virtual void OnRecord(uint64_t generation, uint64_t seq,
+                        const std::string& record) = 0;
+  /// A generation swap: the first `folded` records of the old window
+  /// were folded into `new_generation`; `carried` holds the unconsumed
+  /// tail re-encoded into the new id space (seqs 1..carried.size() of
+  /// the new generation's WAL).  A replica replays the same fold with
+  /// CompactPrefix(folded) — the deterministic build makes its new
+  /// generation (and tail remap) bit-identical, so `carried` is a
+  /// cross-check, not required input.
+  virtual void OnRotate(uint64_t new_generation, uint64_t folded,
+                        std::vector<std::string> carried) = 0;
+};
+
+/// The stream position a newly attached listener joins at: the serving
+/// generation plus its committed window re-encoded as WAL payloads
+/// (record i carrying seq i+1).  Everything after arrives via
+/// OnRecord/OnRotate with no gap and no overlap.
+struct ReplicationSeed {
+  uint64_t generation = 0;
+  std::vector<std::string> records;
+};
+
 /// Host-side knobs for a LiveDatabase (the delta knobs travel in the
 /// index spec — see index::LiveSpecOptions).
 struct LiveOptions {
@@ -517,8 +551,12 @@ class LiveDatabase {
     std::lock_guard<std::mutex> lock(write_mutex_);
     util::Status room = EnsureRoomLocked();
     if (!room.ok()) return room;
+    std::string record;
+    if (wal_ != nullptr || listener_ != nullptr) {
+      record = EncodeWalInsert<P>(point);  // before the point moves
+    }
     if (wal_ != nullptr) {
-      util::Status logged = wal_->Append(EncodeWalInsert<P>(point));
+      util::Status logged = wal_->Append(record);
       if (!logged.ok()) return logged;
     }
     const size_t id = writer_base_size_ + writer_inserts_;
@@ -527,6 +565,11 @@ class LiveDatabase {
     published_delta_depth_.store(log_->committed(),
                                  std::memory_order_relaxed);
     mutation_clock_.fetch_add(1, std::memory_order_relaxed);
+    if (listener_ != nullptr) {
+      listener_->OnRecord(
+          published_generation_.load(std::memory_order_relaxed),
+          log_->committed(), record);
+    }
     if (inserts_ != nullptr) inserts_->Increment();
     MaybeScheduleAutoCompactLocked();
     return id;
@@ -545,8 +588,12 @@ class LiveDatabase {
     }
     util::Status room = EnsureRoomLocked();
     if (!room.ok()) return room;
+    std::string record;
+    if (wal_ != nullptr || listener_ != nullptr) {
+      record = EncodeWalRemove<P>(id);
+    }
     if (wal_ != nullptr) {
-      util::Status logged = wal_->Append(EncodeWalRemove<P>(id));
+      util::Status logged = wal_->Append(record);
       if (!logged.ok()) return logged;
     }
     DP_CHECK(log_->Append({/*is_remove=*/true, id, P{}}));
@@ -555,7 +602,65 @@ class LiveDatabase {
                                  std::memory_order_relaxed);
     mutation_clock_.fetch_add(1, std::memory_order_relaxed);
     remove_clock_.fetch_add(1, std::memory_order_relaxed);
+    if (listener_ != nullptr) {
+      listener_->OnRecord(
+          published_generation_.load(std::memory_order_relaxed),
+          log_->committed(), record);
+    }
     if (removes_ != nullptr) removes_->Increment();
+    MaybeScheduleAutoCompactLocked();
+    return util::Status::OK();
+  }
+
+  /// Replication fast path: applies one WAL record received from a
+  /// primary, appending the primary's exact encoded bytes to the
+  /// local WAL instead of re-encoding the point.  The replica's WAL
+  /// mirrors the primary's record stream 1:1, so `record` is
+  /// byte-identical to what Insert/Remove would have produced —
+  /// callers must pass `op` == DecodeWalRecord(record).  Same
+  /// semantics and error statuses as Insert/Remove otherwise.
+  util::Status ApplyReplicated(WalOp<P> op, const std::string& record) {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (op.is_remove) {
+      const size_t id = static_cast<size_t>(op.id);
+      if (id >= writer_base_size_ + writer_inserts_ ||
+          writer_removed_.count(id) != 0) {
+        return util::Status::NotFound(
+            "LiveDatabase: no live point with id " + std::to_string(id));
+      }
+    }
+    util::Status room = EnsureRoomLocked();
+    if (!room.ok()) return room;
+    if (wal_ != nullptr) {
+      util::Status logged = wal_->Append(record);
+      if (!logged.ok()) return logged;
+    }
+    if (op.is_remove) {
+      const size_t id = static_cast<size_t>(op.id);
+      DP_CHECK(log_->Append({/*is_remove=*/true, id, P{}}));
+      writer_removed_.insert(id);
+    } else {
+      const size_t id = writer_base_size_ + writer_inserts_;
+      DP_CHECK(
+          log_->Append({/*is_remove=*/false, id, std::move(op.point)}));
+      ++writer_inserts_;
+    }
+    published_delta_depth_.store(log_->committed(),
+                                 std::memory_order_relaxed);
+    mutation_clock_.fetch_add(1, std::memory_order_relaxed);
+    if (op.is_remove) {
+      remove_clock_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (listener_ != nullptr) {
+      listener_->OnRecord(
+          published_generation_.load(std::memory_order_relaxed),
+          log_->committed(), record);
+    }
+    if (op.is_remove) {
+      if (removes_ != nullptr) removes_->Increment();
+    } else {
+      if (inserts_ != nullptr) inserts_->Increment();
+    }
     MaybeScheduleAutoCompactLocked();
     return util::Status::OK();
   }
@@ -567,6 +672,91 @@ class LiveDatabase {
     std::lock_guard<std::mutex> lock(write_mutex_);
     if (wal_ == nullptr) return util::Status::OK();
     return wal_->Sync();
+  }
+
+  // ------------------------------------------------------ replication
+
+  /// Registers `listener` (one at a time; replaces any previous) and
+  /// returns the exact stream position it joins at: OnRecord/OnRotate
+  /// continue seamlessly after the seed's records, with no gap and no
+  /// duplicate — both the seed capture and every callback happen under
+  /// the write mutex, so the order is total.
+  ReplicationSeed AttachReplicationListener(ReplicationListener* listener) {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    listener_ = listener;
+    ReplicationSeed seed;
+    seed.generation =
+        published_generation_.load(std::memory_order_relaxed);
+    const size_t len = log_->committed();
+    seed.records.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      const typename DeltaLog<P>::Entry& entry = log_->entry(i);
+      seed.records.push_back(entry.is_remove
+                                 ? EncodeWalRemove<P>(entry.id)
+                                 : EncodeWalInsert<P>(entry.point));
+    }
+    return seed;
+  }
+
+  /// Unregisters the listener; no callback fires after this returns.
+  void DetachReplicationListener() {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    listener_ = nullptr;
+  }
+
+  /// Replaces the entire serving state with `generation` — the replica
+  /// resync path after fetching a primary's snapshot.  The delta log is
+  /// discarded (the caller re-applies the primary's stream from seq 1),
+  /// a fresh WAL for the new generation is started (durable stores;
+  /// the fetched snapshot file must already sit at its final name), and
+  /// the old generation's files are retired unless it IS the new one
+  /// (same-generation divergence resync: the rename that landed the
+  /// fetched snapshot already replaced the file).  Both clocks bump —
+  /// every cached result and bound predating the reset must die.
+  /// Incompatible with an attached listener (a store being reset is a
+  /// follower, not a source).
+  util::Status ResetToGeneration(
+      std::shared_ptr<const Generation<P>> generation) {
+    std::lock_guard<std::mutex> compact_lock(compact_mutex_);
+    std::lock_guard<std::mutex> write_lock(write_mutex_);
+    DP_CHECK(listener_ == nullptr);
+    const uint64_t old_generation =
+        published_generation_.load(std::memory_order_relaxed);
+    const uint64_t new_generation = generation->number();
+    std::unique_ptr<storage::WalWriter> next_wal;
+    if (env_ != nullptr) {
+      storage::WalWriter::Options wal_options;
+      wal_options.policy = fsync_policy_;
+      wal_options.instruments = wal_instruments_;
+      auto opened = storage::WalWriter::Open(
+          env_, StorePath(WalFileName(new_generation)), /*truncate=*/true,
+          /*first_seq=*/1, wal_options);
+      if (!opened.ok()) return opened.status();
+      next_wal = std::move(opened).value();
+    }
+    if (registry_ != nullptr) TrackGeneration(generation);
+    auto next_log = std::make_shared<DeltaLog<P>>();
+    writer_base_size_ = generation->size();
+    writer_inserts_ = 0;
+    writer_removed_.clear();
+    auto next = std::make_shared<const State>(
+        State{std::move(generation), next_log});
+    state_.store(std::move(next));
+    log_ = std::move(next_log);
+    published_generation_.store(new_generation, std::memory_order_relaxed);
+    published_delta_depth_.store(0, std::memory_order_relaxed);
+    mutation_clock_.fetch_add(1, std::memory_order_relaxed);
+    remove_clock_.fetch_add(1, std::memory_order_relaxed);
+    if (env_ != nullptr) {
+      if (wal_ != nullptr) wal_->Close();
+      wal_ = std::move(next_wal);
+      wal_generation_ = new_generation;
+      if (old_generation != new_generation) {
+        env_->DeleteFile(StorePath(WalFileName(old_generation)));
+        env_->DeleteFile(StorePath(SnapshotFileName(old_generation)));
+      }
+    }
+    return util::Status::OK();
   }
 
   // ------------------------------------------------------- compaction
@@ -684,15 +874,19 @@ class LiveDatabase {
       size_t tail_inserts = 0;
       std::unordered_set<size_t> tail_removed;
       std::unordered_map<size_t, size_t> tail_map;
+      std::vector<std::string> carried;  // re-encoded tail, for OnRotate
       for (size_t i = end; i < len; ++i) {
         const typename DeltaLog<P>::Entry& entry = state->log->entry(i);
         if (!entry.is_remove) {
           const size_t new_id = next_base + tail_inserts;
           tail_map.emplace(entry.id, new_id);
-          if (next_wal != nullptr) {
-            util::Status logged =
-                next_wal->Append(EncodeWalInsert<P>(entry.point));
-            if (!logged.ok()) return fail_rotation(logged);
+          if (next_wal != nullptr || listener_ != nullptr) {
+            std::string record = EncodeWalInsert<P>(entry.point);
+            if (next_wal != nullptr) {
+              util::Status logged = next_wal->Append(record);
+              if (!logged.ok()) return fail_rotation(logged);
+            }
+            if (listener_ != nullptr) carried.push_back(std::move(record));
           }
           DP_CHECK(next_log->Append({false, new_id, entry.point}));
           ++tail_inserts;
@@ -710,9 +904,13 @@ class LiveDatabase {
           DP_CHECK(tail_mapped != tail_map.end());
           new_id = tail_mapped->second;
         }
-        if (next_wal != nullptr) {
-          util::Status logged = next_wal->Append(EncodeWalRemove<P>(new_id));
-          if (!logged.ok()) return fail_rotation(logged);
+        if (next_wal != nullptr || listener_ != nullptr) {
+          std::string record = EncodeWalRemove<P>(new_id);
+          if (next_wal != nullptr) {
+            util::Status logged = next_wal->Append(record);
+            if (!logged.ok()) return fail_rotation(logged);
+          }
+          if (listener_ != nullptr) carried.push_back(std::move(record));
         }
         DP_CHECK(next_log->Append({true, new_id, P{}}));
         tail_removed.insert(new_id);
@@ -744,6 +942,9 @@ class LiveDatabase {
         if (wal_ != nullptr) wal_->Close();  // old log is about to retire
         wal_ = std::move(next_wal);
         wal_generation_ = new_generation;
+      }
+      if (listener_ != nullptr) {
+        listener_->OnRotate(new_generation, end, std::move(carried));
       }
       if (compactions_ != nullptr) compactions_->Increment();
       if (compaction_seconds_ != nullptr) {
@@ -847,6 +1048,13 @@ class LiveDatabase {
   uint64_t seed() const { return seed_; }
   size_t delta_scan_limit() const { return delta_scan_limit_; }
   size_t auto_compact_threshold() const { return auto_compact_threshold_; }
+  /// True when the store persists (spec carried `wal_dir`).  The next
+  /// two are only meaningful then — the serving layer uses them to
+  /// read snapshot files for replication.
+  bool durable() const { return env_ != nullptr; }
+  storage::Env* env() const { return env_; }
+  const std::string& wal_dir() const { return wal_dir_; }
+  size_t build_threads() const { return build_threads_; }
 
  private:
   LiveDatabase(std::shared_ptr<const Generation<P>> generation,
@@ -1241,6 +1449,8 @@ class LiveDatabase {
   size_t writer_inserts_ = 0;
   std::unordered_set<size_t> writer_removed_;
   std::shared_ptr<DeltaLog<P>> log_;
+  /// Replication tap (under write_mutex_, like everything above).
+  ReplicationListener* listener_ = nullptr;
 
   /// Observability (all null/empty when no registry was given): the
   /// write-path counters, the compaction histograms, and the weak list

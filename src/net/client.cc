@@ -1,8 +1,10 @@
 #include "net/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -17,10 +19,61 @@ util::Status IoError(const std::string& what) {
   return util::Status::IoError("net: " + what + ": " +
                                std::strerror(errno));
 }
+
+void SetSocketTimeout(int fd, int option, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+/// connect(2) with a deadline: non-blocking connect, poll for
+/// writability, then SO_ERROR tells whether the handshake succeeded.
+util::Status ConnectWithTimeout(int fd, const sockaddr_in& address,
+                                int timeout_ms) {
+  if (timeout_ms <= 0) {
+    if (connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+      return IoError("connect");
+    }
+    return util::Status::OK();
+  }
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return IoError("fcntl");
+  }
+  int rc = connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                   sizeof(address));
+  if (rc != 0 && errno != EINPROGRESS) return IoError("connect");
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    do {
+      rc = poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return IoError("poll");
+    if (rc == 0) {
+      return util::Status::DeadlineExceeded(
+          "net: connect timed out after " + std::to_string(timeout_ms) +
+          " ms");
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+      return IoError("getsockopt");
+    }
+    if (so_error != 0) {
+      return util::Status::IoError("net: connect: " +
+                                   std::string(std::strerror(so_error)));
+    }
+  }
+  if (fcntl(fd, F_SETFL, flags) != 0) return IoError("fcntl");
+  return util::Status::OK();
+}
 }  // namespace
 
 util::Result<std::unique_ptr<Client>> Client::Connect(
-    const std::string& host, uint16_t port) {
+    const std::string& host, uint16_t port, const Options& options) {
   sockaddr_in address{};
   address.sin_family = AF_INET;
   address.sin_port = htons(port);
@@ -32,14 +85,16 @@ util::Result<std::unique_ptr<Client>> Client::Connect(
   }
   const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return IoError("socket");
-  if (connect(fd, reinterpret_cast<const sockaddr*>(&address),
-              sizeof(address)) != 0) {
-    const util::Status status = IoError("connect");
+  util::Status connected =
+      ConnectWithTimeout(fd, address, options.connect_timeout_ms);
+  if (!connected.ok()) {
     close(fd);
-    return status;
+    return connected;
   }
   const int enable = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  SetSocketTimeout(fd, SO_RCVTIMEO, options.recv_timeout_ms);
+  SetSocketTimeout(fd, SO_SNDTIMEO, options.send_timeout_ms);
   return std::unique_ptr<Client>(new Client(fd));
 }
 
@@ -84,6 +139,9 @@ util::Status Client::SendRaw(const std::string& bytes) {
       continue;
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return util::Status::DeadlineExceeded("net: send timed out");
+    }
     return IoError("send");
   }
   return util::Status::OK();
@@ -95,16 +153,27 @@ util::Result<std::pair<MessageType, std::string>> Client::ReadFrame() {
     size_t frame_size = 0;
     util::Status error;
     const FrameParse parse = ParseFrame(
-        reinterpret_cast<const uint8_t*>(buffer_.data()), buffer_.size(),
-        &view, &frame_size, &error);
+        reinterpret_cast<const uint8_t*>(buffer_.data()) + consumed_,
+        buffer_.size() - consumed_, &view, &frame_size, &error);
     if (parse == FrameParse::kError) return error;
     if (parse == FrameParse::kComplete) {
       std::pair<MessageType, std::string> frame(
           view.type,
           std::string(reinterpret_cast<const char*>(view.payload),
                       view.payload_size));
-      buffer_.erase(0, frame_size);
+      consumed_ += frame_size;
+      if (consumed_ == buffer_.size()) {
+        buffer_.clear();
+        consumed_ = 0;
+      }
       return frame;
+    }
+    // Compact before growing: the unparsed tail (at most one partial
+    // frame) moves to the front so the buffer never accumulates dead
+    // prefix across recv calls.
+    if (consumed_ > 0) {
+      buffer_.erase(0, consumed_);
+      consumed_ = 0;
     }
     char chunk[65536];
     const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
@@ -116,6 +185,11 @@ util::Result<std::pair<MessageType, std::string>> Client::ReadFrame() {
       return util::Status::IoError("net: connection closed by peer");
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // The buffered prefix (possibly mid-frame) is kept; a later
+      // ReadFrame resumes exactly where the stream paused.
+      return util::Status::DeadlineExceeded("net: recv timed out");
+    }
     return IoError("recv");
   }
 }

@@ -29,10 +29,30 @@ namespace net {
 
 class Client {
  public:
-  /// Connects to host:port (numeric IPv4 or "localhost"), blocking,
+  /// Socket deadlines.  A zero member means "no deadline" for that
+  /// operation (the historical blocking behavior).
+  struct Options {
+    /// Cap on the TCP handshake (non-blocking connect + poll).  A peer
+    /// that never answers its SYN can no longer wedge the caller.
+    int connect_timeout_ms = 5000;
+    /// SO_RCVTIMEO: a recv that sees no bytes for this long fails with
+    /// kDeadlineExceeded (the connection stays usable — buffered
+    /// partial frames are kept, so callers can ping and keep reading).
+    int recv_timeout_ms = 0;
+    /// SO_SNDTIMEO: a send stalled this long (peer not draining) fails
+    /// with kDeadlineExceeded.
+    int send_timeout_ms = 0;
+  };
+
+  /// Connects to host:port (numeric IPv4 or "localhost") with the
+  /// default Options (5 s connect deadline, no I/O deadlines),
   /// TCP_NODELAY.
   static util::Result<std::unique_ptr<Client>> Connect(
-      const std::string& host, uint16_t port);
+      const std::string& host, uint16_t port) {
+    return Connect(host, port, Options{});
+  }
+  static util::Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, uint16_t port, const Options& options);
 
   ~Client();
   Client(const Client&) = delete;
@@ -106,7 +126,11 @@ class Client {
       const std::pair<MessageType, std::string>& frame);
 
   int fd_;
+  /// Receive buffer: frames are consumed by advancing `consumed_`
+  /// rather than erasing the prefix, so draining a burst of small
+  /// streamed frames costs O(bytes), not O(frames x buffered bytes).
   std::string buffer_;
+  size_t consumed_ = 0;
 };
 
 }  // namespace net

@@ -14,6 +14,13 @@ Connection::Connection(int fd) : fd_(fd) { Touch(); }
 Connection::~Connection() { close(fd_); }
 
 Connection::ReadResult Connection::ReadReady() {
+  // Compact before growing: the unparsed tail (at most one partial
+  // frame) moves to the front so the buffer never accumulates dead
+  // prefix across reads.
+  if (read_consumed_ > 0) {
+    read_buffer_.erase(0, read_consumed_);
+    read_consumed_ = 0;
+  }
   char buffer[65536];
   for (;;) {
     const ssize_t n = recv(fd_, buffer, sizeof(buffer), 0);
@@ -31,11 +38,12 @@ Connection::ReadResult Connection::ReadReady() {
 }
 
 util::Status Connection::Flush() {
-  while (!write_buffer_.empty()) {
-    const ssize_t n = send(fd_, write_buffer_.data(), write_buffer_.size(),
-                           MSG_NOSIGNAL);
+  while (write_sent_ < write_buffer_.size()) {
+    const ssize_t n =
+        send(fd_, write_buffer_.data() + write_sent_,
+             write_buffer_.size() - write_sent_, MSG_NOSIGNAL);
     if (n > 0) {
-      write_buffer_.erase(0, static_cast<size_t>(n));
+      write_sent_ += static_cast<size_t>(n);
       bytes_written_ += static_cast<uint64_t>(n);
       Touch();
       continue;
@@ -45,6 +53,8 @@ util::Status Connection::Flush() {
     return util::Status::IoError(std::string("net: send: ") +
                                  std::strerror(errno));
   }
+  write_buffer_.clear();
+  write_sent_ = 0;
   return util::Status::OK();
 }
 

@@ -36,16 +36,38 @@ class Connection {
   /// Drains everything available into the read buffer.
   ReadResult ReadReady();
 
-  std::string& read_buffer() { return read_buffer_; }
-  /// Drops `n` parsed bytes from the front of the read buffer.
-  void Consume(size_t n) { read_buffer_.erase(0, n); }
+  /// Unparsed received bytes.  Both sides of the connection consume
+  /// by advancing an offset rather than erasing the prefix, so
+  /// draining a burst of small frames costs O(bytes), not
+  /// O(frames x buffered bytes); ReadReady/Queue compact the dead
+  /// prefix before growing the buffer.
+  const char* read_data() const {
+    return read_buffer_.data() + read_consumed_;
+  }
+  size_t read_size() const { return read_buffer_.size() - read_consumed_; }
+  /// Drops `n` parsed bytes from the front of the unparsed region.
+  void Consume(size_t n) {
+    read_consumed_ += n;
+    if (read_consumed_ == read_buffer_.size()) {
+      read_buffer_.clear();
+      read_consumed_ = 0;
+    }
+  }
 
   /// Stages bytes for writing (appends to the write buffer).
-  void Queue(const std::string& bytes) { write_buffer_.append(bytes); }
+  void Queue(const std::string& bytes) {
+    if (write_sent_ > 0) {
+      write_buffer_.erase(0, write_sent_);
+      write_sent_ = 0;
+    }
+    write_buffer_.append(bytes);
+  }
 
   /// Writes as much of the write buffer as the socket accepts.
   util::Status Flush();
-  bool has_pending_write() const { return !write_buffer_.empty(); }
+  bool has_pending_write() const {
+    return write_sent_ < write_buffer_.size();
+  }
 
   std::chrono::steady_clock::time_point last_activity() const {
     return last_activity_;
@@ -58,7 +80,9 @@ class Connection {
  private:
   int fd_;
   std::string read_buffer_;
+  size_t read_consumed_ = 0;
   std::string write_buffer_;
+  size_t write_sent_ = 0;
   uint64_t bytes_read_ = 0;
   uint64_t bytes_written_ = 0;
   std::chrono::steady_clock::time_point last_activity_;

@@ -1,0 +1,155 @@
+#include "net/fault_proxy.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace distperm {
+namespace net {
+
+namespace {
+/// Blocking connect to the upstream; returns -1 on failure.
+int ConnectUpstream(const std::string& host, uint16_t port) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, numeric.c_str(), &address.sin_addr) != 1) return -1;
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&address),
+              sizeof(address)) != 0) {
+    close(fd);
+    return -1;
+  }
+  const int enable = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return fd;
+}
+
+/// Writes all of [data, data+size) to a possibly non-blocking fd,
+/// polling for writability on EAGAIN.  Returns false on error/hangup.
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd pfd{fd, POLLOUT, 0};
+      if (poll(&pfd, 1, 1000) <= 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+}  // namespace
+
+util::Result<std::unique_ptr<FaultProxy>> FaultProxy::Start(
+    const Options& options) {
+  auto listener = Listener::Bind(options.listen_port);
+  if (!listener.ok()) return listener.status();
+  std::unique_ptr<FaultProxy> proxy(
+      new FaultProxy(options, std::move(listener).value()));
+  proxy->thread_ = std::thread([raw = proxy.get()] { raw->Run(); });
+  return proxy;
+}
+
+FaultProxy::~FaultProxy() { Stop(); }
+
+void FaultProxy::Stop() {
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+}
+
+bool FaultProxy::RelayChunk(int from, int to,
+                            std::atomic<uint64_t>* budget,
+                            std::atomic<uint64_t>* relayed) {
+  char chunk[4096];
+  // Never read past the budget: the cut must land at the exact byte.
+  const uint64_t allowed = budget->load();
+  if (allowed == 0) {
+    cuts_total_.fetch_add(1);
+    budget->store(kNoCut);  // one-shot: disarm for the next connection
+    return false;
+  }
+  const size_t want = static_cast<size_t>(
+      std::min<uint64_t>(sizeof(chunk), allowed));
+  const ssize_t n = recv(from, chunk, want, 0);
+  if (n == 0) return false;  // peer hung up; propagate the close
+  if (n < 0) {
+    return errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK;
+  }
+  if (options_.delay_ms_per_chunk > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.delay_ms_per_chunk));
+  }
+  if (!SendAll(to, chunk, static_cast<size_t>(n))) return false;
+  relayed->fetch_add(static_cast<uint64_t>(n));
+  if (allowed != kNoCut) {
+    const uint64_t remaining = allowed - static_cast<uint64_t>(n);
+    if (remaining == 0) {
+      cuts_total_.fetch_add(1);
+      budget->store(kNoCut);  // one-shot: disarm for the next connection
+      return false;
+    }
+    budget->store(remaining);
+  }
+  return true;
+}
+
+void FaultProxy::Run() {
+  while (!stop_.load()) {
+    // Wait for a client.
+    pollfd accept_pfd{listener_->fd(), POLLIN, 0};
+    if (poll(&accept_pfd, 1, 50) <= 0) continue;
+    auto accepted = listener_->Accept();
+    if (!accepted.ok() || accepted.value() < 0) continue;
+    const int client = accepted.value();
+    const int upstream =
+        ConnectUpstream(options_.upstream_host, options_.upstream_port);
+    if (upstream < 0) {
+      close(client);
+      continue;
+    }
+    connections_accepted_.fetch_add(1);
+
+    // Relay until a side dies, a cut fires, or Stop().
+    bool alive = true;
+    while (alive && !stop_.load()) {
+      pollfd pfds[2] = {{client, POLLIN, 0}, {upstream, POLLIN, 0}};
+      const int ready = poll(pfds, 2, 50);
+      if (ready < 0 && errno != EINTR) break;
+      if (ready <= 0) continue;
+      if (pfds[0].revents & (POLLIN | POLLHUP | POLLERR)) {
+        alive = RelayChunk(client, upstream, &to_upstream_budget_,
+                           &bytes_to_upstream_);
+      }
+      if (alive && (pfds[1].revents & (POLLIN | POLLHUP | POLLERR))) {
+        alive = RelayChunk(upstream, client, &to_client_budget_,
+                           &bytes_to_client_);
+      }
+    }
+    // Sever both directions so each peer sees a hard disconnect, not a
+    // graceful half-close.
+    shutdown(client, SHUT_RDWR);
+    shutdown(upstream, SHUT_RDWR);
+    close(client);
+    close(upstream);
+  }
+}
+
+}  // namespace net
+}  // namespace distperm

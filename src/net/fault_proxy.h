@@ -1,0 +1,108 @@
+// Network fault injection: a TCP relay that severs, truncates, or
+// delays traffic at an exact byte offset.
+//
+// The socket-side twin of storage's FaultInjectionEnv.  Tests point a
+// client at the proxy's port instead of the real server; the proxy
+// relays bytes both ways until an armed byte budget runs out, then
+// shuts both sides down mid-stream — exactly the torn-transfer shape a
+// crashed peer or dropped route produces.  Because the cut lands at a
+// deterministic byte offset, a test can truncate a snapshot transfer
+// in the middle of a chunk, or a WAL stream in the middle of a frame,
+// and assert the resume path byte-for-byte.
+//
+// One connection at a time (the replica protocol is one connection),
+// sequential reconnects supported: after a cut the proxy goes back to
+// accepting, so backoff/retry loops exercise end to end.  A fired cut
+// disarms itself; re-arm with SetClientCut/SetUpstreamCut to hit a
+// later connection too.
+
+#ifndef DISTPERM_NET_FAULT_PROXY_H_
+#define DISTPERM_NET_FAULT_PROXY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/listener.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace net {
+
+class FaultProxy {
+ public:
+  /// "Never cut" budget sentinel.
+  static constexpr uint64_t kNoCut = UINT64_MAX;
+
+  struct Options {
+    std::string upstream_host = "127.0.0.1";
+    uint16_t upstream_port = 0;
+    /// 0 picks an ephemeral port; read it back with port().
+    uint16_t listen_port = 0;
+    /// Sever the connection after relaying this many bytes toward the
+    /// client (upstream -> client direction).
+    uint64_t cut_to_client_after_bytes = kNoCut;
+    /// Sever after this many bytes toward the upstream.
+    uint64_t cut_to_upstream_after_bytes = kNoCut;
+    /// Sleep this long before forwarding each relayed chunk —
+    /// latency injection for timeout tests.
+    int delay_ms_per_chunk = 0;
+  };
+
+  static util::Result<std::unique_ptr<FaultProxy>> Start(
+      const Options& options);
+
+  ~FaultProxy();
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  uint16_t port() const { return listener_->port(); }
+
+  /// Stops relaying and joins the thread.  Idempotent.
+  void Stop();
+
+  /// Re-arms the upstream->client cut: the NEXT `bytes` relayed toward
+  /// the client (counted from now) flow, then the connection dies.
+  void SetClientCut(uint64_t bytes) { to_client_budget_.store(bytes); }
+  /// Same for the client->upstream direction.
+  void SetUpstreamCut(uint64_t bytes) { to_upstream_budget_.store(bytes); }
+
+  uint64_t bytes_to_client() const { return bytes_to_client_.load(); }
+  uint64_t bytes_to_upstream() const { return bytes_to_upstream_.load(); }
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load();
+  }
+  uint64_t cuts_total() const { return cuts_total_.load(); }
+
+ private:
+  FaultProxy(const Options& options, std::unique_ptr<Listener> listener)
+      : options_(options),
+        listener_(std::move(listener)),
+        to_client_budget_(options.cut_to_client_after_bytes),
+        to_upstream_budget_(options.cut_to_upstream_after_bytes) {}
+
+  void Run();
+  /// Relays one readable chunk from `from` to `to`, honoring `budget`.
+  /// Returns false when the connection must be severed (cut fired,
+  /// peer hung up, or I/O error).
+  bool RelayChunk(int from, int to, std::atomic<uint64_t>* budget,
+                  std::atomic<uint64_t>* relayed);
+
+  Options options_;
+  std::unique_ptr<Listener> listener_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> to_client_budget_;
+  std::atomic<uint64_t> to_upstream_budget_;
+  std::atomic<uint64_t> bytes_to_client_{0};
+  std::atomic<uint64_t> bytes_to_upstream_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> cuts_total_{0};
+};
+
+}  // namespace net
+}  // namespace distperm
+
+#endif  // DISTPERM_NET_FAULT_PROXY_H_

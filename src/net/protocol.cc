@@ -43,6 +43,10 @@ WireCode WireCodeFromStatus(const util::Status& status) {
       return WireCode::kUnimplemented;
     case util::StatusCode::kInternal:
       return WireCode::kInternal;
+    case util::StatusCode::kDeadlineExceeded:
+      // A timed-out operation is retryable, which is what kUnavailable
+      // tells a peer; the wire needs no ninth code for it.
+      return WireCode::kUnavailable;
   }
   return WireCode::kInternal;
 }
@@ -222,6 +226,168 @@ util::Result<WireStatus> DecodeWireStatus(const uint8_t* data, size_t size) {
   }
   status.code = static_cast<WireCode>(code);
   return status;
+}
+
+// ------------------------------------------------- replication messages
+
+void EncodeCatchUpRequest(std::string* out, const CatchUpRequest& request) {
+  storage::PutLengthPrefixed(out, request.point_kind);
+  storage::PutLengthPrefixed(out, request.spec);
+  storage::PutFixed64(out, request.seed);
+  storage::PutFixed64(out, request.shard_count);
+  storage::PutFixed64(out, request.generation);
+  storage::PutFixed64(out, request.next_seq);
+}
+
+util::Result<CatchUpRequest> DecodeCatchUpRequest(const uint8_t* data,
+                                                  size_t size) {
+  PayloadReader reader(data, size);
+  CatchUpRequest request;
+  request.point_kind = reader.Bytes();
+  request.spec = reader.Bytes();
+  request.seed = reader.U64();
+  request.shard_count = reader.U64();
+  request.generation = reader.U64();
+  request.next_seq = reader.U64();
+  if (!reader.AtEnd()) {
+    return util::Status::InvalidArgument(
+        "net: malformed catch-up request payload");
+  }
+  return request;
+}
+
+void EncodeCatchUpResponse(std::string* out,
+                           const CatchUpResponse& response) {
+  EncodeWireStatus(out, response.status);
+  out->push_back(static_cast<char>(response.action));
+  storage::PutFixed64(out, response.generation);
+  storage::PutFixed64(out, response.next_seq);
+  storage::PutFixed64(out, response.snapshot_bytes);
+}
+
+util::Result<CatchUpResponse> DecodeCatchUpResponse(const uint8_t* data,
+                                                    size_t size) {
+  PayloadReader reader(data, size);
+  CatchUpResponse response;
+  const uint8_t code = reader.U8();
+  response.status.message = reader.Bytes();
+  const uint8_t action = reader.U8();
+  response.generation = reader.U64();
+  response.next_seq = reader.U64();
+  response.snapshot_bytes = reader.U64();
+  if (!reader.AtEnd() ||
+      code > static_cast<uint8_t>(WireCode::kUnavailable) ||
+      action < static_cast<uint8_t>(CatchUpAction::kStreamWal) ||
+      action > static_cast<uint8_t>(CatchUpAction::kFetchSnapshot)) {
+    return util::Status::InvalidArgument(
+        "net: malformed catch-up response payload");
+  }
+  response.status.code = static_cast<WireCode>(code);
+  response.action = static_cast<CatchUpAction>(action);
+  return response;
+}
+
+void EncodeFetchSnapshotRequest(std::string* out,
+                                const FetchSnapshotRequest& request) {
+  storage::PutFixed64(out, request.generation);
+  storage::PutFixed64(out, request.offset);
+}
+
+util::Result<FetchSnapshotRequest> DecodeFetchSnapshotRequest(
+    const uint8_t* data, size_t size) {
+  PayloadReader reader(data, size);
+  FetchSnapshotRequest request;
+  request.generation = reader.U64();
+  request.offset = reader.U64();
+  if (!reader.AtEnd()) {
+    return util::Status::InvalidArgument(
+        "net: malformed fetch-snapshot request payload");
+  }
+  return request;
+}
+
+void EncodeSnapshotChunk(std::string* out, const SnapshotChunk& chunk) {
+  EncodeWireStatus(out, chunk.status);
+  storage::PutFixed64(out, chunk.generation);
+  storage::PutFixed64(out, chunk.total_bytes);
+  storage::PutFixed64(out, chunk.offset);
+  out->push_back(chunk.last ? 1 : 0);
+  storage::PutFixed32(out, chunk.crc);
+  storage::PutLengthPrefixed(out, chunk.data);
+}
+
+util::Result<SnapshotChunk> DecodeSnapshotChunk(const uint8_t* data,
+                                                size_t size) {
+  PayloadReader reader(data, size);
+  SnapshotChunk chunk;
+  const uint8_t code = reader.U8();
+  chunk.status.message = reader.Bytes();
+  chunk.generation = reader.U64();
+  chunk.total_bytes = reader.U64();
+  chunk.offset = reader.U64();
+  const uint8_t last = reader.U8();
+  chunk.crc = reader.U32();
+  chunk.data = reader.Bytes();
+  if (!reader.AtEnd() ||
+      code > static_cast<uint8_t>(WireCode::kUnavailable) || last > 1) {
+    return util::Status::InvalidArgument(
+        "net: malformed snapshot chunk payload");
+  }
+  chunk.status.code = static_cast<WireCode>(code);
+  chunk.last = last == 1;
+  return chunk;
+}
+
+void EncodeStreamWalRequest(std::string* out,
+                            const StreamWalRequest& request) {
+  storage::PutFixed64(out, request.generation);
+  storage::PutFixed64(out, request.next_seq);
+}
+
+util::Result<StreamWalRequest> DecodeStreamWalRequest(const uint8_t* data,
+                                                      size_t size) {
+  PayloadReader reader(data, size);
+  StreamWalRequest request;
+  request.generation = reader.U64();
+  request.next_seq = reader.U64();
+  if (!reader.AtEnd()) {
+    return util::Status::InvalidArgument(
+        "net: malformed stream-wal request payload");
+  }
+  return request;
+}
+
+void EncodeWalStreamFrame(std::string* out, const WalStreamFrame& frame) {
+  out->push_back(static_cast<char>(frame.kind));
+  storage::PutFixed64(out, frame.generation);
+  if (frame.kind == kWalFrameRecord) {
+    storage::PutFixed64(out, frame.seq);
+    storage::PutLengthPrefixed(out, frame.record);
+    return;
+  }
+  storage::PutFixed64(out, frame.folded);
+}
+
+util::Result<WalStreamFrame> DecodeWalStreamFrame(const uint8_t* data,
+                                                  size_t size) {
+  PayloadReader reader(data, size);
+  WalStreamFrame frame;
+  frame.kind = reader.U8();
+  frame.generation = reader.U64();
+  if (frame.kind == kWalFrameRecord) {
+    frame.seq = reader.U64();
+    frame.record = reader.Bytes();
+  } else if (frame.kind == kWalFrameRotate) {
+    frame.folded = reader.U64();
+  } else {
+    return util::Status::InvalidArgument(
+        "net: unknown wal stream frame kind " + std::to_string(frame.kind));
+  }
+  if (!reader.AtEnd()) {
+    return util::Status::InvalidArgument(
+        "net: malformed wal stream frame payload");
+  }
+  return frame;
 }
 
 }  // namespace net

@@ -62,6 +62,19 @@ enum class MessageType : uint8_t {
   /// Server -> client: the stream was malformed; the connection closes
   /// after this frame.  Payload is a WireStatus.
   kError = 9,
+  // ---- replication (see README "Replication").  A replica opens with
+  // kCatchUpHandshake carrying its identity and resume position; the
+  // primary answers with the same type (CatchUpResponse), directing it
+  // to fetch a snapshot or stream the WAL.  Snapshot transfer is a
+  // pull loop of kFetchSnapshot -> kSnapshotChunk (each chunk CRC32C'd
+  // and offset-stamped, so a torn transfer resumes at the exact byte).
+  // kStreamWal subscribes the connection; the primary then pushes
+  // seq-numbered kWalFrame frames until the connection dies.
+  kCatchUpHandshake = 10,
+  kFetchSnapshot = 11,
+  kSnapshotChunk = 12,
+  kStreamWal = 13,
+  kWalFrame = 14,
 };
 
 /// Response status codes: util::StatusCode values plus kUnavailable
@@ -316,6 +329,126 @@ util::Result<uint64_t> DecodeRemoveRequest(const uint8_t* data, size_t size);
 /// Remove responses and kError frames share this shape: one WireStatus.
 void EncodeWireStatus(std::string* out, const WireStatus& status);
 util::Result<WireStatus> DecodeWireStatus(const uint8_t* data, size_t size);
+
+// ------------------------------------------------- replication messages
+
+/// Replica -> primary: identity plus resume position.  The identity
+/// half (point kind, residual spec, seed, shard count) must match the
+/// primary exactly — replication relies on the engine's determinism
+/// guarantee, which only holds for identical build parameters.  The
+/// resume half names the first WAL record the replica still needs:
+/// generation G, sequence next_seq (1 when the replica holds only the
+/// snapshot of G; generation 0 = no local state at all).
+struct CatchUpRequest {
+  std::string point_kind;
+  std::string spec;
+  uint64_t seed = 0;
+  uint64_t shard_count = 0;
+  uint64_t generation = 0;
+  uint64_t next_seq = 1;
+};
+
+void EncodeCatchUpRequest(std::string* out, const CatchUpRequest& request);
+util::Result<CatchUpRequest> DecodeCatchUpRequest(const uint8_t* data,
+                                                  size_t size);
+
+enum class CatchUpAction : uint8_t {
+  /// The replica's position is inside the primary's history: send
+  /// kStreamWal with the same (generation, next_seq) to subscribe.
+  kStreamWal = 1,
+  /// The position is gone (compacted past, divergent, or fresh): fetch
+  /// the snapshot of `generation` first, then handshake again.
+  kFetchSnapshot = 2,
+};
+
+/// Primary -> replica, answering kCatchUpHandshake.
+struct CatchUpResponse {
+  WireStatus status;
+  CatchUpAction action = CatchUpAction::kStreamWal;
+  /// The primary's current generation and the seq its next record will
+  /// carry (so the replica can report lag before the stream starts).
+  uint64_t generation = 0;
+  uint64_t next_seq = 1;
+  /// Size of snapshot-<generation>.snap; set when action=kFetchSnapshot
+  /// so the replica can pre-check resume offsets against the total.
+  uint64_t snapshot_bytes = 0;
+};
+
+void EncodeCatchUpResponse(std::string* out, const CatchUpResponse& response);
+util::Result<CatchUpResponse> DecodeCatchUpResponse(const uint8_t* data,
+                                                    size_t size);
+
+/// Replica -> primary: one chunk of snapshot-<generation>.snap starting
+/// at `offset`.  Pull-model on purpose: the replica drives the pace (no
+/// server-side buffering of a slow receiver) and a reconnect resumes by
+/// asking for the offset it has durably written — nothing to negotiate.
+struct FetchSnapshotRequest {
+  uint64_t generation = 0;
+  uint64_t offset = 0;
+};
+
+void EncodeFetchSnapshotRequest(std::string* out,
+                                const FetchSnapshotRequest& request);
+util::Result<FetchSnapshotRequest> DecodeFetchSnapshotRequest(
+    const uint8_t* data, size_t size);
+
+/// Primary -> replica, answering kFetchSnapshot.  `crc` is the CRC32C
+/// of `data` alone (the frame layer checksums the whole payload too;
+/// the chunk CRC survives into the replica's partial-file bookkeeping
+/// so a resumed transfer re-verifies what it already wrote).
+struct SnapshotChunk {
+  WireStatus status;
+  uint64_t generation = 0;
+  uint64_t total_bytes = 0;
+  uint64_t offset = 0;
+  bool last = false;
+  uint32_t crc = 0;
+  std::string data;
+};
+
+void EncodeSnapshotChunk(std::string* out, const SnapshotChunk& chunk);
+util::Result<SnapshotChunk> DecodeSnapshotChunk(const uint8_t* data,
+                                                size_t size);
+
+/// Replica -> primary: subscribe to WAL frames of `generation` from
+/// `next_seq` on.  The primary replays history [next_seq ..] and keeps
+/// pushing; a position it no longer holds gets a kError frame and the
+/// replica re-handshakes.
+struct StreamWalRequest {
+  uint64_t generation = 0;
+  uint64_t next_seq = 1;
+};
+
+void EncodeStreamWalRequest(std::string* out, const StreamWalRequest& request);
+util::Result<StreamWalRequest> DecodeStreamWalRequest(const uint8_t* data,
+                                                      size_t size);
+
+inline constexpr uint8_t kWalFrameRecord = 1;
+inline constexpr uint8_t kWalFrameRotate = 2;
+
+/// Primary -> replica: one streamed replication event.
+///   kind=kWalFrameRecord  one WAL record of `generation`: `seq` (the
+///                         1-based position in that generation's delta
+///                         log) and `record` (the engine's WAL payload,
+///                         byte-identical to what the primary logged —
+///                         the replica applies it through its own
+///                         LiveDatabase write path).
+///   kind=kWalFrameRotate  the primary compacted: the first `folded`
+///                         records folded into generation `generation`
+///                         (= old + 1).  The replica runs the same
+///                         deterministic CompactPrefix(folded) locally
+///                         and both sides land on bit-identical state.
+struct WalStreamFrame {
+  uint8_t kind = kWalFrameRecord;
+  uint64_t generation = 0;
+  uint64_t seq = 0;     ///< records only
+  uint64_t folded = 0;  ///< rotates only
+  std::string record;   ///< records only
+};
+
+void EncodeWalStreamFrame(std::string* out, const WalStreamFrame& frame);
+util::Result<WalStreamFrame> DecodeWalStreamFrame(const uint8_t* data,
+                                                  size_t size);
 
 }  // namespace net
 }  // namespace distperm

@@ -1,0 +1,524 @@
+// Self-healing replication tail: the replica side of the protocol.
+//
+// One background thread drives the whole life cycle against a primary
+// SearchServer:
+//
+//   connect ─► handshake (identity + resume position)
+//      │            │
+//      │            ├─ kStreamWal ──────► subscribe, apply frames
+//      │            └─ kFetchSnapshot ─► pull chunks (resumable),
+//      │                                 ResetToGeneration, subscribe
+//      └◄── any failure: backoff (exponential + jitter) and retry
+//
+// The resume position is derived, not stored: the replica's WAL
+// mirrors the primary's records 1:1 per generation, so the first
+// record it still needs is always its own delta_entries() + 1.  A
+// SIGKILL'd and restarted replica recovers its store from disk and
+// resumes from exactly the right sequence with no progress file.
+//
+// Disconnection is graceful degradation, not failure: the store keeps
+// serving its last applied state while the thread retries, and the
+// staleness is visible in replica_lag_seconds / replica_applied_seq /
+// replica_reconnects_total.
+//
+// Liveness: the socket carries recv/send deadlines (Client::Options),
+// so a dead primary can't wedge the thread — an idle deadline sends a
+// keepalive ping, and a second silent interval tears the connection
+// down for a reconnect.
+
+#ifndef DISTPERM_SERVER_REPLICATION_CLIENT_H_
+#define DISTPERM_SERVER_REPLICATION_CLIENT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "engine/generation_store.h"
+#include "engine/live_database.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+#include "storage/crc32.h"
+#include "storage/env.h"
+#include "storage/point_codec.h"
+#include "util/status.h"
+
+namespace distperm {
+namespace server {
+
+/// Counters a snapshot transfer records into; null members are skipped.
+struct SnapshotTransferCounters {
+  obs::Counter* chunks = nullptr;
+  obs::Counter* bytes = nullptr;
+  obs::Counter* resumes = nullptr;
+};
+
+template <typename P>
+class ReplicationClient {
+ public:
+  struct Options {
+    std::string primary_host = "127.0.0.1";
+    uint16_t primary_port = 0;
+    /// Socket deadlines (see net::Client::Options).  The idle timeout
+    /// doubles as the keepalive cadence: a recv deadline with no frame
+    /// sends a ping; two silent intervals force a reconnect.
+    int connect_timeout_ms = 2000;
+    int idle_timeout_ms = 1000;
+    /// Reconnect backoff: initial, doubling per failure, capped, with
+    /// up to 50% deterministic jitter on top (seeded — tests stay
+    /// reproducible).
+    int backoff_initial_ms = 50;
+    int backoff_max_ms = 2000;
+    uint64_t jitter_seed = 1;
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  ReplicationClient(engine::LiveDatabase<P>* db, const Options& options)
+      : db_(db), options_(options), jitter_rng_(options.jitter_seed) {
+    DP_CHECK(db_ != nullptr && db_->durable());
+    last_contact_ms_.store(NowMs(), std::memory_order_relaxed);
+    applied_seq_.store(db_->delta_entries(), std::memory_order_relaxed);
+    if (options_.metrics != nullptr) {
+      obs_reconnects_ =
+          options_.metrics->GetCounter("replica_reconnects_total");
+      obs_applied_ =
+          options_.metrics->GetCounter("replica_applied_records_total");
+      obs_rotations_ =
+          options_.metrics->GetCounter("replica_rotations_total");
+      transfer_counters_.chunks =
+          options_.metrics->GetCounter("replica_snapshot_chunks_total");
+      transfer_counters_.bytes =
+          options_.metrics->GetCounter("replica_snapshot_bytes_total");
+      transfer_counters_.resumes =
+          options_.metrics->GetCounter("replica_snapshot_resumes_total");
+      lag_gauge_handle_ = options_.metrics->RegisterCallback(
+          "replica_lag_seconds", [this]() { return lag_seconds(); });
+      seq_gauge_handle_ = options_.metrics->RegisterCallback(
+          "replica_applied_seq", [this]() {
+            return static_cast<double>(
+                applied_seq_.load(std::memory_order_relaxed));
+          });
+      gauges_registered_ = true;
+    }
+  }
+
+  ~ReplicationClient() {
+    Stop();
+    if (gauges_registered_) {
+      options_.metrics->UnregisterCallback(lag_gauge_handle_);
+      options_.metrics->UnregisterCallback(seq_gauge_handle_);
+    }
+  }
+  ReplicationClient(const ReplicationClient&) = delete;
+  ReplicationClient& operator=(const ReplicationClient&) = delete;
+
+  void Start() {
+    DP_CHECK(!thread_.joinable());
+    thread_ = std::thread([this]() { Run(); });
+  }
+
+  /// Signals the thread and joins.  Bounded: every blocking socket
+  /// operation carries a deadline and every backoff sleep polls stop_.
+  void Stop() {
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// One snapshot transfer, used standalone to bootstrap an empty
+  /// replica directory before its store first opens: handshake as a
+  /// stateless follower, pull the primary's current snapshot into
+  /// `dir` (chunked, per-chunk CRC32C, resuming any `.partial` a
+  /// previous attempt left), and publish it under its final name.  One
+  /// attempt — the caller loops with backoff.
+  static util::Status BootstrapSnapshot(storage::Env* env,
+                                        const std::string& dir,
+                                        const std::string& index_spec,
+                                        uint64_t seed, uint64_t shard_count,
+                                        const Options& options) {
+    auto connected = ConnectPrimary(options);
+    if (!connected.ok()) return connected.status();
+    net::Client* client = connected.value().get();
+    net::CatchUpRequest request;
+    request.point_kind = storage::PointCodec<P>::kName;
+    request.spec = index_spec;
+    request.seed = seed;
+    request.shard_count = shard_count;
+    request.generation = 0;  // no local state
+    request.next_seq = 1;
+    auto response = Handshake(client, request);
+    if (!response.ok()) return response.status();
+    if (response.value().status.code != net::WireCode::kOk) {
+      return WireToStatus(response.value().status);
+    }
+    if (response.value().action != net::CatchUpAction::kFetchSnapshot) {
+      return util::Status::Internal(
+          "replication: primary offered a WAL stream to a replica with "
+          "no local state");
+    }
+    SnapshotTransferCounters counters;
+    if (options.metrics != nullptr) {
+      counters.chunks =
+          options.metrics->GetCounter("replica_snapshot_chunks_total");
+      counters.bytes =
+          options.metrics->GetCounter("replica_snapshot_bytes_total");
+      counters.resumes =
+          options.metrics->GetCounter("replica_snapshot_resumes_total");
+    }
+    return FetchSnapshotInto(env, dir, client,
+                             response.value().generation, counters);
+  }
+
+  // Introspection (tests and the serving layer's logs).
+  uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+  uint64_t applied_records() const {
+    return applied_records_.load(std::memory_order_relaxed);
+  }
+  uint64_t applied_seq() const {
+    return applied_seq_.load(std::memory_order_relaxed);
+  }
+  double lag_seconds() const {
+    return static_cast<double>(
+               NowMs() - last_contact_ms_.load(std::memory_order_relaxed)) /
+           1000.0;
+  }
+  util::Status last_error() const {
+    std::lock_guard<std::mutex> lock(last_error_mutex_);
+    return last_error_;
+  }
+
+ private:
+  static int64_t NowMs() {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  static util::Result<std::unique_ptr<net::Client>> ConnectPrimary(
+      const Options& options) {
+    net::Client::Options socket_options;
+    socket_options.connect_timeout_ms = options.connect_timeout_ms;
+    socket_options.recv_timeout_ms = options.idle_timeout_ms;
+    socket_options.send_timeout_ms = options.idle_timeout_ms;
+    return net::Client::Connect(options.primary_host, options.primary_port,
+                                socket_options);
+  }
+
+  static util::Result<net::CatchUpResponse> Handshake(
+      net::Client* client, const net::CatchUpRequest& request) {
+    std::string payload;
+    net::EncodeCatchUpRequest(&payload, request);
+    DP_RETURN_IF_ERROR(
+        client->SendFrame(net::MessageType::kCatchUpHandshake, payload));
+    auto frame = client->ReadFrame();
+    if (!frame.ok()) return frame.status();
+    if (frame.value().first != net::MessageType::kCatchUpHandshake) {
+      return UnexpectedFrameError(frame.value().first);
+    }
+    const std::string& bytes = frame.value().second;
+    return net::DecodeCatchUpResponse(
+        reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  }
+
+  /// Lifts a wire-level error back into a util::Status (the inverse of
+  /// WireStatus::FromStatus, close enough for retry-loop plumbing).
+  static util::Status WireToStatus(const net::WireStatus& wire) {
+    const std::string message =
+        std::string("replication: primary said: ") + wire.message;
+    switch (wire.code) {
+      case net::WireCode::kOk:
+        return util::Status::OK();
+      case net::WireCode::kInvalidArgument:
+        return util::Status::InvalidArgument(message);
+      case net::WireCode::kNotFound:
+        return util::Status::NotFound(message);
+      case net::WireCode::kIoError:
+        return util::Status::IoError(message);
+      default:
+        return util::Status::Internal(message);
+    }
+  }
+
+  static util::Status UnexpectedFrameError(net::MessageType type) {
+    return util::Status::Internal(
+        "replication: unexpected frame type " +
+        std::to_string(static_cast<int>(type)) + " from primary");
+  }
+
+  /// The chunk pull loop: resume from any `.partial` left behind
+  /// (every byte in it came from a CRC-verified chunk, and a torn
+  /// append is still a correct prefix), verify each chunk's CRC and
+  /// offset, then fsync + rename into the final snapshot name.
+  static util::Status FetchSnapshotInto(
+      storage::Env* env, const std::string& dir, net::Client* client,
+      uint64_t generation, const SnapshotTransferCounters& counters) {
+    const std::string final_path =
+        dir + "/" + engine::SnapshotFileName(generation);
+    const std::string partial_path = final_path + ".partial";
+    DP_RETURN_IF_ERROR(env->CreateDir(dir));
+    uint64_t offset = 0;
+    {
+      auto mapped = env->MapFile(partial_path);
+      if (mapped.ok()) offset = mapped.value()->size();
+    }
+    if (offset > 0 && counters.resumes != nullptr) {
+      counters.resumes->Increment();
+    }
+    auto file = env->NewWritableFile(partial_path, /*truncate=*/false);
+    if (!file.ok()) return file.status();
+    for (;;) {
+      net::FetchSnapshotRequest request;
+      request.generation = generation;
+      request.offset = offset;
+      std::string payload;
+      net::EncodeFetchSnapshotRequest(&payload, request);
+      DP_RETURN_IF_ERROR(
+          client->SendFrame(net::MessageType::kFetchSnapshot, payload));
+      auto frame = client->ReadFrame();
+      if (!frame.ok()) return frame.status();
+      if (frame.value().first != net::MessageType::kSnapshotChunk) {
+        return UnexpectedFrameError(frame.value().first);
+      }
+      const std::string& bytes = frame.value().second;
+      auto decoded = net::DecodeSnapshotChunk(
+          reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+      if (!decoded.ok()) return decoded.status();
+      net::SnapshotChunk& chunk = decoded.value();
+      if (chunk.status.code != net::WireCode::kOk) {
+        return WireToStatus(chunk.status);
+      }
+      if (chunk.generation != generation || chunk.offset != offset) {
+        return util::Status::Internal(
+            "replication: snapshot chunk out of order (asked offset " +
+            std::to_string(offset) + ", got " +
+            std::to_string(chunk.offset) + ")");
+      }
+      if (storage::Crc32c(chunk.data.data(), chunk.data.size()) !=
+          chunk.crc) {
+        return util::Status::IoError(
+            "replication: snapshot chunk failed its CRC");
+      }
+      if (offset > chunk.total_bytes) {
+        // A stale partial longer than the file it claims to prefix —
+        // divergence; start the transfer over.
+        file.value()->Close();
+        env->DeleteFile(partial_path);
+        return util::Status::IoError(
+            "replication: partial snapshot longer than the primary's "
+            "file; restarting the transfer");
+      }
+      DP_RETURN_IF_ERROR(
+          file.value()->Append(chunk.data.data(), chunk.data.size()));
+      offset += chunk.data.size();
+      if (counters.chunks != nullptr) counters.chunks->Increment();
+      if (counters.bytes != nullptr) counters.bytes->Add(chunk.data.size());
+      if (chunk.last) break;
+    }
+    DP_RETURN_IF_ERROR(file.value()->Sync());
+    DP_RETURN_IF_ERROR(file.value()->Close());
+    DP_RETURN_IF_ERROR(env->RenameFile(partial_path, final_path));
+    return env->SyncDir(dir);
+  }
+
+  void Run() {
+    int64_t backoff_ms = options_.backoff_initial_ms;
+    while (!stop_.load(std::memory_order_acquire)) {
+      bool connected = false;
+      util::Status status = RunOnce(&connected);
+      if (stop_.load(std::memory_order_acquire)) break;
+      {
+        std::lock_guard<std::mutex> lock(last_error_mutex_);
+        last_error_ = status;
+      }
+      if (connected) backoff_ms = options_.backoff_initial_ms;
+      // Jittered sleep: up to +50% spreads a fleet of replicas
+      // hammering a rebooted primary.
+      const int64_t jitter =
+          backoff_ms > 1
+              ? static_cast<int64_t>(jitter_rng_() % (backoff_ms / 2 + 1))
+              : 0;
+      SleepMs(backoff_ms + jitter);
+      backoff_ms = std::min<int64_t>(backoff_ms * 2, options_.backoff_max_ms);
+    }
+  }
+
+  /// One connection's life: connect, handshake, resync if told to,
+  /// subscribe, apply until something breaks.  `*connected` reports
+  /// whether the handshake succeeded (resets the caller's backoff).
+  util::Status RunOnce(bool* connected) {
+    auto client = ConnectPrimary(options_);
+    if (!client.ok()) return client.status();
+
+    net::CatchUpRequest request;
+    request.point_kind = storage::PointCodec<P>::kName;
+    request.spec = db_->index_spec();
+    request.seed = db_->seed();
+    request.shard_count = db_->shard_count();
+    request.generation = db_->generation_number();
+    request.next_seq = db_->delta_entries() + 1;
+    auto response = Handshake(client.value().get(), request);
+    if (!response.ok()) return response.status();
+    if (response.value().status.code != net::WireCode::kOk) {
+      return WireToStatus(response.value().status);
+    }
+    *connected = true;
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_reconnects_ != nullptr) obs_reconnects_->Increment();
+    Touch();
+
+    if (response.value().action == net::CatchUpAction::kFetchSnapshot) {
+      DP_RETURN_IF_ERROR(
+          Resync(client.value().get(), response.value().generation));
+    }
+
+    net::StreamWalRequest subscribe;
+    subscribe.generation = db_->generation_number();
+    subscribe.next_seq = db_->delta_entries() + 1;
+    std::string payload;
+    net::EncodeStreamWalRequest(&payload, subscribe);
+    DP_RETURN_IF_ERROR(client.value()->SendFrame(
+        net::MessageType::kStreamWal, payload));
+
+    int idle_strikes = 0;
+    while (!stop_.load(std::memory_order_acquire)) {
+      auto frame = client.value()->ReadFrame();
+      if (!frame.ok()) {
+        if (frame.status().code() == util::StatusCode::kDeadlineExceeded) {
+          // Idle, not necessarily dead: probe once; a second silent
+          // interval means the primary is gone.
+          if (++idle_strikes >= 2) {
+            return util::Status::IoError(
+                "replication: primary silent past two idle intervals");
+          }
+          DP_RETURN_IF_ERROR(
+              client.value()->SendFrame(net::MessageType::kPing, ""));
+          continue;
+        }
+        return frame.status();
+      }
+      idle_strikes = 0;
+      Touch();
+      switch (frame.value().first) {
+        case net::MessageType::kPong:
+          continue;
+        case net::MessageType::kWalFrame: {
+          const std::string& bytes = frame.value().second;
+          auto decoded = net::DecodeWalStreamFrame(
+              reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+          if (!decoded.ok()) return decoded.status();
+          DP_RETURN_IF_ERROR(Apply(decoded.value()));
+          continue;
+        }
+        case net::MessageType::kError: {
+          const std::string& bytes = frame.value().second;
+          auto status = net::DecodeWireStatus(
+              reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+          if (status.ok()) return WireToStatus(status.value());
+          return util::Status::Internal(
+              "replication: primary sent an undecodable error frame");
+        }
+        default:
+          return UnexpectedFrameError(frame.value().first);
+      }
+    }
+    return util::Status::OK();
+  }
+
+  /// Fetch-then-reset: pull snapshot-<generation> next to the live
+  /// store, load it, and swap the whole serving state over to it.
+  /// Handles both bootstrap-while-running and same-generation
+  /// divergence (ResetToGeneration keeps the freshly renamed file).
+  util::Status Resync(net::Client* client, uint64_t generation) {
+    DP_RETURN_IF_ERROR(FetchSnapshotInto(db_->env(), db_->wal_dir(), client,
+                                         generation, transfer_counters_));
+    auto loaded = engine::ReadGenerationSnapshot<P>(
+        db_->env(), db_->wal_dir() + "/" + engine::SnapshotFileName(generation),
+        db_->metric(), db_->shard_count(), db_->index_spec(), db_->seed(),
+        db_->build_threads());
+    if (!loaded.ok()) return loaded.status();
+    DP_RETURN_IF_ERROR(
+        db_->ResetToGeneration(std::move(loaded).value()));
+    applied_seq_.store(db_->delta_entries(), std::memory_order_relaxed);
+    return util::Status::OK();
+  }
+
+  util::Status Apply(const net::WalStreamFrame& frame) {
+    if (frame.kind == net::kWalFrameRotate) {
+      DP_RETURN_IF_ERROR(db_->CompactPrefix(frame.folded));
+      if (db_->generation_number() != frame.generation) {
+        return util::Status::Internal(
+            "replication: local fold landed on generation " +
+            std::to_string(db_->generation_number()) +
+            ", primary announced " + std::to_string(frame.generation));
+      }
+      applied_seq_.store(db_->delta_entries(), std::memory_order_relaxed);
+      if (obs_rotations_ != nullptr) obs_rotations_->Increment();
+      return util::Status::OK();
+    }
+    if (frame.generation != db_->generation_number() ||
+        frame.seq != db_->delta_entries() + 1) {
+      return util::Status::Internal(
+          "replication: stream out of step (frame generation " +
+          std::to_string(frame.generation) + " seq " +
+          std::to_string(frame.seq) + ", local expects seq " +
+          std::to_string(db_->delta_entries() + 1) + ")");
+    }
+    auto op = engine::DecodeWalRecord<P>(frame.record);
+    if (!op.ok()) return op.status();
+    // Prelogged apply: the local WAL reuses the primary's exact record
+    // bytes (identical by the 1:1 mirror invariant) instead of
+    // re-encoding the decoded point.
+    DP_RETURN_IF_ERROR(
+        db_->ApplyReplicated(std::move(op).value(), frame.record));
+    applied_seq_.store(frame.seq, std::memory_order_relaxed);
+    applied_records_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_applied_ != nullptr) obs_applied_->Increment();
+    return util::Status::OK();
+  }
+
+  void Touch() {
+    last_contact_ms_.store(NowMs(), std::memory_order_relaxed);
+  }
+
+  void SleepMs(int64_t ms) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(ms);
+    while (!stop_.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  engine::LiveDatabase<P>* db_;
+  Options options_;
+  std::minstd_rand jitter_rng_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+
+  std::atomic<int64_t> last_contact_ms_{0};
+  std::atomic<uint64_t> applied_seq_{0};
+  std::atomic<uint64_t> applied_records_{0};
+  std::atomic<uint64_t> reconnects_{0};
+  mutable std::mutex last_error_mutex_;
+  util::Status last_error_;
+
+  SnapshotTransferCounters transfer_counters_;
+  obs::Counter* obs_reconnects_ = nullptr;
+  obs::Counter* obs_applied_ = nullptr;
+  obs::Counter* obs_rotations_ = nullptr;
+  uint64_t lag_gauge_handle_ = 0;
+  uint64_t seq_gauge_handle_ = 0;
+  bool gauges_registered_ = false;
+};
+
+}  // namespace server
+}  // namespace distperm
+
+#endif  // DISTPERM_SERVER_REPLICATION_CLIENT_H_

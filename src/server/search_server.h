@@ -36,12 +36,15 @@
 #include <sys/epoll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -53,6 +56,8 @@
 #include "net/protocol.h"
 #include "obs/metrics.h"
 #include "server/perm_cache.h"
+#include "storage/crc32.h"
+#include "storage/point_codec.h"
 #include "util/status.h"
 
 namespace distperm {
@@ -107,6 +112,19 @@ class SearchServer {
     size_t perm_cache_prefix = 4;
     uint64_t perm_cache_ttl_seconds = 0;
     obs::MetricsRegistry* metrics = nullptr;
+    /// Serve replication (handshake / snapshot chunks / WAL stream) to
+    /// followers.  Effective only for durable stores — replication
+    /// ships snapshot files and WAL positions, which in-memory stores
+    /// do not have.
+    bool enable_replication = true;
+    /// Snapshot transfer chunk size.  Each chunk is one kSnapshotChunk
+    /// frame, so this bounds the per-subscriber write-buffer spike and
+    /// must stay well under net::kMaxPayloadSize.
+    size_t replication_chunk_bytes = 256 * 1024;
+    /// Reject wire Insert/Remove with kUnavailable — the replica mode:
+    /// the only writer is the replication apply path, and a client
+    /// write landing on a follower would fork it from its primary.
+    bool read_only = false;
   };
 
   SearchServer(engine::LiveDatabase<P>* db, const Options& options)
@@ -139,11 +157,41 @@ class SearchServer {
       cache_ = std::make_unique<PermCache<P>>(db_->metric(), cache_options);
       SampleCacheSites();
     }
+    if (options_.enable_replication && db_->durable()) {
+      source_listener_ = std::make_unique<SourceListener>(this);
+      engine::ReplicationSeed seed =
+          db_->AttachReplicationListener(source_listener_.get());
+      repl_generation_ = seed.generation;
+      repl_history_ = std::move(seed.records);
+      replication_enabled_ = true;
+      if (options_.metrics != nullptr) {
+        obs_repl_handshakes_ = options_.metrics->GetCounter(
+            "replication_handshakes_total");
+        obs_repl_chunks_ = options_.metrics->GetCounter(
+            "replication_snapshot_chunks_total");
+        obs_repl_chunk_bytes_ = options_.metrics->GetCounter(
+            "replication_snapshot_bytes_total");
+        obs_repl_frames_ = options_.metrics->GetCounter(
+            "replication_wal_frames_total");
+        repl_subscribers_gauge_handle_ = options_.metrics->RegisterCallback(
+            "replication_subscribers", [this]() {
+              return static_cast<double>(repl_subscriber_count_.load(
+                  std::memory_order_relaxed));
+            });
+        repl_gauge_registered_ = true;
+      }
+    }
     loop_.set_tick([this]() { Tick(); });
   }
 
   ~SearchServer() {
+    // Detach first: after this returns no writer thread is inside a
+    // listener callback, so member teardown cannot race one.
+    if (source_listener_ != nullptr) db_->DetachReplicationListener();
     if (options_.metrics != nullptr) {
+      if (repl_gauge_registered_) {
+        options_.metrics->UnregisterCallback(repl_subscribers_gauge_handle_);
+      }
       options_.metrics->UnregisterCallback(connections_gauge_handle_);
     }
   }
@@ -294,7 +342,8 @@ class SearchServer {
     std::string path;
     if ((events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
       const net::Connection::ReadResult read = conn.ReadReady();
-      respond = ParseHttpGetPath(conn.read_buffer(), &path);
+      respond = ParseHttpGetPath(
+          std::string(conn.read_data(), conn.read_size()), &path);
       if (!respond && read != net::Connection::ReadResult::kOpen) {
         CloseMetricsConnection(fd);
         return;
@@ -354,8 +403,8 @@ class SearchServer {
       size_t frame_size = 0;
       util::Status error;
       const net::FrameParse parse = net::ParseFrame(
-          reinterpret_cast<const uint8_t*>(conn->read_buffer().data()),
-          conn->read_buffer().size(), &view, &frame_size, &error);
+          reinterpret_cast<const uint8_t*>(conn->read_data()),
+          conn->read_size(), &view, &frame_size, &error);
       if (parse == net::FrameParse::kIncomplete) break;
       if (parse == net::FrameParse::kError) {
         ExecuteSearchBatch(conn, &batch);
@@ -402,9 +451,18 @@ class SearchServer {
       }
       case net::MessageType::kInsert: {
         ExecuteSearchBatch(conn, batch);
+        net::WireInsertResponse response;
+        if (options_.read_only) {
+          response.status = net::WireStatus::Unavailable(
+              "read-only replica: writes arrive via replication");
+          std::string payload;
+          net::EncodeInsertResponse(&payload, response);
+          conn->Queue(
+              net::EncodeFrame(net::MessageType::kInsertResult, payload));
+          return true;
+        }
         auto point = net::DecodeInsertRequest<P>(view.payload,
                                                  view.payload_size);
-        net::WireInsertResponse response;
         if (!point.ok()) {
           response.status = net::WireStatus::FromStatus(point.status());
           Count(&decode_errors_, obs_decode_errors_);
@@ -424,8 +482,17 @@ class SearchServer {
       }
       case net::MessageType::kRemove: {
         ExecuteSearchBatch(conn, batch);
-        auto id = net::DecodeRemoveRequest(view.payload, view.payload_size);
         net::WireStatus response;
+        if (options_.read_only) {
+          response = net::WireStatus::Unavailable(
+              "read-only replica: writes arrive via replication");
+          std::string payload;
+          net::EncodeWireStatus(&payload, response);
+          conn->Queue(
+              net::EncodeFrame(net::MessageType::kRemoveResult, payload));
+          return true;
+        }
+        auto id = net::DecodeRemoveRequest(view.payload, view.payload_size);
         if (!id.ok()) {
           response = net::WireStatus::FromStatus(id.status());
           Count(&decode_errors_, obs_decode_errors_);
@@ -437,6 +504,18 @@ class SearchServer {
         conn->Queue(
             net::EncodeFrame(net::MessageType::kRemoveResult, payload));
         return true;
+      }
+      case net::MessageType::kCatchUpHandshake: {
+        ExecuteSearchBatch(conn, batch);
+        return HandleCatchUpHandshake(conn, view);
+      }
+      case net::MessageType::kFetchSnapshot: {
+        ExecuteSearchBatch(conn, batch);
+        return HandleFetchSnapshot(conn, view);
+      }
+      case net::MessageType::kStreamWal: {
+        ExecuteSearchBatch(conn, batch);
+        return HandleStreamWal(conn, view);
       }
       default: {
         ExecuteSearchBatch(conn, batch);
@@ -555,6 +634,280 @@ class SearchServer {
     batch->clear();
   }
 
+  // ------------------------------------------------ replication source
+
+  /// One event of the store's write stream, queued by SourceListener on
+  /// the writer's thread and drained in order on the loop thread.
+  struct ReplEvent {
+    bool rotate = false;
+    uint64_t generation = 0;
+    uint64_t seq = 0;     // records
+    std::string record;   // records
+    uint64_t folded = 0;  // rotates
+    std::vector<std::string> carried;  // rotates
+  };
+
+  /// The LiveDatabase tap.  Runs under the store's write mutex, so it
+  /// only copies into the inbox and wakes the loop — the inbox mutex is
+  /// the sole lock it takes, and the loop thread never takes the write
+  /// mutex while holding the inbox mutex, so no cycle exists.
+  struct SourceListener : engine::ReplicationListener {
+    explicit SourceListener(SearchServer* server) : server(server) {}
+    void OnRecord(uint64_t generation, uint64_t seq,
+                  const std::string& record) override {
+      ReplEvent event;
+      event.generation = generation;
+      event.seq = seq;
+      event.record = record;
+      server->EnqueueReplEvent(std::move(event));
+    }
+    void OnRotate(uint64_t new_generation, uint64_t folded,
+                  std::vector<std::string> carried) override {
+      ReplEvent event;
+      event.rotate = true;
+      event.generation = new_generation;
+      event.folded = folded;
+      event.carried = std::move(carried);
+      server->EnqueueReplEvent(std::move(event));
+    }
+    SearchServer* server;
+  };
+
+  void EnqueueReplEvent(ReplEvent event) {
+    {
+      std::lock_guard<std::mutex> lock(repl_inbox_mutex_);
+      repl_inbox_.push_back(std::move(event));
+    }
+    loop_.Wake();  // the loop's tick drains promptly
+  }
+
+  /// Applies queued write-stream events to the loop-thread mirror
+  /// (generation + per-seq history) and pushes the frames to every
+  /// subscribed replica.  Called from the tick and before handling any
+  /// replication frame, so handshake answers are never stale.
+  void DrainReplicationEvents() {
+    if (!replication_enabled_) return;
+    std::vector<ReplEvent> events;
+    {
+      std::lock_guard<std::mutex> lock(repl_inbox_mutex_);
+      events.swap(repl_inbox_);
+    }
+    if (events.empty()) return;
+    std::unordered_set<int> touched;
+    for (ReplEvent& event : events) {
+      net::WalStreamFrame frame;
+      frame.generation = event.generation;
+      if (event.rotate) {
+        // Subscribers rerun the fold locally; the carried tail becomes
+        // the new history so late joiners can resume mid-tail.
+        repl_generation_ = event.generation;
+        repl_history_ = std::move(event.carried);
+        frame.kind = net::kWalFrameRotate;
+        frame.folded = event.folded;
+      } else {
+        DP_CHECK(event.generation == repl_generation_ &&
+                 event.seq == repl_history_.size() + 1);
+        frame.kind = net::kWalFrameRecord;
+        frame.seq = event.seq;
+        frame.record = event.record;
+        repl_history_.push_back(std::move(event.record));
+      }
+      if (repl_subscribers_.empty()) continue;
+      std::string payload;
+      net::EncodeWalStreamFrame(&payload, frame);
+      const std::string encoded =
+          net::EncodeFrame(net::MessageType::kWalFrame, payload);
+      for (const int fd : repl_subscribers_) {
+        auto it = connections_.find(fd);
+        if (it == connections_.end()) continue;
+        it->second->Queue(encoded);
+        touched.insert(fd);
+        if (obs_repl_frames_ != nullptr) obs_repl_frames_->Increment();
+      }
+    }
+    for (const int fd : touched) {
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      if (!it->second->Flush().ok()) {
+        CloseConnection(fd);
+        continue;
+      }
+      UpdateInterest(fd, *it->second);
+    }
+  }
+
+  /// Maps (and pins) snapshot-<generation>.snap.  The shared_ptr keeps
+  /// the mapping alive even after a compaction unlinks the file, so an
+  /// in-flight transfer finishes off the old bytes — the replica's
+  /// next handshake then points it at the new generation.
+  util::Result<std::shared_ptr<storage::MappedFile>> EnsureSnapshotMapped(
+      uint64_t generation) {
+    if (repl_snapshot_map_ != nullptr && repl_snapshot_gen_ == generation) {
+      return repl_snapshot_map_;
+    }
+    auto mapped = db_->env()->MapFile(
+        db_->wal_dir() + "/" + engine::SnapshotFileName(generation));
+    if (!mapped.ok()) return mapped.status();
+    repl_snapshot_map_ = std::move(mapped).value();
+    repl_snapshot_gen_ = generation;
+    return repl_snapshot_map_;
+  }
+
+  bool HandleCatchUpHandshake(net::Connection* conn,
+                              const net::FrameView& view) {
+    DrainReplicationEvents();
+    auto decoded =
+        net::DecodeCatchUpRequest(view.payload, view.payload_size);
+    if (!decoded.ok()) {
+      SendError(conn, net::WireStatus::FromStatus(decoded.status()));
+      Count(&decode_errors_, obs_decode_errors_);
+      return false;
+    }
+    net::CatchUpResponse response;
+    if (!replication_enabled_) {
+      response.status = {
+          net::WireCode::kUnimplemented,
+          "replication: not served here (in-memory store or disabled)"};
+    } else {
+      const net::CatchUpRequest& request = decoded.value();
+      if (request.point_kind != storage::PointCodec<P>::kName ||
+          request.spec != db_->index_spec() ||
+          request.seed != db_->seed() ||
+          request.shard_count != db_->shard_count()) {
+        // Determinism only holds for identical build parameters, and
+        // replication leans on it — refuse a mismatched follower.
+        response.status = {
+            net::WireCode::kInvalidArgument,
+            "replication: identity mismatch (replica must use the "
+            "primary's point kind, spec, seed, and shard count)"};
+      } else {
+        response.generation = repl_generation_;
+        response.next_seq = repl_history_.size() + 1;
+        const bool in_history =
+            request.generation == repl_generation_ &&
+            request.next_seq >= 1 &&
+            request.next_seq <= repl_history_.size() + 1;
+        if (in_history) {
+          response.action = net::CatchUpAction::kStreamWal;
+        } else {
+          response.action = net::CatchUpAction::kFetchSnapshot;
+          auto mapped = EnsureSnapshotMapped(repl_generation_);
+          if (!mapped.ok()) {
+            response.status = net::WireStatus::FromStatus(mapped.status());
+          } else {
+            response.snapshot_bytes = mapped.value()->size();
+          }
+        }
+      }
+    }
+    if (obs_repl_handshakes_ != nullptr) obs_repl_handshakes_->Increment();
+    std::string payload;
+    net::EncodeCatchUpResponse(&payload, response);
+    conn->Queue(
+        net::EncodeFrame(net::MessageType::kCatchUpHandshake, payload));
+    return true;
+  }
+
+  bool HandleFetchSnapshot(net::Connection* conn,
+                           const net::FrameView& view) {
+    DrainReplicationEvents();
+    auto decoded =
+        net::DecodeFetchSnapshotRequest(view.payload, view.payload_size);
+    if (!decoded.ok()) {
+      SendError(conn, net::WireStatus::FromStatus(decoded.status()));
+      Count(&decode_errors_, obs_decode_errors_);
+      return false;
+    }
+    net::SnapshotChunk chunk;
+    chunk.generation = decoded.value().generation;
+    if (!replication_enabled_) {
+      chunk.status = {
+          net::WireCode::kUnimplemented,
+          "replication: not served here (in-memory store or disabled)"};
+    } else {
+      // An error status (e.g. the generation rotated away before the
+      // handshake pinned it) rides back in the chunk; the replica
+      // re-handshakes and fetches the current generation instead.
+      auto mapped = EnsureSnapshotMapped(decoded.value().generation);
+      if (!mapped.ok()) {
+        chunk.status = net::WireStatus::FromStatus(mapped.status());
+      } else {
+        const storage::MappedFile& file = *mapped.value();
+        const uint64_t offset = decoded.value().offset;
+        chunk.total_bytes = file.size();
+        chunk.offset = offset;
+        if (offset > file.size()) {
+          chunk.status = {net::WireCode::kInvalidArgument,
+                          "replication: offset past end of snapshot"};
+        } else {
+          const size_t n = static_cast<size_t>(std::min<uint64_t>(
+              options_.replication_chunk_bytes, file.size() - offset));
+          chunk.data.assign(
+              reinterpret_cast<const char*>(file.data()) + offset, n);
+          chunk.crc = storage::Crc32c(chunk.data.data(), n);
+          chunk.last = offset + n == file.size();
+          if (obs_repl_chunks_ != nullptr) obs_repl_chunks_->Increment();
+          if (obs_repl_chunk_bytes_ != nullptr) {
+            obs_repl_chunk_bytes_->Add(n);
+          }
+        }
+      }
+    }
+    std::string payload;
+    net::EncodeSnapshotChunk(&payload, chunk);
+    conn->Queue(
+        net::EncodeFrame(net::MessageType::kSnapshotChunk, payload));
+    return true;
+  }
+
+  bool HandleStreamWal(net::Connection* conn, const net::FrameView& view) {
+    DrainReplicationEvents();
+    auto decoded =
+        net::DecodeStreamWalRequest(view.payload, view.payload_size);
+    if (!decoded.ok()) {
+      SendError(conn, net::WireStatus::FromStatus(decoded.status()));
+      Count(&decode_errors_, obs_decode_errors_);
+      return false;
+    }
+    if (!replication_enabled_) {
+      SendError(conn, {
+          net::WireCode::kUnimplemented,
+          "replication: not served here (in-memory store or disabled)"});
+      return false;
+    }
+    const net::StreamWalRequest& request = decoded.value();
+    if (request.generation != repl_generation_ || request.next_seq < 1 ||
+        request.next_seq > repl_history_.size() + 1) {
+      // Position gone (compacted past it, or a stale generation): the
+      // replica re-handshakes, which routes it to a snapshot fetch.
+      SendError(conn,
+                {net::WireCode::kNotFound,
+                 "replication: position (generation " +
+                     std::to_string(request.generation) + ", seq " +
+                     std::to_string(request.next_seq) +
+                     ") is gone; handshake again"});
+      return false;
+    }
+    // Replay the retained history from the asked seq, then subscribe:
+    // everything later arrives via DrainReplicationEvents in commit
+    // order, so the stream has no gap and no duplicate.
+    for (size_t i = request.next_seq - 1; i < repl_history_.size(); ++i) {
+      net::WalStreamFrame frame;
+      frame.kind = net::kWalFrameRecord;
+      frame.generation = repl_generation_;
+      frame.seq = i + 1;
+      frame.record = repl_history_[i];
+      std::string payload;
+      net::EncodeWalStreamFrame(&payload, frame);
+      conn->Queue(net::EncodeFrame(net::MessageType::kWalFrame, payload));
+      if (obs_repl_frames_ != nullptr) obs_repl_frames_->Increment();
+    }
+    repl_subscribers_.insert(conn->fd());
+    repl_subscriber_count_.store(repl_subscribers_.size(),
+                                 std::memory_order_relaxed);
+    return true;
+  }
+
   void SendError(net::Connection* conn, const net::WireStatus& status) {
     std::string payload;
     net::EncodeWireStatus(&payload, status);
@@ -569,6 +922,10 @@ class SearchServer {
   void CloseConnection(int fd) {
     loop_.Remove(fd);
     closing_.erase(fd);
+    if (repl_subscribers_.erase(fd) != 0) {
+      repl_subscriber_count_.store(repl_subscribers_.size(),
+                                   std::memory_order_relaxed);
+    }
     connections_.erase(fd);  // Connection dtor closes the fd.
   }
 
@@ -579,6 +936,7 @@ class SearchServer {
   }
 
   void Tick() {
+    DrainReplicationEvents();
     if (draining_.load(std::memory_order_acquire)) {
       if (listener_) {
         loop_.Remove(listener_->fd());
@@ -647,6 +1005,26 @@ class SearchServer {
   obs::Counter* obs_decode_errors_ = nullptr;
   obs::Counter* obs_batches_ = nullptr;
   uint64_t connections_gauge_handle_ = 0;
+
+  /// Replication source state.  The inbox is the writer->loop handoff
+  /// (under repl_inbox_mutex_); everything else is loop-thread-only
+  /// except the subscriber-count mirror the gauge reads.
+  bool replication_enabled_ = false;
+  std::unique_ptr<SourceListener> source_listener_;
+  std::mutex repl_inbox_mutex_;
+  std::vector<ReplEvent> repl_inbox_;
+  uint64_t repl_generation_ = 0;
+  std::vector<std::string> repl_history_;  ///< seq i+1 = history[i]
+  std::unordered_set<int> repl_subscribers_;
+  std::shared_ptr<storage::MappedFile> repl_snapshot_map_;
+  uint64_t repl_snapshot_gen_ = 0;
+  std::atomic<uint64_t> repl_subscriber_count_{0};
+  obs::Counter* obs_repl_handshakes_ = nullptr;
+  obs::Counter* obs_repl_chunks_ = nullptr;
+  obs::Counter* obs_repl_chunk_bytes_ = nullptr;
+  obs::Counter* obs_repl_frames_ = nullptr;
+  uint64_t repl_subscribers_gauge_handle_ = 0;
+  bool repl_gauge_registered_ = false;
 };
 
 }  // namespace server

@@ -119,37 +119,63 @@ util::Status WalWriter::WriteOutAndSync() {
   return util::Status::OK();
 }
 
+void WalFrameReader::Feed(const void* data, size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+WalFrameReader::Next WalFrameReader::Poll(WalRecord* out) {
+  if (corrupt_) return Next::kCorrupt;
+  const size_t available = buffer_.size() - pos_;
+  if (available < kFrameHeaderBytes) return Next::kNeedMore;
+  const uint8_t* frame =
+      reinterpret_cast<const uint8_t*>(buffer_.data()) + pos_;
+  const uint32_t payload_len = GetFixed32(frame);
+  const uint32_t stored_crc = GetFixed32(frame + 4);
+  const uint64_t seq = GetFixed64(frame + 8);
+  if (available < kFrameHeaderBytes + static_cast<size_t>(payload_len)) {
+    return Next::kNeedMore;
+  }
+  // Same order as ReadWal: only a complete frame can be judged corrupt
+  // (a truncated header with garbage seq is a torn tail, not damage).
+  if (seq != next_seq_) {
+    corrupt_ = true;
+    return Next::kCorrupt;
+  }
+  const uint8_t* payload = frame + kFrameHeaderBytes;
+  const uint32_t crc = Crc32c(payload, payload_len, Crc32c(frame + 8, 8));
+  if (crc != stored_crc) {
+    corrupt_ = true;
+    return Next::kCorrupt;
+  }
+  out->seq = seq;
+  out->payload.assign(reinterpret_cast<const char*>(payload), payload_len);
+  pos_ += kFrameHeaderBytes + payload_len;
+  valid_bytes_ += kFrameHeaderBytes + payload_len;
+  ++next_seq_;
+  // Compact once the dead prefix dominates, so a long-lived streaming
+  // reader stays O(largest frame) in memory, not O(stream).
+  if (pos_ > 4096 && pos_ >= buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return Next::kRecord;
+}
+
 util::Result<WalContents> ReadWal(Env* env, const std::string& path,
                                   uint64_t first_seq) {
   auto raw = env->ReadFile(path);
   if (!raw.ok()) return raw.status();
   const std::string& bytes = raw.value();
-  const uint8_t* base = reinterpret_cast<const uint8_t*>(bytes.data());
 
+  WalFrameReader reader(first_seq);
+  reader.Feed(bytes.data(), bytes.size());
   WalContents contents;
-  uint64_t offset = 0;
-  uint64_t expected_seq = first_seq;
-  while (offset + kFrameHeaderBytes <= bytes.size()) {
-    const uint8_t* frame = base + offset;
-    const uint32_t payload_len = GetFixed32(frame);
-    const uint32_t stored_crc = GetFixed32(frame + 4);
-    const uint64_t seq = GetFixed64(frame + 8);
-    if (offset + kFrameHeaderBytes + payload_len > bytes.size()) break;
-    if (seq != expected_seq) break;
-    const uint8_t* payload = frame + kFrameHeaderBytes;
-    const uint32_t crc =
-        Crc32c(payload, payload_len, Crc32c(frame + 8, 8));
-    if (crc != stored_crc) break;
-    WalRecord record;
-    record.seq = seq;
-    record.payload.assign(reinterpret_cast<const char*>(payload),
-                          payload_len);
+  WalRecord record;
+  while (reader.Poll(&record) == WalFrameReader::Next::kRecord) {
     contents.records.push_back(std::move(record));
-    offset += kFrameHeaderBytes + payload_len;
-    ++expected_seq;
   }
-  contents.valid_bytes = offset;
-  contents.torn_tail = offset < bytes.size();
+  contents.valid_bytes = reader.valid_bytes();
+  contents.torn_tail = contents.valid_bytes < bytes.size();
   return contents;
 }
 

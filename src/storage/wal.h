@@ -141,6 +141,48 @@ struct WalContents {
   bool torn_tail = false;
 };
 
+/// Incremental frame-at-a-time WAL decoder.  Feed() accepts bytes in
+/// arbitrary-sized pieces (a network read, a file chunk, one byte at a
+/// time); Poll() yields each fully validated record as soon as its
+/// last byte arrives.  ReadWal is this class fed one whole file, and a
+/// streaming replica is this class fed a socket.
+///
+/// Validation matches ReadWal exactly: a record is surfaced only when
+/// its frame is complete, its seq continues the chain, and its CRC32C
+/// checks out.  The first violation latches kCorrupt — the stream has
+/// no self-synchronization, so nothing after a bad frame can be
+/// trusted.  An incomplete trailing frame is kNeedMore, never corrupt.
+class WalFrameReader {
+ public:
+  /// `first_seq` is the sequence number the first record must carry.
+  explicit WalFrameReader(uint64_t first_seq) : next_seq_(first_seq) {}
+
+  enum class Next {
+    kRecord,    ///< *out holds the next record; call Poll again.
+    kNeedMore,  ///< Buffered bytes end mid-frame; Feed more.
+    kCorrupt,   ///< CRC failure or seq break; latched permanently.
+  };
+
+  /// Buffers `size` bytes.  Cheap; validation happens in Poll.
+  void Feed(const void* data, size_t size);
+
+  /// Yields the next record, or explains why it can't.
+  Next Poll(WalRecord* out);
+
+  /// Sequence number the next record must carry.
+  uint64_t next_seq() const { return next_seq_; }
+  /// Total bytes consumed by fully validated frames — the same
+  /// truncation point ReadWal reports as WalContents::valid_bytes.
+  uint64_t valid_bytes() const { return valid_bytes_; }
+
+ private:
+  std::string buffer_;
+  size_t pos_ = 0;  ///< Consumed prefix of buffer_ (compacted lazily).
+  uint64_t next_seq_;
+  uint64_t valid_bytes_ = 0;
+  bool corrupt_ = false;
+};
+
 /// Scans the log at `path`, validating frames with `first_seq` as the
 /// expected starting sequence.  Fails only on I/O errors (a missing
 /// file is NotFound); corruption is reported via torn_tail/valid_bytes.

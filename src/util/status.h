@@ -28,6 +28,7 @@ enum class StatusCode {
   kIoError = 4,
   kUnimplemented = 5,
   kInternal = 6,
+  kDeadlineExceeded = 7,
 };
 
 /// Human-readable name of a status code ("OK", "InvalidArgument", ...).
@@ -71,6 +72,12 @@ class Status {
   /// Returns an Internal status with the given message.
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Returns a DeadlineExceeded status with the given message (an
+  /// operation with a deadline — a socket read, a connect — timed out;
+  /// distinguishable from kIoError so callers can retry or keep-alive).
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff the status is OK.

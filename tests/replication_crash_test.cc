@@ -1,0 +1,484 @@
+// Replication vs a real primary crash.
+//
+// Both tests fork primary processes (fsync=always) and SIGKILL them at
+// a point that rotates across invocations, so CI's --gtest_repeat
+// sweeps the kill through different phases:
+//
+//   - KillPrimaryMidWalStream: the replica is tailing live when the
+//     primary dies mid-stream (sometimes mid-compaction).  A restarted
+//     primary on the same port must be caught up from the replica's
+//     own next_seq — no snapshot re-fetch — and the two stores must
+//     converge bit-identically to the restarted primary's recovered
+//     state.
+//
+//   - KillPrimaryMidSnapshotTransfer: the primary dies partway through
+//     serving a chunked snapshot.  The restarted primary serves the
+//     same generation-1 snapshot bytes, and the transfer must resume
+//     from the partial file's byte offset instead of starting over.
+//
+// Fork discipline: both children are forked BEFORE any replica thread
+// exists (the standby child blocks on a go-pipe), so fork never
+// duplicates a multi-threaded parent.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dataset/vector_gen.h"
+#include "engine/generation_store.h"
+#include "engine/live_database.h"
+#include "metric/lp.h"
+#include "obs/metrics.h"
+#include "server/replica_server.h"
+#include "server/replication_client.h"
+#include "server/search_server.h"
+#include "storage/env.h"
+#include "util/rng.h"
+
+namespace distperm {
+namespace server {
+namespace {
+
+using engine::LiveDatabase;
+using metric::Vector;
+
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kForkUnsafe = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kForkUnsafe = true;
+#else
+constexpr bool kForkUnsafe = false;
+#endif
+#else
+constexpr bool kForkUnsafe = false;
+#endif
+
+constexpr uint64_t kSeed = 311;
+constexpr size_t kShards = 2;
+constexpr size_t kDim = 4;
+const char kSpec[] = "vp-tree";
+
+metric::Metric<Vector> L2() { return metric::LpMetric::L2(); }
+
+std::string DurableSpec(const std::string& dir) {
+  return std::string(kSpec) + ":fsync=always,wal_dir=" + dir;
+}
+
+std::string FreshDir(const std::string& name) {
+  storage::Env* env = storage::Env::Default();
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(env->CreateDir(dir).ok());
+  if (auto listing = env->ListDir(dir); listing.ok()) {
+    for (const std::string& file : listing.value()) {
+      env->DeleteFile(dir + "/" + file);
+    }
+  }
+  return dir;
+}
+
+bool WaitFor(const std::function<bool()>& done, int timeout_ms = 20000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return done();
+}
+
+bool ReadExact(int fd, void* out, size_t size) {
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n =
+        ::read(fd, static_cast<char*>(out) + got, size - got);
+    if (n <= 0) return false;
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void WriteExact(int fd, const void* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::write(fd, static_cast<const char*>(data) + sent, size - sent);
+    if (n <= 0) _exit(90);
+    sent += static_cast<size_t>(n);
+  }
+}
+
+/// The primary child's whole life: open (seed or recover), serve, run
+/// the insert script, report progress, then idle until SIGKILL.
+///
+/// Pipe protocol (child -> parent):
+///   2 bytes   the bound port (little endian)
+///   16 bytes  opened position: generation (8B) + delta_entries (8B)
+///   'p' / 'c' one insert slice done / about to compact
+///   'd' + 16B done: generation (8B) + delta_entries (8B)
+///
+/// No gtest in here; failures are exit codes the parent reports.
+[[noreturn]] void PrimaryChild(const std::string& dir, uint16_t port,
+                               const std::vector<Vector>& seed_data,
+                               const std::vector<Vector>& stream,
+                               size_t inserts_per_signal,
+                               size_t compact_every, size_t chunk_bytes,
+                               int signal_fd) {
+  auto opened = LiveDatabase<Vector>::Open(seed_data, L2(), kShards,
+                                           DurableSpec(dir), kSeed);
+  if (!opened.ok()) _exit(81);
+  obs::MetricsRegistry metrics("primary_child");
+  SearchServer<Vector>::Options options;
+  options.metrics = &metrics;
+  if (chunk_bytes != 0) options.replication_chunk_bytes = chunk_bytes;
+  SearchServer<Vector> server(opened.value().get(), options);
+  if (!server.Start(port).ok()) _exit(82);
+  std::thread serving([&server]() { server.Run(); });
+  const uint16_t bound = server.port();
+  WriteExact(signal_fd, &bound, sizeof(bound));
+  const uint64_t opened_generation = opened.value()->generation_number();
+  const uint64_t opened_delta = opened.value()->delta_entries();
+  WriteExact(signal_fd, &opened_generation, sizeof(opened_generation));
+  WriteExact(signal_fd, &opened_delta, sizeof(opened_delta));
+
+  for (size_t i = 0; i < stream.size(); ++i) {
+    if (!opened.value()->Insert(stream[i]).ok()) _exit(83);
+    if ((i + 1) % inserts_per_signal == 0) {
+      WriteExact(signal_fd, "p", 1);
+    }
+    if (compact_every != 0 && (i + 1) % compact_every == 0) {
+      WriteExact(signal_fd, "c", 1);
+      if (!opened.value()->Compact().ok()) _exit(84);
+    }
+  }
+  WriteExact(signal_fd, "d", 1);
+  const uint64_t generation = opened.value()->generation_number();
+  const uint64_t delta = opened.value()->delta_entries();
+  WriteExact(signal_fd, &generation, sizeof(generation));
+  WriteExact(signal_fd, &delta, sizeof(delta));
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+}
+
+struct ChildProc {
+  pid_t pid = -1;
+  int read_fd = -1;   // child -> parent progress
+  int go_fd = -1;     // parent -> child release (standby children)
+
+  void ExpectKilled() {
+    ASSERT_GE(pid, 0);
+    ::kill(pid, SIGKILL);
+    int wait_status = 0;
+    ASSERT_EQ(::waitpid(pid, &wait_status, 0), pid);
+    if (WIFEXITED(wait_status)) {
+      ASSERT_EQ(WEXITSTATUS(wait_status), 0)
+          << "primary child failed before the kill";
+    } else {
+      ASSERT_TRUE(WIFSIGNALED(wait_status));
+    }
+    pid = -1;
+  }
+
+  ~ChildProc() {
+    if (pid >= 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+    if (read_fd >= 0) ::close(read_fd);
+    if (go_fd >= 0) ::close(go_fd);
+  }
+};
+
+/// Forks a primary child.  With `standby`, the child blocks until the
+/// parent writes 'g' + the port to bind — so it can be forked while
+/// the parent is still single-threaded and released much later.
+std::unique_ptr<ChildProc> ForkPrimary(const std::string& dir, bool standby,
+                                       const std::vector<Vector>& seed_data,
+                                       const std::vector<Vector>& stream,
+                                       size_t inserts_per_signal,
+                                       size_t compact_every,
+                                       size_t chunk_bytes) {
+  int progress[2];
+  int go[2] = {-1, -1};
+  EXPECT_EQ(::pipe(progress), 0);
+  if (standby) {
+    EXPECT_EQ(::pipe(go), 0);
+  }
+  auto child = std::make_unique<ChildProc>();
+  child->pid = ::fork();
+  EXPECT_GE(child->pid, 0);
+  if (child->pid == 0) {
+    ::close(progress[0]);
+    uint16_t port = 0;
+    if (standby) {
+      ::close(go[1]);
+      char byte = 0;
+      if (!ReadExact(go[0], &byte, 1) || byte != 'g') _exit(85);
+      if (!ReadExact(go[0], &port, sizeof(port))) _exit(86);
+      ::close(go[0]);
+    }
+    PrimaryChild(dir, port, seed_data, stream, inserts_per_signal,
+                 compact_every, chunk_bytes, progress[1]);
+  }
+  ::close(progress[1]);
+  if (standby) ::close(go[0]);
+  child->read_fd = progress[0];
+  child->go_fd = go[1];
+  return child;
+}
+
+ReplicaServer<Vector>::Options ReplicaOptions(
+    const std::string& dir, uint16_t primary_port,
+    obs::MetricsRegistry* metrics) {
+  ReplicaServer<Vector>::Options options;
+  options.dir = dir;
+  options.index_spec = kSpec;
+  options.seed = kSeed;
+  options.shard_count = kShards;
+  options.metrics = metrics;
+  options.replication.primary_port = primary_port;
+  options.replication.idle_timeout_ms = 250;
+  options.replication.backoff_initial_ms = 20;
+  options.replication.backoff_max_ms = 200;
+  return options;
+}
+
+TEST(ReplicationCrash, KillPrimaryMidWalStreamResumesAndConverges) {
+  if (kForkUnsafe) {
+    GTEST_SKIP() << "fork-based crash test is not run under TSan";
+  }
+  const std::string primary_dir = FreshDir("repl_crash_stream_primary");
+  const std::string replica_dir = FreshDir("repl_crash_stream_replica");
+
+  // Rotate the kill point across invocations; 'c' signals land right
+  // before a compaction, so some invocations kill inside the rotation
+  // window.
+  static int invocation = 0;
+  const int kill_on_signal = invocation++ % 6 + 1;
+
+  util::Rng base_rng(401);
+  const std::vector<Vector> base = dataset::UniformCube(200, kDim, &base_rng);
+  util::Rng stream_rng(402);
+  const std::vector<Vector> stream =
+      dataset::UniformCube(120, kDim, &stream_rng);
+  util::Rng resume_rng(403);
+  const std::vector<Vector> resume_stream =
+      dataset::UniformCube(30, kDim, &resume_rng);
+
+  // Fork both primaries before any replica thread exists.  The first
+  // starts serving immediately; the restart child waits on its go-pipe
+  // until the first has been killed.
+  auto first = ForkPrimary(primary_dir, /*standby=*/false, base, stream,
+                           /*inserts_per_signal=*/8,
+                           /*compact_every=*/40, /*chunk_bytes=*/0);
+  auto restart =
+      ForkPrimary(primary_dir, /*standby=*/true, {}, resume_stream,
+                  /*inserts_per_signal=*/8, /*compact_every=*/0,
+                  /*chunk_bytes=*/0);
+
+  uint16_t port = 0;
+  ASSERT_TRUE(ReadExact(first->read_fd, &port, sizeof(port)));
+  ASSERT_NE(port, 0);
+  uint64_t opened_generation = 0;
+  uint64_t opened_delta = 0;
+  ASSERT_TRUE(ReadExact(first->read_fd, &opened_generation,
+                        sizeof(opened_generation)));
+  ASSERT_TRUE(
+      ReadExact(first->read_fd, &opened_delta, sizeof(opened_delta)));
+
+  obs::MetricsRegistry replica_metrics("replica");
+  auto opened = ReplicaServer<Vector>::Open(
+      L2(), ReplicaOptions(replica_dir, port, &replica_metrics));
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  ReplicaServer<Vector>& replica = *opened.value();
+  ASSERT_TRUE(replica.Start(0).ok());
+  std::thread serving([&replica]() { replica.Run(); });
+
+  // Let the stream flow, then kill the primary mid-stream.
+  int signals_seen = 0;
+  char byte = 0;
+  while (signals_seen < kill_on_signal &&
+         ReadExact(first->read_fd, &byte, 1) &&
+         (byte == 'p' || byte == 'c')) {
+    ++signals_seen;
+  }
+  first->ExpectKilled();
+
+  // The replica is now on its own: it must still be serving whatever
+  // it applied, and its tail thread is in the backoff loop.
+  ASSERT_TRUE(WaitFor(
+      [&]() { return replica.replication().lag_seconds() > 0.3; }));
+  const uint64_t chunks_after_bootstrap =
+      replica_metrics.GetCounter("replica_snapshot_chunks_total")->Value();
+  const uint64_t reconnects_before = replica.replication().reconnects();
+  const uint64_t replica_generation_at_loss =
+      replica.db().generation_number();
+
+  // Restart the primary on the same port and directory: it recovers
+  // its durable prefix and appends a fresh tail.
+  WriteExact(restart->go_fd, "g", 1);
+  WriteExact(restart->go_fd, &port, sizeof(port));
+  uint16_t restart_port = 0;
+  ASSERT_TRUE(ReadExact(restart->read_fd, &restart_port,
+                        sizeof(restart_port)));
+  ASSERT_EQ(restart_port, port);
+  uint64_t recovered_generation = 0;
+  uint64_t recovered_delta = 0;
+  ASSERT_TRUE(ReadExact(restart->read_fd, &recovered_generation,
+                        sizeof(recovered_generation)));
+  ASSERT_TRUE(ReadExact(restart->read_fd, &recovered_delta,
+                        sizeof(recovered_delta)));
+  while (ReadExact(restart->read_fd, &byte, 1) && byte != 'd') {
+  }
+  ASSERT_EQ(byte, 'd');
+  uint64_t final_generation = 0;
+  uint64_t final_delta = 0;
+  ASSERT_TRUE(ReadExact(restart->read_fd, &final_generation,
+                        sizeof(final_generation)));
+  ASSERT_TRUE(
+      ReadExact(restart->read_fd, &final_delta, sizeof(final_delta)));
+
+  // Converge to the restarted primary's reported position.
+  ASSERT_TRUE(WaitFor([&]() {
+    return replica.db().generation_number() == final_generation &&
+           replica.db().delta_entries() == final_delta;
+  })) << "replica never converged to generation " << final_generation
+      << " delta " << final_delta
+      << "; last error: " << replica.replication().last_error();
+  EXPECT_GT(replica.replication().reconnects(), reconnects_before);
+  if (replica_generation_at_loss == recovered_generation) {
+    // The common case: same generation on both sides, so the resume
+    // must ride the WAL stream from the replica's own next_seq.
+    EXPECT_EQ(
+        replica_metrics.GetCounter("replica_snapshot_chunks_total")->Value(),
+        chunks_after_bootstrap)
+        << "generation matched at reconnect; a snapshot re-fetch here "
+           "means resume-by-seq is broken";
+  }
+  // (When the kill landed between the primary's durable rotation and
+  // the rotate frame reaching the replica, the generations diverge and
+  // a snapshot re-fetch IS the designed recovery — convergence above
+  // is the invariant that always holds.)
+
+  // Fingerprint check against the primary's durable store itself
+  // (fsync=always: the reported position IS the durable state).
+  restart->ExpectKilled();
+  auto recovered = LiveDatabase<Vector>::Open({}, L2(), kShards,
+                                              DurableSpec(primary_dir),
+                                              kSeed);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered.value()->generation_number(), final_generation);
+  EXPECT_EQ(recovered.value()->delta_entries(), final_delta);
+  const std::vector<Vector> want = recovered.value()->Pin().Materialize();
+  const std::vector<Vector> got = replica.db().Pin().Materialize();
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "point " << i;
+  }
+
+  replica.Shutdown();
+  serving.join();
+}
+
+TEST(ReplicationCrash, KillPrimaryMidSnapshotTransferResumesFromPartial) {
+  if (kForkUnsafe) {
+    GTEST_SKIP() << "fork-based crash test is not run under TSan";
+  }
+  const std::string primary_dir = FreshDir("repl_crash_snap_primary");
+  const std::string replica_dir = FreshDir("repl_crash_snap_replica");
+
+  static int invocation = 0;
+  const uint64_t kill_after_chunks = invocation++ % 4 + 1;
+
+  // A store big enough that its snapshot spans thousands of 1 KiB
+  // chunks: the transfer takes long enough that the parent reliably
+  // lands its SIGKILL mid-stream.
+  util::Rng rng(405);
+  const std::vector<Vector> big = dataset::UniformCube(20000, 8, &rng);
+
+  auto first = ForkPrimary(primary_dir, /*standby=*/false, big, {},
+                           /*inserts_per_signal=*/1, /*compact_every=*/0,
+                           /*chunk_bytes=*/1024);
+  auto restart = ForkPrimary(primary_dir, /*standby=*/true, {}, {},
+                             /*inserts_per_signal=*/1, /*compact_every=*/0,
+                             /*chunk_bytes=*/1024);
+
+  uint16_t port = 0;
+  ASSERT_TRUE(ReadExact(first->read_fd, &port, sizeof(port)));
+
+  obs::MetricsRegistry metrics("bootstrap");
+  ReplicationClient<Vector>::Options options;
+  options.primary_port = port;
+  options.idle_timeout_ms = 1000;
+  options.metrics = &metrics;
+  storage::Env* env = storage::Env::Default();
+  obs::Counter* chunk_counter =
+      metrics.GetCounter("replica_snapshot_chunks_total");
+
+  // Pull the snapshot on a side thread; kill the primary as soon as a
+  // few chunks have landed.
+  std::atomic<bool> transfer_done{false};
+  util::Status first_attempt = util::Status::OK();
+  std::thread puller([&]() {
+    first_attempt = ReplicationClient<Vector>::BootstrapSnapshot(
+        env, replica_dir, kSpec, kSeed, kShards, options);
+    transfer_done.store(true);
+  });
+  while (!transfer_done.load() && chunk_counter->Value() < kill_after_chunks) {
+  }
+  first->ExpectKilled();
+  puller.join();
+  ASSERT_FALSE(first_attempt.ok())
+      << "the transfer outran the kill; the snapshot must span enough "
+         "chunks that this cannot happen";
+
+  const std::string partial_path =
+      replica_dir + "/" + engine::SnapshotFileName(1) + ".partial";
+  auto partial = env->MapFile(partial_path);
+  ASSERT_TRUE(partial.ok()) << "a torn transfer must leave its partial";
+  const uint64_t partial_bytes = partial.value()->size();
+  EXPECT_GE(partial_bytes, kill_after_chunks > 1 ? 1024u : 0u);
+
+  // Restart the primary (it recovers the same generation-1 snapshot)
+  // and finish the pull: it must resume at the partial's offset.
+  WriteExact(restart->go_fd, "g", 1);
+  WriteExact(restart->go_fd, &port, sizeof(port));
+  uint16_t restart_port = 0;
+  ASSERT_TRUE(ReadExact(restart->read_fd, &restart_port,
+                        sizeof(restart_port)));
+  util::Status second_attempt = ReplicationClient<Vector>::BootstrapSnapshot(
+      env, replica_dir, kSpec, kSeed, kShards, options);
+  ASSERT_TRUE(second_attempt.ok()) << second_attempt;
+  EXPECT_EQ(metrics.GetCounter("replica_snapshot_resumes_total")->Value(),
+            1u);
+
+  const std::string final_path =
+      replica_dir + "/" + engine::SnapshotFileName(1);
+  auto final_file = env->MapFile(final_path);
+  ASSERT_TRUE(final_file.ok());
+  EXPECT_EQ(metrics.GetCounter("replica_snapshot_bytes_total")->Value(),
+            final_file.value()->size())
+      << "both attempts together must cover the file exactly once";
+  auto loaded = engine::ReadGenerationSnapshot<Vector>(
+      env, final_path, L2(), kShards, kSpec, kSeed, /*build_threads=*/1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value()->size(), 20000u);
+  restart->ExpectKilled();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace distperm
