@@ -14,6 +14,15 @@
 // bit-identical database at any build_threads (pinned since PR 4), so
 // "the compacted generation" and "a fresh ShardedDatabase over the
 // equivalent final dataset" are the same object, results included.
+//
+// Incremental compaction extends that contract per shard: each shard
+// records the generation number that last rebuilt it (`epochs()`), and
+// a shard whose delta slice was empty is *shared* into the successor by
+// shared_ptr, keeping its old epoch.  Because per-shard RNG streams
+// depend only on (seed, shard number), the shared shard is bit-identical
+// to what a fresh per-slice rebuild would have produced — so the
+// incremental generation and BuildSliced over the same slices are the
+// same object, epochs aside.
 
 #ifndef DISTPERM_ENGINE_GENERATION_H_
 #define DISTPERM_ENGINE_GENERATION_H_
@@ -24,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/shard_router.h"
 #include "engine/sharded_database.h"
 #include "metric/metric.h"
 #include "util/status.h"
@@ -32,14 +42,14 @@ namespace distperm {
 namespace engine {
 
 /// Immutable snapshot: shards + indexes + rebuild metadata.  Create
-/// through Build (the only entry point), share via shared_ptr.
+/// through Build / BuildSliced / Assemble, share via shared_ptr.
 template <typename P>
 class Generation {
  public:
   /// Builds generation `number` over `data` through the index registry
   /// (same contract as ShardedDatabase::BuildFromRegistry, including
   /// per-shard RNG streams derived from `seed`).  Returns the registry
-  /// or parser error for bad specs.
+  /// or parser error for bad specs.  Every shard's epoch is `number`.
   static util::Result<std::shared_ptr<const Generation>> Build(
       std::vector<P> data, const metric::Metric<P>& metric,
       size_t shard_count, const std::string& index_spec, uint64_t seed,
@@ -50,7 +60,38 @@ class Generation {
                                               seed, build_threads);
     if (!built.ok()) return built.status();
     return std::shared_ptr<const Generation>(new Generation(
-        std::move(built).value(), index_spec, seed, number));
+        std::move(built).value(), index_spec, seed, number,
+        std::vector<uint64_t>(shard_count, number)));
+  }
+
+  /// Builds generation `number` with every shard rebuilt over its
+  /// pre-routed slice — the full-rebuild reference that an incremental
+  /// fold must match bit-for-bit over the same slices.
+  static util::Result<std::shared_ptr<const Generation>> BuildSliced(
+      std::vector<std::vector<P>> slices, const metric::Metric<P>& metric,
+      const std::string& index_spec, uint64_t seed, uint64_t number,
+      size_t build_threads = 1) {
+    const size_t shard_count = slices.size();
+    util::Result<ShardedDatabase<P>> built =
+        ShardedDatabase<P>::BuildFromRegistrySliced(
+            std::move(slices), metric, index_spec, seed, build_threads);
+    if (!built.ok()) return built.status();
+    return std::shared_ptr<const Generation>(new Generation(
+        std::move(built).value(), index_spec, seed, number,
+        std::vector<uint64_t>(shard_count, number)));
+  }
+
+  /// Wraps an assembled database (shared clean shards + freshly built
+  /// dirty shards, see ShardedDatabase::FromShards) as generation
+  /// `number`.  `epochs[s]` is the generation that last rebuilt shard
+  /// s: `number` for dirty shards, the predecessor's epoch for shared
+  /// ones.
+  static std::shared_ptr<const Generation> Assemble(
+      ShardedDatabase<P> db, std::string index_spec, uint64_t seed,
+      uint64_t number, std::vector<uint64_t> epochs) {
+    return std::shared_ptr<const Generation>(
+        new Generation(std::move(db), std::move(index_spec), seed, number,
+                       std::move(epochs)));
   }
 
   /// Wraps an already-built database as generation `number`.  Used by
@@ -58,13 +99,18 @@ class Generation {
   /// that `db` is bit-identical to what Build would have produced for
   /// the same (data, spec, shard_count, seed) — either because it was
   /// rebuilt through the registry, or because the index state was
-  /// restored verbatim from a snapshot of such a build.
-  static std::shared_ptr<const Generation> Adopt(ShardedDatabase<P> db,
-                                                 std::string index_spec,
-                                                 uint64_t seed,
-                                                 uint64_t number) {
-    return std::shared_ptr<const Generation>(new Generation(
-        std::move(db), std::move(index_spec), seed, number));
+  /// restored verbatim from a snapshot of such a build.  `epochs` is
+  /// the recorded per-shard epoch vector; pass empty to default every
+  /// shard's epoch to `number` (pre-epoch snapshots).
+  static std::shared_ptr<const Generation> Adopt(
+      ShardedDatabase<P> db, std::string index_spec, uint64_t seed,
+      uint64_t number, std::vector<uint64_t> epochs = {}) {
+    if (epochs.empty()) {
+      epochs.assign(db.shard_count(), number);
+    }
+    return std::shared_ptr<const Generation>(
+        new Generation(std::move(db), std::move(index_spec), seed, number,
+                       std::move(epochs)));
   }
 
   const ShardedDatabase<P>& database() const { return db_; }
@@ -78,22 +124,44 @@ class Generation {
   const std::string& index_spec() const { return index_spec_; }
   uint64_t seed() const { return seed_; }
 
+  /// Per-shard rebuild epochs: epochs()[s] is the generation number
+  /// that last rebuilt shard s (== number() when s was rebuilt this
+  /// fold, older when it was shared from the predecessor).  Snapshots
+  /// persist this so replicas and crash recovery agree on sharing
+  /// decisions exactly.
+  const std::vector<uint64_t>& epochs() const { return epochs_; }
+
+  /// Routes a point to its owning shard under this generation's
+  /// layout.  Deterministic: derived purely from the shard slices, so
+  /// primary, replica, and recovery route identically.
+  const ShardRouter<P>& router() const { return router_; }
+
   /// The base dataset in global-id order — what the next compaction
   /// applies the delta to.
   std::vector<P> CollectData() const { return db_.CollectData(); }
 
  private:
   Generation(ShardedDatabase<P> db, std::string index_spec, uint64_t seed,
-             uint64_t number)
+             uint64_t number, std::vector<uint64_t> epochs)
       : db_(std::move(db)),
         index_spec_(std::move(index_spec)),
         seed_(seed),
-        number_(number) {}
+        number_(number),
+        epochs_(std::move(epochs)),
+        router_(ShardRouter<P>::ForShards(
+            db_.shard_count(),
+            [this](size_t s) -> const std::vector<P>& {
+              return db_.shard(s).data();
+            })) {
+    DP_CHECK(epochs_.size() == db_.shard_count());
+  }
 
   const ShardedDatabase<P> db_;
   const std::string index_spec_;
   const uint64_t seed_;
   const uint64_t number_;
+  const std::vector<uint64_t> epochs_;
+  const ShardRouter<P> router_;
 };
 
 }  // namespace engine

@@ -6,7 +6,9 @@
 //
 //   meta   format="generation.v1", point_kind, spec, seed, shard_count,
 //          generation, point_count, index_state ("distperm"|"rebuild"),
-//          and for vectors dim/stride
+//          shard_sizes/shard_epochs (comma-joined per-shard layout and
+//          rebuild epochs; absent in pre-incremental snapshots, which
+//          imply the uniform split), and for vectors dim/stride
 //   sections
 //     "vectors"   (vector stores)  the row-major FlatVectorStore block,
 //                 64-byte-aligned rows, dropped into the file verbatim
@@ -34,6 +36,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <utility>
@@ -106,12 +109,17 @@ inline bool ParseStoreFileName(const std::string& name, bool* is_snapshot,
 
 // --------------------------------------------------------- WAL record codec
 
-/// One decoded live-store WAL operation.
+/// One decoded live-store WAL operation.  Every record carries the
+/// owning shard under the generation it was logged against — the tag
+/// that lets incremental compaction fold only dirty shards, and lets
+/// recovery and replicas reproduce the primary's routing without
+/// re-deriving it.
 template <typename P>
 struct WalOp {
   bool is_remove = false;
-  uint64_t id = 0;  ///< Target id; meaningful for removes only.
-  P point{};        ///< Inserted point; meaningful for inserts only.
+  uint32_t shard = 0;  ///< Owning shard under the logged-against generation.
+  uint64_t id = 0;     ///< Target id; meaningful for removes only.
+  P point{};           ///< Inserted point; meaningful for inserts only.
 };
 
 namespace internal {
@@ -120,43 +128,46 @@ inline constexpr uint8_t kWalOpRemove = 2;
 }  // namespace internal
 
 template <typename P>
-std::string EncodeWalInsert(const P& point) {
+std::string EncodeWalInsert(const P& point, uint32_t shard) {
   std::string payload;
   payload.push_back(static_cast<char>(internal::kWalOpInsert));
+  storage::PutFixed32(&payload, shard);
   storage::PointCodec<P>::Encode(&payload, point);
   return payload;
 }
 
 template <typename P>
-std::string EncodeWalRemove(uint64_t id) {
+std::string EncodeWalRemove(uint64_t id, uint32_t shard) {
   std::string payload;
   payload.push_back(static_cast<char>(internal::kWalOpRemove));
+  storage::PutFixed32(&payload, shard);
   storage::PutFixed64(&payload, id);
   return payload;
 }
 
 template <typename P>
 util::Result<WalOp<P>> DecodeWalRecord(const std::string& payload) {
-  if (payload.empty()) {
-    return util::Status::IoError("wal record: empty payload");
+  if (payload.size() < 5) {
+    return util::Status::IoError("wal record: truncated payload");
   }
   const uint8_t* p = reinterpret_cast<const uint8_t*>(payload.data());
   WalOp<P> op;
+  op.shard = storage::GetFixed32(p + 1);
   if (p[0] == internal::kWalOpInsert) {
     size_t consumed = 0;
-    if (!storage::PointCodec<P>::Decode(p + 1, payload.size() - 1, &consumed,
+    if (!storage::PointCodec<P>::Decode(p + 5, payload.size() - 5, &consumed,
                                         &op.point) ||
-        consumed != payload.size() - 1) {
+        consumed != payload.size() - 5) {
       return util::Status::IoError("wal record: malformed insert payload");
     }
     return op;
   }
   if (p[0] == internal::kWalOpRemove) {
-    if (payload.size() != 9) {
+    if (payload.size() != 13) {
       return util::Status::IoError("wal record: malformed remove payload");
     }
     op.is_remove = true;
-    op.id = storage::GetFixed64(p + 1);
+    op.id = storage::GetFixed64(p + 5);
     return op;
   }
   return util::Status::IoError("wal record: unknown op byte " +
@@ -323,6 +334,56 @@ inline util::Result<std::vector<std::string>> ReadPoints(
   return points;
 }
 
+inline std::string JoinUint64List(const std::vector<uint64_t>& values) {
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+inline bool ParseUint64List(const std::string& text,
+                            std::vector<uint64_t>* out) {
+  out->clear();
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  bool have_digit = false;
+  for (char c : text) {
+    if (c == ',') {
+      if (!have_digit) return false;
+      out->push_back(value);
+      value = 0;
+      have_digit = false;
+      continue;
+    }
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    have_digit = true;
+  }
+  if (!have_digit) return false;
+  out->push_back(value);
+  return true;
+}
+
+/// Moves `points` apart into slices of the recorded per-shard sizes —
+/// the layout the snapshot was written with, which routed deltas made
+/// non-uniform.
+template <typename P>
+std::vector<std::vector<P>> SlicesBySizes(std::vector<P> points,
+                                          const std::vector<uint64_t>& sizes) {
+  std::vector<std::vector<P>> slices;
+  slices.reserve(sizes.size());
+  size_t offset = 0;
+  for (uint64_t size : sizes) {
+    auto begin = points.begin() + static_cast<ptrdiff_t>(offset);
+    slices.emplace_back(std::make_move_iterator(begin),
+                        std::make_move_iterator(begin + size));
+    offset += size;
+  }
+  return slices;
+}
+
 }  // namespace internal
 
 /// Writes `generation` to `path`.  With `atomic` (the default) the
@@ -349,6 +410,19 @@ util::Status WriteGenerationSnapshot(storage::Env* env,
   writer.SetMeta("shard_count",
                  std::to_string(generation.database().shard_count()));
   writer.SetMeta("point_count", std::to_string(generation.size()));
+  // Shard layout + rebuild epochs: routed deltas make shard sizes
+  // non-uniform, and restore must slice the points exactly as they
+  // were sliced when the snapshot's shards were built.  Epochs record
+  // which generation last rebuilt each shard so recovery and replicas
+  // agree with the primary's sharing decisions bit-for-bit.
+  {
+    const std::vector<size_t> sizes = generation.database().ShardSizes();
+    writer.SetMeta("shard_sizes",
+                   internal::JoinUint64List(std::vector<uint64_t>(
+                       sizes.begin(), sizes.end())));
+    writer.SetMeta("shard_epochs",
+                   internal::JoinUint64List(generation.epochs()));
+  }
 
   const std::vector<P> data = generation.CollectData();
   // Holder keeps the packed vector block alive until Write returns.
@@ -422,6 +496,41 @@ util::Result<std::shared_ptr<const Generation<P>>> ReadGenerationSnapshot(
       internal::ReadPoints(reader, point_count, static_cast<std::vector<P>*>(nullptr));
   if (!points.ok()) return points.status();
 
+  // Shard layout: recorded explicitly since incremental compaction made
+  // slices non-uniform.  Snapshots written before the layout meta
+  // existed imply the uniform split (sizes differ by at most one).
+  std::vector<uint64_t> shard_sizes;
+  if (auto sizes_meta = reader.GetMeta("shard_sizes"); sizes_meta.ok()) {
+    if (!internal::ParseUint64List(sizes_meta.value(), &shard_sizes) ||
+        shard_sizes.size() != shard_count) {
+      return util::Status::IoError("snapshot " + path +
+                                   ": malformed shard_sizes meta");
+    }
+    uint64_t total = 0;
+    for (uint64_t size : shard_sizes) total += size;
+    if (total != point_count) {
+      return util::Status::IoError(
+          "snapshot " + path + ": shard_sizes do not sum to point_count");
+    }
+  } else {
+    const uint64_t base = point_count / shard_count;
+    const uint64_t extra = point_count % shard_count;
+    for (size_t s = 0; s < shard_count; ++s) {
+      shard_sizes.push_back(base + (s < extra ? 1 : 0));
+    }
+  }
+  std::vector<uint64_t> shard_epochs;
+  if (auto epochs_meta = reader.GetMeta("shard_epochs"); epochs_meta.ok()) {
+    if (!internal::ParseUint64List(epochs_meta.value(), &shard_epochs) ||
+        shard_epochs.size() != shard_count) {
+      return util::Status::IoError("snapshot " + path +
+                                   ": malformed shard_epochs meta");
+    }
+  }
+
+  std::vector<std::vector<P>> slices =
+      internal::SlicesBySizes(std::move(points).value(), shard_sizes);
+
   auto state_meta = reader.GetMeta("index_state");
   if (!state_meta.ok()) return state_meta.status();
   if (state_meta.value() == "distperm") {
@@ -440,8 +549,8 @@ util::Result<std::shared_ptr<const Generation<P>>> ReadGenerationSnapshot(
                                      " state is malformed");
       }
     }
-    ShardedDatabase<P> db = ShardedDatabase<P>::Build(
-        std::move(points).value(), metric, shard_count,
+    ShardedDatabase<P> db = ShardedDatabase<P>::BuildSliced(
+        std::move(slices), metric,
         [&states](std::vector<P> shard_data,
                   const metric::Metric<P>& shard_metric, size_t s)
             -> std::unique_ptr<index::SearchIndex<P>> {
@@ -449,16 +558,17 @@ util::Result<std::shared_ptr<const Generation<P>>> ReadGenerationSnapshot(
               std::move(shard_data), shard_metric, std::move(states[s]));
         },
         build_threads);
-    return Generation<P>::Adopt(std::move(db), index_spec, seed, number);
+    return Generation<P>::Adopt(std::move(db), index_spec, seed, number,
+                                std::move(shard_epochs));
   }
 
   util::Result<ShardedDatabase<P>> rebuilt =
-      ShardedDatabase<P>::BuildFromRegistry(std::move(points).value(), metric,
-                                            shard_count, index_spec, seed,
-                                            build_threads);
+      ShardedDatabase<P>::BuildFromRegistrySliced(std::move(slices), metric,
+                                                  index_spec, seed,
+                                                  build_threads);
   if (!rebuilt.ok()) return rebuilt.status();
   return Generation<P>::Adopt(std::move(rebuilt).value(), index_spec, seed,
-                              number);
+                              number, std::move(shard_epochs));
 }
 
 }  // namespace engine

@@ -17,23 +17,34 @@
 // against exactly one generation end to end.
 //
 // Writes (Insert/Remove) append to the delta log under a writer mutex.
-// A query merges the log into its answer by linear scan: delta hits are
-// measured exactly (and charged to the query's distance accounting),
-// removed ids are filtered out of the generation's results, and — via
-// the shared-bound plumbing — the delta's k-th distance caps the
-// generation search's pruning radius before it starts, so a hot delta
-// makes the shard fan-out cheaper, not just bigger.  The scan cost is
-// bounded by the `delta_scan_limit` spec knob: a full buffer pushes
-// back on writers (OutOfRange) instead of degrading readers.
+// Each entry is routed to the shard that owns it (nearest shard
+// centroid for vectors, a content hash for strings — see
+// engine/shard_router.h); the routing travels in the WAL record, so
+// recovery and replicas reproduce it exactly.  A query merges the log
+// into its answer exactly: delta hits are measured (and charged to the
+// query's distance accounting), removed ids are filtered out of the
+// generation's results, and — via the shared-bound plumbing — the
+// delta's k-th distance caps the generation search's pruning radius
+// before it starts.  Once the window outgrows the `delta_index_min`
+// knob, the writer publishes per-shard side-indexes over the window's
+// prefix (built with the `delta_index` spec knobs) so the delta leg
+// stops being a flat scan; the uncovered tail stays a scan.  The
+// window is bounded by `delta_scan_limit`: a full buffer pushes back
+// on writers (OutOfRange) instead of degrading readers.
 //
-// Compact() folds base ⊕ delta into generation N+1 using the same
-// deterministic registry build as a fresh database (same spec, seed,
-// shard count — so the compacted generation answers bit-identically to
-// a from-scratch build over the equivalent dataset), then atomically
-// swaps the new State in; unconsumed tail writes are carried over,
-// remapped into the new id space.  In-flight queries finish on the old
-// generation, which frees itself when its last pin drops.  Compaction
-// runs on the caller's thread, or on a background pool thread via
+// Compact() folds base ⊕ delta into generation N+1 incrementally:
+// only the shards whose delta slice is non-empty (a base removal in
+// them or an insert routed to them) are rebuilt — with the same
+// deterministic per-shard registry build as a fresh database, whose
+// RNG stream depends only on (seed, shard) — while untouched shards
+// are shared into the new generation by shared_ptr, at zero build
+// cost.  The result answers bit-identically to a from-scratch build
+// over the equivalent per-shard slices.  The new State swaps in
+// atomically; unconsumed tail writes are carried over, remapped and
+// re-routed into the new generation.  In-flight queries finish on the
+// old generation, which frees itself when its last pin drops (shared
+// shards survive through the successor's reference).  Compaction runs
+// on the caller's thread, or on a background pool thread via
 // CompactAsync() / the `auto_compact_threshold` spec knob.
 //
 // Id semantics: ids name positions in the pinned view — [0, base_size)
@@ -91,8 +102,9 @@ class DeltaLog {
  public:
   struct Entry {
     bool is_remove = false;
-    size_t id = 0;  ///< Assigned id (insert) or target id (remove).
-    P point{};      ///< The inserted point; default for removes.
+    size_t id = 0;       ///< Assigned id (insert) or target id (remove).
+    uint32_t shard = 0;  ///< Owning shard under the entry's generation.
+    P point{};           ///< The inserted point; default for removes.
   };
 
   static constexpr size_t kChunkSize = 256;
@@ -202,14 +214,58 @@ struct LiveOptions {
   storage::Env* env = nullptr;
 };
 
+/// What one successful compaction did — the incremental accounting the
+/// bench gates on: a fold with one dirty shard of eight must report
+/// shards_rebuilt=1, shards_shared=7, and a build_distance_computations
+/// figure proportional to the dirty slice, not the database.
+struct LiveCompactionStats {
+  uint64_t folded_entries = 0;
+  uint64_t shards_rebuilt = 0;
+  uint64_t shards_shared = 0;
+  /// Metric evaluations spent building the rebuilt shards (shared
+  /// shards contribute zero — their indexes were reused verbatim).
+  uint64_t build_distance_computations = 0;
+  /// True when a shard's slice went empty and the fold fell back to a
+  /// full uniform rebuild to restore balanced (buildable) shards.
+  bool rebalanced = false;
+  double seconds = 0.0;
+};
+
 /// Generation-versioned live store: lock-free pinned reads, mutex-
 /// serialized writes, compaction with atomic generation swap-in.
 template <typename P>
 class LiveDatabase {
  private:
+  /// Per-shard side-indexes over the covered prefix of the delta log:
+  /// each shard's routed, alive inserts get a small registry-built
+  /// index (the `delta_index` knobs) so the per-query delta leg stops
+  /// being a flat scan of the whole window.  Immutable once published;
+  /// entry pointers stay valid because DeltaLog chunks never move and
+  /// the State that carries this set also carries the log.
+  struct SideIndexSet {
+    /// Log position the set covers; entries at and past this index are
+    /// flat-scanned by queries (the uncovered tail).
+    size_t covers = 0;
+    struct ShardSide {
+      /// Index over `entries`'s points (local id j = entries[j]), or
+      /// null when the shard had too few inserts or its side build
+      /// failed — queries then scan `entries` flat.
+      std::unique_ptr<index::SearchIndex<P>> index;
+      /// Covered inserts routed to this shard, alive as of `covers`,
+      /// in arrival order.  Inserts removed after the set was built
+      /// are filtered at query time against the pinned overlay.
+      std::vector<const typename DeltaLog<P>::Entry*> entries;
+    };
+    std::vector<ShardSide> shards;
+  };
+
   struct State {
     std::shared_ptr<const Generation<P>> generation;
     std::shared_ptr<DeltaLog<P>> log;
+    /// Delta side-indexes covering a prefix of `log`; null until the
+    /// window reaches the delta_index_min knob.  Republished in place
+    /// (same generation + log) by the writer as the window grows.
+    std::shared_ptr<const SideIndexSet> side;
   };
 
   /// Atomic publication slot for the serving state — functionally
@@ -281,14 +337,27 @@ class LiveDatabase {
       return state_->generation->size() - overlay.removed_base +
              overlay.inserts.size();
     }
-    /// The view's dataset in compaction order: base survivors in id
-    /// order, then alive inserts in arrival order.  Compacting this
-    /// exact view and building a fresh database over Materialize()
-    /// yield bit-identical search behavior (same spec/seed/shards).
+    /// The view's dataset in compaction order — the concatenation of
+    /// MaterializeSlices() in shard order.  Compacting this exact view
+    /// and building a fresh database over these slices (see
+    /// MaterializeSlices) yield bit-identical search behavior.
     std::vector<P> Materialize() const {
       std::vector<P> data;
       MaterializeWindow(*state_, delta_end_, &data, nullptr);
       return data;
+    }
+
+    /// The view's dataset as the per-shard slices compaction folds it
+    /// into: slice s holds shard s's base survivors in id order, then
+    /// the alive delta inserts routed to s in arrival order.  A
+    /// ShardedDatabase::BuildFromRegistrySliced over these slices with
+    /// the store's (spec, seed) is the full-rebuild reference an
+    /// incremental compaction must match bit-for-bit.
+    std::vector<std::vector<P>> MaterializeSlices() const {
+      std::vector<std::vector<P>> slices;
+      std::vector<bool> dirty;
+      MaterializeRouted(*state_, delta_end_, &slices, &dirty, nullptr);
+      return slices;
     }
 
     /// The point behind a live id in this view — how a serving layer
@@ -442,11 +511,38 @@ class LiveDatabase {
     std::vector<std::pair<double, double>> delta_times(
         any_trace ? query_count : 0);
 
-    // Delta leg first: exact distances to every alive insert, per
-    // query.  A full delta collector's k-th distance is a valid upper
-    // bound on the merged k-th distance (its k hits are all in the
-    // final set), so it seeds the generation search's pruning radius —
-    // delta hits tighten shard pruning instead of only adding work.
+    // Delta leg first: exact hits over the alive inserts, per query.
+    // A full delta collector's k-th distance is a valid upper bound on
+    // the merged k-th distance (its k hits are all in the final set),
+    // so it seeds the generation search's pruning radius — delta hits
+    // tighten shard pruning instead of only adding work.
+    //
+    // With a published side-index set, the covered prefix is served by
+    // the per-shard side-indexes (exact, with an over-fetch covering
+    // entries removed after the set was built) and only the uncovered
+    // tail is flat-scanned; without one, the whole window is.  Both
+    // paths produce the identical hit set — the side spec is exact and
+    // the collector's (distance, id) tie-break is order-independent —
+    // so publishing a side set never changes an answer, only its cost.
+    const SideIndexSet* side = state.side.get();
+    std::vector<const typename DeltaLog<P>::Entry*> tail_inserts;
+    if (side != nullptr) {
+      DP_CHECK(side->covers <= snapshot.delta_end_);
+      const DeltaLog<P>& log = *state.log;
+      for (size_t i = side->covers; i < snapshot.delta_end_; ++i) {
+        const typename DeltaLog<P>::Entry& entry = log.entry(i);
+        if (entry.is_remove || overlay.removed.count(entry.id) != 0) {
+          continue;
+        }
+        tail_inserts.push_back(&entry);
+      }
+    }
+    // Upper bound on covered side entries filtered at query time (an
+    // insert removed after the set was built): every such id is a
+    // removed non-base id.  Requesting k + this many from a shard's
+    // side-index guarantees its k nearest alive entries survive the
+    // filter, which keeps the side kNN path exact.
+    const size_t side_spare = overlay.removed.size() - overlay.removed_base;
     std::vector<QuerySpec<P>> adjusted(batch);
     std::vector<std::vector<index::SearchResult>> delta_hits(query_count);
     std::vector<uint64_t> delta_cost(query_count, 0);
@@ -464,23 +560,77 @@ class LiveDatabase {
         }
       };
       if (spec.mode == QueryType::kRange) {
-        for (const auto* entry : overlay.inserts) {
+        const auto range_scan = [&](const typename DeltaLog<P>::Entry* entry) {
           const double d = metric_(spec.point, entry->point);
           ++delta_cost[q];
           if (d <= spec.radius) delta_hits[q].push_back({entry->id, d});
+        };
+        if (side != nullptr) {
+          for (const auto& ss : side->shards) {
+            if (ss.entries.empty()) continue;
+            if (ss.index != nullptr) {
+              index::SearchResponse resp = ss.index->Search(
+                  index::SearchRequest<P>::Range(spec.point, spec.radius));
+              if (resp.status.ok()) {
+                delta_cost[q] += resp.stats.distance_computations;
+                for (const index::SearchResult& r : resp.results) {
+                  const auto* entry = ss.entries[r.id];
+                  if (overlay.removed.count(entry->id) != 0) continue;
+                  delta_hits[q].push_back({entry->id, r.distance});
+                }
+                continue;
+              }
+            }
+            for (const auto* entry : ss.entries) {
+              if (overlay.removed.count(entry->id) != 0) continue;
+              range_scan(entry);
+            }
+          }
+          for (const auto* entry : tail_inserts) range_scan(entry);
+        } else {
+          for (const auto* entry : overlay.inserts) range_scan(entry);
         }
         stamp();
         continue;
       }
       index::KnnCollector collector(spec.k);
       collector.Reserve(std::min(spec.k, overlay.inserts.size()));
-      for (const auto* entry : overlay.inserts) {
+      const auto knn_scan = [&](const typename DeltaLog<P>::Entry* entry) {
         const double d = metric_(spec.point, entry->point);
         ++delta_cost[q];
         if (spec.mode == QueryType::kKnnWithinRadius && d > spec.radius) {
-          continue;
+          return;
         }
         collector.Offer(entry->id, d);
+      };
+      if (side != nullptr) {
+        const size_t want = spec.k + side_spare;
+        for (const auto& ss : side->shards) {
+          if (ss.entries.empty()) continue;
+          if (ss.index != nullptr) {
+            index::SearchResponse resp = ss.index->Search(
+                spec.mode == QueryType::kKnnWithinRadius
+                    ? index::SearchRequest<P>::KnnWithinRadius(
+                          spec.point, want, spec.radius)
+                    : index::SearchRequest<P>::Knn(spec.point, want));
+            if (resp.status.ok()) {
+              delta_cost[q] += resp.stats.distance_computations;
+              for (const index::SearchResult& r : resp.results) {
+                const auto* entry = ss.entries[r.id];
+                if (overlay.removed.count(entry->id) != 0) continue;
+                collector.Offer(entry->id, r.distance);
+              }
+              continue;
+            }
+          }
+          for (const auto* entry : ss.entries) {
+            if (overlay.removed.count(entry->id) != 0) continue;
+            knn_scan(entry);
+          }
+        }
+        for (const auto* entry : tail_inserts) knn_scan(entry);
+      } else {
+        for (const auto* entry : overlay.inserts) knn_scan(entry);
       }
       if (collector.size() == spec.k) {
         adjusted[q].initial_radius_bound =
@@ -551,17 +701,22 @@ class LiveDatabase {
     std::lock_guard<std::mutex> lock(write_mutex_);
     util::Status room = EnsureRoomLocked();
     if (!room.ok()) return room;
+    // Route against the serving generation: the routing decides which
+    // shard this insert dirties at the next fold, and travels in the
+    // WAL record so recovery and replicas reproduce it exactly.
+    const uint32_t shard = writer_generation_->router().Route(point);
     std::string record;
     if (wal_ != nullptr || listener_ != nullptr) {
-      record = EncodeWalInsert<P>(point);  // before the point moves
+      record = EncodeWalInsert<P>(point, shard);  // before the point moves
     }
     if (wal_ != nullptr) {
       util::Status logged = wal_->Append(record);
       if (!logged.ok()) return logged;
     }
     const size_t id = writer_base_size_ + writer_inserts_;
-    DP_CHECK(log_->Append({/*is_remove=*/false, id, std::move(point)}));
+    DP_CHECK(log_->Append({/*is_remove=*/false, id, shard, std::move(point)}));
     ++writer_inserts_;
+    writer_insert_shard_.emplace(id, shard);
     published_delta_depth_.store(log_->committed(),
                                  std::memory_order_relaxed);
     mutation_clock_.fetch_add(1, std::memory_order_relaxed);
@@ -571,6 +726,7 @@ class LiveDatabase {
           log_->committed(), record);
     }
     if (inserts_ != nullptr) inserts_->Increment();
+    MaybeRebuildSideIndexLocked();
     MaybeScheduleAutoCompactLocked();
     return id;
   }
@@ -588,15 +744,19 @@ class LiveDatabase {
     }
     util::Status room = EnsureRoomLocked();
     if (!room.ok()) return room;
+    // The remove dirties the shard that owns its target: a base id's
+    // owner comes from the generation's slice layout, a pending
+    // insert's from the routing recorded when it was appended.
+    const uint32_t shard = ShardForLiveIdLocked(id);
     std::string record;
     if (wal_ != nullptr || listener_ != nullptr) {
-      record = EncodeWalRemove<P>(id);
+      record = EncodeWalRemove<P>(id, shard);
     }
     if (wal_ != nullptr) {
       util::Status logged = wal_->Append(record);
       if (!logged.ok()) return logged;
     }
-    DP_CHECK(log_->Append({/*is_remove=*/true, id, P{}}));
+    DP_CHECK(log_->Append({/*is_remove=*/true, id, shard, P{}}));
     writer_removed_.insert(id);
     published_delta_depth_.store(log_->committed(),
                                  std::memory_order_relaxed);
@@ -608,6 +768,7 @@ class LiveDatabase {
           log_->committed(), record);
     }
     if (removes_ != nullptr) removes_->Increment();
+    MaybeRebuildSideIndexLocked();
     MaybeScheduleAutoCompactLocked();
     return util::Status::OK();
   }
@@ -621,6 +782,14 @@ class LiveDatabase {
   /// semantics and error statuses as Insert/Remove otherwise.
   util::Status ApplyReplicated(WalOp<P> op, const std::string& record) {
     std::lock_guard<std::mutex> lock(write_mutex_);
+    // The primary's routing is authoritative — re-deriving it here
+    // could only agree (the routers are built from bit-identical
+    // generations), so trust the tag and just bound-check it.
+    if (op.shard >= shard_count_) {
+      return util::Status::InvalidArgument(
+          "ApplyReplicated: record routes to shard " +
+          std::to_string(op.shard) + " of " + std::to_string(shard_count_));
+    }
     if (op.is_remove) {
       const size_t id = static_cast<size_t>(op.id);
       if (id >= writer_base_size_ + writer_inserts_ ||
@@ -637,13 +806,14 @@ class LiveDatabase {
     }
     if (op.is_remove) {
       const size_t id = static_cast<size_t>(op.id);
-      DP_CHECK(log_->Append({/*is_remove=*/true, id, P{}}));
+      DP_CHECK(log_->Append({/*is_remove=*/true, id, op.shard, P{}}));
       writer_removed_.insert(id);
     } else {
       const size_t id = writer_base_size_ + writer_inserts_;
-      DP_CHECK(
-          log_->Append({/*is_remove=*/false, id, std::move(op.point)}));
+      DP_CHECK(log_->Append(
+          {/*is_remove=*/false, id, op.shard, std::move(op.point)}));
       ++writer_inserts_;
+      writer_insert_shard_.emplace(id, op.shard);
     }
     published_delta_depth_.store(log_->committed(),
                                  std::memory_order_relaxed);
@@ -661,6 +831,7 @@ class LiveDatabase {
     } else {
       if (inserts_ != nullptr) inserts_->Increment();
     }
+    MaybeRebuildSideIndexLocked();
     MaybeScheduleAutoCompactLocked();
     return util::Status::OK();
   }
@@ -691,9 +862,9 @@ class LiveDatabase {
     seed.records.reserve(len);
     for (size_t i = 0; i < len; ++i) {
       const typename DeltaLog<P>::Entry& entry = log_->entry(i);
-      seed.records.push_back(entry.is_remove
-                                 ? EncodeWalRemove<P>(entry.id)
-                                 : EncodeWalInsert<P>(entry.point));
+      seed.records.push_back(
+          entry.is_remove ? EncodeWalRemove<P>(entry.id, entry.shard)
+                          : EncodeWalInsert<P>(entry.point, entry.shard));
     }
     return seed;
   }
@@ -739,8 +910,11 @@ class LiveDatabase {
     writer_base_size_ = generation->size();
     writer_inserts_ = 0;
     writer_removed_.clear();
+    writer_insert_shard_.clear();
+    writer_generation_ = generation;
+    writer_side_ = nullptr;
     auto next = std::make_shared<const State>(
-        State{std::move(generation), next_log});
+        State{std::move(generation), next_log, nullptr});
     state_.store(std::move(next));
     log_ = std::move(next_log);
     published_generation_.store(new_generation, std::memory_order_relaxed);
@@ -805,22 +979,118 @@ class LiveDatabase {
     if (end == 0) return util::Status::OK();  // nothing to fold
 
     const auto compact_start = std::chrono::steady_clock::now();
-    std::vector<P> final_data;
-    std::unordered_map<size_t, size_t> id_map;
-    MaterializeWindow(*state, end, &final_data, &id_map);
     const uint64_t old_generation = state->generation->number();
     const uint64_t new_generation = old_generation + 1;
-    util::Result<std::shared_ptr<const Generation<P>>> built =
-        Generation<P>::Build(std::move(final_data), metric_, shard_count_,
-                             index_spec_, seed_, new_generation,
-                             build_threads_);
-    if (!built.ok()) {
-      if (compaction_failures_ != nullptr) {
-        compaction_failures_->Increment();
-      }
-      return built.status();
+
+    LiveCompactionStats stats;
+    stats.folded_entries = end;
+
+    // Fold only the dirty shards; clean ones are shared into the new
+    // generation by shared_ptr.  The per-shard RNG stream depends only
+    // on (seed, shard), so a shared shard is bit-identical to what a
+    // full per-slice rebuild would produce — the differential harness
+    // pins this.  If a slice went empty while the store still holds
+    // points, fall back to a full uniform rebuild instead: it restores
+    // balance, keeps perm-family specs buildable (they reject empty
+    // shards), and — being derived purely from the materialized order —
+    // replays deterministically on replicas and recovery.  The shape
+    // pass is copy-free, so the common skewed fold materializes only
+    // the dirty slices.
+    std::vector<size_t> slice_sizes;
+    std::vector<bool> dirty;
+    FoldIdRemap id_remap;
+    RoutedShape(*state, end, &slice_sizes, &dirty, &id_remap);
+    size_t total = 0;
+    for (const size_t n : slice_sizes) total += n;
+    bool rebalance = total == 0;
+    for (const size_t n : slice_sizes) {
+      if (total > 0 && n == 0) rebalance = true;
     }
-    if (registry_ != nullptr) TrackGeneration(built.value());
+
+    std::vector<std::vector<P>> slices;
+    std::vector<bool> routed_dirty;
+    MaterializeRouted(*state, end, &slices, &routed_dirty, nullptr,
+                      rebalance ? nullptr : &dirty);
+
+    std::shared_ptr<const Generation<P>> next_generation;
+    if (rebalance) {
+      std::vector<P> final_data;
+      final_data.reserve(total);
+      for (auto& slice : slices) {
+        for (auto& point : slice) final_data.push_back(std::move(point));
+      }
+      util::Result<std::shared_ptr<const Generation<P>>> built =
+          Generation<P>::Build(std::move(final_data), metric_, shard_count_,
+                               index_spec_, seed_, new_generation,
+                               build_threads_);
+      if (!built.ok()) {
+        if (compaction_failures_ != nullptr) {
+          compaction_failures_->Increment();
+        }
+        return built.status();
+      }
+      next_generation = std::move(built).value();
+      stats.rebalanced = true;
+      stats.shards_rebuilt = shard_count_;
+      stats.build_distance_computations =
+          next_generation->database().build_distance_computations();
+    } else {
+      const ShardedDatabase<P>& old_db = state->generation->database();
+      std::vector<typename ShardedDatabase<P>::SharedShard> new_shards(
+          shard_count_);
+      std::vector<uint64_t> epochs = state->generation->epochs();
+      std::vector<util::Status> statuses(shard_count_, util::Status::OK());
+      const auto build_shard = [&](size_t s) {
+        util::Rng rng(seed_ * 0x9e3779b97f4a7c15ull + s);
+        util::Result<std::unique_ptr<index::SearchIndex<P>>> built_shard =
+            index::Registry<P>::Global().Create(
+                index_spec_, std::move(slices[s]), metric_, &rng);
+        if (!built_shard.ok()) {
+          statuses[s] = built_shard.status();
+          return;
+        }
+        new_shards[s] = std::move(built_shard).value();
+      };
+      std::vector<size_t> dirty_shards;
+      for (size_t s = 0; s < shard_count_; ++s) {
+        if (dirty[s]) dirty_shards.push_back(s);
+      }
+      if (build_threads_ <= 1 || dirty_shards.size() <= 1) {
+        for (size_t s : dirty_shards) build_shard(s);
+      } else {
+        util::ThreadPool pool(
+            std::min(build_threads_, dirty_shards.size()));
+        for (size_t s : dirty_shards) {
+          pool.Submit([&build_shard, s]() { build_shard(s); });
+        }
+        pool.Wait();
+      }
+      for (size_t s = 0; s < shard_count_; ++s) {
+        if (!statuses[s].ok()) {
+          if (compaction_failures_ != nullptr) {
+            compaction_failures_->Increment();
+          }
+          return util::Status(statuses[s].code(),
+                              "shard " + std::to_string(s) + ": " +
+                                  statuses[s].message());
+        }
+      }
+      for (size_t s = 0; s < shard_count_; ++s) {
+        if (dirty[s]) {
+          epochs[s] = new_generation;
+          ++stats.shards_rebuilt;
+          stats.build_distance_computations +=
+              new_shards[s]->build_distance_computations();
+        } else {
+          new_shards[s] = old_db.shared_shard(s);
+          ++stats.shards_shared;
+        }
+      }
+      next_generation = Generation<P>::Assemble(
+          ShardedDatabase<P>::FromShards(std::move(new_shards)),
+          index_spec_, seed_, new_generation, std::move(epochs));
+    }
+    if (registry_ != nullptr) TrackGeneration(next_generation);
 
     const bool durable = env_ != nullptr;
     const std::string snapshot_path =
@@ -828,7 +1098,7 @@ class LiveDatabase {
     const std::string tmp_snapshot_path = snapshot_path + ".tmp";
     if (durable) {
       util::Status written = WriteSnapshotTimed(
-          *built.value(), tmp_snapshot_path, /*atomic=*/false);
+          *next_generation, tmp_snapshot_path, /*atomic=*/false);
       if (!written.ok()) {
         env_->DeleteFile(tmp_snapshot_path);  // best effort
         if (compaction_failures_ != nullptr) {
@@ -870,49 +1140,62 @@ class LiveDatabase {
 
       const size_t len = state->log->committed();
       auto next_log = std::make_shared<DeltaLog<P>>();
-      const size_t next_base = built.value()->size();
+      const size_t next_base = next_generation->size();
       size_t tail_inserts = 0;
       std::unordered_set<size_t> tail_removed;
       std::unordered_map<size_t, size_t> tail_map;
+      std::unordered_map<size_t, uint32_t> tail_shard;
       std::vector<std::string> carried;  // re-encoded tail, for OnRotate
       for (size_t i = end; i < len; ++i) {
         const typename DeltaLog<P>::Entry& entry = state->log->entry(i);
         if (!entry.is_remove) {
           const size_t new_id = next_base + tail_inserts;
           tail_map.emplace(entry.id, new_id);
+          // Re-route against the NEW generation's layout: the carried
+          // entry now dirties a shard of generation N+1.  Replicas
+          // replay the same CompactPrefix over a bit-identical state,
+          // so their re-encoded tails match byte for byte.
+          const uint32_t shard =
+              next_generation->router().Route(entry.point);
+          tail_shard.emplace(new_id, shard);
           if (next_wal != nullptr || listener_ != nullptr) {
-            std::string record = EncodeWalInsert<P>(entry.point);
+            std::string record = EncodeWalInsert<P>(entry.point, shard);
             if (next_wal != nullptr) {
               util::Status logged = next_wal->Append(record);
               if (!logged.ok()) return fail_rotation(logged);
             }
             if (listener_ != nullptr) carried.push_back(std::move(record));
           }
-          DP_CHECK(next_log->Append({false, new_id, entry.point}));
+          DP_CHECK(next_log->Append({false, new_id, shard, entry.point}));
           ++tail_inserts;
           continue;
         }
         // Writer-side validation guarantees the target survived the
-        // folded window, so it maps into the new space (base survivor,
-        // folded insert, or a tail insert replayed above).
-        auto mapped = id_map.find(entry.id);
+        // folded window, so it maps into the new space (a tail insert
+        // replayed above, else a base survivor or folded insert via
+        // the closed-form remap).
         size_t new_id = 0;
-        if (mapped != id_map.end()) {
-          new_id = mapped->second;
-        } else {
-          auto tail_mapped = tail_map.find(entry.id);
-          DP_CHECK(tail_mapped != tail_map.end());
+        if (const auto tail_mapped = tail_map.find(entry.id);
+            tail_mapped != tail_map.end()) {
           new_id = tail_mapped->second;
+        } else {
+          new_id = id_remap.At(entry.id);
+        }
+        uint32_t shard = 0;
+        if (new_id < next_base) {
+          shard = ShardForId(next_generation->database(), new_id);
+        } else {
+          shard = tail_shard.at(new_id);
         }
         if (next_wal != nullptr || listener_ != nullptr) {
-          std::string record = EncodeWalRemove<P>(new_id);
+          std::string record = EncodeWalRemove<P>(new_id, shard);
           if (next_wal != nullptr) {
             util::Status logged = next_wal->Append(record);
             if (!logged.ok()) return fail_rotation(logged);
           }
           if (listener_ != nullptr) carried.push_back(std::move(record));
         }
-        DP_CHECK(next_log->Append({true, new_id, P{}}));
+        DP_CHECK(next_log->Append({true, new_id, shard, P{}}));
         tail_removed.insert(new_id);
       }
       if (durable) {
@@ -924,13 +1207,19 @@ class LiveDatabase {
         util::Status dir_synced = env_->SyncDir(wal_dir_);
         if (!dir_synced.ok()) return fail_rotation(dir_synced);
       }
+      writer_generation_ = next_generation;
+      writer_side_ = nullptr;
       auto next = std::make_shared<const State>(
-          State{std::move(built).value(), next_log});
+          State{std::move(next_generation), next_log, nullptr});
       state_.store(std::move(next));
       log_ = std::move(next_log);
       writer_base_size_ = next_base;
       writer_inserts_ = tail_inserts;
       writer_removed_ = std::move(tail_removed);
+      writer_insert_shard_.clear();
+      for (const auto& [new_id, shard] : tail_shard) {
+        writer_insert_shard_.emplace(new_id, shard);
+      }
       published_generation_.store(new_generation, std::memory_order_relaxed);
       published_delta_depth_.store(log_->committed(),
                                    std::memory_order_relaxed);
@@ -954,6 +1243,17 @@ class LiveDatabase {
       if (compaction_folded_entries_ != nullptr) {
         compaction_folded_entries_->Record(static_cast<double>(end));
       }
+      if (compaction_shards_rebuilt_ != nullptr) {
+        compaction_shards_rebuilt_->Add(stats.shards_rebuilt);
+      }
+      if (compaction_shards_shared_ != nullptr) {
+        compaction_shards_shared_->Add(stats.shards_shared);
+      }
+    }
+    stats.seconds = Seconds(compact_start, std::chrono::steady_clock::now());
+    {
+      std::lock_guard<std::mutex> stats_lock(compaction_stats_mutex_);
+      last_compaction_stats_ = stats;
     }
     if (durable) {
       env_->DeleteFile(StorePath(WalFileName(old_generation)));
@@ -1007,6 +1307,13 @@ class LiveDatabase {
   util::Status last_background_compact_status() const {
     std::lock_guard<std::mutex> lock(background_status_mutex_);
     return background_compact_status_;
+  }
+
+  /// Accounting of the most recent successful compaction — how many
+  /// shards it rebuilt vs shared, and the build work it spent.
+  LiveCompactionStats last_compaction_stats() const {
+    std::lock_guard<std::mutex> lock(compaction_stats_mutex_);
+    return last_compaction_stats_;
   }
 
   // -------------------------------------------------------- accessors
@@ -1068,6 +1375,8 @@ class LiveDatabase {
         delta_scan_limit_(
             std::min(live.delta_scan_limit, DeltaLog<P>::kCapacity)),
         auto_compact_threshold_(live.auto_compact_threshold),
+        delta_index_min_(live.delta_index_min),
+        side_spec_(SideSpecString(live)),
         build_threads_(options.build_threads),
         writer_base_size_(generation->size()),
         log_(std::make_shared<DeltaLog<P>>()),
@@ -1075,9 +1384,25 @@ class LiveDatabase {
     TrackGeneration(generation);
     published_generation_.store(generation->number(),
                                 std::memory_order_relaxed);
+    writer_generation_ = generation;
     state_.store(std::make_shared<const State>(
-        State{std::move(generation), log_}));
+        State{std::move(generation), log_, nullptr}));
     if (options.metrics != nullptr) EnableMetrics(options.metrics);
+  }
+
+  /// The registry spec the per-shard delta side-indexes are built
+  /// with: the delta_index knob, given its k when the knob is a bare
+  /// name of a spec that takes one.  (Spec option values are
+  /// comma-free, so a knob value can carry at most one inline option —
+  /// e.g. "delta_index=distperm-prefix:prefix=2".)
+  static std::string SideSpecString(const index::LiveSpecOptions& live) {
+    std::string spec = live.delta_index;
+    if (spec.find(':') == std::string::npos &&
+        (spec == "laesa" || spec == "iaesa" || spec == "distperm" ||
+         spec == "distperm-prefix")) {
+      spec += ":k=" + std::to_string(live.delta_index_k);
+    }
+    return spec;
   }
 
   // ------------------------------------------------------- durability
@@ -1192,6 +1517,13 @@ class LiveDatabase {
       // WAL creation: zero replay); any other read error is fatal.
       return contents.status();
     }
+    {
+      // Replay bypassed the write path's side-index upkeep; catch up
+      // once so a recovered store serves with the same side set a live
+      // store of the same window would have.
+      std::lock_guard<std::mutex> lock(db->write_mutex_);
+      db->MaybeRebuildSideIndexLocked();
+    }
     DP_RETURN_IF_ERROR(
         db->OpenWalForGeneration(gen_number, /*truncate=*/false, next_seq));
     db->DeleteStrayStoreFiles(listing.value(), gen_number);
@@ -1244,13 +1576,20 @@ class LiveDatabase {
   /// assignment; a remove naming a dead id means the log does not
   /// belong to the snapshot.
   util::Status ApplyRecoveredOp(WalOp<P> op) {
+    if (op.shard >= shard_count_) {
+      return util::Status::IoError(
+          "recovery: wal record routes to shard " +
+          std::to_string(op.shard) + " of " + std::to_string(shard_count_) +
+          " — the log does not match the snapshot");
+    }
     if (!op.is_remove) {
       const size_t id = writer_base_size_ + writer_inserts_;
-      if (!log_->Append({false, id, std::move(op.point)})) {
+      if (!log_->Append({false, id, op.shard, std::move(op.point)})) {
         return util::Status::OutOfRange(
             "recovery: delta log capacity exceeded during replay");
       }
       ++writer_inserts_;
+      writer_insert_shard_.emplace(id, op.shard);
       published_delta_depth_.store(log_->committed(),
                                    std::memory_order_relaxed);
       mutation_clock_.fetch_add(1, std::memory_order_relaxed);
@@ -1263,7 +1602,7 @@ class LiveDatabase {
           "recovery: wal removes id " + std::to_string(id) +
           " that is not live — the log does not match the snapshot");
     }
-    if (!log_->Append({true, id, P{}})) {
+    if (!log_->Append({true, id, op.shard, P{}})) {
       return util::Status::OutOfRange(
           "recovery: delta log capacity exceeded during replay");
     }
@@ -1307,6 +1646,10 @@ class LiveDatabase {
     compaction_seconds_ = registry->GetHistogram("live_compaction_seconds");
     compaction_folded_entries_ =
         registry->GetHistogram("live_compaction_folded_entries");
+    compaction_shards_rebuilt_ =
+        registry->GetCounter("live_compaction_shards_rebuilt_total");
+    compaction_shards_shared_ =
+        registry->GetCounter("live_compaction_shards_shared_total");
     // Durability instruments: registered unconditionally (they stay at
     // zero for in-memory stores) so dashboards see a stable series set.
     wal_instruments_.appends_total = registry->GetCounter("wal_appends_total");
@@ -1380,25 +1723,251 @@ class LiveDatabase {
     return overlay;
   }
 
-  /// The view's final dataset (base survivors in id order, then alive
-  /// inserts in arrival order) and, when requested, the old-id -> new-
-  /// position map compaction uses to remap the log tail.
+  /// Post-fold id of a surviving pre-fold id, answered on demand in
+  /// O(log removals) from the routed shape instead of an O(n) survivor
+  /// map: base survivors keep their shard-relative order minus the
+  /// removals before them, and folded inserts (at most one per folded
+  /// window entry) are recorded explicitly.  Folding a skewed window
+  /// must not pay a full-database pass just to remap the log tail.
+  struct FoldIdRemap {
+    size_t base_size = 0;
+    std::vector<size_t> old_offsets;  ///< pre-fold shard offsets
+    std::vector<size_t> new_offsets;  ///< post-fold slice offsets
+    std::vector<size_t> removed_base;  ///< sorted removed base ids
+    std::unordered_map<size_t, size_t> folded_inserts;
+
+    size_t At(size_t old_id) const {
+      if (old_id >= base_size) {
+        const auto it = folded_inserts.find(old_id);
+        DP_CHECK(it != folded_inserts.end());
+        return it->second;
+      }
+      size_t s = old_offsets.size() - 1;
+      while (old_offsets[s] > old_id) --s;
+      const auto lo = std::lower_bound(removed_base.begin(),
+                                       removed_base.end(), old_offsets[s]);
+      const auto hi = std::lower_bound(removed_base.begin(),
+                                       removed_base.end(), old_id);
+      return new_offsets[s] + (old_id - old_offsets[s]) -
+             static_cast<size_t>(hi - lo);
+    }
+  };
+
+  /// The routed layout's shape — per-shard logical slice sizes and
+  /// dirtiness — computed without copying a single point.  Lets the
+  /// fold decide which shards to rebuild (and whether to rebalance)
+  /// before paying to materialize anything beyond the dirty slices,
+  /// which is what keeps a skewed fold O(dirty) instead of O(n).
+  /// When requested, also emits the FoldIdRemap — everything it needs
+  /// falls out of the same overlay walk.
+  static void RoutedShape(const State& state, size_t end,
+                          std::vector<size_t>* sizes,
+                          std::vector<bool>* dirty, FoldIdRemap* remap) {
+    const Overlay overlay = BuildOverlay(state, end);
+    const ShardedDatabase<P>& db = state.generation->database();
+    const size_t shard_count = db.shard_count();
+    const size_t base_size = state.generation->size();
+    sizes->assign(shard_count, 0);
+    dirty->assign(shard_count, false);
+    std::vector<size_t> removed_in_shard(shard_count, 0);
+    for (size_t s = 0; s < shard_count; ++s) {
+      (*sizes)[s] = db.shard(s).size();
+    }
+    for (const size_t id : overlay.removed) {
+      if (id >= base_size) continue;  // insert-then-remove in the window
+      size_t s = shard_count - 1;
+      while (db.shard_offset(s) > id) --s;
+      --(*sizes)[s];
+      ++removed_in_shard[s];
+      (*dirty)[s] = true;
+    }
+    for (const auto* entry : overlay.inserts) {
+      ++(*sizes)[entry->shard];
+      (*dirty)[entry->shard] = true;
+    }
+    if (remap == nullptr) return;
+
+    remap->base_size = base_size;
+    remap->old_offsets.resize(shard_count);
+    remap->new_offsets.resize(shard_count);
+    size_t next = 0;
+    for (size_t s = 0; s < shard_count; ++s) {
+      remap->old_offsets[s] = db.shard_offset(s);
+      remap->new_offsets[s] = next;
+      next += (*sizes)[s];
+    }
+    remap->removed_base.reserve(overlay.removed.size());
+    for (const size_t id : overlay.removed) {
+      if (id < base_size) remap->removed_base.push_back(id);
+    }
+    std::sort(remap->removed_base.begin(), remap->removed_base.end());
+    // Folded inserts follow their shard's base survivors, in arrival
+    // order — the same ids the eager survivor map used to assign.
+    std::vector<size_t> next_insert_id(shard_count);
+    for (size_t s = 0; s < shard_count; ++s) {
+      next_insert_id[s] = remap->new_offsets[s] + db.shard(s).size() -
+                          removed_in_shard[s];
+    }
+    remap->folded_inserts.reserve(overlay.inserts.size());
+    for (const auto* entry : overlay.inserts) {
+      remap->folded_inserts.emplace(entry->id,
+                                    next_insert_id[entry->shard]++);
+    }
+  }
+
+  /// The view's dataset routed into per-shard slices: slice s holds
+  /// shard s's base survivors in id order, then the alive inserts
+  /// routed to s in arrival order.  `dirty[s]` is set when the window
+  /// touched shard s (a base removal inside it, or an alive insert
+  /// routed to it) — exactly the shards an incremental fold must
+  /// rebuild; an insert-then-remove pair inside the window dirties
+  /// nothing.  When requested, `id_map` maps every surviving old id to
+  /// its position in the slice concatenation (its global id after a
+  /// fold — valid for any slicing of the same concatenation, which is
+  /// what lets the rebalance fallback reuse it).  A non-null `fill`
+  /// restricts point copying to the flagged shards: an unflagged shard
+  /// is clean by construction (no removals, no routed inserts), its
+  /// slice is left empty, and its id_map entries are still emitted —
+  /// the incremental fold passes its dirty set here so clean shards
+  /// cost no copies.
+  static void MaterializeRouted(const State& state, size_t end,
+                                std::vector<std::vector<P>>* slices,
+                                std::vector<bool>* dirty,
+                                std::unordered_map<size_t, size_t>* id_map,
+                                const std::vector<bool>* fill = nullptr) {
+    const Overlay overlay = BuildOverlay(state, end);
+    const ShardedDatabase<P>& db = state.generation->database();
+    const size_t shard_count = db.shard_count();
+    slices->assign(shard_count, {});
+    dirty->assign(shard_count, false);
+
+    std::vector<std::vector<size_t>> insert_ids(shard_count);
+    for (size_t s = 0; s < shard_count; ++s) {
+      if (fill != nullptr && !(*fill)[s]) continue;  // clean: no copies
+      const std::vector<P>& base = db.shard(s).data();
+      const size_t offset = db.shard_offset(s);
+      (*slices)[s].reserve(base.size());
+      for (size_t i = 0; i < base.size(); ++i) {
+        if (overlay.removed.count(offset + i) != 0) {
+          (*dirty)[s] = true;
+          continue;
+        }
+        (*slices)[s].push_back(base[i]);
+      }
+    }
+    for (const auto* entry : overlay.inserts) {
+      DP_CHECK(entry->shard < shard_count);
+      // Copy: pinned readers keep scanning the log entries.
+      (*slices)[entry->shard].push_back(entry->point);
+      insert_ids[entry->shard].push_back(entry->id);
+      (*dirty)[entry->shard] = true;
+    }
+    if (id_map == nullptr) return;
+
+    size_t next_id = 0;
+    for (size_t s = 0; s < shard_count; ++s) {
+      const size_t offset = db.shard_offset(s);
+      const size_t base_size = db.shard(s).size();
+      for (size_t i = 0; i < base_size; ++i) {
+        if (overlay.removed.count(offset + i) != 0) continue;
+        id_map->emplace(offset + i, next_id++);
+      }
+      for (size_t insert_id : insert_ids[s]) {
+        id_map->emplace(insert_id, next_id++);
+      }
+    }
+  }
+
+  /// The view's final dataset — the concatenation of the routed slices
+  /// in shard order — and, when requested, the old-id -> new-position
+  /// map compaction uses to remap the log tail.
   static void MaterializeWindow(
       const State& state, size_t end, std::vector<P>* out,
       std::unordered_map<size_t, size_t>* id_map) {
-    const Overlay overlay = BuildOverlay(state, end);
-    std::vector<P> base = state.generation->CollectData();
-    out->reserve(base.size() - overlay.removed_base +
-                 overlay.inserts.size());
-    for (size_t id = 0; id < base.size(); ++id) {
-      if (overlay.removed.count(id) != 0) continue;
-      if (id_map != nullptr) id_map->emplace(id, out->size());
-      out->push_back(std::move(base[id]));
+    std::vector<std::vector<P>> slices;
+    std::vector<bool> dirty;
+    MaterializeRouted(state, end, &slices, &dirty, id_map);
+    size_t total = 0;
+    for (const auto& slice : slices) total += slice.size();
+    out->reserve(total);
+    for (auto& slice : slices) {
+      for (auto& point : slice) out->push_back(std::move(point));
     }
-    for (const auto* entry : overlay.inserts) {
-      if (id_map != nullptr) id_map->emplace(entry->id, out->size());
-      out->push_back(entry->point);  // copy: pinned readers keep the log
+  }
+
+  /// Owning shard of a live id under the writer's generation: a base
+  /// id's owner comes from the slice layout, a pending insert's from
+  /// the routing recorded at its append.  Caller holds write_mutex_
+  /// and has validated that the id is live.
+  uint32_t ShardForLiveIdLocked(size_t id) const {
+    if (id < writer_base_size_) {
+      return ShardForId(writer_generation_->database(), id);
     }
+    auto it = writer_insert_shard_.find(id);
+    DP_CHECK(it != writer_insert_shard_.end());
+    return it->second;
+  }
+
+  /// The shard whose [offset, offset + size) id range holds base `id`.
+  static uint32_t ShardForId(const ShardedDatabase<P>& db, size_t id) {
+    size_t s = db.shard_count() - 1;
+    while (s > 0 && db.shard_offset(s) > id) --s;
+    return static_cast<uint32_t>(s);
+  }
+
+  /// Rebuilds and republishes the delta side-index set once the window
+  /// has grown delta_index_min_ entries past the covered prefix;
+  /// caller holds write_mutex_.  Republishes into the SAME (generation,
+  /// log) state — queries pinned before or after answer identically
+  /// (the side-indexes are exact over covered inserts and everything
+  /// uncovered is flat-scanned); only the per-query scan cost moves.
+  void MaybeRebuildSideIndexLocked() {
+    if (delta_index_min_ == 0) return;
+    const size_t committed = log_->committed();
+    const size_t covered =
+        writer_side_ != nullptr ? writer_side_->covers : 0;
+    if (committed < delta_index_min_ ||
+        committed - covered < delta_index_min_) {
+      return;
+    }
+    auto side = std::make_shared<SideIndexSet>();
+    side->covers = committed;
+    side->shards.resize(shard_count_);
+    // One scan for the removed set, one to route the alive inserts.
+    std::unordered_set<size_t> removed;
+    for (size_t i = 0; i < committed; ++i) {
+      const typename DeltaLog<P>::Entry& entry = log_->entry(i);
+      if (entry.is_remove) removed.insert(entry.id);
+    }
+    for (size_t i = 0; i < committed; ++i) {
+      const typename DeltaLog<P>::Entry& entry = log_->entry(i);
+      if (entry.is_remove || removed.count(entry.id) != 0) continue;
+      DP_CHECK(entry.shard < shard_count_);
+      side->shards[entry.shard].entries.push_back(&entry);
+    }
+    for (size_t s = 0; s < shard_count_; ++s) {
+      auto& shard_side = side->shards[s];
+      if (shard_side.entries.empty()) continue;
+      std::vector<P> points;
+      points.reserve(shard_side.entries.size());
+      for (const auto* entry : shard_side.entries) {
+        points.push_back(entry->point);
+      }
+      // A stream distinct from the base shards' (seed_ + 1).  The side
+      // spec is exact by default, so this seed never shapes results —
+      // it only has to be a valid stream.
+      util::Rng rng((seed_ + 1) * 0x9e3779b97f4a7c15ull + s);
+      auto built = index::Registry<P>::Global().Create(
+          side_spec_, std::move(points), metric_, &rng);
+      if (built.ok()) {
+        shard_side.index = std::move(built).value();
+      }
+      // On failure the index stays null and queries scan `entries`
+      // flat — a bad delta_index spec degrades serving, never breaks it.
+    }
+    writer_side_ = std::move(side);
+    state_.store(std::make_shared<const State>(
+        State{writer_generation_, log_, writer_side_}));
   }
 
   /// Backpressure check; caller holds write_mutex_.
@@ -1424,6 +1993,11 @@ class LiveDatabase {
   const uint64_t seed_;
   const size_t delta_scan_limit_;
   const size_t auto_compact_threshold_;
+  /// Window size at which the delta side-indexes engage (and the
+  /// rebuild cadence as the window keeps growing); 0 disables them.
+  const size_t delta_index_min_;
+  /// Registry spec for the per-shard side-indexes (delta_index knobs).
+  const std::string side_spec_;
   const size_t build_threads_;
 
   /// The serving state; queries pin it through the atomic slot.
@@ -1449,6 +2023,15 @@ class LiveDatabase {
   size_t writer_inserts_ = 0;
   std::unordered_set<size_t> writer_removed_;
   std::shared_ptr<DeltaLog<P>> log_;
+  /// The generation writes route against — same object as state_'s,
+  /// held separately so the write path never takes the state slot.
+  std::shared_ptr<const Generation<P>> writer_generation_;
+  /// Owning shard of every pending insert (id -> shard), mirrored from
+  /// the log so Remove can tag its record in O(1).
+  std::unordered_map<size_t, uint32_t> writer_insert_shard_;
+  /// The side-index set last published (null before the window reaches
+  /// delta_index_min_); kept to compare covers against the log.
+  std::shared_ptr<const SideIndexSet> writer_side_;
   /// Replication tap (under write_mutex_, like everything above).
   ReplicationListener* listener_ = nullptr;
 
@@ -1463,6 +2046,8 @@ class LiveDatabase {
   obs::Counter* compaction_failures_ = nullptr;
   obs::Histogram* compaction_seconds_ = nullptr;
   obs::Histogram* compaction_folded_entries_ = nullptr;
+  obs::Counter* compaction_shards_rebuilt_ = nullptr;
+  obs::Counter* compaction_shards_shared_ = nullptr;
   std::vector<uint64_t> callback_handles_;
   mutable std::mutex generations_mutex_;
   std::vector<std::weak_ptr<const Generation<P>>> tracked_generations_;
@@ -1473,6 +2058,8 @@ class LiveDatabase {
   std::atomic<bool> compact_pending_{false};
   mutable std::mutex background_status_mutex_;
   util::Status background_compact_status_;
+  mutable std::mutex compaction_stats_mutex_;
+  LiveCompactionStats last_compaction_stats_;
 
   /// Built-in engine for the convenience RunBatch(batch) path.
   std::mutex engine_mutex_;

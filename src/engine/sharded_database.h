@@ -16,6 +16,14 @@
 // `data` is taken by value: callers that move their vector in hand each
 // shard its slice by element moves — no second full copy of the
 // database is ever made.
+//
+// Shards are held by shared_ptr so incremental compaction can assemble
+// a successor database that reuses untouched shards from its
+// predecessor (FromShards) instead of rebuilding them.  The per-shard
+// RNG stream depends only on (seed, shard number) — never on the
+// generation number — which is what makes sharing sound: a clean
+// shard's index is bit-identical to what a fresh per-slice rebuild
+// would produce over the same slice.
 
 #ifndef DISTPERM_ENGINE_SHARDED_DATABASE_H_
 #define DISTPERM_ENGINE_SHARDED_DATABASE_H_
@@ -43,6 +51,8 @@ namespace engine {
 template <typename P>
 class ShardedDatabase {
  public:
+  using SharedShard = std::shared_ptr<const index::SearchIndex<P>>;
+
   /// Builds one index over one shard's slice of the data.  Called once
   /// per shard, in shard order when `build_threads` is 1; with more
   /// build threads the calls run concurrently, so the factory must be
@@ -62,12 +72,31 @@ class ShardedDatabase {
                                const IndexFactory& factory,
                                size_t build_threads = 1) {
     DP_CHECK(shard_count >= 1);
+    std::vector<size_t> offsets;
+    return BuildSliced(SliceData(std::move(data), shard_count, &offsets),
+                       metric, factory, build_threads);
+  }
+
+  /// Builds one index per pre-routed slice.  The slices ARE the shard
+  /// layout: shard s serves global ids [sum of earlier slice sizes,
+  /// +slices[s].size()).  Used by incremental compaction and snapshot
+  /// restore, where shard boundaries follow the delta routing instead
+  /// of the uniform split.
+  static ShardedDatabase BuildSliced(std::vector<std::vector<P>> slices,
+                                     const metric::Metric<P>& metric,
+                                     const IndexFactory& factory,
+                                     size_t build_threads = 1) {
+    DP_CHECK(!slices.empty());
+    const size_t shard_count = slices.size();
     ShardedDatabase db;
-    db.total_size_ = data.size();
-    std::vector<std::vector<P>> slices =
-        SliceData(std::move(data), shard_count, &db.offsets_);
+    size_t offset = 0;
     std::vector<size_t> sizes(shard_count);
-    for (size_t s = 0; s < shard_count; ++s) sizes[s] = slices[s].size();
+    for (size_t s = 0; s < shard_count; ++s) {
+      sizes[s] = slices[s].size();
+      db.offsets_.push_back(offset);
+      offset += sizes[s];
+    }
+    db.total_size_ = offset;
     db.shards_.resize(shard_count);
     ForEachShard(shard_count, build_threads, [&](size_t s) {
       db.shards_[s] = factory(std::move(slices[s]), metric, s);
@@ -96,10 +125,33 @@ class ShardedDatabase {
       return util::Status::InvalidArgument(
           "ShardedDatabase: shard_count must be >= 1");
     }
+    std::vector<size_t> offsets;
+    return BuildFromRegistrySliced(
+        SliceData(std::move(data), shard_count, &offsets), metric,
+        index_spec, seed, build_threads);
+  }
+
+  /// Registry build over pre-routed slices.  Shard s's RNG stream is
+  /// still derived from (seed, s) alone, so a shard built here over a
+  /// given slice is bit-identical to the same shard inside any other
+  /// build whose slice s matches — the property incremental compaction
+  /// relies on to share clean shards.
+  static util::Result<ShardedDatabase> BuildFromRegistrySliced(
+      std::vector<std::vector<P>> slices, const metric::Metric<P>& metric,
+      const std::string& index_spec, uint64_t seed,
+      size_t build_threads = 1) {
+    if (slices.empty()) {
+      return util::Status::InvalidArgument(
+          "ShardedDatabase: need at least one slice");
+    }
+    const size_t shard_count = slices.size();
     ShardedDatabase db;
-    db.total_size_ = data.size();
-    std::vector<std::vector<P>> slices =
-        SliceData(std::move(data), shard_count, &db.offsets_);
+    size_t offset = 0;
+    for (size_t s = 0; s < shard_count; ++s) {
+      db.offsets_.push_back(offset);
+      offset += slices[s].size();
+    }
+    db.total_size_ = offset;
     db.shards_.resize(shard_count);
     std::vector<util::Status> statuses(shard_count, util::Status::OK());
     ForEachShard(shard_count, build_threads, [&](size_t s) {
@@ -124,14 +176,45 @@ class ShardedDatabase {
     return db;
   }
 
+  /// Assembles a database from already-built shards — the incremental
+  /// compaction path: clean shards are the predecessor's shared_ptrs,
+  /// dirty shards are freshly registry-built over their new slice.
+  /// Offsets are recomputed from the shard sizes in order.
+  static ShardedDatabase FromShards(std::vector<SharedShard> shards) {
+    DP_CHECK(!shards.empty());
+    ShardedDatabase db;
+    size_t offset = 0;
+    for (const auto& shard : shards) {
+      DP_CHECK(shard != nullptr);
+      db.offsets_.push_back(offset);
+      offset += shard->size();
+    }
+    db.total_size_ = offset;
+    db.shards_ = std::move(shards);
+    return db;
+  }
+
   size_t shard_count() const { return shards_.size(); }
   size_t size() const { return total_size_; }
 
   /// The index serving shard s.
   const index::SearchIndex<P>& shard(size_t s) const { return *shards_[s]; }
 
+  /// Shard s as a shareable reference — what a successor generation
+  /// adopts verbatim when the shard's slice was untouched by the delta.
+  const SharedShard& shared_shard(size_t s) const { return shards_[s]; }
+
   /// Global id of shard s's local id 0.
   size_t shard_offset(size_t s) const { return offsets_[s]; }
+
+  /// Per-shard sizes in shard order (the layout a snapshot records so
+  /// restore can slice the points identically).
+  std::vector<size_t> ShardSizes() const {
+    std::vector<size_t> sizes;
+    sizes.reserve(shards_.size());
+    for (const auto& shard : shards_) sizes.push_back(shard->size());
+    return sizes;
+  }
 
   /// Reassembles the database in global-id order (shard slices are
   /// contiguous, so concatenating them in shard order restores the
@@ -212,7 +295,7 @@ class ShardedDatabase {
     pool.Wait();
   }
 
-  std::vector<std::unique_ptr<index::SearchIndex<P>>> shards_;
+  std::vector<SharedShard> shards_;
   std::vector<size_t> offsets_;
   size_t total_size_ = 0;
 };

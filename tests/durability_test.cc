@@ -100,7 +100,7 @@ TEST(DeltaLog, AppendsAcrossChunkBoundaries) {
   DeltaLog<std::string> log;
   const size_t n = DeltaLog<std::string>::kChunkSize * 3 + 5;
   for (size_t i = 0; i < n; ++i) {
-    ASSERT_TRUE(log.Append({i % 7 == 0, i, "entry-" + std::to_string(i)}));
+    ASSERT_TRUE(log.Append({i % 7 == 0, i, 0, "entry-" + std::to_string(i)}));
     ASSERT_EQ(log.committed(), i + 1);
   }
   for (size_t i = 0; i < n; ++i) {
@@ -115,12 +115,12 @@ TEST(DeltaLog, ExactChunkMultipleThenOneMore) {
   DeltaLog<std::string> log;
   const size_t boundary = DeltaLog<std::string>::kChunkSize;
   for (size_t i = 0; i < boundary; ++i) {
-    ASSERT_TRUE(log.Append({false, i, "x"}));
+    ASSERT_TRUE(log.Append({false, i, 0, "x"}));
   }
   ASSERT_EQ(log.committed(), boundary);
   EXPECT_EQ(log.entry(boundary - 1).id, boundary - 1);
   // This append is the first touch of chunk 1.
-  ASSERT_TRUE(log.Append({false, boundary, "first-of-chunk-1"}));
+  ASSERT_TRUE(log.Append({false, boundary, 0, "first-of-chunk-1"}));
   EXPECT_EQ(log.entry(boundary).point, "first-of-chunk-1");
   EXPECT_EQ(log.entry(boundary - 1).id, boundary - 1);  // chunk 0 intact
 }
@@ -512,8 +512,9 @@ TEST(Durability, MetricsAreExact) {
   util::Rng rng(71);
   auto data = dataset::UniformCube(25, 3, &rng);
   // Vector WAL frames are deterministic: 16-byte header + 1-byte op +
-  // 4-byte dim + 3 doubles = 45 per insert; 16 + 1 + 8 = 25 per remove.
-  constexpr uint64_t kInsertFrame = 45, kRemoveFrame = 25;
+  // 4-byte shard + 4-byte dim + 3 doubles = 49 per insert;
+  // 16 + 1 + 4 + 8 = 29 per remove.
+  constexpr uint64_t kInsertFrame = 49, kRemoveFrame = 29;
   {
     obs::MetricsRegistry registry("durability_test");
     LiveOptions options;

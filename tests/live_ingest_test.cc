@@ -112,6 +112,21 @@ typename QueryEngine<P>::BatchOutput FreshAnswers(
   return engine.RunBatch(built.value(), batch);
 }
 
+// A fresh engine with each shard rebuilt over its pre-routed slice
+// (Snapshot::MaterializeSlices) — the full-rebuild reference an
+// incremental compaction of the same view must match bit-for-bit.
+template <typename P>
+typename QueryEngine<P>::BatchOutput FreshSlicedAnswers(
+    std::vector<std::vector<P>> slices, const metric::Metric<P>& metric,
+    const std::string& spec, uint64_t seed,
+    const std::vector<QuerySpec<P>>& batch) {
+  auto built = ShardedDatabase<P>::BuildFromRegistrySliced(
+      std::move(slices), metric, spec, seed);
+  EXPECT_TRUE(built.ok()) << built.status();
+  QueryEngine<P> engine(1);
+  return engine.RunBatch(built.value(), batch);
+}
+
 TEST(LiveIngest, IdleStoreMatchesPlainEngineBitForBit) {
   util::Rng rng(401);
   auto data = dataset::UniformCube(60, 2, &rng);
@@ -251,14 +266,19 @@ TEST(LiveIngest, ExactSpecsMatchFreshBuildBeforeAndAfterCompaction) {
     }
 
     // Post-compaction the id spaces coincide: results, counts, and
-    // truncation flags are bit-identical to the fresh build.
+    // truncation flags are bit-identical to a fresh build over the
+    // same routed slices (compaction folds per shard, so the sliced
+    // build — not the uniform split — is the reference object).
+    auto fresh_sliced =
+        FreshSlicedAnswers(snapshot.MaterializeSlices(), L2(), spec, 13,
+                           batch);
     ASSERT_TRUE(live.Compact().ok()) << spec;
     auto compacted = live.RunBatch(batch);
-    EXPECT_EQ(compacted.results, fresh.results) << spec;
+    EXPECT_EQ(compacted.results, fresh_sliced.results) << spec;
     EXPECT_EQ(compacted.per_query_distance_computations,
-              fresh.per_query_distance_computations)
+              fresh_sliced.per_query_distance_computations)
         << spec;
-    EXPECT_EQ(compacted.truncated, fresh.truncated) << spec;
+    EXPECT_EQ(compacted.truncated, fresh_sliced.truncated) << spec;
   }
 }
 
@@ -276,12 +296,12 @@ TEST(LiveIngest, ApproxSpecsMatchFreshBuildAfterCompaction) {
               .ok());
     }
     ASSERT_TRUE(live.Remove(7).ok());
-    auto final_data = live.Pin().Materialize();
+    auto slices = live.Pin().MaterializeSlices();
     ASSERT_TRUE(live.Compact().ok()) << spec;
 
     util::Rng query_rng(503);
     auto batch = MixedVectorBatch(2, &query_rng);
-    auto fresh = FreshAnswers(final_data, L2(), 2, spec, 19, batch);
+    auto fresh = FreshSlicedAnswers(std::move(slices), L2(), spec, 19, batch);
     auto got = live.RunBatch(batch);
     EXPECT_EQ(got.results, fresh.results) << spec;
     EXPECT_EQ(got.per_query_distance_computations,
@@ -321,11 +341,13 @@ TEST(LiveIngest, StringsUnderLevenshtein) {
         << q;
   }
 
+  auto fresh_sliced = FreshSlicedAnswers(snapshot.MaterializeSlices(), lev,
+                                         "vp-tree", 23, batch);
   ASSERT_TRUE(live.Compact().ok());
   auto compacted = live.RunBatch(batch);
-  EXPECT_EQ(compacted.results, fresh.results);
+  EXPECT_EQ(compacted.results, fresh_sliced.results);
   EXPECT_EQ(compacted.per_query_distance_computations,
-            fresh.per_query_distance_computations);
+            fresh_sliced.per_query_distance_computations);
 }
 
 // The delta path must not disturb budget/truncation accounting: the
@@ -394,11 +416,37 @@ TEST(LiveIngest, SpecKnobsParseAndValidate) {
   EXPECT_EQ(defaults.value().first, "vp-tree");
   EXPECT_EQ(defaults.value().second.delta_scan_limit, 4096u);
   EXPECT_EQ(defaults.value().second.auto_compact_threshold, 0u);
+  EXPECT_EQ(defaults.value().second.delta_index, "laesa");
+  EXPECT_EQ(defaults.value().second.delta_index_k, 4u);
+  EXPECT_EQ(defaults.value().second.delta_index_min, 256u);
+
+  // The delta side-index knobs parse and strip like the others.
+  auto side = index::SplitLiveSpec(
+      "vp-tree:delta_index=iaesa,delta_index_k=6,delta_index_min=32,"
+      "delta_scan_limit=64");
+  ASSERT_TRUE(side.ok());
+  EXPECT_EQ(side.value().first, "vp-tree");
+  EXPECT_EQ(side.value().second.delta_index, "iaesa");
+  EXPECT_EQ(side.value().second.delta_index_k, 6u);
+  EXPECT_EQ(side.value().second.delta_index_min, 32u);
+
+  // An unset delta_index_min clamps to the scan limit (the default 256
+  // would otherwise exceed — and invalidate — small-window specs); an
+  // explicit contradictory setting is an error, and 0 disables the
+  // side-indexes outright.
+  auto clamped = index::SplitLiveSpec("vp-tree:delta_scan_limit=64");
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ(clamped.value().second.delta_index_min, 64u);
+  auto disabled = index::SplitLiveSpec("vp-tree:delta_index_min=0");
+  ASSERT_TRUE(disabled.ok());
+  EXPECT_EQ(disabled.value().second.delta_index_min, 0u);
 
   for (const std::string& bad :
        {std::string("vp-tree:delta_scan_limit=0"),
         std::string("vp-tree:delta_scan_limit=2,auto_compact_threshold=3"),
         std::string("vp-tree:delta_scan_limit=abc"),
+        std::string("vp-tree:delta_index_k=0"),
+        std::string("vp-tree:delta_index_min=9,delta_scan_limit=8"),
         std::string(":delta_scan_limit=2")}) {
     EXPECT_EQ(index::SplitLiveSpec(bad).status().code(),
               util::StatusCode::kInvalidArgument)

@@ -170,6 +170,18 @@ void ExpectStoresIdentical(LiveDatabase<Vector>& a, LiveDatabase<Vector>& b,
   for (size_t i = 0; i < left.size(); ++i) {
     ASSERT_EQ(left[i], right[i]) << context << " point " << i;
   }
+  // Replaying the primary's fold must make the replica take the exact
+  // same incremental-compaction decisions: the same per-shard slicing
+  // AND the same rebuild-vs-share choice for every shard.  Shard sizes
+  // pin the slicing; epochs pin which generation last rebuilt each
+  // shard — a replica that rebuilt a shard the primary shared (or vice
+  // versa) diverges here even though the points all match.
+  const auto a_pin = a.Pin();
+  const auto b_pin = b.Pin();
+  EXPECT_EQ(a_pin.database().ShardSizes(), b_pin.database().ShardSizes())
+      << context;
+  EXPECT_EQ(a_pin.generation()->epochs(), b_pin.generation()->epochs())
+      << context;
 }
 
 // -------------------------------------------------------------- codecs
@@ -493,6 +505,38 @@ TEST(Replication, BootstrapTailRotateConvergeWithExactMetrics) {
   EXPECT_NE(primary_text.find("replication_wal_frames_total 33"),
             std::string::npos)
       << primary_text;
+
+  // Skewed incremental fold: fold the pending tail, then insert six
+  // copies of one far-away point — they all route to a single shard,
+  // so the primary rebuilds exactly one shard and shares the other.
+  // The replica replays the same fold and must take the identical
+  // share-vs-rebuild decisions: same stats, and (via the epochs check
+  // in ExpectStoresIdentical) the same per-shard rebuild history.
+  ASSERT_TRUE(primary->db->Compact().ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(primary->db->Insert(Vector{5.0, 5.0, 5.0, 5.0}).ok());
+  }
+  ASSERT_TRUE(primary->db->Compact().ok());
+  const engine::LiveCompactionStats primary_stats =
+      primary->db->last_compaction_stats();
+  EXPECT_FALSE(primary_stats.rebalanced);
+  EXPECT_EQ(primary_stats.shards_rebuilt, 1u);
+  EXPECT_EQ(primary_stats.shards_shared, kShards - 1);
+  ASSERT_TRUE(WaitFor([&]() {
+    return replica.db().generation_number() ==
+               primary->db->generation_number() &&
+           replica.replication().applied_seq() ==
+               primary->db->delta_entries();
+  })) << "replica never converged past the skewed fold; last error: "
+      << replica.replication().last_error();
+  const engine::LiveCompactionStats replica_stats =
+      replica.db().last_compaction_stats();
+  EXPECT_FALSE(replica_stats.rebalanced);
+  EXPECT_EQ(replica_stats.shards_rebuilt, primary_stats.shards_rebuilt);
+  EXPECT_EQ(replica_stats.shards_shared, primary_stats.shards_shared);
+  EXPECT_EQ(replica_stats.folded_entries, primary_stats.folded_entries);
+  ExpectStoresIdentical(*primary->db, replica.db(),
+                        "after skewed incremental fold");
 
   replica.Shutdown();
   serving.join();
